@@ -1,0 +1,180 @@
+// Benchmark harness: one testing.B benchmark per table and figure in the
+// paper's evaluation, plus the §3.3 overhead claim and the Figure 2
+// multi-tenancy/rebalancing ablations. Each benchmark regenerates its
+// artifact end to end (fresh simulated cluster, planner, optimizer,
+// execution) and reports the paper's headline metrics as custom benchmark
+// outputs, so `go test -bench=. -benchmem` doubles as the reproduction run.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/workflow"
+)
+
+// BenchmarkFigure3 regenerates the four execution traces of Figure 3 and
+// reports the headline speedup (paper: ~3.4×).
+func BenchmarkFigure3(b *testing.B) {
+	var last *experiments.Figure3Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Speedup(), "speedup_x")
+	b.ReportMetric(last.Rows[0].Report.MakespanS, "baseline_s")
+	b.ReportMetric(last.Rows[2].Report.MakespanS, "murakkab_cpu_s")
+}
+
+// BenchmarkTable2 regenerates Table 2 (energy and time per STT config) and
+// reports the energy-efficiency gain (paper: ~4.5×).
+func BenchmarkTable2(b *testing.B) {
+	var last *experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.EnergyEfficiencyGain, "energy_gain_x")
+	for _, row := range last.Rows {
+		switch row.Config {
+		case "Baseline":
+			b.ReportMetric(row.EnergyWh, "baseline_Wh")
+		case "Murakkab CPU":
+			b.ReportMetric(row.EnergyWh, "murakkab_cpu_Wh")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the Table 1 lever ablations and reports the
+// number of direction mismatches against the paper (target: 0).
+func BenchmarkTable1(b *testing.B) {
+	var last *experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(len(last.Check())), "mismatches")
+}
+
+// BenchmarkPlannerOverhead measures the §3.3(b) claim: DAG creation takes
+// less than 1% of workflow execution time.
+func BenchmarkPlannerOverhead(b *testing.B) {
+	var last *experiments.OverheadResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Overhead()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(100*last.PlanningLatencyFrac, "planning_pct")
+	b.ReportMetric(float64(last.ProfilesBuilt), "profiles")
+}
+
+// BenchmarkMultiTenant measures Figure 2's multiplexing gain from
+// co-scheduling independent workflows.
+func BenchmarkMultiTenant(b *testing.B) {
+	var last *experiments.MultiTenantResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.MultiTenant()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.MultiplexGain, "multiplex_gain_x")
+}
+
+// BenchmarkRebalanceAblation measures the value of workflow-aware cluster
+// management (DAG-driven engine scaling).
+func BenchmarkRebalanceAblation(b *testing.B) {
+	var last *experiments.RebalanceAblationResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RebalanceAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.SpeedupFromLookahead, "lookahead_speedup_x")
+}
+
+// BenchmarkQualityCheckpoints measures the §5 quality-control sweep:
+// end-to-end correctness with greedy checkpoint placement.
+func BenchmarkQualityCheckpoints(b *testing.B) {
+	var last *experiments.QualityResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.QualityExperiment(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.BaselineCorrectness, "base_correct")
+	b.ReportMetric(last.Rows[len(last.Rows)-1].Correctness, "checked_correct")
+}
+
+// BenchmarkLoadSweep measures the AIWaaS operating curve at a moderate load.
+func BenchmarkLoadSweep(b *testing.B) {
+	var last *experiments.LoadSweepResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.LoadSweep([]float64{0.02}, 400, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Points[0].MeanLatencyS, "mean_latency_s")
+	b.ReportMetric(last.Points[0].MeanQueueS, "mean_queue_s")
+}
+
+// BenchmarkMultiCloud measures the §5 multi-platform placement comparison.
+func BenchmarkMultiCloud(b *testing.B) {
+	var last *experiments.MultiCloudResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.MultiCloud(experiments.DefaultCloudOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(len(last.Rows)), "rows")
+}
+
+// BenchmarkBaselineRun measures one imperative (Listing 1) execution.
+func BenchmarkBaselineRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunBaseline(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMurakkabRun measures one declarative (Listing 2) execution under
+// each constraint.
+func BenchmarkMurakkabRun(b *testing.B) {
+	for _, c := range []workflow.Constraint{
+		workflow.MinCost, workflow.MinLatency, workflow.MinPower, workflow.MaxQuality,
+	} {
+		b.Run(c.String(), func(b *testing.B) {
+			var makespan float64
+			for i := 0; i < b.N; i++ {
+				rep, _, err := experiments.RunMurakkabFree(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = rep.MakespanS
+			}
+			b.ReportMetric(makespan, "makespan_s")
+		})
+	}
+}

@@ -1,0 +1,141 @@
+// Command murakkab runs a declarative workflow on a simulated cluster from
+// the command line.
+//
+// Usage:
+//
+//	murakkab -desc "List objects shown/mentioned in the videos" \
+//	         -videos 2 -scenes 8 -constraint min_cost -quality 0.95
+//
+//	murakkab -desc "Generate social media newsfeed for Alice" \
+//	         -topics f1,cats,cooking -constraint min_latency
+//
+// Flags select the workload shape, the constraint and the cluster size; the
+// runtime decides everything else. Output: the execution report, the chosen
+// configuration per capability, a Figure 3-style ASCII timeline, and
+// (optionally) CSV series for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/agents"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/hardware"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/workflow"
+)
+
+func main() {
+	var (
+		desc       = flag.String("desc", "List objects shown/mentioned in the videos", "natural-language job description")
+		videos     = flag.Int("videos", 2, "number of input videos (video workloads)")
+		scenes     = flag.Int("scenes", 8, "scenes per video")
+		sceneLen   = flag.Float64("scene-len", 30, "scene length in seconds")
+		frames     = flag.Int("frames", 24, "frames sampled per scene")
+		topics     = flag.String("topics", "", "comma-separated topics (newsfeed workloads)")
+		constraint = flag.String("constraint", "min_cost", "min_cost | min_latency | min_power | max_quality")
+		quality    = flag.Float64("quality", 0.95, "minimum acceptable quality in [0,1], 0 disables")
+		vms        = flag.Int("vms", 2, "number of Standard_ND96amsr_A100_v4 VMs")
+		spotVMs    = flag.Int("spot-vms", 0, "additional spot VMs")
+		rebalance  = flag.Float64("rebalance", 0, "cluster-manager rebalance period in seconds (0 = off)")
+		maxPaths   = flag.Int("max-paths", 1, "execution-path replication cap under max_quality")
+		csv        = flag.Bool("csv", false, "emit spans + utilization CSV instead of ASCII")
+		width      = flag.Int("width", 72, "timeline width in characters")
+	)
+	flag.Parse()
+
+	c, err := parseConstraint(*constraint)
+	if err != nil {
+		fatal(err)
+	}
+
+	se := sim.NewEngine()
+	cl := cluster.New(se, hardware.DefaultCatalog())
+	for i := 0; i < *vms; i++ {
+		cl.AddVM(fmt.Sprintf("vm%d", i), hardware.NDv4SKUName, false)
+	}
+	for i := 0; i < *spotVMs; i++ {
+		cl.AddVM(fmt.Sprintf("spot%d", i), hardware.NDv4SKUName, true)
+	}
+	rt, err := core.New(core.Config{
+		Engine:          se,
+		Cluster:         cl,
+		Library:         agents.DefaultLibrary(),
+		RebalancePeriod: sim.Duration(*rebalance),
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	job := workflow.Job{
+		Description: *desc,
+		Constraint:  c,
+		MinQuality:  *quality,
+	}
+	if *topics != "" {
+		job.Inputs = append(job.Inputs, workflow.Input{Name: "user", Kind: workflow.InputUser})
+		for _, t := range strings.Split(*topics, ",") {
+			job.Inputs = append(job.Inputs, workflow.Input{
+				Name: strings.TrimSpace(t), Kind: workflow.InputTopic,
+				Attrs: map[string]float64{"queries": 3},
+			})
+		}
+	} else {
+		for i := 0; i < *videos; i++ {
+			job.Inputs = append(job.Inputs, workflow.VideoInput(
+				fmt.Sprintf("video%d.mov", i),
+				float64(*scenes)*(*sceneLen), *sceneLen, *frames))
+		}
+	}
+
+	ex, err := rt.Submit(job, core.SubmitOptions{RelaxFloor: true, MaxPaths: *maxPaths})
+	if err != nil {
+		fatal(err)
+	}
+	se.Run()
+	if ex.Err() != nil {
+		fatal(ex.Err())
+	}
+	rep := ex.Report()
+
+	if *csv {
+		fmt.Println("# spans")
+		fmt.Print(telemetry.SpansCSV(rep.Tracer))
+		fmt.Println("# utilization")
+		fmt.Print(rep.UtilizationCSV(1))
+		return
+	}
+
+	fmt.Println(rep.String())
+	fmt.Println("\nDecisions:")
+	for cap, d := range rep.Decisions {
+		fmt.Printf("  %-22s %s\n", cap, d)
+	}
+	fmt.Println("\nTimeline:")
+	fmt.Print(rep.Timeline(*width))
+}
+
+func parseConstraint(s string) (workflow.Constraint, error) {
+	switch strings.ToLower(s) {
+	case "min_cost", "mincost":
+		return workflow.MinCost, nil
+	case "min_latency", "minlatency":
+		return workflow.MinLatency, nil
+	case "min_power", "minpower":
+		return workflow.MinPower, nil
+	case "max_quality", "maxquality":
+		return workflow.MaxQuality, nil
+	default:
+		return 0, fmt.Errorf("unknown constraint %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "murakkab:", err)
+	os.Exit(1)
+}

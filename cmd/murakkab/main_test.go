@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/workflow"
+)
+
+func TestParseConstraint(t *testing.T) {
+	cases := map[string]workflow.Constraint{
+		"min_cost":    workflow.MinCost,
+		"MIN_COST":    workflow.MinCost,
+		"mincost":     workflow.MinCost,
+		"min_latency": workflow.MinLatency,
+		"min_power":   workflow.MinPower,
+		"max_quality": workflow.MaxQuality,
+		"MaxQuality":  workflow.MaxQuality,
+	}
+	for in, want := range cases {
+		got, err := parseConstraint(in)
+		if err != nil {
+			t.Errorf("parseConstraint(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("parseConstraint(%q) = %v, want %v", in, got, want)
+		}
+	}
+	if _, err := parseConstraint("fastest"); err == nil {
+		t.Error("unknown constraint accepted")
+	}
+}

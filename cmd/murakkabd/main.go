@@ -1,0 +1,38 @@
+// Command murakkabd serves the Murakkab runtime over HTTP — the AIWaaS
+// surface from the paper's §5 discussion.
+//
+//	murakkabd -addr :8080
+//
+//	curl localhost:8080/v1/library
+//	curl localhost:8080/v1/experiments/table2
+//	curl -X POST localhost:8080/v1/jobs -d '{
+//	  "description": "List objects shown/mentioned in the videos",
+//	  "constraint": "MIN_COST", "min_quality": 0.95,
+//	  "inputs": [{"name": "cats.mov", "kind": "video",
+//	              "attrs": {"duration_s": 240, "scene_len_s": 30,
+//	                        "frames_per_scene": 24}}]}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/api"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api.NewHandler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("murakkabd listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

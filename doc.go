@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "Towards
+// Resource-Efficient Compound AI Systems" (HotOS 2025): the Murakkab
+// declarative workflow programming model and adaptive runtime, together with
+// every substrate its evaluation depends on, implemented over a
+// deterministic discrete-event simulation of the paper's GPU/CPU testbed.
+//
+// See README.md for the tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results. The root package holds only
+// the benchmark harness (bench_test.go); the implementation lives under
+// internal/ and the runnable entry points under cmd/ and examples/.
+package repro

@@ -1,0 +1,67 @@
+// Document question answering: the planner's third built-in template.
+// Documents are embedded (fan-out), inserted into the vector database, and a
+// retrieval-augmented answer is generated — the tail of the paper's §4
+// pipeline (embeddings → VectorDB → question/answering) as its own workflow.
+//
+// The example runs the same job under MAX_QUALITY with execution-path
+// replication (Table 1's "Execution Paths" lever) and shows the quality/cost
+// movement.
+//
+//	go run ./examples/docqa
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/agents"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/hardware"
+	"repro/internal/sim"
+	"repro/internal/workflow"
+)
+
+func docJob(c workflow.Constraint) workflow.Job {
+	return workflow.Job{
+		Description: "Answer questions about the research papers",
+		Inputs: []workflow.Input{
+			{Name: "murakkab.pdf", Kind: workflow.InputDoc, Attrs: map[string]float64{"tokens": 1400}},
+			{Name: "quicksand.pdf", Kind: workflow.InputDoc, Attrs: map[string]float64{"tokens": 1100}},
+			{Name: "paragon.pdf", Kind: workflow.InputDoc, Attrs: map[string]float64{"tokens": 900}},
+			{Name: "sky.pdf", Kind: workflow.InputDoc, Attrs: map[string]float64{"tokens": 700}},
+		},
+		Constraint: c,
+	}
+}
+
+func run(c workflow.Constraint, maxPaths int) {
+	se := sim.NewEngine()
+	cl := cluster.New(se, hardware.DefaultCatalog())
+	cl.AddVM("vm0", hardware.NDv4SKUName, false)
+	cl.AddVM("vm1", hardware.NDv4SKUName, false)
+	rt, err := core.New(core.Config{Engine: se, Cluster: cl, Library: agents.DefaultLibrary()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ex, err := rt.Submit(docJob(c), core.SubmitOptions{RelaxFloor: true, MaxPaths: maxPaths})
+	if err != nil {
+		log.Fatal(err)
+	}
+	se.Run()
+	if ex.Err() != nil {
+		log.Fatal(ex.Err())
+	}
+	rep := ex.Report()
+	fmt.Printf("== %s (max paths %d) ==\n%s\n", c, maxPaths, rep.String())
+	qa := ex.Plan().Decisions[string(agents.CapQA)]
+	fmt.Printf("  answerer: %s @ %s paths=%d\n", qa.Implementation, qa.Config, qa.ExecutionPaths)
+	fmt.Print(rep.Timeline(64))
+	fmt.Println()
+}
+
+func main() {
+	// The declarative job is identical; only the constraint changes.
+	run(workflow.MinCost, 1)
+	run(workflow.MaxQuality, 4)
+}

@@ -1,0 +1,69 @@
+// Newsfeed: Figure 2's Workflow B — "Generate social media newsfeed for
+// Alice" — as a declarative job. The planner fans out one web search per
+// topic, ranks the results, generates the feed with the LLM and runs a
+// sentiment filter, all without the program naming a single model or GPU.
+//
+// The example also sweeps all four constraints to show the same job
+// executing under different objectives (the fungibility of §3).
+//
+//	go run ./examples/newsfeed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/agents"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/hardware"
+	"repro/internal/sim"
+	"repro/internal/workflow"
+)
+
+func newsfeedJob(c workflow.Constraint) workflow.Job {
+	return workflow.Job{
+		Description: "Generate social media newsfeed for Alice",
+		Inputs: []workflow.Input{
+			{Name: "alice", Kind: workflow.InputUser},
+			{Name: "formula-1", Kind: workflow.InputTopic, Attrs: map[string]float64{"queries": 3}},
+			{Name: "cats", Kind: workflow.InputTopic, Attrs: map[string]float64{"queries": 3}},
+			{Name: "cooking", Kind: workflow.InputTopic, Attrs: map[string]float64{"queries": 3}},
+			{Name: "distributed-systems", Kind: workflow.InputTopic, Attrs: map[string]float64{"queries": 2}},
+		},
+		Constraint: c,
+	}
+}
+
+func main() {
+	for _, c := range []workflow.Constraint{
+		workflow.MinCost, workflow.MinLatency, workflow.MinPower, workflow.MaxQuality,
+	} {
+		se := sim.NewEngine()
+		cl := cluster.New(se, hardware.DefaultCatalog())
+		cl.AddVM("vm0", hardware.NDv4SKUName, false)
+		cl.AddVM("vm1", hardware.NDv4SKUName, false)
+		rt, err := core.New(core.Config{Engine: se, Cluster: cl, Library: agents.DefaultLibrary()})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ex, err := rt.Submit(newsfeedJob(c), core.SubmitOptions{
+			RelaxFloor: true,
+			MaxPaths:   4, // lets MAX_QUALITY explore extra reasoning paths
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		se.Run()
+		if ex.Err() != nil {
+			log.Fatal(ex.Err())
+		}
+		rep := ex.Report()
+		fmt.Printf("== %s ==\n%s\n", c, rep.String())
+		sum := ex.Plan().Decisions[string(agents.CapSummarization)]
+		fmt.Printf("  feed generator: %s @ %s (paths=%d)\n",
+			sum.Implementation, sum.Config, sum.ExecutionPaths)
+		fmt.Print(rep.Timeline(64))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,222 @@
+// Package agents implements the paper's "flexible library of agents" (§3.2):
+// abstract capabilities (Speech-to-Text, Object Detection, ...), concrete
+// implementations (Whisper, FastConformer, CLIP, NVLM, ...), their argument
+// schemas for LLM tool-call generation, and ground-truth performance models
+// the profiler measures.
+//
+// The split matters: the optimizer sees only measured profiles
+// (internal/profiles), never these ground-truth models — mirroring the real
+// system, where the runtime knows models only through profiling.
+package agents
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hardware"
+	"repro/internal/profiles"
+)
+
+// Capability names an abstract agent interface. Tasks require capabilities;
+// implementations provide them.
+type Capability string
+
+// Capabilities used by the paper's workloads (video understanding, Fig. 2's
+// newsfeed) plus generic tools from Figure 2's model/tool library.
+const (
+	CapFrameExtraction Capability = "frame-extraction"    // unit: frames
+	CapSpeechToText    Capability = "speech-to-text"      // unit: audio seconds
+	CapObjectDetection Capability = "object-detection"    // unit: frames
+	CapSummarization   Capability = "scene-summarization" // unit: tokens
+	CapEmbedding       Capability = "embedding"           // unit: tokens
+	CapQA              Capability = "question-answering"  // unit: tokens
+	CapSentiment       Capability = "sentiment-analysis"  // unit: documents
+	CapWebSearch       Capability = "web-search"          // unit: queries
+	CapRanking         Capability = "ranking"             // unit: items
+	CapCalculator      Capability = "calculator"          // unit: expressions
+)
+
+// LLMCapabilities lists capabilities served by a shared LLM serving engine
+// (internal/llmsim) rather than per-task allocations.
+func LLMCapabilities() map[Capability]bool {
+	return map[Capability]bool{
+		CapSummarization: true,
+		CapEmbedding:     true,
+		CapQA:            true,
+	}
+}
+
+// PerfModel is the ground truth of how an implementation executes on
+// hardware. Latency is BaseS plus work divided by the aggregate processing
+// rate; GPU and CPU rates add when a hybrid config grants both (this is how
+// the Table 2 "GPU + CPU" Speech-to-Text configuration arises).
+type PerfModel struct {
+	// BaseS is fixed per-invocation overhead.
+	BaseS float64
+	// GPUUnitS is GPU-seconds per work unit on one RefGPU. Zero means the
+	// implementation cannot use GPUs.
+	GPUUnitS float64
+	// CPUCoreUnitS is core-seconds per work unit. Zero means CPUs unusable.
+	CPUCoreUnitS float64
+	// GPUParallelExp / CPUParallelExp in (0,1] set multi-device scaling:
+	// rate ∝ count^exp (1 = perfect scaling).
+	GPUParallelExp float64
+	CPUParallelExp float64
+	// GPUIntensity / CPUIntensity are sustained device utilizations in [0,1].
+	GPUIntensity float64
+	CPUIntensity float64
+	// RefGPU anchors GPUUnitS; other generations scale by FLOPS ratio.
+	RefGPU hardware.GPUType
+	// Device count bounds.
+	MinGPUs, MaxGPUs   int
+	MinCores, MaxCores int
+}
+
+// SupportsGPU reports whether the model can run on GPUs.
+func (m PerfModel) SupportsGPU() bool { return m.GPUUnitS > 0 && m.MaxGPUs > 0 }
+
+// SupportsCPU reports whether the model can run on CPU cores.
+func (m PerfModel) SupportsCPU() bool { return m.CPUCoreUnitS > 0 && m.MaxCores > 0 }
+
+// SupportsConfig reports whether cfg is within the model's envelope.
+func (m PerfModel) SupportsConfig(cfg profiles.ResourceConfig) bool {
+	if cfg.Validate() != nil {
+		return false
+	}
+	if cfg.GPUs > 0 {
+		if !m.SupportsGPU() || cfg.GPUs < m.MinGPUs || cfg.GPUs > m.MaxGPUs {
+			return false
+		}
+	}
+	if cfg.CPUCores > 0 {
+		if !m.SupportsCPU() || cfg.CPUCores < m.MinCores || cfg.CPUCores > m.MaxCores {
+			return false
+		}
+	}
+	return true
+}
+
+// Rate returns processing rate in work units per second for cfg, or an error
+// if the config is outside the envelope.
+func (m PerfModel) Rate(cfg profiles.ResourceConfig, cat *hardware.Catalog) (float64, error) {
+	if !m.SupportsConfig(cfg) {
+		return 0, fmt.Errorf("agents: config %v unsupported", cfg)
+	}
+	rate := 0.0
+	if cfg.GPUs > 0 {
+		speedup := cat.SpeedupVs(cfg.GPUType, m.RefGPU)
+		rate += math.Pow(float64(cfg.GPUs), m.GPUParallelExp) * speedup / m.GPUUnitS
+	}
+	if cfg.CPUCores > 0 {
+		rate += math.Pow(float64(cfg.CPUCores), m.CPUParallelExp) / m.CPUCoreUnitS
+	}
+	if rate <= 0 {
+		return 0, fmt.Errorf("agents: config %v yields zero rate", cfg)
+	}
+	return rate, nil
+}
+
+// LatencyS returns ground-truth execution latency for work units under cfg.
+func (m PerfModel) LatencyS(work float64, cfg profiles.ResourceConfig, cat *hardware.Catalog) (float64, error) {
+	rate, err := m.Rate(cfg, cat)
+	if err != nil {
+		return 0, err
+	}
+	return m.BaseS + work/rate, nil
+}
+
+// ArgSpec describes one tool-call argument for schema validation.
+type ArgSpec struct {
+	Name     string
+	Type     string // "string" | "int" | "float" | "path"
+	Required bool
+}
+
+// Implementation is one concrete model or tool in the library.
+type Implementation struct {
+	Name       string
+	Capability Capability
+	// Kind distinguishes LLMs, ML models and classical tools (Listing 1's
+	// LLM / MLModel / Tool constructors).
+	Kind Kind
+	// ParamsB is model size in billions of parameters (0 for tools) — the
+	// Table 1 "Model/Tool: more parameters" lever.
+	ParamsB float64
+	// Quality is result quality in [0,1] (task-normalized accuracy).
+	Quality float64
+	// Perf is the ground-truth performance model.
+	Perf PerfModel
+	// Args is the tool-call schema the planner-LLM fills in.
+	Args []ArgSpec
+}
+
+// Kind classifies implementations.
+type Kind string
+
+// Implementation kinds, matching Listing 1's component constructors.
+const (
+	KindLLM     Kind = "llm"
+	KindMLModel Kind = "ml-model"
+	KindTool    Kind = "tool"
+)
+
+// Validate checks an implementation definition.
+func (im *Implementation) Validate() error {
+	if im.Name == "" || im.Capability == "" {
+		return fmt.Errorf("agents: implementation missing name or capability")
+	}
+	if im.Quality < 0 || im.Quality > 1 {
+		return fmt.Errorf("agents: %s quality %v outside [0,1]", im.Name, im.Quality)
+	}
+	if !im.Perf.SupportsGPU() && !im.Perf.SupportsCPU() {
+		return fmt.Errorf("agents: %s supports neither GPU nor CPU", im.Name)
+	}
+	switch im.Kind {
+	case KindLLM, KindMLModel, KindTool:
+	default:
+		return fmt.Errorf("agents: %s has unknown kind %q", im.Name, im.Kind)
+	}
+	return nil
+}
+
+// CandidateConfigs enumerates the resource configurations the optimizer
+// should consider for this implementation: power-of-two GPU counts within
+// the envelope for every catalog GPU generation, power-of-two core counts,
+// and (when both sides are supported) hybrid GPU+CPU configs — the paper's
+// three STT configurations all appear in this enumeration.
+func (im *Implementation) CandidateConfigs(cat *hardware.Catalog) []profiles.ResourceConfig {
+	var out []profiles.ResourceConfig
+	m := im.Perf
+	if m.SupportsGPU() {
+		for _, gt := range cat.GPUTypes() {
+			for n := maxInt(1, m.MinGPUs); n <= m.MaxGPUs; n *= 2 {
+				out = append(out, profiles.ResourceConfig{GPUs: n, GPUType: gt})
+			}
+		}
+	}
+	if m.SupportsCPU() {
+		for c := maxInt(1, m.MinCores); c <= m.MaxCores; c *= 2 {
+			if c >= m.MinCores {
+				out = append(out, profiles.ResourceConfig{CPUCores: c})
+			}
+		}
+	}
+	if m.SupportsGPU() && m.SupportsCPU() {
+		for _, gt := range cat.GPUTypes() {
+			n := maxInt(1, m.MinGPUs)
+			for _, c := range []int{m.MinCores, m.MaxCores / 2} {
+				if c >= m.MinCores {
+					out = append(out, profiles.ResourceConfig{GPUs: n, GPUType: gt, CPUCores: c})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

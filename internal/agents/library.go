@@ -1,0 +1,170 @@
+package agents
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Library is the runtime's registry of implementations, "detailing their
+// names, functionalities, and schemas" (§3.2 Task-to-Agent Mapping). The
+// planner-LLM receives its summary as a system prompt; the optimizer
+// enumerates its implementations per capability.
+type Library struct {
+	byName map[string]*Implementation
+	byCap  map[Capability][]*Implementation
+}
+
+// NewLibrary returns an empty library.
+func NewLibrary() *Library {
+	return &Library{
+		byName: make(map[string]*Implementation),
+		byCap:  make(map[Capability][]*Implementation),
+	}
+}
+
+// Register adds an implementation. Duplicate names are an error.
+func (l *Library) Register(im Implementation) error {
+	if err := im.Validate(); err != nil {
+		return err
+	}
+	if _, dup := l.byName[im.Name]; dup {
+		return fmt.Errorf("agents: duplicate implementation %q", im.Name)
+	}
+	cp := im
+	l.byName[im.Name] = &cp
+	l.byCap[im.Capability] = append(l.byCap[im.Capability], &cp)
+	return nil
+}
+
+// MustRegister is Register for construction code.
+func (l *Library) MustRegister(im Implementation) {
+	if err := l.Register(im); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns an implementation by name.
+func (l *Library) Get(name string) (*Implementation, bool) {
+	im, ok := l.byName[name]
+	return im, ok
+}
+
+// ByCapability returns implementations providing a capability, sorted by
+// name for determinism.
+func (l *Library) ByCapability(c Capability) []*Implementation {
+	list := make([]*Implementation, len(l.byCap[c]))
+	copy(list, l.byCap[c])
+	sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
+	return list
+}
+
+// Capabilities returns the capabilities with at least one implementation,
+// sorted.
+func (l *Library) Capabilities() []Capability {
+	out := make([]Capability, 0, len(l.byCap))
+	for c := range l.byCap {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the implementation count.
+func (l *Library) Len() int { return len(l.byName) }
+
+// SystemPrompt renders the library as the agent-catalog system prompt the
+// paper describes feeding the orchestrator LLM ("Murakkab provides the agent
+// library via the system prompt").
+func (l *Library) SystemPrompt() string {
+	var b strings.Builder
+	b.WriteString("You are an orchestrator that decomposes jobs into tasks and assigns agents.\n")
+	b.WriteString("Available agents:\n")
+	for _, c := range l.Capabilities() {
+		for _, im := range l.ByCapability(c) {
+			fmt.Fprintf(&b, "- %s (%s, %s): capability=%s", im.Name, im.Kind, paramsLabel(im.ParamsB), c)
+			if len(im.Args) > 0 {
+				names := make([]string, len(im.Args))
+				for i, a := range im.Args {
+					suffix := ""
+					if a.Required {
+						suffix = "*"
+					}
+					names[i] = a.Name + ":" + a.Type + suffix
+				}
+				fmt.Fprintf(&b, " args(%s)", strings.Join(names, ", "))
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+func paramsLabel(b float64) string {
+	if b == 0 {
+		return "tool"
+	}
+	return strconv.FormatFloat(b, 'g', 3, 64) + "B params"
+}
+
+// ToolCall is an executable agent invocation the planner-LLM generates, e.g.
+// FrameExtractor(start_time=0, end_time=60s, num_frames=10, file="cats.mov").
+type ToolCall struct {
+	Agent string
+	Args  map[string]string
+}
+
+// String renders the call in function-call syntax (deterministic arg order).
+func (tc ToolCall) String() string {
+	keys := make([]string, 0, len(tc.Args))
+	for k := range tc.Args {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, tc.Args[k])
+	}
+	return fmt.Sprintf("%s(%s)", tc.Agent, strings.Join(parts, ", "))
+}
+
+// ValidateCall checks a tool call against the named agent's schema:
+// the agent must exist, required args must be present, no unknown args, and
+// typed args must parse.
+func (l *Library) ValidateCall(tc ToolCall) error {
+	im, ok := l.byName[tc.Agent]
+	if !ok {
+		return fmt.Errorf("agents: tool call to unknown agent %q", tc.Agent)
+	}
+	known := map[string]ArgSpec{}
+	for _, a := range im.Args {
+		known[a.Name] = a
+		if a.Required {
+			if _, present := tc.Args[a.Name]; !present {
+				return fmt.Errorf("agents: call to %s missing required arg %q", tc.Agent, a.Name)
+			}
+		}
+	}
+	for name, val := range tc.Args {
+		spec, ok := known[name]
+		if !ok {
+			return fmt.Errorf("agents: call to %s has unknown arg %q", tc.Agent, name)
+		}
+		switch spec.Type {
+		case "int":
+			if _, err := strconv.Atoi(val); err != nil {
+				return fmt.Errorf("agents: call to %s arg %q = %q is not an int", tc.Agent, name, val)
+			}
+		case "float":
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				return fmt.Errorf("agents: call to %s arg %q = %q is not a float", tc.Agent, name, val)
+			}
+		case "string", "path":
+			// any value accepted
+		default:
+			return fmt.Errorf("agents: schema of %s has unknown type %q", tc.Agent, spec.Type)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package agents
+
+import (
+	"fmt"
+
+	"repro/internal/hardware"
+	"repro/internal/profiles"
+)
+
+// Profiler implements §3.3(a): "To be able to offer different resource
+// configurations, we need to profile the agents and tools on different
+// hardware and configurations. However, this profiling is amortized over the
+// lifetime of all the workflows."
+//
+// It measures each (implementation, candidate config) pair by running probe
+// executions at two work sizes and fitting the affine latency model the
+// optimizer consumes. Device intensities and quality are read from the
+// implementation's declared characteristics (in the real system these come
+// from hardware counters and eval suites respectively).
+type Profiler struct {
+	catalog *hardware.Catalog
+	// ProbeSmall and ProbeLarge are the two probe work sizes; they must
+	// differ. Defaults are 1 and 100 units.
+	ProbeSmall, ProbeLarge float64
+	// profiled counts probe executions performed (for the amortization
+	// accounting in overhead reports).
+	probes int
+}
+
+// NewProfiler returns a profiler over a catalog.
+func NewProfiler(cat *hardware.Catalog) *Profiler {
+	return &Profiler{catalog: cat, ProbeSmall: 1, ProbeLarge: 100}
+}
+
+// Probes returns how many probe executions have been run.
+func (p *Profiler) Probes() int { return p.probes }
+
+// ProfileImplementation measures one implementation under one config.
+func (p *Profiler) ProfileImplementation(im *Implementation, cfg profiles.ResourceConfig) (profiles.Profile, error) {
+	if p.ProbeSmall == p.ProbeLarge {
+		return profiles.Profile{}, fmt.Errorf("agents: probe sizes must differ")
+	}
+	latSmall, err := im.Perf.LatencyS(p.ProbeSmall, cfg, p.catalog)
+	if err != nil {
+		return profiles.Profile{}, err
+	}
+	latLarge, err := im.Perf.LatencyS(p.ProbeLarge, cfg, p.catalog)
+	if err != nil {
+		return profiles.Profile{}, err
+	}
+	p.probes += 2
+	perUnit := (latLarge - latSmall) / (p.ProbeLarge - p.ProbeSmall)
+	base := latSmall - p.ProbeSmall*perUnit
+	if base < 0 {
+		base = 0
+	}
+	gpuIntensity := 0.0
+	if cfg.GPUs > 0 {
+		gpuIntensity = im.Perf.GPUIntensity
+	}
+	cpuIntensity := 0.0
+	if cfg.CPUCores > 0 {
+		cpuIntensity = im.Perf.CPUIntensity
+	}
+	return profiles.Profile{
+		Implementation: im.Name,
+		Capability:     string(im.Capability),
+		Config:         cfg,
+		BaseS:          base,
+		PerUnitS:       perUnit,
+		GPUIntensity:   gpuIntensity,
+		CPUIntensity:   cpuIntensity,
+		Quality:        im.Quality,
+	}, nil
+}
+
+// ProfileLibrary measures every implementation in the library across its
+// candidate configs, returning the populated store. This is the "when a new
+// one is added to the library" path, run once per library construction.
+func (p *Profiler) ProfileLibrary(lib *Library) (*profiles.Store, error) {
+	store := profiles.NewStore()
+	for _, cap := range lib.Capabilities() {
+		for _, im := range lib.ByCapability(cap) {
+			for _, cfg := range im.CandidateConfigs(p.catalog) {
+				prof, err := p.ProfileImplementation(im, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("profiling %s on %v: %w", im.Name, cfg, err)
+				}
+				if err := store.Put(prof); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return store, nil
+}

@@ -1,0 +1,255 @@
+// Package aiwaas implements the paper's §5 "AI Workflows-as-a-Service"
+// vision: a multi-tenant front end over the Murakkab runtime, analogous to
+// FaaS. Tenants submit declarative jobs; the service handles admission
+// (bounded concurrency with fair-share ordering across tenants), keeps
+// serving engines warm between jobs, and meters per-tenant usage (jobs,
+// estimated spend, energy, latency) — "developers focus solely on
+// application logic, without needing to manage model or resource details".
+package aiwaas
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workflow"
+)
+
+// Status is a ticket's lifecycle state.
+type Status int
+
+// Ticket states.
+const (
+	StatusQueued Status = iota
+	StatusRunning
+	StatusDone
+	StatusFailed
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case StatusQueued:
+		return "queued"
+	case StatusRunning:
+		return "running"
+	case StatusDone:
+		return "done"
+	case StatusFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Ticket tracks one submitted job through the service.
+type Ticket struct {
+	ID     int
+	Tenant string
+	Job    workflow.Job
+	Opts   core.SubmitOptions
+
+	status      Status
+	submittedAt sim.Time
+	startedAt   sim.Time
+	exec        *core.Execution
+	err         error
+	onDone      []func(*Ticket)
+}
+
+// Status returns the current state.
+func (t *Ticket) Status() Status { return t.status }
+
+// Err returns the terminal error for failed tickets.
+func (t *Ticket) Err() error { return t.err }
+
+// Report returns the execution report once done.
+func (t *Ticket) Report() *report.Report {
+	if t.exec == nil || !t.exec.Done() {
+		return nil
+	}
+	return t.exec.Report()
+}
+
+// QueueDelayS is time spent waiting for admission.
+func (t *Ticket) QueueDelayS() float64 { return t.startedAt.Sub(t.submittedAt).Seconds() }
+
+// OnDone registers a completion callback (fires for done and failed).
+func (t *Ticket) OnDone(fn func(*Ticket)) {
+	if t.status == StatusDone || t.status == StatusFailed {
+		fn(t)
+		return
+	}
+	t.onDone = append(t.onDone, fn)
+}
+
+// TenantUsage is the §5 metering record for one tenant.
+type TenantUsage struct {
+	Tenant        string
+	Submitted     int
+	Completed     int
+	Failed        int
+	TotalBillUSD  float64
+	TotalEnergyWh float64
+	TotalLatencyS float64
+	TotalQueueS   float64
+}
+
+// Service is the AIWaaS front end.
+type Service struct {
+	se *sim.Engine
+	rt *core.Runtime
+	// maxConcurrent bounds simultaneously-running jobs; further submissions
+	// queue with fair-share ordering.
+	maxConcurrent int
+
+	nextID  int
+	queue   []*Ticket
+	running int
+	usage   map[string]*TenantUsage
+	// inFlight counts running jobs per tenant; admitted counts total jobs
+	// ever admitted per tenant. Together they order fair-share admission.
+	inFlight map[string]int
+	admitted map[string]int
+}
+
+// New creates a service over a runtime.
+func New(se *sim.Engine, rt *core.Runtime, maxConcurrent int) *Service {
+	if maxConcurrent <= 0 {
+		panic("aiwaas: non-positive concurrency limit")
+	}
+	return &Service{
+		se:            se,
+		rt:            rt,
+		maxConcurrent: maxConcurrent,
+		usage:         map[string]*TenantUsage{},
+		inFlight:      map[string]int{},
+		admitted:      map[string]int{},
+	}
+}
+
+// Submit enqueues a job for a tenant. Validation errors return immediately;
+// planning/execution errors surface on the ticket.
+func (s *Service) Submit(tenant string, job workflow.Job, opts core.SubmitOptions) (*Ticket, error) {
+	if tenant == "" {
+		return nil, fmt.Errorf("aiwaas: empty tenant")
+	}
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	// Engines stay warm across jobs: the service owns their lifecycle.
+	opts.KeepEngines = true
+	s.nextID++
+	t := &Ticket{
+		ID:          s.nextID,
+		Tenant:      tenant,
+		Job:         job,
+		Opts:        opts,
+		status:      StatusQueued,
+		submittedAt: s.se.Now(),
+	}
+	s.tenantUsage(tenant).Submitted++
+	s.queue = append(s.queue, t)
+	s.se.Defer(s.pump)
+	return t, nil
+}
+
+func (s *Service) tenantUsage(tenant string) *TenantUsage {
+	u, ok := s.usage[tenant]
+	if !ok {
+		u = &TenantUsage{Tenant: tenant}
+		s.usage[tenant] = u
+	}
+	return u
+}
+
+// pump admits queued tickets up to the concurrency limit, fair-share: the
+// tenant with the fewest in-flight jobs goes first, ties broken by the
+// least total service received (jobs ever admitted), then submission order —
+// so one tenant's burst cannot starve others.
+func (s *Service) pump() {
+	for s.running < s.maxConcurrent && len(s.queue) > 0 {
+		idx := s.pickNext()
+		t := s.queue[idx]
+		s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+		s.start(t)
+	}
+}
+
+func (s *Service) pickNext() int {
+	best := 0
+	key := func(i int) (int, int) {
+		t := s.queue[i].Tenant
+		return s.inFlight[t], s.admitted[t]
+	}
+	for i := 1; i < len(s.queue); i++ {
+		fi, ai := key(i)
+		fb, ab := key(best)
+		if fi < fb || (fi == fb && ai < ab) {
+			best = i
+		}
+	}
+	return best
+}
+
+func (s *Service) start(t *Ticket) {
+	t.status = StatusRunning
+	t.startedAt = s.se.Now()
+	s.running++
+	s.inFlight[t.Tenant]++
+	s.admitted[t.Tenant]++
+	ex, err := s.rt.Submit(t.Job, t.Opts)
+	if err != nil {
+		s.finish(t, nil, err)
+		return
+	}
+	t.exec = ex
+	ex.OnDone(func(rep *report.Report, err error) {
+		s.finish(t, rep, err)
+	})
+}
+
+func (s *Service) finish(t *Ticket, rep *report.Report, err error) {
+	s.running--
+	s.inFlight[t.Tenant]--
+	u := s.tenantUsage(t.Tenant)
+	u.TotalQueueS += t.QueueDelayS()
+	if err != nil {
+		t.status = StatusFailed
+		t.err = err
+		u.Failed++
+	} else {
+		t.status = StatusDone
+		u.Completed++
+		// Billing uses the optimizer's per-decision resource-seconds
+		// estimates (cloud-style metering of what the job committed), not
+		// the whole-cluster rental, which is shared across tenants.
+		u.TotalBillUSD += t.exec.Plan().EstCostUSD
+		if rep != nil {
+			u.TotalEnergyWh += rep.GPUEnergyWh
+			u.TotalLatencyS += rep.MakespanS
+		}
+	}
+	for _, fn := range t.onDone {
+		fn(t)
+	}
+	s.se.Defer(s.pump)
+}
+
+// QueueDepth returns queued (unadmitted) tickets.
+func (s *Service) QueueDepth() int { return len(s.queue) }
+
+// Running returns currently-admitted jobs.
+func (s *Service) Running() int { return s.running }
+
+// Usage returns per-tenant usage records, sorted by tenant.
+func (s *Service) Usage() []TenantUsage {
+	out := make([]TenantUsage, 0, len(s.usage))
+	for _, u := range s.usage {
+		out = append(out, *u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}

@@ -1,0 +1,279 @@
+// Package api exposes the Murakkab runtime over HTTP — the service surface
+// of the §5 AIWaaS vision. Each job request provisions a fresh simulated
+// testbed, runs the workflow to completion, and returns the report; the
+// handler is therefore stateless and safe under concurrent requests.
+//
+// Endpoints:
+//
+//	GET  /healthz                     liveness
+//	GET  /v1/library                  the agent library (capabilities, schemas)
+//	POST /v1/jobs                     run a declarative job, returns the report
+//	GET  /v1/experiments/{name}       regenerate a table/figure (text/plain)
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/agents"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hardware"
+	"repro/internal/sim"
+	"repro/internal/workflow"
+)
+
+// JobRequest is the POST /v1/jobs body.
+type JobRequest struct {
+	Description string         `json:"description"`
+	Constraint  string         `json:"constraint"` // MIN_COST | MIN_LATENCY | MIN_POWER | MAX_QUALITY
+	MinQuality  float64        `json:"min_quality,omitempty"`
+	Tasks       []string       `json:"tasks,omitempty"`
+	Inputs      []InputRequest `json:"inputs"`
+	// VMs sizes the simulated cluster (default 2 ND96amsr_A100_v4).
+	VMs int `json:"vms,omitempty"`
+	// MaxPaths enables execution-path replication under MAX_QUALITY.
+	MaxPaths int `json:"max_paths,omitempty"`
+}
+
+// InputRequest is one typed job input.
+type InputRequest struct {
+	Name  string             `json:"name"`
+	Kind  string             `json:"kind"` // video | text | user-profile | topic | document
+	Attrs map[string]float64 `json:"attrs,omitempty"`
+}
+
+// JobResponse is the POST /v1/jobs reply.
+type JobResponse struct {
+	Name                 string            `json:"name"`
+	MakespanS            float64           `json:"makespan_s"`
+	GPUEnergyWh          float64           `json:"gpu_energy_wh"`
+	CPUEnergyWh          float64           `json:"cpu_energy_wh"`
+	CostUSD              float64           `json:"cost_usd"`
+	MeanGPUUtil          float64           `json:"mean_gpu_util"`
+	MeanCPUUtil          float64           `json:"mean_cpu_util"`
+	Quality              float64           `json:"quality"`
+	PlanningOverheadFrac float64           `json:"planning_overhead_frac"`
+	TasksCompleted       int               `json:"tasks_completed"`
+	Decisions            map[string]string `json:"decisions"`
+	Timeline             string            `json:"timeline"`
+	Template             string            `json:"template"`
+}
+
+// LibraryEntry describes one implementation in GET /v1/library.
+type LibraryEntry struct {
+	Name       string   `json:"name"`
+	Capability string   `json:"capability"`
+	Kind       string   `json:"kind"`
+	ParamsB    float64  `json:"params_b"`
+	Quality    float64  `json:"quality"`
+	Args       []string `json:"args"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// NewHandler returns the service's http.Handler.
+func NewHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", handleHealth)
+	mux.HandleFunc("/v1/library", handleLibrary)
+	mux.HandleFunc("/v1/jobs", handleJobs)
+	mux.HandleFunc("/v1/experiments/", handleExperiments)
+	return mux
+}
+
+func handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func handleLibrary(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	lib := agents.DefaultLibrary()
+	var out []LibraryEntry
+	for _, c := range lib.Capabilities() {
+		for _, im := range lib.ByCapability(c) {
+			entry := LibraryEntry{
+				Name:       im.Name,
+				Capability: string(im.Capability),
+				Kind:       string(im.Kind),
+				ParamsB:    im.ParamsB,
+				Quality:    im.Quality,
+			}
+			for _, a := range im.Args {
+				suffix := ""
+				if a.Required {
+					suffix = "*"
+				}
+				entry.Args = append(entry.Args, a.Name+":"+a.Type+suffix)
+			}
+			out = append(out, entry)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
+		return
+	}
+	job, err := req.toJob()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	vms := req.VMs
+	if vms <= 0 {
+		vms = 2
+	}
+	se := sim.NewEngine()
+	cl := cluster.New(se, hardware.DefaultCatalog())
+	for i := 0; i < vms; i++ {
+		cl.AddVM(fmt.Sprintf("vm%d", i), hardware.NDv4SKUName, false)
+	}
+	rt, err := core.New(core.Config{Engine: se, Cluster: cl, Library: agents.DefaultLibrary()})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	ex, err := rt.Submit(job, core.SubmitOptions{RelaxFloor: true, MaxPaths: req.MaxPaths})
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	se.Run()
+	if ex.Err() != nil {
+		writeError(w, http.StatusInternalServerError, ex.Err())
+		return
+	}
+	rep := ex.Report()
+	writeJSON(w, http.StatusOK, JobResponse{
+		Name:                 rep.Name,
+		MakespanS:            rep.MakespanS,
+		GPUEnergyWh:          rep.GPUEnergyWh,
+		CPUEnergyWh:          rep.CPUEnergyWh,
+		CostUSD:              rep.CostUSD,
+		MeanGPUUtil:          rep.MeanGPUUtil,
+		MeanCPUUtil:          rep.MeanCPUUtil,
+		Quality:              rep.Quality,
+		PlanningOverheadFrac: rep.PlanningOverheadFrac,
+		TasksCompleted:       rep.TasksCompleted,
+		Decisions:            rep.Decisions,
+		Timeline:             rep.Timeline(72),
+		Template:             ex.Decomposition().Template,
+	})
+}
+
+func (req JobRequest) toJob() (workflow.Job, error) {
+	var c workflow.Constraint
+	switch strings.ToUpper(req.Constraint) {
+	case "MIN_COST", "":
+		c = workflow.MinCost
+	case "MIN_LATENCY":
+		c = workflow.MinLatency
+	case "MIN_POWER":
+		c = workflow.MinPower
+	case "MAX_QUALITY":
+		c = workflow.MaxQuality
+	default:
+		return workflow.Job{}, fmt.Errorf("unknown constraint %q", req.Constraint)
+	}
+	job := workflow.Job{
+		Description: req.Description,
+		Tasks:       req.Tasks,
+		Constraint:  c,
+		MinQuality:  req.MinQuality,
+	}
+	for _, in := range req.Inputs {
+		if in.Kind == string(workflow.InputVideo) && in.Attrs["scenes"] == 0 {
+			// Convenience: duration_s + scene_len_s + frames_per_scene.
+			dur := in.Attrs["duration_s"]
+			sl := in.Attrs["scene_len_s"]
+			fps := int(in.Attrs["frames_per_scene"])
+			if dur <= 0 || sl <= 0 || fps <= 0 {
+				return workflow.Job{}, fmt.Errorf(
+					"video input %q needs duration_s, scene_len_s and frames_per_scene", in.Name)
+			}
+			job.Inputs = append(job.Inputs, workflow.VideoInput(in.Name, dur, sl, fps))
+			continue
+		}
+		job.Inputs = append(job.Inputs, workflow.Input{
+			Name:  in.Name,
+			Kind:  workflow.InputKind(in.Kind),
+			Attrs: in.Attrs,
+		})
+	}
+	return job, job.Validate()
+}
+
+func handleExperiments(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/v1/experiments/")
+	var out string
+	var err error
+	switch name {
+	case "fig3":
+		var res *experiments.Figure3Result
+		if res, err = experiments.Figure3(); err == nil {
+			out = res.String()
+		}
+	case "table1":
+		var res *experiments.Table1Result
+		if res, err = experiments.Table1(); err == nil {
+			out = res.String()
+		}
+	case "table2":
+		var res *experiments.Table2Result
+		if res, err = experiments.Table2(); err == nil {
+			out = res.String()
+		}
+	case "overhead":
+		var res *experiments.OverheadResult
+		if res, err = experiments.Overhead(); err == nil {
+			out = res.String()
+		}
+	default:
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown experiment %q", name))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers already sent; nothing more to do.
+		_ = err
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}

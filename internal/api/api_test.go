@@ -1,0 +1,240 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func server(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestHealthz(t *testing.T) {
+	srv := server(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestLibraryListing(t *testing.T) {
+	srv := server(t)
+	resp, err := http.Get(srv.URL + "/v1/library")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var entries []LibraryEntry
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 15 {
+		t.Fatalf("library entries = %d, want >= 15", len(entries))
+	}
+	var whisper *LibraryEntry
+	for i := range entries {
+		if entries[i].Name == "whisper-large-v3" {
+			whisper = &entries[i]
+		}
+	}
+	if whisper == nil {
+		t.Fatal("library missing whisper")
+	}
+	if whisper.Capability != "speech-to-text" || whisper.Quality != 0.95 {
+		t.Fatalf("whisper entry = %+v", whisper)
+	}
+	found := false
+	for _, a := range whisper.Args {
+		if a == "file:path*" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("whisper schema args = %v, want required file:path", whisper.Args)
+	}
+}
+
+func videoJobJSON() string {
+	return `{
+		"description": "List objects shown/mentioned in the videos",
+		"constraint": "MIN_COST",
+		"min_quality": 0.95,
+		"inputs": [
+			{"name": "cats.mov", "kind": "video",
+			 "attrs": {"duration_s": 240, "scene_len_s": 30, "frames_per_scene": 24}},
+			{"name": "formula_1.mov", "kind": "video",
+			 "attrs": {"duration_s": 240, "scene_len_s": 30, "frames_per_scene": 24}}
+		]
+	}`
+}
+
+func TestRunVideoJob(t *testing.T) {
+	srv := server(t)
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(videoJobJSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TasksCompleted != 80 {
+		t.Fatalf("tasks = %d, want 80", out.TasksCompleted)
+	}
+	if out.MakespanS <= 0 || out.GPUEnergyWh <= 0 || out.CostUSD <= 0 {
+		t.Fatalf("incomplete response: %+v", out)
+	}
+	if out.Template != "video-understanding" {
+		t.Fatalf("template = %q", out.Template)
+	}
+	if !strings.Contains(out.Timeline, "Speech-to-Text") {
+		t.Fatal("timeline missing STT track")
+	}
+	if _, ok := out.Decisions["speech-to-text"]; !ok {
+		t.Fatalf("decisions = %v", out.Decisions)
+	}
+}
+
+func TestRunNewsfeedJob(t *testing.T) {
+	srv := server(t)
+	body := `{
+		"description": "Generate social media newsfeed for Alice",
+		"constraint": "MIN_LATENCY",
+		"inputs": [
+			{"name": "alice", "kind": "user-profile"},
+			{"name": "cats", "kind": "topic"}
+		]
+	}`
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out JobResponse
+	json.NewDecoder(resp.Body).Decode(&out)
+	if out.Template != "newsfeed" || out.TasksCompleted != 4 {
+		t.Fatalf("response = %+v", out)
+	}
+}
+
+func TestJobValidationErrors(t *testing.T) {
+	srv := server(t)
+	cases := map[string]string{
+		"bad json":           `{`,
+		"unknown field":      `{"nope": 1}`,
+		"unknown constraint": `{"description":"x","constraint":"FASTEST","inputs":[{"name":"a","kind":"text"}]}`,
+		"video no attrs":     `{"description":"videos with objects","inputs":[{"name":"a.mov","kind":"video"}]}`,
+		"no inputs":          `{"description":"x","constraint":"MIN_COST"}`,
+	}
+	for name, body := range cases {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+func TestUnplannableJobIs422(t *testing.T) {
+	srv := server(t)
+	body := `{"description":"do wonderful things","constraint":"MIN_COST",
+	          "inputs":[{"name":"x","kind":"text"}]}`
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	json.NewDecoder(resp.Body).Decode(&e)
+	if !strings.Contains(e.Error, "cannot decompose") {
+		t.Fatalf("error = %q", e.Error)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	srv := server(t)
+	resp, err := http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/jobs = %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/v1/library", "application/json", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/library = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestExperimentEndpoint(t *testing.T) {
+	srv := server(t)
+	resp, err := http.Get(srv.URL + "/v1/experiments/table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	buf := new(bytes.Buffer)
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), "MIN_COST selection") {
+		t.Fatalf("table2 output missing selection line:\n%s", buf.String())
+	}
+	resp, _ = http.Get(srv.URL + "/v1/experiments/nope")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown experiment = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestDeterministicAcrossRequests(t *testing.T) {
+	srv := server(t)
+	run := func() JobResponse {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+			strings.NewReader(videoJobJSON()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out JobResponse
+		json.NewDecoder(resp.Body).Decode(&out)
+		return out
+	}
+	a, b := run(), run()
+	if a.MakespanS != b.MakespanS || a.GPUEnergyWh != b.GPUEnergyWh {
+		t.Fatalf("non-deterministic service: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,186 @@
+// Package cascade implements the model-cascade pattern the paper's §5
+// invokes via FrugalGPT [11]: route each query to the cheapest model first,
+// score its answer, and escalate to stronger (costlier) models only when the
+// scorer rejects — trading a small quality delta for a large cost reduction
+// on the easy-query majority.
+//
+// The analytic model per level i (ordered cheap → strong): the level's
+// answer is correct with probability q_i; the scorer accepts a correct
+// answer with probability d_i (its true-positive rate) and wrongly accepts
+// an incorrect one with probability f_i (false-positive rate). Rejected
+// queries escalate; the last level always answers.
+package cascade
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/agents"
+	"repro/internal/hardware"
+	"repro/internal/profiles"
+)
+
+// Level is one model in the cascade.
+type Level struct {
+	Implementation string
+	// Quality is the model's per-query accuracy in [0,1].
+	Quality float64
+	// CostUSD and LatencyS are per-query execution costs.
+	CostUSD  float64
+	LatencyS float64
+	// AcceptCorrect (d) and AcceptIncorrect (f) are the scorer's rates for
+	// this level. The final level's scorer is ignored (always accepted).
+	AcceptCorrect   float64
+	AcceptIncorrect float64
+}
+
+// Cascade is an ordered set of levels, cheapest first.
+type Cascade struct {
+	Levels []Level
+}
+
+// Validate checks the cascade.
+func (c Cascade) Validate() error {
+	if len(c.Levels) == 0 {
+		return fmt.Errorf("cascade: empty")
+	}
+	for i, l := range c.Levels {
+		if l.Quality < 0 || l.Quality > 1 ||
+			l.AcceptCorrect < 0 || l.AcceptCorrect > 1 ||
+			l.AcceptIncorrect < 0 || l.AcceptIncorrect > 1 {
+			return fmt.Errorf("cascade: level %d (%s) has probabilities outside [0,1]", i, l.Implementation)
+		}
+		if l.CostUSD < 0 || l.LatencyS < 0 {
+			return fmt.Errorf("cascade: level %d (%s) has negative cost", i, l.Implementation)
+		}
+	}
+	return nil
+}
+
+// Expectation is the cascade's analytic behaviour per query.
+type Expectation struct {
+	Quality  float64
+	CostUSD  float64
+	LatencyS float64
+	// MeanLevels is the expected number of models invoked.
+	MeanLevels float64
+	// StopProb[i] is the probability the cascade answers at level i.
+	StopProb []float64
+}
+
+// Expect computes the closed-form expectation.
+func (c Cascade) Expect() (Expectation, error) {
+	if err := c.Validate(); err != nil {
+		return Expectation{}, err
+	}
+	var e Expectation
+	e.StopProb = make([]float64, len(c.Levels))
+	reach := 1.0
+	for i, l := range c.Levels {
+		e.CostUSD += reach * l.CostUSD
+		e.LatencyS += reach * l.LatencyS
+		e.MeanLevels += reach
+		last := i == len(c.Levels)-1
+		var stop, stopCorrect float64
+		if last {
+			stop = 1
+			stopCorrect = l.Quality
+		} else {
+			// Accept correct answers at rate d, incorrect at rate f.
+			stopCorrect = l.Quality * l.AcceptCorrect
+			stop = stopCorrect + (1-l.Quality)*l.AcceptIncorrect
+		}
+		e.StopProb[i] = reach * stop
+		e.Quality += reach * stopCorrect
+		reach *= 1 - stop
+	}
+	return e, nil
+}
+
+// ForSummarization builds a summarization cascade from the default library:
+// llama-8b → llama-70b → nvlm-72b, each on its cheapest profiled config,
+// with scorer rates derived from a judge of the given reliability.
+// work is the per-query token work (e.g. planner.SummarizeWork()).
+func ForSummarization(lib *agents.Library, store *profiles.Store,
+	cat *hardware.Catalog, cpu hardware.CPUType, work, judgeReliability float64) (Cascade, error) {
+	order := []string{agents.ImplLlama8B, agents.ImplLlama70B, agents.ImplNVLM}
+	var c Cascade
+	for _, name := range order {
+		im, ok := lib.Get(name)
+		if !ok {
+			return Cascade{}, fmt.Errorf("cascade: %s not in library", name)
+		}
+		prof, err := cheapestProfile(store, cat, cpu, name, work)
+		if err != nil {
+			return Cascade{}, err
+		}
+		c.Levels = append(c.Levels, Level{
+			Implementation:  name,
+			Quality:         im.Quality,
+			CostUSD:         prof.CostUSD(cat, cpu, work),
+			LatencyS:        prof.LatencyS(work),
+			AcceptCorrect:   judgeReliability,
+			AcceptIncorrect: 1 - judgeReliability,
+		})
+	}
+	return c, nil
+}
+
+// cheapestProfile picks the implementation's GPU profile with minimal cost
+// for the given work (CPU profiles of large LLMs are excluded: impractical
+// single-query latency, the paper's "too slow to execute practically").
+func cheapestProfile(store *profiles.Store, cat *hardware.Catalog,
+	cpu hardware.CPUType, impl string, work float64) (profiles.Profile, error) {
+	var best profiles.Profile
+	found := false
+	for _, p := range store.ForImplementation(impl) {
+		if p.Config.GPUs == 0 {
+			continue
+		}
+		if !found || p.CostUSD(cat, cpu, work) < best.CostUSD(cat, cpu, work) {
+			best, found = p, true
+		}
+	}
+	if !found {
+		return profiles.Profile{}, fmt.Errorf("cascade: no GPU profile for %s", impl)
+	}
+	return best, nil
+}
+
+// CompareToBest contrasts the cascade against always using its strongest
+// level.
+type Comparison struct {
+	Cascade     Expectation
+	BestQuality float64
+	BestCostUSD float64
+	// CostReduction = best cost / cascade cost.
+	CostReduction float64
+	// QualityDelta = best quality − cascade quality (≥ 0 normally).
+	QualityDelta float64
+}
+
+// Compare computes the contrast.
+func (c Cascade) Compare() (Comparison, error) {
+	e, err := c.Expect()
+	if err != nil {
+		return Comparison{}, err
+	}
+	last := c.Levels[len(c.Levels)-1]
+	cmp := Comparison{
+		Cascade:      e,
+		BestQuality:  last.Quality,
+		BestCostUSD:  last.CostUSD,
+		QualityDelta: last.Quality - e.Quality,
+	}
+	if e.CostUSD > 0 {
+		cmp.CostReduction = last.CostUSD / e.CostUSD
+	}
+	return cmp, nil
+}
+
+// SortByCost orders levels cheapest-first (the canonical cascade order).
+func (c *Cascade) SortByCost() {
+	sort.SliceStable(c.Levels, func(i, j int) bool {
+		return c.Levels[i].CostUSD < c.Levels[j].CostUSD
+	})
+}

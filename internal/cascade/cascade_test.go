@@ -1,0 +1,158 @@
+package cascade
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/agents"
+	"repro/internal/hardware"
+	"repro/internal/planner"
+)
+
+func twoLevel() Cascade {
+	return Cascade{Levels: []Level{
+		{Implementation: "cheap", Quality: 0.8, CostUSD: 1, LatencyS: 1,
+			AcceptCorrect: 0.9, AcceptIncorrect: 0.1},
+		{Implementation: "strong", Quality: 0.95, CostUSD: 10, LatencyS: 5},
+	}}
+}
+
+func TestValidate(t *testing.T) {
+	if err := twoLevel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := twoLevel()
+	bad.Levels[0].Quality = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("bad quality accepted")
+	}
+	bad = twoLevel()
+	bad.Levels[1].CostUSD = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative cost accepted")
+	}
+	if err := (Cascade{}).Validate(); err == nil {
+		t.Error("empty cascade accepted")
+	}
+}
+
+func TestExpectTwoLevelClosedForm(t *testing.T) {
+	c := twoLevel()
+	e, err := c.Expect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop at level 0: correct·d + incorrect·f = 0.8·0.9 + 0.2·0.1 = 0.74.
+	if math.Abs(e.StopProb[0]-0.74) > 1e-12 {
+		t.Fatalf("stop[0] = %v, want 0.74", e.StopProb[0])
+	}
+	if math.Abs(e.StopProb[1]-0.26) > 1e-12 {
+		t.Fatalf("stop[1] = %v, want 0.26", e.StopProb[1])
+	}
+	// Quality: correct-and-accepted at 0 (0.72) + escalated·0.95 (0.26·0.95).
+	wantQ := 0.72 + 0.26*0.95
+	if math.Abs(e.Quality-wantQ) > 1e-12 {
+		t.Fatalf("quality = %v, want %v", e.Quality, wantQ)
+	}
+	// Cost: always pay level 0, escalations pay level 1.
+	wantC := 1 + 0.26*10
+	if math.Abs(e.CostUSD-wantC) > 1e-12 {
+		t.Fatalf("cost = %v, want %v", e.CostUSD, wantC)
+	}
+	if math.Abs(e.MeanLevels-1.26) > 1e-12 {
+		t.Fatalf("mean levels = %v, want 1.26", e.MeanLevels)
+	}
+	// Stop probabilities sum to 1.
+	sum := 0.0
+	for _, p := range e.StopProb {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("stop probs sum to %v", sum)
+	}
+}
+
+func TestSingleLevelDegeneratesToModel(t *testing.T) {
+	c := Cascade{Levels: []Level{{Implementation: "only", Quality: 0.9, CostUSD: 3, LatencyS: 2}}}
+	e, err := c.Expect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Quality != 0.9 || e.CostUSD != 3 || e.LatencyS != 2 || e.MeanLevels != 1 {
+		t.Fatalf("degenerate cascade = %+v", e)
+	}
+}
+
+func TestPerfectJudgeRecoversBestQuality(t *testing.T) {
+	c := twoLevel()
+	c.Levels[0].AcceptCorrect = 1
+	c.Levels[0].AcceptIncorrect = 0
+	e, _ := c.Expect()
+	// Perfect judge: all wrong answers escalate → quality = q0 + (1-q0)·q1.
+	want := 0.8 + 0.2*0.95
+	if math.Abs(e.Quality-want) > 1e-12 {
+		t.Fatalf("quality = %v, want %v", e.Quality, want)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cmp, err := twoLevel().Compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.CostReduction <= 1 {
+		t.Fatalf("cost reduction = %v, want > 1 (that's the point)", cmp.CostReduction)
+	}
+	// The delta can be slightly negative: escalated queries get two chances
+	// (an ensemble effect), which can beat the strong model alone.
+	if math.Abs(cmp.QualityDelta) > 0.05 {
+		t.Fatalf("quality delta = %v, want |delta| ≤ 0.05", cmp.QualityDelta)
+	}
+}
+
+func TestForSummarizationFromLibrary(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	lib := agents.DefaultLibrary()
+	store, err := agents.NewProfiler(cat).ProfileLibrary(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ForSummarization(lib, store, cat, hardware.EPYC7V12, planner.SummarizeWork(), 0.92)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Levels) != 3 {
+		t.Fatalf("levels = %d", len(c.Levels))
+	}
+	// Cheapest-first and quality-increasing (FrugalGPT's premise).
+	for i := 1; i < len(c.Levels); i++ {
+		if c.Levels[i].CostUSD <= c.Levels[i-1].CostUSD {
+			t.Fatalf("costs not increasing: %+v", c.Levels)
+		}
+		if c.Levels[i].Quality < c.Levels[i-1].Quality {
+			t.Fatalf("quality not nondecreasing: %+v", c.Levels)
+		}
+	}
+	cmp, err := c.Compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The §5 claim in numbers: large cost cut, small quality loss.
+	if cmp.CostReduction < 2 {
+		t.Fatalf("cost reduction = %.2f, want ≥ 2", cmp.CostReduction)
+	}
+	if cmp.QualityDelta > 0.05 {
+		t.Fatalf("quality delta = %.3f, want ≤ 0.05", cmp.QualityDelta)
+	}
+}
+
+func TestSortByCost(t *testing.T) {
+	c := Cascade{Levels: []Level{
+		{Implementation: "b", CostUSD: 5, Quality: 0.9},
+		{Implementation: "a", CostUSD: 1, Quality: 0.8},
+	}}
+	c.SortByCost()
+	if c.Levels[0].Implementation != "a" {
+		t.Fatalf("order = %+v", c.Levels)
+	}
+}

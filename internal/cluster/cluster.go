@@ -1,0 +1,512 @@
+// Package cluster simulates the hardware pool the paper's evaluation runs
+// on: VMs holding GPUs and CPU cores, with per-device utilization tracking,
+// power-model-driven energy accounting, rental-cost accounting, and spot-VM
+// preemption. It is the substrate both the baseline (fixed allocations) and
+// Murakkab (dynamic allocations) execute against.
+//
+// The cluster is passive: it grants or refuses resources synchronously and
+// records what devices did over simulated time. Queueing, scaling policy and
+// placement strategy live one layer up in internal/clustermgr.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hardware"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// GPU is one simulated accelerator device.
+type GPU struct {
+	ID        string
+	Spec      hardware.GPUSpec
+	vm        *VM
+	allocated bool
+	intensity float64
+	// util records the device's compute intensity over time (0 when idle or
+	// unallocated); power records instantaneous watts. Both are step series
+	// so energy is an exact integral, not a sampled approximation.
+	util  *telemetry.StepSeries
+	power *telemetry.StepSeries
+}
+
+// Util returns the device's utilization series (0..1).
+func (g *GPU) Util() *telemetry.StepSeries { return g.util }
+
+// Power returns the device's power series in watts.
+func (g *GPU) Power() *telemetry.StepSeries { return g.power }
+
+// VM is one rented machine: a CPU-core pool plus zero or more GPUs.
+type VM struct {
+	Name string
+	SKU  hardware.VMSKU
+	// Spot marks the VM as preemptible (rented at SKU.SpotDiscount).
+	Spot bool
+
+	cluster   *Cluster
+	gpus      []*GPU
+	cpuSpec   hardware.CPUSpec
+	cpuTotal  int
+	cpuInUse  int
+	cpuUtil   *telemetry.StepSeries // fraction of cores busy, weighted by intensity
+	cpuPower  *telemetry.StepSeries
+	cpuLoad   float64 // Σ cores×intensity across live CPU allocations
+	preempted bool
+}
+
+// GPUs returns the VM's devices.
+func (v *VM) GPUs() []*GPU { return v.gpus }
+
+// CPUCoresFree returns unallocated cores.
+func (v *VM) CPUCoresFree() int {
+	if v.preempted {
+		return 0
+	}
+	return v.cpuTotal - v.cpuInUse
+}
+
+// FreeGPUs returns the number of unallocated GPUs.
+func (v *VM) FreeGPUs() int {
+	if v.preempted {
+		return 0
+	}
+	n := 0
+	for _, g := range v.gpus {
+		if !g.allocated {
+			n++
+		}
+	}
+	return n
+}
+
+// Preempted reports whether the VM has been taken away (spot eviction).
+func (v *VM) Preempted() bool { return v.preempted }
+
+// CPUUtil returns the VM's CPU utilization series (0..1 across all cores).
+func (v *VM) CPUUtil() *telemetry.StepSeries { return v.cpuUtil }
+
+// Cluster is a set of VMs sharing a simulation clock.
+type Cluster struct {
+	engine  *sim.Engine
+	catalog *hardware.Catalog
+	vms     []*VM
+	// releaseHooks run whenever capacity is freed (release or resize); the
+	// cluster manager uses them to retry queued requests.
+	releaseHooks []func()
+	// preemptHooks run with the VM that was just preempted.
+	preemptHooks []func(*VM)
+	nextAllocID  int
+	liveGPU      map[int]*GPUAlloc
+	liveCPU      map[int]*CPUAlloc
+}
+
+// New creates an empty cluster on the given engine and catalog.
+func New(engine *sim.Engine, catalog *hardware.Catalog) *Cluster {
+	if engine == nil || catalog == nil {
+		panic("cluster: nil engine or catalog")
+	}
+	return &Cluster{
+		engine:  engine,
+		catalog: catalog,
+		liveGPU: make(map[int]*GPUAlloc),
+		liveCPU: make(map[int]*CPUAlloc),
+	}
+}
+
+// Engine returns the simulation engine the cluster runs on.
+func (c *Cluster) Engine() *sim.Engine { return c.engine }
+
+// Catalog returns the hardware catalog.
+func (c *Cluster) Catalog() *hardware.Catalog { return c.catalog }
+
+// AddVM provisions a VM of the named SKU. The VM's devices begin idle,
+// drawing idle power (the machine is rented and powered whether or not work
+// runs on it — exactly why the paper's baseline wastes energy).
+func (c *Cluster) AddVM(name, skuName string, spot bool) *VM {
+	sku := c.catalog.MustVM(skuName)
+	for _, existing := range c.vms {
+		if existing.Name == name {
+			panic(fmt.Sprintf("cluster: duplicate VM name %q", name))
+		}
+	}
+	vm := &VM{
+		Name:     name,
+		SKU:      sku,
+		Spot:     spot,
+		cluster:  c,
+		cpuSpec:  c.catalog.MustCPU(sku.CPU),
+		cpuTotal: sku.CPUCores,
+		cpuUtil:  telemetry.NewStepSeries(0),
+		cpuPower: telemetry.NewStepSeries(hardware.CPUPower(c.catalog.MustCPU(sku.CPU), sku.CPUCores, 0)),
+	}
+	for i := 0; i < sku.GPUCount; i++ {
+		spec := c.catalog.MustGPU(sku.GPU)
+		vm.gpus = append(vm.gpus, &GPU{
+			ID:    fmt.Sprintf("%s/gpu%d", name, i),
+			Spec:  spec,
+			vm:    vm,
+			util:  telemetry.NewStepSeries(0),
+			power: telemetry.NewStepSeries(spec.IdleWatts),
+		})
+	}
+	c.vms = append(c.vms, vm)
+	return vm
+}
+
+// VMs returns the cluster's VMs in provisioning order.
+func (c *Cluster) VMs() []*VM { return c.vms }
+
+// OnRelease registers a hook invoked whenever resources are freed.
+func (c *Cluster) OnRelease(fn func()) { c.releaseHooks = append(c.releaseHooks, fn) }
+
+// OnPreempt registers a hook invoked when a VM is preempted.
+func (c *Cluster) OnPreempt(fn func(*VM)) { c.preemptHooks = append(c.preemptHooks, fn) }
+
+func (c *Cluster) notifyRelease() {
+	for _, fn := range c.releaseHooks {
+		fn()
+	}
+}
+
+// GPUAlloc is a grant of one or more GPUs, all of one type (possibly spread
+// across VMs). Intensity models how hard the devices compute, driving both
+// the utilization trace and the power model.
+type GPUAlloc struct {
+	ID       int
+	cluster  *Cluster
+	gpus     []*GPU
+	released bool
+	// OnPreempt, if set, is invoked when a VM holding any of these GPUs is
+	// preempted; the allocation is already released when it runs.
+	OnPreempt func()
+}
+
+// GPUs returns the granted devices.
+func (a *GPUAlloc) GPUs() []*GPU { return a.gpus }
+
+// Count returns the number of granted devices.
+func (a *GPUAlloc) Count() int { return len(a.gpus) }
+
+// Released reports whether the allocation has ended.
+func (a *GPUAlloc) Released() bool { return a.released }
+
+// SetIntensity sets the compute intensity (clamped to [0,1]) on all granted
+// devices from the current simulated time onward.
+func (a *GPUAlloc) SetIntensity(x float64) {
+	if a.released {
+		panic("cluster: SetIntensity on released GPU allocation")
+	}
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	now := a.cluster.engine.Now().Seconds()
+	for _, g := range a.gpus {
+		g.intensity = x
+		g.util.Set(now, x)
+		g.power.Set(now, hardware.GPUPower(g.Spec, x))
+	}
+}
+
+// Release returns the devices to the pool. Idempotent.
+func (a *GPUAlloc) Release() {
+	if a.released {
+		return
+	}
+	a.released = true
+	delete(a.cluster.liveGPU, a.ID)
+	now := a.cluster.engine.Now().Seconds()
+	for _, g := range a.gpus {
+		g.allocated = false
+		g.intensity = 0
+		g.util.Set(now, 0)
+		if !g.vm.preempted {
+			g.power.Set(now, g.Spec.IdleWatts)
+		}
+	}
+	a.cluster.notifyRelease()
+}
+
+// AllocGPUs grants n GPUs of type t, preferring to pack them onto as few VMs
+// as possible (packing reduces fragmentation, one of the paper's §1
+// inefficiencies). Returns an error if fewer than n are free.
+func (c *Cluster) AllocGPUs(n int, t hardware.GPUType) (*GPUAlloc, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: non-positive GPU count %d", n)
+	}
+	free := c.FreeGPUs(t)
+	if free < n {
+		return nil, fmt.Errorf("cluster: want %d %s GPUs, %d free", n, t, free)
+	}
+	// Best-fit: VMs with the fewest (but sufficient-for-progress) free GPUs
+	// first is complex; we use most-free-first to co-locate multi-GPU grants,
+	// falling back to spreading.
+	remaining := n
+	var grant []*GPU
+	for remaining > 0 {
+		vm := c.vmWithMostFree(t)
+		if vm == nil {
+			break
+		}
+		for _, g := range vm.gpus {
+			if remaining == 0 {
+				break
+			}
+			if !g.allocated && g.Spec.Type == t {
+				g.allocated = true
+				grant = append(grant, g)
+				remaining--
+			}
+		}
+	}
+	if remaining > 0 {
+		// Roll back (cannot happen if FreeGPUs was honest, but keep the
+		// invariant airtight).
+		for _, g := range grant {
+			g.allocated = false
+		}
+		return nil, fmt.Errorf("cluster: allocation race for %d %s GPUs", n, t)
+	}
+	c.nextAllocID++
+	a := &GPUAlloc{ID: c.nextAllocID, cluster: c, gpus: grant}
+	c.liveGPU[a.ID] = a
+	a.SetIntensity(0)
+	return a, nil
+}
+
+func (c *Cluster) vmWithMostFree(t hardware.GPUType) *VM {
+	var best *VM
+	bestFree := 0
+	for _, vm := range c.vms {
+		if vm.preempted || vm.SKU.GPUCount == 0 || vm.SKU.GPU != t {
+			continue
+		}
+		if f := vm.FreeGPUs(); f > bestFree {
+			best, bestFree = vm, f
+		}
+	}
+	return best
+}
+
+// FreeGPUs counts unallocated GPUs of the given type cluster-wide.
+func (c *Cluster) FreeGPUs(t hardware.GPUType) int {
+	n := 0
+	for _, vm := range c.vms {
+		if vm.preempted {
+			continue
+		}
+		for _, g := range vm.gpus {
+			if !g.allocated && g.Spec.Type == t {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TotalGPUs counts all GPUs of the given type, allocated or not.
+func (c *Cluster) TotalGPUs(t hardware.GPUType) int {
+	n := 0
+	for _, vm := range c.vms {
+		for _, g := range vm.gpus {
+			if g.Spec.Type == t {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CPUAlloc is a grant of CPU cores on a single VM.
+type CPUAlloc struct {
+	ID        int
+	vm        *VM
+	cores     int
+	intensity float64
+	released  bool
+	OnPreempt func()
+}
+
+// Cores returns the granted core count.
+func (a *CPUAlloc) Cores() int { return a.cores }
+
+// VM returns the host VM.
+func (a *CPUAlloc) VM() *VM { return a.vm }
+
+// Released reports whether the allocation has ended.
+func (a *CPUAlloc) Released() bool { return a.released }
+
+// SetIntensity sets per-core compute intensity in [0,1] from now onward.
+func (a *CPUAlloc) SetIntensity(x float64) {
+	if a.released {
+		panic("cluster: SetIntensity on released CPU allocation")
+	}
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	a.vm.cpuLoad += float64(a.cores) * (x - a.intensity)
+	a.intensity = x
+	a.vm.refreshCPUSeries()
+}
+
+// Release returns the cores. Idempotent.
+func (a *CPUAlloc) Release() {
+	if a.released {
+		return
+	}
+	a.released = true
+	delete(a.vm.cluster.liveCPU, a.ID)
+	if !a.vm.preempted {
+		a.vm.cpuInUse -= a.cores
+		a.vm.cpuLoad -= float64(a.cores) * a.intensity
+		if a.vm.cpuInUse < 0 {
+			panic("cluster: CPU in-use below zero")
+		}
+		a.vm.refreshCPUSeries()
+	}
+	a.vm.cluster.notifyRelease()
+}
+
+func (v *VM) refreshCPUSeries() {
+	now := v.cluster.engine.Now().Seconds()
+	util := 0.0
+	if v.cpuTotal > 0 {
+		util = v.cpuLoad / float64(v.cpuTotal)
+	}
+	v.cpuUtil.Set(now, util)
+	v.cpuPower.Set(now, hardware.CPUPower(v.cpuSpec, v.cpuTotal, util))
+}
+
+// AllocCPUs grants cores on one VM, choosing the VM with the most free cores
+// (load spreading keeps per-VM thermal/power headroom realistic).
+func (c *Cluster) AllocCPUs(cores int) (*CPUAlloc, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("cluster: non-positive core count %d", cores)
+	}
+	var best *VM
+	for _, vm := range c.vms {
+		if vm.preempted || vm.CPUCoresFree() < cores {
+			continue
+		}
+		if best == nil || vm.CPUCoresFree() > best.CPUCoresFree() {
+			best = vm
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("cluster: no VM with %d free cores (max free %d)", cores, c.MaxFreeCPUCores())
+	}
+	best.cpuInUse += cores
+	c.nextAllocID++
+	a := &CPUAlloc{ID: c.nextAllocID, vm: best, cores: cores}
+	c.liveCPU[a.ID] = a
+	best.refreshCPUSeries()
+	return a, nil
+}
+
+// FreeCPUCores counts free cores cluster-wide.
+func (c *Cluster) FreeCPUCores() int {
+	n := 0
+	for _, vm := range c.vms {
+		n += vm.CPUCoresFree()
+	}
+	return n
+}
+
+// MaxFreeCPUCores returns the largest single-VM free-core count (the biggest
+// CPU allocation that could succeed).
+func (c *Cluster) MaxFreeCPUCores() int {
+	max := 0
+	for _, vm := range c.vms {
+		if f := vm.CPUCoresFree(); f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// PreemptVM simulates a spot eviction: all allocations on the VM are
+// released, their OnPreempt callbacks fire, and the VM stops granting.
+// Preempting a non-spot VM panics — on-demand VMs are not evicted, and a
+// test doing so is testing the wrong thing.
+func (c *Cluster) PreemptVM(name string) {
+	var vm *VM
+	for _, v := range c.vms {
+		if v.Name == name {
+			vm = v
+			break
+		}
+	}
+	if vm == nil {
+		panic(fmt.Sprintf("cluster: preempt of unknown VM %q", name))
+	}
+	if !vm.Spot {
+		panic(fmt.Sprintf("cluster: preempt of on-demand VM %q", name))
+	}
+	if vm.preempted {
+		return
+	}
+	vm.preempted = true
+	now := c.engine.Now().Seconds()
+
+	// Force-release every live allocation touching the VM, then fire its
+	// OnPreempt so the owner can re-submit the work elsewhere. Multi-VM GPU
+	// grants lose the whole allocation: partial grants would leave the owner
+	// with an allocation object whose device set silently changed.
+	var victimsGPU []*GPUAlloc
+	for _, a := range c.liveGPU {
+		for _, g := range a.gpus {
+			if g.vm == vm {
+				victimsGPU = append(victimsGPU, a)
+				break
+			}
+		}
+	}
+	var victimsCPU []*CPUAlloc
+	for _, a := range c.liveCPU {
+		if a.vm == vm {
+			victimsCPU = append(victimsCPU, a)
+		}
+	}
+	// Map iteration order is random; sort by allocation ID so release hooks
+	// fire deterministically (the whole simulation depends on it).
+	sort.Slice(victimsGPU, func(i, j int) bool { return victimsGPU[i].ID < victimsGPU[j].ID })
+	sort.Slice(victimsCPU, func(i, j int) bool { return victimsCPU[i].ID < victimsCPU[j].ID })
+	for _, a := range victimsGPU {
+		a.Release()
+	}
+	for _, a := range victimsCPU {
+		a.Release()
+	}
+
+	for _, g := range vm.gpus {
+		g.allocated = false
+		g.intensity = 0
+		g.util.Set(now, 0)
+		g.power.Set(now, 0) // powered off once evicted
+	}
+	vm.cpuInUse = 0
+	vm.cpuLoad = 0
+	vm.cpuUtil.Set(now, 0)
+	vm.cpuPower.Set(now, 0)
+
+	for _, a := range victimsGPU {
+		if a.OnPreempt != nil {
+			a.OnPreempt()
+		}
+	}
+	for _, a := range victimsCPU {
+		if a.OnPreempt != nil {
+			a.OnPreempt()
+		}
+	}
+	for _, fn := range c.preemptHooks {
+		fn(vm)
+	}
+}

@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file models Harvest VMs (the paper's [2], "Providing SLOs for
+// Resource-Harvesting VMs"): VMs whose CPU capacity varies at runtime as the
+// primary tenant's load changes. Growing capacity simply adds free cores;
+// shrinking below the allocated count evicts the newest allocations first
+// (LIFO — the longest-running work is most worth protecting) and fires
+// their OnPreempt callbacks so owners can resubmit.
+
+// SetCPUCapacity changes the VM's core count from the current simulated time
+// onward. Shrinking below current usage evicts allocations; growing frees
+// queued requests via the cluster's release hooks. Preempted VMs cannot be
+// resized.
+func (v *VM) SetCPUCapacity(cores int) error {
+	if cores < 0 {
+		return fmt.Errorf("cluster: negative CPU capacity %d", cores)
+	}
+	if v.preempted {
+		return fmt.Errorf("cluster: resize of preempted VM %q", v.Name)
+	}
+	if cores == v.cpuTotal {
+		return nil
+	}
+	v.cpuTotal = cores
+
+	if v.cpuInUse > cores {
+		// Evict newest-first until usage fits.
+		var victims []*CPUAlloc
+		for _, a := range v.cluster.liveCPU {
+			if a.vm == v {
+				victims = append(victims, a)
+			}
+		}
+		sort.Slice(victims, func(i, j int) bool { return victims[i].ID > victims[j].ID })
+		for _, a := range victims {
+			if v.cpuInUse <= cores {
+				break
+			}
+			a.Release()
+			if a.OnPreempt != nil {
+				a.OnPreempt()
+			}
+		}
+	}
+	v.refreshCPUSeries()
+	v.cluster.notifyRelease()
+	return nil
+}
+
+// CPUCapacity returns the VM's current core count.
+func (v *VM) CPUCapacity() int { return v.cpuTotal }

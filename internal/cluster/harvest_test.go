@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/hardware"
+	"repro/internal/sim"
+)
+
+func harvestVM(t *testing.T) (*sim.Engine, *Cluster, *VM) {
+	t.Helper()
+	e := sim.NewEngine()
+	c := New(e, hardware.DefaultCatalog())
+	vm := c.AddVM("harvest0", "Standard_HB120rs_v3", false)
+	return e, c, vm
+}
+
+func TestHarvestGrowFreesCapacity(t *testing.T) {
+	_, c, vm := harvestVM(t)
+	if vm.CPUCapacity() != 120 {
+		t.Fatalf("capacity = %d", vm.CPUCapacity())
+	}
+	if err := vm.SetCPUCapacity(160); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.FreeCPUCores(); got != 160 {
+		t.Fatalf("free = %d after grow, want 160", got)
+	}
+}
+
+func TestHarvestGrowUnblocksQueuedViaHook(t *testing.T) {
+	_, c, vm := harvestVM(t)
+	a, _ := c.AllocCPUs(120)
+	hookFired := false
+	c.OnRelease(func() { hookFired = true })
+	vm.SetCPUCapacity(150)
+	if !hookFired {
+		t.Fatal("grow did not fire the release hook")
+	}
+	if _, err := c.AllocCPUs(30); err != nil {
+		t.Fatalf("allocation after grow failed: %v", err)
+	}
+	a.Release()
+}
+
+func TestHarvestShrinkWithinFreeEvictsNothing(t *testing.T) {
+	_, c, vm := harvestVM(t)
+	a, _ := c.AllocCPUs(40)
+	if err := vm.SetCPUCapacity(60); err != nil {
+		t.Fatal(err)
+	}
+	if a.Released() {
+		t.Fatal("allocation evicted despite fitting in shrunk capacity")
+	}
+	if got := c.FreeCPUCores(); got != 20 {
+		t.Fatalf("free = %d, want 20", got)
+	}
+}
+
+func TestHarvestShrinkEvictsNewestFirst(t *testing.T) {
+	_, c, vm := harvestVM(t)
+	old, _ := c.AllocCPUs(60)
+	newer, _ := c.AllocCPUs(60)
+	var preempted []*CPUAlloc
+	old.OnPreempt = func() { preempted = append(preempted, old) }
+	newer.OnPreempt = func() { preempted = append(preempted, newer) }
+
+	if err := vm.SetCPUCapacity(70); err != nil {
+		t.Fatal(err)
+	}
+	if !newer.Released() {
+		t.Fatal("newest allocation survived the shrink")
+	}
+	if old.Released() {
+		t.Fatal("oldest allocation evicted although usage fit after one eviction")
+	}
+	if len(preempted) != 1 || preempted[0] != newer {
+		t.Fatalf("preempt callbacks = %d, want newest only", len(preempted))
+	}
+	if got := vm.CPUCoresFree(); got != 10 {
+		t.Fatalf("free on vm = %d, want 10", got)
+	}
+}
+
+func TestHarvestShrinkToZeroEvictsAll(t *testing.T) {
+	_, c, vm := harvestVM(t)
+	a, _ := c.AllocCPUs(30)
+	b, _ := c.AllocCPUs(30)
+	if err := vm.SetCPUCapacity(0); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Released() || !b.Released() {
+		t.Fatal("allocations survived zero capacity")
+	}
+	if got := c.FreeCPUCores(); got != 0 {
+		t.Fatalf("free = %d", got)
+	}
+}
+
+func TestHarvestUtilizationTracksCapacity(t *testing.T) {
+	e, c, vm := harvestVM(t)
+	a, _ := c.AllocCPUs(60)
+	a.SetIntensity(1)
+	e.Schedule(10, func() { vm.SetCPUCapacity(60) }) // now fully busy
+	e.Schedule(20, func() {})
+	e.Run()
+	if got := vm.CPUUtil().Value(5); got != 0.5 {
+		t.Fatalf("util before shrink = %v, want 0.5", got)
+	}
+	if got := vm.CPUUtil().Value(15); got != 1.0 {
+		t.Fatalf("util after shrink = %v, want 1.0", got)
+	}
+}
+
+func TestHarvestErrors(t *testing.T) {
+	_, _, vm := harvestVM(t)
+	if err := vm.SetCPUCapacity(-1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	e := sim.NewEngine()
+	c := New(e, hardware.DefaultCatalog())
+	spot := c.AddVM("s", hardware.NDv4SKUName, true)
+	c.PreemptVM("s")
+	if err := spot.SetCPUCapacity(10); err == nil {
+		t.Error("resize of preempted VM accepted")
+	}
+}

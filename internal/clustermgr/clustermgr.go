@@ -1,0 +1,301 @@
+// Package clustermgr implements the paper's workflow-aware cluster manager
+// (§3.2): it owns the cluster's allocations and the LLM serving engines,
+// queues resource requests, exports utilization stats to the orchestrator
+// (the "Resource-Aware Workflow Orchestration" feed), receives workflow DAGs
+// from the orchestrator (the "Workflow-Aware Cluster Management" feed), and
+// runs a rebalancing loop that reallocates GPUs between models based on
+// upcoming demand — the paper's example of moving GPUs from Whisper to Llama
+// when no Speech-to-Text work is expected.
+package clustermgr
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/dag"
+	"repro/internal/hardware"
+	"repro/internal/llmsim"
+	"repro/internal/sim"
+)
+
+// EngineReloadDelayS models weight reloading when an engine is rebuilt
+// after losing its VM to preemption.
+const EngineReloadDelayS = 5.0
+
+// Manager is the cluster manager.
+type Manager struct {
+	se  *sim.Engine
+	cl  *cluster.Cluster
+	cat *hardware.Catalog
+
+	engines map[string]*EngineHandle // by model name
+
+	pendingGPU []gpuRequest
+	pendingCPU []cpuRequest
+	draining   bool
+	resizing   bool
+
+	trackers []*dag.Tracker
+	ticker   *sim.Ticker
+
+	// Rebalance accounting for the ablation benches.
+	grows, shrinks int
+}
+
+type gpuRequest struct {
+	n     int
+	t     hardware.GPUType
+	grant func(*cluster.GPUAlloc)
+}
+
+type cpuRequest struct {
+	cores int
+	grant func(*cluster.CPUAlloc)
+}
+
+// EngineHandle pairs a serving engine with its allocation and scaling
+// envelope.
+type EngineHandle struct {
+	Capability string
+	Spec       llmsim.ModelSpec
+	Engine     *llmsim.Engine
+	GPUType    hardware.GPUType
+
+	alloc            *cluster.GPUAlloc
+	minGPUs, maxGPUs int
+	pinned           bool
+	rebuilding       bool
+	mgr              *Manager
+}
+
+// GPUs returns the engine's current GPU count.
+func (h *EngineHandle) GPUs() int { return h.Engine.GPUs() }
+
+// Pinned reports whether autoscaling is disabled for this engine.
+func (h *EngineHandle) Pinned() bool { return h.pinned }
+
+// New creates a manager over a cluster.
+func New(se *sim.Engine, cl *cluster.Cluster) *Manager {
+	m := &Manager{
+		se:      se,
+		cl:      cl,
+		cat:     cl.Catalog(),
+		engines: map[string]*EngineHandle{},
+	}
+	cl.OnRelease(m.drainPending)
+	cl.OnPreempt(m.handlePreempt)
+	return m
+}
+
+// Cluster returns the managed cluster.
+func (m *Manager) Cluster() *cluster.Cluster { return m.cl }
+
+// RequestGPUs asynchronously acquires n GPUs of type t, invoking grant when
+// they are held. Requests queue FIFO when capacity is unavailable.
+// Impossible requests (more than the cluster ever had) error immediately.
+func (m *Manager) RequestGPUs(n int, t hardware.GPUType, grant func(*cluster.GPUAlloc)) error {
+	if n <= 0 {
+		return fmt.Errorf("clustermgr: non-positive GPU request %d", n)
+	}
+	if m.cl.TotalGPUs(t) < n {
+		return fmt.Errorf("clustermgr: request for %d %s GPUs exceeds cluster total %d",
+			n, t, m.cl.TotalGPUs(t))
+	}
+	m.pendingGPU = append(m.pendingGPU, gpuRequest{n: n, t: t, grant: grant})
+	m.se.Defer(m.drainPending)
+	return nil
+}
+
+// RequestCPUs asynchronously acquires cores on one VM.
+func (m *Manager) RequestCPUs(cores int, grant func(*cluster.CPUAlloc)) error {
+	if cores <= 0 {
+		return fmt.Errorf("clustermgr: non-positive CPU request %d", cores)
+	}
+	most := 0
+	for _, vm := range m.cl.VMs() {
+		if vm.SKU.CPUCores > most {
+			most = vm.SKU.CPUCores
+		}
+	}
+	if cores > most {
+		return fmt.Errorf("clustermgr: request for %d cores exceeds largest VM (%d)", cores, most)
+	}
+	m.pendingCPU = append(m.pendingCPU, cpuRequest{cores: cores, grant: grant})
+	m.se.Defer(m.drainPending)
+	return nil
+}
+
+// drainPending grants queued requests FIFO while capacity allows. GPU and
+// CPU queues are independent; within each, the head blocks later requests
+// (no starvation).
+func (m *Manager) drainPending() {
+	if m.draining || m.resizing {
+		return
+	}
+	m.draining = true
+	defer func() { m.draining = false }()
+
+	for len(m.pendingGPU) > 0 {
+		req := m.pendingGPU[0]
+		alloc, err := m.cl.AllocGPUs(req.n, req.t)
+		if err != nil {
+			break
+		}
+		m.pendingGPU = m.pendingGPU[1:]
+		req.grant(alloc)
+	}
+	for len(m.pendingCPU) > 0 {
+		req := m.pendingCPU[0]
+		alloc, err := m.cl.AllocCPUs(req.cores)
+		if err != nil {
+			break
+		}
+		m.pendingCPU = m.pendingCPU[1:]
+		req.grant(alloc)
+	}
+}
+
+// PendingGPURequests returns the GPU queue depth.
+func (m *Manager) PendingGPURequests() int { return len(m.pendingGPU) }
+
+// PendingCPURequests returns the CPU queue depth.
+func (m *Manager) PendingCPURequests() int { return len(m.pendingCPU) }
+
+// EnsureEngine returns the engine serving spec.Name, creating it with the
+// given GPU count if absent. pinned engines are exempt from autoscaling
+// (the §4 setup pins NVLM at 8 text + 2 embedding GPUs). min/max bound the
+// autoscaler; they default to (1, gpus) when zero.
+func (m *Manager) EnsureEngine(capability string, spec llmsim.ModelSpec, gpus int, t hardware.GPUType, minGPUs, maxGPUs int, pinned bool) (*EngineHandle, error) {
+	if h, ok := m.engines[spec.Name]; ok {
+		return h, nil
+	}
+	alloc, err := m.cl.AllocGPUs(gpus, t)
+	if err != nil {
+		return nil, fmt.Errorf("clustermgr: cannot place engine %s: %w", spec.Name, err)
+	}
+	eng, err := llmsim.NewEngine(m.se, m.cat, spec, alloc)
+	if err != nil {
+		alloc.Release()
+		return nil, err
+	}
+	if minGPUs <= 0 {
+		minGPUs = 1
+	}
+	if maxGPUs <= 0 {
+		maxGPUs = gpus
+	}
+	h := &EngineHandle{
+		Capability: capability,
+		Spec:       spec,
+		Engine:     eng,
+		GPUType:    t,
+		alloc:      alloc,
+		minGPUs:    minGPUs,
+		maxGPUs:    maxGPUs,
+		pinned:     pinned,
+		mgr:        m,
+	}
+	alloc.OnPreempt = func() { m.rebuildEngine(h) }
+	m.engines[spec.Name] = h
+	return h, nil
+}
+
+// Engine returns an engine handle by model name.
+func (m *Manager) Engine(model string) (*EngineHandle, bool) {
+	h, ok := m.engines[model]
+	return h, ok
+}
+
+// EngineForCapability returns the first engine serving a capability (model
+// names sorted for determinism).
+func (m *Manager) EngineForCapability(capability string) (*EngineHandle, bool) {
+	var names []string
+	for name, h := range m.engines {
+		if h.Capability == capability {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return nil, false
+	}
+	sort.Strings(names)
+	return m.engines[names[0]], true
+}
+
+// ReleaseEngine tears down an engine and frees its GPUs. Releasing an
+// engine with in-flight work is the caller's responsibility to avoid (use
+// Engine.OnDrained).
+func (m *Manager) ReleaseEngine(model string) {
+	h, ok := m.engines[model]
+	if !ok {
+		return
+	}
+	delete(m.engines, model)
+	h.alloc.OnPreempt = nil
+	h.alloc.Release()
+}
+
+// RegisterWorkflow gives the manager DAG visibility for lookahead.
+func (m *Manager) RegisterWorkflow(t *dag.Tracker) {
+	m.trackers = append(m.trackers, t)
+}
+
+// UnregisterWorkflow removes a completed workflow.
+func (m *Manager) UnregisterWorkflow(t *dag.Tracker) {
+	for i, existing := range m.trackers {
+		if existing == t {
+			m.trackers = append(m.trackers[:i], m.trackers[i+1:]...)
+			return
+		}
+	}
+}
+
+// UpcomingDemand aggregates remaining capability work across registered
+// workflows — the signal behind proactive scaling decisions.
+func (m *Manager) UpcomingDemand() map[string]float64 {
+	out := map[string]float64{}
+	for _, t := range m.trackers {
+		for cap, work := range t.RemainingCapabilityWork() {
+			out[cap] += work
+		}
+	}
+	return out
+}
+
+// EngineStats summarizes one serving engine for the stats feed.
+type EngineStats struct {
+	Model      string
+	Capability string
+	GPUs       int
+	QueueDepth int
+	Active     int
+	KVUsed     int
+	KVCapacity int
+}
+
+// Stats is the §3.2 stats feed: cluster capacity plus engine state.
+type Stats struct {
+	Cluster cluster.Snapshot
+	Engines map[string]EngineStats
+}
+
+// Stats captures the current view.
+func (m *Manager) Stats() Stats {
+	s := Stats{Cluster: m.cl.Snapshot(), Engines: map[string]EngineStats{}}
+	for name, h := range m.engines {
+		s.Engines[name] = EngineStats{
+			Model:      name,
+			Capability: h.Capability,
+			GPUs:       h.Engine.GPUs(),
+			QueueDepth: h.Engine.QueueDepth(),
+			Active:     h.Engine.ActiveCount(),
+			KVUsed:     h.Engine.KVUsed(),
+			KVCapacity: h.Engine.KVCapacity(),
+		}
+	}
+	return s
+}
+
+// Rebalances returns (grows, shrinks) performed so far.
+func (m *Manager) Rebalances() (int, int) { return m.grows, m.shrinks }

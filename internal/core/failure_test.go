@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/agents"
+	"repro/internal/cluster"
+	"repro/internal/hardware"
+	"repro/internal/sim"
+	"repro/internal/workflow"
+)
+
+// spotRuntime builds a testbed with one spot VM and one on-demand VM.
+func spotRuntime(t *testing.T) (*sim.Engine, *cluster.Cluster, *Runtime) {
+	t.Helper()
+	se := sim.NewEngine()
+	cl := cluster.New(se, hardware.DefaultCatalog())
+	cl.AddVM("spot0", hardware.NDv4SKUName, true)
+	cl.AddVM("od0", hardware.NDv4SKUName, false)
+	rt, err := New(Config{Engine: se, Cluster: cl, Library: agents.DefaultLibrary()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return se, cl, rt
+}
+
+func TestSpotPreemptionMidRunRecovers(t *testing.T) {
+	se, cl, rt := spotRuntime(t)
+	ex, err := rt.Submit(paperJob(workflow.MinCost), SubmitOptions{RelaxFloor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	se.Schedule(20, func() { cl.PreemptVM("spot0") })
+	se.Run()
+	if !ex.Done() || ex.Err() != nil {
+		t.Fatalf("done=%v err=%v", ex.Done(), ex.Err())
+	}
+	rep := ex.Report()
+	if rep.TasksCompleted != 80 {
+		t.Fatalf("tasks = %d, want 80 despite preemption", rep.TasksCompleted)
+	}
+	// The preemption must have actually cost something: either retries or
+	// an engine rebuild lengthened the run beyond the two-VM result.
+	if ex.Retries() == 0 && rep.MakespanS < 90 {
+		t.Fatalf("preemption had no observable effect (retries=0, makespan=%.1f)",
+			rep.MakespanS)
+	}
+	// Surviving VM's resources fully released; the preempted VM offers none.
+	if free := cl.FreeGPUs(hardware.GPUA100); free != 8 {
+		t.Fatalf("free GPUs = %d, want 8 (od0 only)", free)
+	}
+	if free := cl.FreeCPUCores(); free != 96 {
+		t.Fatalf("free cores = %d, want 96 (od0 only)", free)
+	}
+}
+
+// Property-style sweep: preemption at any point of the workflow always
+// recovers with all tasks completed and no resource leak.
+func TestPreemptionSweepAlwaysRecovers(t *testing.T) {
+	for _, at := range []float64{0.5, 5, 15, 40, 70} {
+		at := at
+		t.Run(fmt.Sprintf("t=%v", at), func(t *testing.T) {
+			se, cl, rt := spotRuntime(t)
+			ex, err := rt.Submit(paperJob(workflow.MinCost), SubmitOptions{RelaxFloor: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			se.Schedule(sim.Time(at), func() { cl.PreemptVM("spot0") })
+			se.SetEventLimit(2_000_000)
+			se.Run()
+			if !ex.Done() || ex.Err() != nil {
+				t.Fatalf("preempt@%v: done=%v err=%v", at, ex.Done(), ex.Err())
+			}
+			if got := ex.Report().TasksCompleted; got != 80 {
+				t.Fatalf("preempt@%v: tasks = %d", at, got)
+			}
+			if free := cl.FreeGPUs(hardware.GPUA100); free != 8 {
+				t.Fatalf("preempt@%v: free GPUs = %d, want 8", at, free)
+			}
+			if open := ex.Report().Tracer.OpenCount(); open != 0 {
+				t.Fatalf("preempt@%v: %d spans left open", at, open)
+			}
+		})
+	}
+}
+
+func TestPreemptionAfterCompletionHarmless(t *testing.T) {
+	se, cl, rt := spotRuntime(t)
+	ex, err := rt.Submit(paperJob(workflow.MinCost), SubmitOptions{RelaxFloor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	se.Run() // finish first
+	if !ex.Done() {
+		t.Fatal("not done")
+	}
+	cl.PreemptVM("spot0") // must not panic or corrupt anything
+	se.Run()
+}
+
+func TestHarvestShrinkMidRunRecovers(t *testing.T) {
+	se := sim.NewEngine()
+	cl := cluster.New(se, hardware.DefaultCatalog())
+	cl.AddVM("vm0", hardware.NDv4SKUName, false)
+	harvest := cl.AddVM("harvest0", "Standard_HB120rs_v3", false)
+	rt, err := New(Config{Engine: se, Cluster: cl, Library: agents.DefaultLibrary()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MIN_COST puts STT on CPU workers; many land on the big harvest VM.
+	ex, err := rt.Submit(paperJob(workflow.MinCost), SubmitOptions{RelaxFloor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The primary tenant takes most of the harvest VM back mid-STT.
+	se.Schedule(10, func() {
+		if err := harvest.SetCPUCapacity(8); err != nil {
+			t.Error(err)
+		}
+	})
+	se.Run()
+	if !ex.Done() || ex.Err() != nil {
+		t.Fatalf("done=%v err=%v", ex.Done(), ex.Err())
+	}
+	if got := ex.Report().TasksCompleted; got != 80 {
+		t.Fatalf("tasks = %d", got)
+	}
+	// Capacity accounting consistent after the shrink.
+	if free := cl.FreeCPUCores(); free != 96+8 {
+		t.Fatalf("free cores = %d, want 104", free)
+	}
+}
+
+func TestConcurrentJobsSurvivePreemption(t *testing.T) {
+	se, cl, rt := spotRuntime(t)
+	var exs []*Execution
+	for i := 0; i < 2; i++ {
+		ex, err := rt.Submit(paperJob(workflow.MinCost), SubmitOptions{RelaxFloor: true, KeepEngines: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exs = append(exs, ex)
+	}
+	se.Schedule(25, func() { cl.PreemptVM("spot0") })
+	se.Run()
+	for i, ex := range exs {
+		if !ex.Done() || ex.Err() != nil {
+			t.Fatalf("job %d: done=%v err=%v", i, ex.Done(), ex.Err())
+		}
+		if ex.Report().TasksCompleted != 80 {
+			t.Fatalf("job %d: tasks = %d", i, ex.Report().TasksCompleted)
+		}
+	}
+}

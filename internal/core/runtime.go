@@ -1,0 +1,457 @@
+// Package core is Murakkab's adaptive runtime — the paper's primary
+// contribution (§3). It accepts declarative Jobs (Listing 2), lowers them to
+// task DAGs via the planner, chooses implementations and resources via the
+// optimizer, and executes the DAG against the cluster through the
+// workflow-aware cluster manager:
+//
+//   - LLM-served capabilities run on shared serving engines with continuous
+//     batching (intra-workflow parallelism falls out of the DAG frontier);
+//   - other capabilities run on elastic worker pools that hold resources
+//     only while work is queued — no resource stranding;
+//   - the cluster manager sees the DAG (lookahead) and feeds stats back;
+//   - preempted tasks retry; preempted engines rebuild.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/agents"
+	"repro/internal/cluster"
+	"repro/internal/clustermgr"
+	"repro/internal/dag"
+	"repro/internal/hardware"
+	"repro/internal/llmsim"
+	"repro/internal/optimizer"
+	"repro/internal/planner"
+	"repro/internal/profiles"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/vectordb"
+	"repro/internal/workflow"
+)
+
+// Config wires a Runtime.
+type Config struct {
+	Engine  *sim.Engine
+	Cluster *cluster.Cluster
+	Library *agents.Library
+	// Manager is created over Cluster when nil.
+	Manager *clustermgr.Manager
+	// Profiles is built by profiling Library when nil (the §3.3(a)
+	// amortized profiling pass).
+	Profiles *profiles.Store
+	// RebalancePeriod enables the manager's rebalancing loop when > 0.
+	RebalancePeriod sim.Duration
+	// CPUType prices CPU cores; defaults to the EPYC in the paper testbed.
+	CPUType hardware.CPUType
+}
+
+// Runtime is the Murakkab runtime.
+type Runtime struct {
+	se    *sim.Engine
+	cl    *cluster.Cluster
+	mgr   *clustermgr.Manager
+	lib   *agents.Library
+	store *profiles.Store
+	pl    *planner.Planner
+	opt   *optimizer.Optimizer
+	db    *vectordb.DB
+
+	engineRefs map[string]int
+	active     int
+	nextExecID int
+	// rebalance is the manager's loop period; the loop runs only while
+	// workflows are active (a permanent ticker would keep the simulation's
+	// event queue non-empty forever).
+	rebalance sim.Duration
+}
+
+// New builds a runtime. Profiling the library happens here when no store is
+// supplied.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Engine == nil || cfg.Cluster == nil || cfg.Library == nil {
+		return nil, fmt.Errorf("core: Engine, Cluster and Library are required")
+	}
+	if cfg.CPUType == "" {
+		cfg.CPUType = hardware.EPYC7V12
+	}
+	store := cfg.Profiles
+	if store == nil {
+		var err error
+		store, err = agents.NewProfiler(cfg.Cluster.Catalog()).ProfileLibrary(cfg.Library)
+		if err != nil {
+			return nil, fmt.Errorf("core: profiling library: %w", err)
+		}
+	}
+	mgr := cfg.Manager
+	if mgr == nil {
+		mgr = clustermgr.New(cfg.Engine, cfg.Cluster)
+	}
+	return &Runtime{
+		se:         cfg.Engine,
+		cl:         cfg.Cluster,
+		mgr:        mgr,
+		lib:        cfg.Library,
+		store:      store,
+		pl:         planner.New(cfg.Library),
+		opt:        optimizer.New(cfg.Cluster.Catalog(), cfg.Library, store, cfg.CPUType),
+		db:         vectordb.New(64),
+		engineRefs: map[string]int{},
+		rebalance:  cfg.RebalancePeriod,
+	}, nil
+}
+
+// Manager exposes the cluster manager (for stats and tests).
+func (rt *Runtime) Manager() *clustermgr.Manager { return rt.mgr }
+
+// VectorDB exposes the store embedding tasks write to.
+func (rt *Runtime) VectorDB() *vectordb.DB { return rt.db }
+
+// Profiles exposes the profile store.
+func (rt *Runtime) Profiles() *profiles.Store { return rt.store }
+
+// SubmitOptions tune one job execution.
+type SubmitOptions struct {
+	// Pinned forces per-capability configurations (the Figure 3 / Table 2
+	// sweeps pin the STT configuration; the §4 setup pins engine sizes).
+	Pinned map[string]optimizer.Pin
+	// MaxPaths enables execution-path replication under MAX_QUALITY.
+	MaxPaths int
+	// RelaxFloor degrades the quality floor gracefully (default behaviour
+	// when the floor is otherwise unsatisfiable stage-wise).
+	RelaxFloor bool
+	// KeepEngines leaves serving engines allocated after the job (for
+	// multi-tenant runs where the next job reuses them).
+	KeepEngines bool
+}
+
+// Execution tracks one submitted job.
+type Execution struct {
+	rt        *Runtime
+	id        int
+	job       workflow.Job
+	opts      SubmitOptions
+	plan      *optimizer.Plan
+	decomp    *planner.Result
+	tracker   *dag.Tracker
+	tracer    *telemetry.Tracer
+	rep       *report.Report
+	startedAt sim.Time
+	planLatS  float64
+	stages    map[string]*stage
+	done      bool
+	err       error
+	onDone    []func(*report.Report, error)
+	toolCalls int
+	retries   int
+}
+
+// Namespace is the execution's VectorDB namespace for embedding inserts.
+func (ex *Execution) Namespace() string {
+	return fmt.Sprintf("exec-%d/%s", ex.id, ex.job.Description)
+}
+
+// Done reports completion.
+func (ex *Execution) Done() bool { return ex.done }
+
+// Err returns the terminal error, if any.
+func (ex *Execution) Err() error { return ex.err }
+
+// Report returns the final report (nil until Done).
+func (ex *Execution) Report() *report.Report {
+	if !ex.done {
+		return nil
+	}
+	return ex.rep
+}
+
+// Plan returns the optimizer's plan.
+func (ex *Execution) Plan() *optimizer.Plan { return ex.plan }
+
+// Decomposition returns the planner result (DAG, ReAct trace, queries).
+func (ex *Execution) Decomposition() *planner.Result { return ex.decomp }
+
+// ToolCalls returns the number of generated (and validated) tool calls.
+func (ex *Execution) ToolCalls() int { return ex.toolCalls }
+
+// Retries returns tasks re-executed after failures (preemptions).
+func (ex *Execution) Retries() int { return ex.retries }
+
+// OnDone registers a completion callback.
+func (ex *Execution) OnDone(fn func(*report.Report, error)) {
+	if ex.done {
+		fn(ex.rep, ex.err)
+		return
+	}
+	ex.onDone = append(ex.onDone, fn)
+}
+
+// Submit plans and launches a job. Errors in planning or optimization are
+// returned synchronously; execution then proceeds when the simulation
+// engine runs.
+func (rt *Runtime) Submit(job workflow.Job, opts SubmitOptions) (*Execution, error) {
+	decomp, err := rt.pl.Decompose(job)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := rt.opt.Plan(decomp.Graph, rt.cl.Snapshot(), optimizer.Options{
+		Constraint: job.Constraint,
+		MinQuality: job.MinQuality,
+		RelaxFloor: opts.RelaxFloor,
+		Pinned:     opts.Pinned,
+		MaxPaths:   opts.MaxPaths,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rt.nextExecID++
+	ex := &Execution{
+		rt:        rt,
+		id:        rt.nextExecID,
+		job:       job,
+		opts:      opts,
+		plan:      plan,
+		decomp:    decomp,
+		tracker:   dag.NewTracker(decomp.Graph),
+		tracer:    telemetry.NewTracer(),
+		startedAt: rt.se.Now(),
+		stages:    map[string]*stage{},
+	}
+	ex.rep = &report.Report{
+		Name:      "murakkab/" + job.Constraint.String(),
+		Tracer:    ex.tracer,
+		Quality:   plan.EstQuality,
+		Decisions: map[string]string{},
+	}
+	for cap, d := range plan.Decisions {
+		ex.rep.Decisions[cap] = fmt.Sprintf("%s @ %s ×%d", d.Implementation, d.Config, d.Parallelism)
+		if d.ExecutionPaths > 1 {
+			ex.rep.Decisions[cap] += fmt.Sprintf(" paths=%d", d.ExecutionPaths)
+		}
+	}
+
+	// Workflow-aware cluster management: the manager sees the DAG.
+	rt.mgr.RegisterWorkflow(ex.tracker)
+	rt.active++
+	if rt.rebalance > 0 && !rt.mgr.RebalancingEnabled() {
+		rt.mgr.EnableRebalancing(rt.rebalance)
+	}
+
+	// Bring up serving engines for the LLM capabilities, then charge the
+	// planning queries against the orchestrator engine, then start the DAG.
+	if err := ex.ensureEngines(); err != nil {
+		rt.mgr.UnregisterWorkflow(ex.tracker)
+		rt.active--
+		return nil, err
+	}
+	ex.chargePlanning(func() { ex.dispatchReady() })
+	return ex, nil
+}
+
+// engineSpecFor maps an LLM implementation to its serving ModelSpec.
+func engineSpecFor(impl string) (llmsim.ModelSpec, bool) {
+	switch impl {
+	case agents.ImplNVLM:
+		return llmsim.NVLMText(), true
+	case "nvlm-d-72b-qa":
+		spec := llmsim.NVLMText()
+		spec.Name = "nvlm-d-72b-qa"
+		return spec, true
+	case agents.ImplLlama70B:
+		spec := llmsim.NVLMText()
+		spec.Name = agents.ImplLlama70B
+		return spec, true
+	case agents.ImplLlama8B:
+		return llmsim.Llama8B(), true
+	case agents.ImplNVLMEmbed:
+		return llmsim.NVLMEmbed(), true
+	default:
+		return llmsim.ModelSpec{}, false
+	}
+}
+
+// engineServed reports whether a decision executes on a shared serving
+// engine: the capability must be LLM-served AND the chosen implementation
+// an actual LLM. A capability like embedding can also be served by a small
+// CPU model (minilm), which then runs on a plain worker pool.
+func (ex *Execution) engineServed(cap string, d optimizer.Decision) bool {
+	if !agents.LLMCapabilities()[agents.Capability(cap)] {
+		return false
+	}
+	im, ok := ex.rt.lib.Get(d.Implementation)
+	return ok && im.Kind == agents.KindLLM
+}
+
+func (ex *Execution) ensureEngines() error {
+	for _, cap := range sortedCaps(ex.plan.Decisions) {
+		d := ex.plan.Decisions[cap]
+		if !ex.engineServed(cap, d) {
+			continue
+		}
+		spec, ok := engineSpecFor(d.Implementation)
+		if !ok {
+			return fmt.Errorf("core: no serving spec for LLM implementation %q", d.Implementation)
+		}
+		if d.Config.GPUs == 0 {
+			return fmt.Errorf("core: LLM capability %q planned without GPUs (%v)", cap, d.Config)
+		}
+		im, _ := ex.rt.lib.Get(d.Implementation)
+		h, err := ex.rt.mgr.EnsureEngine(cap, spec, d.Config.GPUs, d.Config.GPUType,
+			im.Perf.MinGPUs, im.Perf.MaxGPUs, d.Pinned && !d.AllowScaling)
+		if err != nil {
+			return err
+		}
+		ex.rt.engineRefs[h.Spec.Name]++
+	}
+	return nil
+}
+
+// chargePlanning submits the planner's LLM queries to the orchestrator
+// engine (the summarization engine when present) and invokes next when they
+// complete. §3.3(b): these are short-input/short-output queries.
+func (ex *Execution) chargePlanning(next func()) {
+	start := ex.rt.se.Now()
+	h, ok := ex.rt.mgr.EngineForCapability(string(agents.CapSummarization))
+	if !ok {
+		// No orchestrator engine in this workflow; charge a fixed small
+		// remote-call latency instead.
+		ex.rt.se.After(0.5, func() {
+			ex.planLatS = 0.5
+			next()
+		})
+		return
+	}
+	remaining := len(ex.decomp.Queries)
+	if remaining == 0 {
+		ex.rt.se.Defer(next)
+		return
+	}
+	for i, q := range ex.decomp.Queries {
+		h.Engine.Submit(&llmsim.Request{
+			ID:           fmt.Sprintf("plan-%s-%d", q.Purpose, i),
+			PromptTokens: q.PromptTokens,
+			OutputTokens: q.OutputTokens,
+			OnComplete: func(*llmsim.Request) {
+				remaining--
+				if remaining == 0 {
+					ex.planLatS = ex.rt.se.Now().Sub(start).Seconds()
+					next()
+				}
+			},
+		})
+	}
+}
+
+// dispatchReady feeds every ready DAG node to its capability stage.
+func (ex *Execution) dispatchReady() {
+	for _, id := range ex.tracker.Ready() {
+		node, _ := ex.tracker.Graph().Node(id)
+		if err := ex.tracker.Start(id); err != nil {
+			panic(err)
+		}
+		ex.stageFor(node.Capability).enqueue(node)
+	}
+}
+
+// completeNode marks a node done and dispatches newly-ready successors.
+func (ex *Execution) completeNode(id dag.NodeID) {
+	newly, err := ex.tracker.Complete(id)
+	if err != nil {
+		panic(err)
+	}
+	for _, nid := range newly {
+		node, _ := ex.tracker.Graph().Node(nid)
+		if err := ex.tracker.Start(nid); err != nil {
+			panic(err)
+		}
+		ex.stageFor(node.Capability).enqueue(node)
+	}
+	if ex.tracker.Done() {
+		ex.finish(nil)
+	}
+}
+
+func (ex *Execution) finish(err error) {
+	if ex.done {
+		return
+	}
+	ex.done = true
+	ex.err = err
+	ex.rt.mgr.UnregisterWorkflow(ex.tracker)
+	ex.rt.active--
+	if ex.rt.active == 0 && ex.rt.rebalance > 0 {
+		ex.rt.mgr.StopRebalancing()
+	}
+	for _, st := range ex.stages {
+		st.shutdown()
+	}
+	if !ex.opts.KeepEngines {
+		ex.rt.releaseEngineRefs(ex)
+	}
+	ex.rep.MakespanS = ex.rt.se.Now().Sub(ex.startedAt).Seconds()
+	ex.rep.TasksCompleted = ex.tracker.CompletedCount()
+	if ex.rep.MakespanS > 0 {
+		ex.rep.PlanningOverheadFrac = ex.planLatS / ex.rep.MakespanS
+	}
+	report.Finalize(ex.rep, ex.rt.cl)
+	for _, fn := range ex.onDone {
+		fn(ex.rep, ex.err)
+	}
+}
+
+func (rt *Runtime) releaseEngineRefs(ex *Execution) {
+	for _, cap := range sortedCaps(ex.plan.Decisions) {
+		d := ex.plan.Decisions[cap]
+		if !ex.engineServed(cap, d) {
+			continue
+		}
+		spec, ok := engineSpecFor(d.Implementation)
+		if !ok {
+			continue
+		}
+		rt.engineRefs[spec.Name]--
+		if rt.engineRefs[spec.Name] == 0 {
+			if h, ok := rt.mgr.Engine(spec.Name); ok {
+				// Drain then release: in-flight requests (none, if the DAG
+				// is done) finish first.
+				h.Engine.OnDrained(func() { rt.mgr.ReleaseEngine(spec.Name) })
+			}
+		}
+	}
+}
+
+// sortedCaps returns decision keys in sorted order: engine creation and
+// release must not depend on map iteration order, or device placement (and
+// with it float summation order in the energy integrals) becomes
+// nondeterministic.
+func sortedCaps(m map[string]optimizer.Decision) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// trackName maps capabilities to Figure 3's track labels.
+func trackName(capability string) string {
+	switch agents.Capability(capability) {
+	case agents.CapFrameExtraction:
+		return "Frame Extraction"
+	case agents.CapSpeechToText:
+		return "Speech-to-Text"
+	case agents.CapObjectDetection:
+		return "Object Detection"
+	case agents.CapSummarization:
+		return "LLM (Text)"
+	case agents.CapEmbedding:
+		return "LLM (Embeddings)"
+	case agents.CapQA:
+		return "LLM (QA)"
+	default:
+		return capability
+	}
+}

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/agents"
+	"repro/internal/cluster"
+	"repro/internal/dag"
+	"repro/internal/llmsim"
+	"repro/internal/sim"
+	"repro/internal/vectordb"
+)
+
+// stage executes all tasks of one capability under the optimizer's decision.
+// LLM capabilities submit to a shared serving engine (concurrency via
+// continuous batching); everything else runs on an elastic worker pool that
+// holds resources only while work is queued — releasing them the moment the
+// stage drains, which is the anti-stranding behaviour the baseline lacks.
+type stage struct {
+	ex    *Execution
+	cap   string
+	isLLM bool
+
+	queue   []*dag.Node
+	workers []*worker
+
+	shutdownFlag bool
+}
+
+func (ex *Execution) stageFor(capability string) *stage {
+	if st, ok := ex.stages[capability]; ok {
+		return st
+	}
+	st := &stage{
+		ex:    ex,
+		cap:   capability,
+		isLLM: ex.engineServed(capability, ex.plan.Decisions[capability]),
+	}
+	ex.stages[capability] = st
+	return st
+}
+
+func (st *stage) enqueue(node *dag.Node) {
+	if st.isLLM {
+		st.submitLLM(node)
+		return
+	}
+	st.queue = append(st.queue, node)
+	st.pump()
+}
+
+// --- LLM path ---------------------------------------------------------------
+
+func (st *stage) submitLLM(node *dag.Node) {
+	ex := st.ex
+	d := ex.plan.Decisions[st.cap]
+	if _, err := ex.rt.pl.ToolCallFor(node, d.Implementation); err != nil {
+		ex.finish(fmt.Errorf("core: tool-call generation for %s: %w", node.ID, err))
+		return
+	}
+	ex.toolCalls++
+
+	spec, _ := engineSpecFor(d.Implementation)
+	h, ok := ex.rt.mgr.Engine(spec.Name)
+	if !ok {
+		ex.finish(fmt.Errorf("core: engine %s missing for %s", spec.Name, node.ID))
+		return
+	}
+	prompt := metaInt(node, "prompt_tokens", int(node.Work))
+	output := metaInt(node, "output_tokens", 0)
+
+	paths := d.ExecutionPaths
+	if paths < 1 {
+		paths = 1
+	}
+	span := ex.tracer.Start(trackName(st.cap), string(node.ID), ex.rt.se.Now().Seconds())
+	remaining := paths
+	for p := 0; p < paths; p++ {
+		h.Engine.Submit(&llmsim.Request{
+			ID:           fmt.Sprintf("%s#%d", node.ID, p),
+			PromptTokens: prompt,
+			OutputTokens: output,
+			OnComplete: func(*llmsim.Request) {
+				remaining--
+				if remaining > 0 {
+					return // top-k barrier: wait for all paths
+				}
+				ex.tracer.End(span, ex.rt.se.Now().Seconds())
+				st.afterTask(node)
+				ex.completeNode(node.ID)
+			},
+		})
+	}
+}
+
+// afterTask applies capability-specific side effects (the embedding insert
+// into the VectorDB from the §4 setup).
+func (st *stage) afterTask(node *dag.Node) {
+	if agents.Capability(st.cap) != agents.CapEmbedding {
+		return
+	}
+	text := fmt.Sprintf("summary of %s scene %s",
+		metaStr(node, "video", metaStr(node, "doc", "input")), metaStr(node, "scene", "-"))
+	db := st.ex.rt.db
+	if err := db.Insert(st.ex.Namespace(), vectordb.Doc{
+		ID:     string(node.ID),
+		Vector: vectordb.Embed(text, db.Dim()),
+		Text:   text,
+	}); err != nil {
+		panic(err)
+	}
+}
+
+// --- worker-pool path --------------------------------------------------------
+
+// worker holds one per-instance allocation and processes queued tasks
+// back-to-back.
+type worker struct {
+	st       *stage
+	gpuAlloc *cluster.GPUAlloc
+	cpuAlloc *cluster.CPUAlloc
+	ready    bool // allocations held
+	busy     bool
+	current  *dag.Node
+	doneEv   *sim.Event
+	span     int
+	dead     bool
+}
+
+// pump assigns queued tasks to ready workers, growing the pool up to the
+// decision's parallelism.
+func (st *stage) pump() {
+	if st.shutdownFlag {
+		return
+	}
+	d := st.ex.plan.Decisions[st.cap]
+	for len(st.queue) > 0 {
+		w := st.idleReadyWorker()
+		if w == nil {
+			break
+		}
+		node := st.queue[0]
+		st.queue = st.queue[1:]
+		w.run(node)
+	}
+	// Grow the pool for remaining queued work.
+	for len(st.queue) > len(st.pendingWorkers()) && len(st.workers) < d.Parallelism {
+		st.spawnWorker()
+	}
+	// Drain idle workers when nothing is queued: release resources.
+	if len(st.queue) == 0 {
+		for _, w := range st.workers {
+			if w.ready && !w.busy {
+				w.destroy()
+			}
+		}
+	}
+}
+
+func (st *stage) idleReadyWorker() *worker {
+	for _, w := range st.workers {
+		if w.ready && !w.busy && !w.dead {
+			return w
+		}
+	}
+	return nil
+}
+
+// pendingWorkers returns workers still acquiring resources or idle-ready.
+func (st *stage) pendingWorkers() []*worker {
+	var out []*worker
+	for _, w := range st.workers {
+		if w.dead || w.busy {
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+func (st *stage) spawnWorker() {
+	w := &worker{st: st}
+	st.workers = append(st.workers, w)
+	w.acquire()
+}
+
+// acquire obtains the per-instance allocation (GPU first, then CPU for
+// hybrid configs) through the cluster manager's queue.
+func (w *worker) acquire() {
+	d := w.st.ex.plan.Decisions[w.st.cap]
+	cfg := d.Config
+	needCPU := func() {
+		if cfg.CPUCores == 0 {
+			w.becomeReady()
+			return
+		}
+		err := w.st.ex.rt.mgr.RequestCPUs(cfg.CPUCores, func(a *cluster.CPUAlloc) {
+			if w.dead {
+				a.Release()
+				return
+			}
+			w.cpuAlloc = a
+			a.OnPreempt = func() { w.preempted() }
+			w.becomeReady()
+		})
+		if err != nil {
+			w.st.ex.finish(fmt.Errorf("core: %s worker CPUs: %w", w.st.cap, err))
+		}
+	}
+	if cfg.GPUs > 0 {
+		err := w.st.ex.rt.mgr.RequestGPUs(cfg.GPUs, cfg.GPUType, func(a *cluster.GPUAlloc) {
+			if w.dead {
+				a.Release()
+				return
+			}
+			w.gpuAlloc = a
+			a.OnPreempt = func() { w.preempted() }
+			needCPU()
+		})
+		if err != nil {
+			w.st.ex.finish(fmt.Errorf("core: %s worker GPUs: %w", w.st.cap, err))
+		}
+		return
+	}
+	needCPU()
+}
+
+func (w *worker) becomeReady() {
+	w.ready = true
+	w.st.pump()
+}
+
+func (w *worker) run(node *dag.Node) {
+	st := w.st
+	ex := st.ex
+	d := ex.plan.Decisions[st.cap]
+	if _, err := ex.rt.pl.ToolCallFor(node, d.Implementation); err != nil {
+		ex.finish(fmt.Errorf("core: tool-call generation for %s: %w", node.ID, err))
+		return
+	}
+	ex.toolCalls++
+
+	im, ok := ex.rt.lib.Get(d.Implementation)
+	if !ok {
+		ex.finish(fmt.Errorf("core: unknown implementation %q", d.Implementation))
+		return
+	}
+	dur, err := im.Perf.LatencyS(node.Work, d.Config, ex.rt.cl.Catalog())
+	if err != nil {
+		ex.finish(fmt.Errorf("core: executing %s on %v: %w", node.ID, d.Config, err))
+		return
+	}
+	w.busy = true
+	w.current = node
+	w.setIntensity(im.Perf.GPUIntensity, im.Perf.CPUIntensity)
+	w.span = ex.tracer.Start(trackName(st.cap), string(node.ID), ex.rt.se.Now().Seconds())
+	w.doneEv = ex.rt.se.After(sim.Duration(dur), func() {
+		w.doneEv = nil
+		w.setIntensity(0, 0)
+		ex.tracer.End(w.span, ex.rt.se.Now().Seconds())
+		w.busy = false
+		w.current = nil
+		st.afterTask(node)
+		ex.completeNode(node.ID)
+		st.pump()
+	})
+}
+
+func (w *worker) setIntensity(gpu, cpu float64) {
+	if w.gpuAlloc != nil && !w.gpuAlloc.Released() {
+		w.gpuAlloc.SetIntensity(gpu)
+	}
+	if w.cpuAlloc != nil && !w.cpuAlloc.Released() {
+		w.cpuAlloc.SetIntensity(cpu)
+	}
+}
+
+// preempted handles loss of the worker's VM: the in-flight task (if any)
+// returns to the stage queue and a replacement worker is spawned.
+func (w *worker) preempted() {
+	if w.dead {
+		return
+	}
+	st := w.st
+	ex := st.ex
+	if w.doneEv != nil {
+		w.doneEv.Cancel()
+		w.doneEv = nil
+	}
+	if w.current != nil {
+		ex.tracer.End(w.span, ex.rt.se.Now().Seconds())
+		if err := ex.tracker.Fail(w.current.ID); err != nil {
+			panic(err)
+		}
+		// Re-enqueue: Fail returned it to ready; restart through the
+		// tracker to keep state consistent.
+		if err := ex.tracker.Start(w.current.ID); err != nil {
+			panic(err)
+		}
+		st.queue = append(st.queue, w.current)
+		ex.retries++
+		w.current = nil
+		w.busy = false
+	}
+	w.destroy()
+	ex.rt.se.Defer(st.pump)
+}
+
+// destroy releases the worker's allocations and removes it from the pool.
+func (w *worker) destroy() {
+	if w.dead {
+		return
+	}
+	w.dead = true
+	w.ready = false
+	if w.gpuAlloc != nil {
+		w.gpuAlloc.OnPreempt = nil
+		w.gpuAlloc.Release()
+		w.gpuAlloc = nil
+	}
+	if w.cpuAlloc != nil {
+		w.cpuAlloc.OnPreempt = nil
+		w.cpuAlloc.Release()
+		w.cpuAlloc = nil
+	}
+	st := w.st
+	for i, other := range st.workers {
+		if other == w {
+			st.workers = append(st.workers[:i], st.workers[i+1:]...)
+			break
+		}
+	}
+}
+
+// shutdown force-releases everything at workflow end.
+func (st *stage) shutdown() {
+	st.shutdownFlag = true
+	for len(st.workers) > 0 {
+		st.workers[0].destroy()
+	}
+}
+
+func metaInt(node *dag.Node, key string, def int) int {
+	if node.Metadata == nil {
+		return def
+	}
+	v, ok := node.Metadata[key]
+	if !ok {
+		return def
+	}
+	var n int
+	if _, err := fmt.Sscanf(v, "%d", &n); err != nil {
+		return def
+	}
+	return n
+}
+
+func metaStr(node *dag.Node, key, def string) string {
+	if node.Metadata == nil {
+		return def
+	}
+	if v, ok := node.Metadata[key]; ok && v != "" {
+		return v
+	}
+	return def
+}

@@ -1,0 +1,298 @@
+// Package dag implements the directed-acyclic-graph workflow representation
+// the paper's planner produces (§3.1): nodes are agent tasks, edges are
+// dataflow. The runtime consumes it through frontier iteration (which tasks
+// are ready), and the cluster manager consumes it through lookahead queries
+// (which capabilities will be needed soon — the §3.2 "Workflow-Aware Cluster
+// Management" contract).
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node within one graph.
+type NodeID string
+
+// Node is one task in the workflow graph.
+type Node struct {
+	ID NodeID
+	// Capability names the abstract agent interface the task needs
+	// (e.g. "speech-to-text"), not a concrete model — fungibility (§3).
+	Capability string
+	// Label is a human-readable description (shows up in traces).
+	Label string
+	// Work quantifies the task for profiles (seconds of audio, frame count,
+	// token counts...). Interpretation is capability-specific.
+	Work float64
+	// Metadata carries planner-extracted arguments (e.g. scene index).
+	Metadata map[string]string
+}
+
+// Graph is a mutable DAG under construction; Freeze validates it. The
+// zero value is not usable; call New.
+type Graph struct {
+	nodes map[NodeID]*Node
+	// succ and pred are adjacency sets.
+	succ map[NodeID]map[NodeID]bool
+	pred map[NodeID]map[NodeID]bool
+	// order preserves insertion order for deterministic iteration.
+	order  []NodeID
+	frozen bool
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes: make(map[NodeID]*Node),
+		succ:  make(map[NodeID]map[NodeID]bool),
+		pred:  make(map[NodeID]map[NodeID]bool),
+	}
+}
+
+// AddNode inserts a node. Duplicate IDs and empty IDs are errors.
+func (g *Graph) AddNode(n Node) error {
+	if g.frozen {
+		return fmt.Errorf("dag: AddNode on frozen graph")
+	}
+	if n.ID == "" {
+		return fmt.Errorf("dag: node with empty ID")
+	}
+	if _, dup := g.nodes[n.ID]; dup {
+		return fmt.Errorf("dag: duplicate node %q", n.ID)
+	}
+	cp := n
+	g.nodes[n.ID] = &cp
+	g.succ[n.ID] = map[NodeID]bool{}
+	g.pred[n.ID] = map[NodeID]bool{}
+	g.order = append(g.order, n.ID)
+	return nil
+}
+
+// MustAddNode is AddNode for construction code where failure is a bug.
+func (g *Graph) MustAddNode(n Node) {
+	if err := g.AddNode(n); err != nil {
+		panic(err)
+	}
+}
+
+// AddEdge inserts a dataflow edge from → to. Unknown endpoints and self
+// edges are errors; cycle detection happens at Freeze.
+func (g *Graph) AddEdge(from, to NodeID) error {
+	if g.frozen {
+		return fmt.Errorf("dag: AddEdge on frozen graph")
+	}
+	if from == to {
+		return fmt.Errorf("dag: self edge on %q", from)
+	}
+	if _, ok := g.nodes[from]; !ok {
+		return fmt.Errorf("dag: edge from unknown node %q", from)
+	}
+	if _, ok := g.nodes[to]; !ok {
+		return fmt.Errorf("dag: edge to unknown node %q", to)
+	}
+	g.succ[from][to] = true
+	g.pred[to][from] = true
+	return nil
+}
+
+// MustAddEdge is AddEdge for construction code where failure is a bug.
+func (g *Graph) MustAddEdge(from, to NodeID) {
+	if err := g.AddEdge(from, to); err != nil {
+		panic(err)
+	}
+}
+
+// Freeze validates acyclicity and locks the graph. It must be called before
+// scheduling queries; mutating after Freeze errors.
+func (g *Graph) Freeze() error {
+	if _, err := g.topoOrder(); err != nil {
+		return err
+	}
+	g.frozen = true
+	return nil
+}
+
+// Frozen reports whether Freeze succeeded.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// Len returns the node count.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Node returns a node by ID.
+func (g *Graph) Node(id NodeID) (*Node, bool) {
+	n, ok := g.nodes[id]
+	return n, ok
+}
+
+// Nodes returns all nodes in insertion order.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.order))
+	for _, id := range g.order {
+		out = append(out, g.nodes[id])
+	}
+	return out
+}
+
+// Successors returns the IDs downstream of id, sorted.
+func (g *Graph) Successors(id NodeID) []NodeID { return sortedKeys(g.succ[id]) }
+
+// Predecessors returns the IDs upstream of id, sorted.
+func (g *Graph) Predecessors(id NodeID) []NodeID { return sortedKeys(g.pred[id]) }
+
+func sortedKeys(m map[NodeID]bool) []NodeID {
+	out := make([]NodeID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Roots returns nodes with no predecessors, in insertion order.
+func (g *Graph) Roots() []NodeID {
+	var out []NodeID
+	for _, id := range g.order {
+		if len(g.pred[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Leaves returns nodes with no successors, in insertion order.
+func (g *Graph) Leaves() []NodeID {
+	var out []NodeID
+	for _, id := range g.order {
+		if len(g.succ[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// topoOrder returns a topological order or an error naming a cycle member.
+func (g *Graph) topoOrder() ([]NodeID, error) {
+	indeg := make(map[NodeID]int, len(g.nodes))
+	for _, id := range g.order {
+		indeg[id] = len(g.pred[id])
+	}
+	var queue []NodeID
+	for _, id := range g.order {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	var out []NodeID
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		out = append(out, id)
+		for _, s := range g.Successors(id) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(out) != len(g.nodes) {
+		for id, d := range indeg {
+			if d > 0 {
+				return nil, fmt.Errorf("dag: cycle through node %q", id)
+			}
+		}
+	}
+	return out, nil
+}
+
+// TopoOrder returns a deterministic topological order (insertion order among
+// ready nodes). Panics on an unfrozen graph: callers must validate first.
+func (g *Graph) TopoOrder() []NodeID {
+	g.mustBeFrozen("TopoOrder")
+	out, err := g.topoOrder()
+	if err != nil {
+		panic(err) // unreachable: Freeze validated
+	}
+	return out
+}
+
+func (g *Graph) mustBeFrozen(op string) {
+	if !g.frozen {
+		panic("dag: " + op + " on unfrozen graph")
+	}
+}
+
+// CriticalPath returns the path with the greatest total Work and that total.
+// It lower-bounds workflow latency given unlimited parallelism — the
+// quantity Murakkab's execution-path expansion tries to approach.
+func (g *Graph) CriticalPath() ([]NodeID, float64) {
+	g.mustBeFrozen("CriticalPath")
+	dist := map[NodeID]float64{}
+	via := map[NodeID]NodeID{}
+	var best NodeID
+	bestDist := -1.0
+	for _, id := range g.TopoOrder() {
+		d := g.nodes[id].Work
+		for _, p := range g.Predecessors(id) {
+			if dist[p]+g.nodes[id].Work > d {
+				d = dist[p] + g.nodes[id].Work
+				via[id] = p
+			}
+		}
+		dist[id] = d
+		if d > bestDist {
+			best, bestDist = id, d
+		}
+	}
+	if bestDist < 0 {
+		return nil, 0
+	}
+	var path []NodeID
+	for at := best; ; {
+		path = append([]NodeID{at}, path...)
+		p, ok := via[at]
+		if !ok {
+			break
+		}
+		at = p
+	}
+	return path, bestDist
+}
+
+// TotalWork sums Work across all nodes.
+func (g *Graph) TotalWork() float64 {
+	total := 0.0
+	for _, n := range g.nodes {
+		total += n.Work
+	}
+	return total
+}
+
+// CapabilityWork sums Work per capability — the demand signal the cluster
+// manager uses for proactive scaling.
+func (g *Graph) CapabilityWork() map[string]float64 {
+	out := map[string]float64{}
+	for _, n := range g.nodes {
+		out[n.Capability] += n.Work
+	}
+	return out
+}
+
+// String renders a compact description for logs and golden tests.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, id := range g.order {
+		n := g.nodes[id]
+		fmt.Fprintf(&b, "%s[%s]", id, n.Capability)
+		if succ := g.Successors(id); len(succ) > 0 {
+			parts := make([]string, len(succ))
+			for i, s := range succ {
+				parts[i] = string(s)
+			}
+			fmt.Fprintf(&b, " -> %s", strings.Join(parts, ","))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

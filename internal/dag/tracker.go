@@ -1,0 +1,168 @@
+package dag
+
+import "fmt"
+
+// Tracker drives execution over a frozen graph: it hands out ready nodes
+// (the frontier) as their predecessors complete, and answers the cluster
+// manager's lookahead queries about remaining capability demand.
+//
+// State machine per node: pending → ready → running → done. Failed nodes may
+// be retried (returned to ready) — the runtime's failure-injection tests
+// exercise this path.
+type Tracker struct {
+	g       *Graph
+	state   map[NodeID]nodeState
+	waiting map[NodeID]int // unfinished predecessor count
+	done    int
+}
+
+type nodeState int
+
+const (
+	statePending nodeState = iota
+	stateReady
+	stateRunning
+	stateDone
+)
+
+// NewTracker creates a tracker over a frozen graph.
+func NewTracker(g *Graph) *Tracker {
+	g.mustBeFrozen("NewTracker")
+	t := &Tracker{
+		g:       g,
+		state:   make(map[NodeID]nodeState, g.Len()),
+		waiting: make(map[NodeID]int, g.Len()),
+	}
+	for _, n := range g.Nodes() {
+		preds := g.Predecessors(n.ID)
+		t.waiting[n.ID] = len(preds)
+		if len(preds) == 0 {
+			t.state[n.ID] = stateReady
+		} else {
+			t.state[n.ID] = statePending
+		}
+	}
+	return t
+}
+
+// Graph returns the underlying graph.
+func (t *Tracker) Graph() *Graph { return t.g }
+
+// Ready returns IDs currently ready to run, in graph insertion order.
+func (t *Tracker) Ready() []NodeID {
+	var out []NodeID
+	for _, n := range t.g.Nodes() {
+		if t.state[n.ID] == stateReady {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Start transitions a ready node to running.
+func (t *Tracker) Start(id NodeID) error {
+	if t.state[id] != stateReady {
+		return fmt.Errorf("dag: Start(%q) in state %v", id, t.state[id])
+	}
+	t.state[id] = stateRunning
+	return nil
+}
+
+// Complete transitions a running node to done and returns any newly-ready
+// successors (in deterministic order).
+func (t *Tracker) Complete(id NodeID) ([]NodeID, error) {
+	if t.state[id] != stateRunning {
+		return nil, fmt.Errorf("dag: Complete(%q) in state %v", id, t.state[id])
+	}
+	t.state[id] = stateDone
+	t.done++
+	var newlyReady []NodeID
+	for _, s := range t.g.Successors(id) {
+		t.waiting[s]--
+		if t.waiting[s] < 0 {
+			panic("dag: predecessor count below zero")
+		}
+		if t.waiting[s] == 0 && t.state[s] == statePending {
+			t.state[s] = stateReady
+			newlyReady = append(newlyReady, s)
+		}
+	}
+	return newlyReady, nil
+}
+
+// Fail returns a running node to ready so it can be retried (e.g. after a
+// spot preemption killed its resources).
+func (t *Tracker) Fail(id NodeID) error {
+	if t.state[id] != stateRunning {
+		return fmt.Errorf("dag: Fail(%q) in state %v", id, t.state[id])
+	}
+	t.state[id] = stateReady
+	return nil
+}
+
+// Done reports whether every node completed.
+func (t *Tracker) Done() bool { return t.done == t.g.Len() }
+
+// CompletedCount returns the number of completed nodes.
+func (t *Tracker) CompletedCount() int { return t.done }
+
+// Running returns IDs currently running, in graph insertion order.
+func (t *Tracker) Running() []NodeID {
+	var out []NodeID
+	for _, n := range t.g.Nodes() {
+		if t.state[n.ID] == stateRunning {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// RemainingCapabilityWork sums Work per capability over nodes that are not
+// yet done. This is the §3.2 lookahead signal: "if no workflows are expected
+// to require a Speech-To-Text agent soon, [the Cluster Manager] can
+// reallocate GPU resources from Whisper to Llama".
+func (t *Tracker) RemainingCapabilityWork() map[string]float64 {
+	out := map[string]float64{}
+	for _, n := range t.g.Nodes() {
+		if t.state[n.ID] != stateDone {
+			out[n.Capability] += n.Work
+		}
+	}
+	return out
+}
+
+// UpcomingCapabilities returns capabilities of pending+ready nodes whose
+// remaining depth from the frontier is at most horizon hops. horizon 0 means
+// only ready nodes.
+func (t *Tracker) UpcomingCapabilities(horizon int) map[string]bool {
+	depth := map[NodeID]int{}
+	// BFS from ready/running nodes through pending successors.
+	var queue []NodeID
+	for _, n := range t.g.Nodes() {
+		switch t.state[n.ID] {
+		case stateReady, stateRunning:
+			depth[n.ID] = 0
+			queue = append(queue, n.ID)
+		}
+	}
+	out := map[string]bool{}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		d := depth[id]
+		if t.state[id] != stateDone && d <= horizon {
+			node, _ := t.g.Node(id)
+			out[node.Capability] = true
+		}
+		if d == horizon {
+			continue
+		}
+		for _, s := range t.g.Successors(id) {
+			if _, seen := depth[s]; !seen {
+				depth[s] = d + 1
+				queue = append(queue, s)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/agents"
+	"repro/internal/planner"
+	"repro/internal/quality"
+	"repro/internal/workflow"
+)
+
+// QualityRow is one checkpoint-budget level in the quality experiment.
+type QualityRow struct {
+	Checkpoints    int
+	Capabilities   []string
+	Correctness    float64
+	MeanRetries    float64
+	ValidatorCostS float64
+}
+
+// QualityResult explores the §5 "Quantifying and Controlling Quality"
+// trade-off on the Video Understanding DAG: end-to-end correctness under
+// cascading stage errors as correctness checkpoints are added greedily to
+// the highest-impact stages.
+type QualityResult struct {
+	// BaselineCorrectness is the analytic no-checkpoint correctness.
+	BaselineCorrectness float64
+	// Impact ranks stages by their leverage on end-to-end correctness.
+	Impact []quality.StageImpact
+	Rows   []QualityRow
+}
+
+// QualityExperiment runs the sweep for checkpoint budgets 0..maxCheckpoints.
+func QualityExperiment(maxCheckpoints int) (*QualityResult, error) {
+	lib := agents.DefaultLibrary()
+	res, err := planner.New(lib).Decompose(PaperVideoJob(workflow.MinCost))
+	if err != nil {
+		return nil, err
+	}
+	g := res.Graph
+
+	// Stage qualities from the §4 component choices (whisper/CLIP/NVLM).
+	sq := quality.StageQuality{}
+	for cap, impls := range map[string]string{
+		string(agents.CapFrameExtraction): agents.ImplOpenCV,
+		string(agents.CapSpeechToText):    agents.ImplWhisper,
+		string(agents.CapObjectDetection): agents.ImplCLIP,
+		string(agents.CapSummarization):   agents.ImplNVLM,
+		string(agents.CapEmbedding):       agents.ImplNVLMEmbed,
+	} {
+		im, ok := lib.Get(impls)
+		if !ok {
+			return nil, fmt.Errorf("quality experiment: missing %s", impls)
+		}
+		sq[cap] = im.Quality
+	}
+
+	out := &QualityResult{
+		BaselineCorrectness: quality.ChainCorrectness(g, sq),
+		Impact:              quality.RankStageImpact(g, sq),
+	}
+	const (
+		detectionRate = 0.92
+		validatorCost = 0.25 // a small-LLM judge call per task
+		trials        = 4000
+		maxRetries    = 3
+	)
+	for k := 0; k <= maxCheckpoints; k++ {
+		p := quality.GreedyPolicy(g, sq, k, detectionRate, validatorCost)
+		o, err := quality.Simulate(g, sq, p, trials, maxRetries, 17)
+		if err != nil {
+			return nil, err
+		}
+		row := QualityRow{
+			Checkpoints:    len(p.Checkpoints),
+			Correctness:    o.Correctness,
+			MeanRetries:    o.MeanRetries,
+			ValidatorCostS: o.CheckpointCostS,
+		}
+		for _, c := range p.Checkpoints {
+			row.Capabilities = append(row.Capabilities, c.Capability)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// String renders the trade-off table.
+func (r *QualityResult) String() string {
+	var b strings.Builder
+	b.WriteString("Quality control (§5): checkpoints vs end-to-end correctness\n")
+	fmt.Fprintf(&b, "Analytic no-checkpoint correctness: %.3f\n", r.BaselineCorrectness)
+	b.WriteString("Highest-impact stages: ")
+	for i, s := range r.Impact {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s (+%.3f)", s.Capability, s.Delta)
+	}
+	b.WriteString("\n\n")
+	fmt.Fprintf(&b, "%-12s %-14s %-12s %-14s %s\n",
+		"checkpoints", "correctness", "retries", "validator(s)", "placed on")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12d %-14.3f %-12.2f %-14.1f %s\n",
+			row.Checkpoints, row.Correctness, row.MeanRetries, row.ValidatorCostS,
+			strings.Join(row.Capabilities, ","))
+	}
+	return b.String()
+}

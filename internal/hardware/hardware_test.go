@@ -1,0 +1,187 @@
+package hardware
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultCatalogContainsTestbed(t *testing.T) {
+	c := DefaultCatalog()
+	vm, ok := c.VM(NDv4SKUName)
+	if !ok {
+		t.Fatalf("catalog missing paper testbed SKU %q", NDv4SKUName)
+	}
+	if vm.CPUCores != 96 {
+		t.Errorf("ND96amsr cores = %d, want 96", vm.CPUCores)
+	}
+	if vm.GPUCount != 8 || vm.GPU != GPUA100 {
+		t.Errorf("ND96amsr GPUs = %d×%s, want 8×A100-80GB", vm.GPUCount, vm.GPU)
+	}
+	if vm.CPU != EPYC7V12 {
+		t.Errorf("ND96amsr CPU = %s, want EPYC 7V12", vm.CPU)
+	}
+}
+
+func TestGPUGenerationOrdering(t *testing.T) {
+	c := DefaultCatalog()
+	v100 := c.MustGPU(GPUV100)
+	a100 := c.MustGPU(GPUA100)
+	h100 := c.MustGPU(GPUH100)
+	// Table 1 "GPU Generation / Newer": higher cost, higher power,
+	// lower-or-equal latency (i.e. more FLOPS).
+	if !(v100.FP16TFLOPS < a100.FP16TFLOPS && a100.FP16TFLOPS < h100.FP16TFLOPS) {
+		t.Error("FLOPS not increasing across generations")
+	}
+	if !(v100.HourlyUSD < a100.HourlyUSD && a100.HourlyUSD < h100.HourlyUSD) {
+		t.Error("price not increasing across generations")
+	}
+	if !(v100.PeakWatts < a100.PeakWatts && a100.PeakWatts < h100.PeakWatts) {
+		t.Error("peak power not increasing across generations")
+	}
+}
+
+func TestSpeedupVs(t *testing.T) {
+	c := DefaultCatalog()
+	s := c.SpeedupVs(GPUH100, GPUA100)
+	if s <= 1 {
+		t.Fatalf("H100 speedup over A100 = %v, want > 1", s)
+	}
+	inv := c.SpeedupVs(GPUA100, GPUH100)
+	if got := s * inv; got < 0.999 || got > 1.001 {
+		t.Fatalf("speedup not reciprocal: %v * %v = %v", s, inv, got)
+	}
+	if c.SpeedupVs(GPUA100, GPUA100) != 1 {
+		t.Fatal("self speedup != 1")
+	}
+}
+
+func TestGPUPowerEndpointsAndClamp(t *testing.T) {
+	c := DefaultCatalog()
+	a100 := c.MustGPU(GPUA100)
+	if got := GPUPower(a100, 0); got != a100.IdleWatts {
+		t.Errorf("power at util 0 = %v, want idle %v", got, a100.IdleWatts)
+	}
+	if got := GPUPower(a100, 1); got != a100.PeakWatts {
+		t.Errorf("power at util 1 = %v, want peak %v", got, a100.PeakWatts)
+	}
+	if got := GPUPower(a100, -3); got != a100.IdleWatts {
+		t.Errorf("power at util -3 = %v, want clamped to idle", got)
+	}
+	if got := GPUPower(a100, 9); got != a100.PeakWatts {
+		t.Errorf("power at util 9 = %v, want clamped to peak", got)
+	}
+}
+
+func TestCPUPowerScalesWithCores(t *testing.T) {
+	c := DefaultCatalog()
+	epyc := c.MustCPU(EPYC7V12)
+	one := CPUPower(epyc, 1, 0.5)
+	many := CPUPower(epyc, 64, 0.5)
+	if got := many / one; got < 63.9 || got > 64.1 {
+		t.Fatalf("64-core power / 1-core power = %v, want 64", got)
+	}
+}
+
+// Property: power is monotone in utilization and bounded by [idle, peak].
+func TestPropertyGPUPowerMonotoneBounded(t *testing.T) {
+	spec := DefaultCatalog().MustGPU(GPUA100)
+	f := func(a, b float64) bool {
+		// Map arbitrary floats into [0,1] deterministically.
+		u1, u2 := clamp01(a), clamp01(b)
+		if u1 > u2 {
+			u1, u2 = u2, u1
+		}
+		p1, p2 := GPUPower(spec, u1), GPUPower(spec, u2)
+		return p1 <= p2 && p1 >= spec.IdleWatts && p2 <= spec.PeakWatts
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x != x || x < 0 { // NaN or negative
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func TestPaperPowerRatioClaim(t *testing.T) {
+	// §4: GPU complex "rated 16× higher than the CPU power". 8×A100 at 400W
+	// = 3200W vs one EPYC package ~ 64 cores * 5.8W/core * ~(16/3200)... the
+	// claim holds within 2x in our model: 3200 / (64*3.125) = 16.
+	c := DefaultCatalog()
+	gpuComplex := 8 * c.MustGPU(GPUA100).PeakWatts
+	cpuPackage := CPUPower(c.MustCPU(EPYC7V12), 64, 1)
+	ratio := gpuComplex / cpuPackage
+	if ratio < 8 || ratio > 32 {
+		t.Fatalf("GPU:CPU rated power ratio = %.1f, paper claims ~16 (allow 8-32)", ratio)
+	}
+}
+
+func TestDuplicateGPUPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate GPU spec did not panic")
+		}
+	}()
+	g := GPUSpec{Type: GPUA100, MemoryGB: 1, FP16TFLOPS: 1, PeakWatts: 1, HourlyUSD: 0}
+	NewCatalog([]GPUSpec{g, g}, nil, nil)
+}
+
+func TestVMReferencingUnknownGPUPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("VM referencing unknown GPU did not panic")
+		}
+	}()
+	cpu := CPUSpec{Type: EPYC7V12, PerCoreGFLOPS: 1, PeakWattsPerCore: 1}
+	NewCatalog(nil, []CPUSpec{cpu}, []VMSKU{{
+		Name: "bad", CPU: EPYC7V12, CPUCores: 4, GPU: "nope", GPUCount: 1,
+	}})
+}
+
+func TestInvalidSpotDiscountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("spot discount of 1.0 did not panic")
+		}
+	}()
+	cpu := CPUSpec{Type: EPYC7V12, PerCoreGFLOPS: 1, PeakWattsPerCore: 1}
+	NewCatalog(nil, []CPUSpec{cpu}, []VMSKU{{
+		Name: "bad", CPU: EPYC7V12, CPUCores: 4, SpotDiscount: 1.0,
+	}})
+}
+
+func TestGPUTypesSorted(t *testing.T) {
+	ts := DefaultCatalog().GPUTypes()
+	if len(ts) != 3 {
+		t.Fatalf("GPUTypes len = %d, want 3", len(ts))
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i-1] >= ts[i] {
+			t.Fatalf("GPUTypes not sorted: %v", ts)
+		}
+	}
+}
+
+func TestMustLookupsPanicOnUnknown(t *testing.T) {
+	c := DefaultCatalog()
+	for name, fn := range map[string]func(){
+		"gpu": func() { c.MustGPU("bogus") },
+		"cpu": func() { c.MustCPU("bogus") },
+		"vm":  func() { c.MustVM("bogus") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Must%s lookup of unknown id did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,395 @@
+// Package llmsim simulates an LLM serving engine — the substrate behind the
+// paper's NVLM deployment (8 GPUs for text completion, 2 for embeddings).
+// It models the serving behaviours the runtime's decisions depend on:
+//
+//   - continuous batching: concurrent sequences share aggregate throughput,
+//     so utilization (and energy) rises with load while per-request latency
+//     degrades gracefully;
+//   - KV-cache admission control: a request is admitted only when device
+//     memory can hold its context; otherwise it queues;
+//   - resizable GPU allocations: the workflow-aware cluster manager can
+//     grow or shrink an engine, which scales both throughput and KV space —
+//     the cross-component GPU/KV co-scheduling lever.
+//
+// The token-level model: each request carries work = prompt·prefillWeight +
+// output tokens. Active sequences process work under processor sharing with
+// a per-sequence cap (single-stream decode is memory-bandwidth bound; the
+// aggregate is compute bound), re-planned event-by-event.
+package llmsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/hardware"
+	"repro/internal/sim"
+)
+
+// ModelSpec describes the served model's performance envelope on the
+// reference GPU.
+type ModelSpec struct {
+	Name string
+	// ParamsB is model size in billions of parameters.
+	ParamsB float64
+	// AggTokensPerGPUSec is aggregate token throughput per GPU at full batch.
+	AggTokensPerGPUSec float64
+	// SeqTokensPerSec caps single-sequence decode speed.
+	SeqTokensPerSec float64
+	// PrefillWeight converts prompt tokens to work units (prefill is much
+	// cheaper per token than decode; typically 0.05–0.2).
+	PrefillWeight float64
+	// KVTokensPerGPU is KV-cache capacity contributed by each GPU.
+	KVTokensPerGPU int
+	// MaxBatch caps concurrent sequences regardless of KV headroom.
+	MaxBatch int
+	// RefGPU anchors the rates; other generations scale by FLOPS ratio.
+	RefGPU hardware.GPUType
+	// Intensity is device utilization when the engine is saturated.
+	Intensity float64
+	// ActivePowerFloor is the fraction of Intensity drawn whenever at least
+	// one sequence is decoding, regardless of batch size. Batch-1 decode is
+	// memory-bandwidth bound but still keeps the SMs busy: a mostly-empty
+	// engine burns most of its TDP — which is where the paper's baseline
+	// loses its energy (Table 2). Zero models a perfectly proportional
+	// device.
+	ActivePowerFloor float64
+}
+
+// Validate checks the spec.
+func (m ModelSpec) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("llmsim: model without name")
+	}
+	if m.AggTokensPerGPUSec <= 0 || m.SeqTokensPerSec <= 0 {
+		return fmt.Errorf("llmsim: %s has non-positive throughput", m.Name)
+	}
+	if m.PrefillWeight <= 0 || m.KVTokensPerGPU <= 0 || m.MaxBatch <= 0 {
+		return fmt.Errorf("llmsim: %s has non-positive capacity parameters", m.Name)
+	}
+	if m.Intensity <= 0 || m.Intensity > 1 {
+		return fmt.Errorf("llmsim: %s intensity %v outside (0,1]", m.Name, m.Intensity)
+	}
+	if m.ActivePowerFloor < 0 || m.ActivePowerFloor > 1 {
+		return fmt.Errorf("llmsim: %s active power floor %v outside [0,1]", m.Name, m.ActivePowerFloor)
+	}
+	return nil
+}
+
+// Request is one inference call.
+type Request struct {
+	ID           string
+	PromptTokens int
+	OutputTokens int
+	// OnComplete fires when the last token is generated.
+	OnComplete func(*Request)
+
+	// Metrics populated by the engine.
+	EnqueuedAt  sim.Time
+	AdmittedAt  sim.Time
+	CompletedAt sim.Time
+
+	work      float64 // remaining work units
+	totalWork float64
+	kvTokens  int // reserved KV space
+	admitted  bool
+	done      bool
+}
+
+// QueueDelay returns time spent waiting for admission.
+func (r *Request) QueueDelay() sim.Duration { return r.AdmittedAt.Sub(r.EnqueuedAt) }
+
+// Latency returns end-to-end latency.
+func (r *Request) Latency() sim.Duration { return r.CompletedAt.Sub(r.EnqueuedAt) }
+
+// Engine is one serving deployment bound to a GPU allocation.
+type Engine struct {
+	model  ModelSpec
+	engine *sim.Engine
+	cat    *hardware.Catalog
+
+	alloc *cluster.GPUAlloc
+	gpus  int
+	// speedup is the FLOPS ratio of the allocated GPU type vs RefGPU.
+	speedup float64
+
+	queue  []*Request
+	active []*Request
+	kvUsed int
+
+	// replan event for the next completion under current rates.
+	nextDone   *sim.Event
+	lastUpdate sim.Time
+
+	// Stats.
+	completed      int
+	tokensServed   float64
+	busyIntegral   float64 // ∫ utilization dt, for mean-utilization stats
+	drainCallbacks []func()
+}
+
+// NewEngine creates an engine serving model on the given allocation. The
+// allocation must be non-empty and homogeneous (cluster guarantees type
+// homogeneity per alloc).
+func NewEngine(se *sim.Engine, cat *hardware.Catalog, model ModelSpec, alloc *cluster.GPUAlloc) (*Engine, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if alloc == nil || alloc.Count() == 0 {
+		return nil, fmt.Errorf("llmsim: engine %s needs at least one GPU", model.Name)
+	}
+	e := &Engine{
+		model:  model,
+		engine: se,
+		cat:    cat,
+	}
+	e.adoptAlloc(alloc)
+	return e, nil
+}
+
+func (e *Engine) adoptAlloc(alloc *cluster.GPUAlloc) {
+	e.alloc = alloc
+	e.gpus = alloc.Count()
+	gt := alloc.GPUs()[0].Spec.Type
+	e.speedup = e.cat.SpeedupVs(gt, e.model.RefGPU)
+	e.lastUpdate = e.engine.Now()
+}
+
+// Model returns the served model spec.
+func (e *Engine) Model() ModelSpec { return e.model }
+
+// GPUs returns the current GPU count.
+func (e *Engine) GPUs() int { return e.gpus }
+
+// KVCapacity returns total KV-cache token capacity.
+func (e *Engine) KVCapacity() int { return e.gpus * e.model.KVTokensPerGPU }
+
+// KVUsed returns reserved KV tokens.
+func (e *Engine) KVUsed() int { return e.kvUsed }
+
+// QueueDepth returns requests waiting for admission.
+func (e *Engine) QueueDepth() int { return len(e.queue) }
+
+// ActiveCount returns requests currently being served.
+func (e *Engine) ActiveCount() int { return len(e.active) }
+
+// Completed returns the number of finished requests.
+func (e *Engine) Completed() int { return e.completed }
+
+// TokensServed returns total work units processed.
+func (e *Engine) TokensServed() float64 { return e.tokensServed }
+
+// aggregateRate returns total work-units/s the engine can process now.
+func (e *Engine) aggregateRate() float64 {
+	return float64(e.gpus) * e.model.AggTokensPerGPUSec * e.speedup
+}
+
+// perSeqCap returns the single-sequence rate cap.
+func (e *Engine) perSeqCap() float64 {
+	return e.model.SeqTokensPerSec * e.speedup
+}
+
+// currentRates returns the per-sequence processing rate under processor
+// sharing with a per-sequence cap, and the implied utilization.
+func (e *Engine) currentRates() (perSeq float64, util float64) {
+	n := len(e.active)
+	if n == 0 {
+		return 0, 0
+	}
+	agg := e.aggregateRate()
+	perSeq = math.Min(e.perSeqCap(), agg/float64(n))
+	util = perSeq * float64(n) / agg
+	return perSeq, util
+}
+
+// Submit enqueues a request. Requests with no tokens at all complete
+// immediately (deferred, to keep callback ordering sane).
+func (e *Engine) Submit(r *Request) {
+	if r == nil {
+		panic("llmsim: nil request")
+	}
+	if r.PromptTokens < 0 || r.OutputTokens < 0 {
+		panic(fmt.Sprintf("llmsim: request %s with negative tokens", r.ID))
+	}
+	r.EnqueuedAt = e.engine.Now()
+	r.totalWork = float64(r.PromptTokens)*e.model.PrefillWeight + float64(r.OutputTokens)
+	r.work = r.totalWork
+	r.kvTokens = r.PromptTokens + r.OutputTokens
+	if r.totalWork == 0 {
+		r.AdmittedAt = r.EnqueuedAt
+		e.engine.Defer(func() { e.complete(r) })
+		return
+	}
+	e.queue = append(e.queue, r)
+	e.advance()
+	e.admit()
+	e.replan()
+}
+
+// admit moves queued requests into the active set while KV space and batch
+// slots allow, FIFO. KV is reserved for prompt+output up front: a request
+// that could exhaust memory mid-generation is never admitted (vLLM-style
+// conservative admission).
+func (e *Engine) admit() {
+	for len(e.queue) > 0 {
+		r := e.queue[0]
+		if len(e.active) >= e.model.MaxBatch {
+			return
+		}
+		if r.kvTokens > e.KVCapacity() {
+			// Impossible request: fail loudly rather than deadlock the queue.
+			panic(fmt.Sprintf("llmsim: request %s needs %d KV tokens, engine capacity %d",
+				r.ID, r.kvTokens, e.KVCapacity()))
+		}
+		if e.kvUsed+r.kvTokens > e.KVCapacity() {
+			return
+		}
+		e.queue = e.queue[1:]
+		e.kvUsed += r.kvTokens
+		r.admitted = true
+		r.AdmittedAt = e.engine.Now()
+		e.active = append(e.active, r)
+	}
+}
+
+// advance applies progress accrued since lastUpdate under the previous rate
+// plan, and updates utilization-driven device intensity.
+func (e *Engine) advance() {
+	now := e.engine.Now()
+	dt := now.Sub(e.lastUpdate).Seconds()
+	if dt > 0 && len(e.active) > 0 {
+		perSeq, util := e.currentRates()
+		for _, r := range e.active {
+			r.work -= perSeq * dt
+			if r.work < -1e-6 {
+				r.work = 0
+			}
+			e.tokensServed += perSeq * dt
+		}
+		e.busyIntegral += util * dt
+	}
+	e.lastUpdate = now
+}
+
+// replan schedules the next completion event under current rates and sets
+// device intensity accordingly.
+func (e *Engine) replan() {
+	if e.nextDone != nil {
+		e.nextDone.Cancel()
+		e.nextDone = nil
+	}
+	perSeq, util := e.currentRates()
+	if !e.alloc.Released() {
+		power := 0.0
+		if len(e.active) > 0 {
+			floor := e.model.ActivePowerFloor
+			power = e.model.Intensity * (floor + (1-floor)*util)
+		}
+		e.alloc.SetIntensity(power)
+	}
+	if len(e.active) == 0 {
+		e.notifyDrained()
+		return
+	}
+	// Earliest finisher under the shared rate.
+	soonest := math.Inf(1)
+	for _, r := range e.active {
+		t := r.work / perSeq
+		if t < soonest {
+			soonest = t
+		}
+	}
+	if soonest < 0 {
+		soonest = 0
+	}
+	e.nextDone = e.engine.After(sim.Duration(soonest), e.onCompletionEvent)
+}
+
+func (e *Engine) onCompletionEvent() {
+	e.nextDone = nil
+	e.advance()
+	// Complete every request whose work hit zero (ties complete together).
+	var still []*Request
+	var finished []*Request
+	for _, r := range e.active {
+		if r.work <= 1e-9 {
+			finished = append(finished, r)
+		} else {
+			still = append(still, r)
+		}
+	}
+	e.active = still
+	for _, r := range finished {
+		e.kvUsed -= r.kvTokens
+		if e.kvUsed < 0 {
+			panic("llmsim: KV accounting below zero")
+		}
+		e.complete(r)
+	}
+	e.admit()
+	e.replan()
+}
+
+func (e *Engine) complete(r *Request) {
+	if r.done {
+		panic(fmt.Sprintf("llmsim: request %s completed twice", r.ID))
+	}
+	r.done = true
+	r.CompletedAt = e.engine.Now()
+	e.completed++
+	if r.OnComplete != nil {
+		r.OnComplete(r)
+	}
+}
+
+// Resize rebinds the engine to a new allocation (grow or shrink). In-flight
+// work continues; rates and KV capacity change from now on. If KV usage
+// exceeds the shrunk capacity, admission stalls until enough requests
+// finish — exactly the co-scheduling pressure the cluster manager reasons
+// about. The old allocation is released by the caller (clustermgr owns it).
+func (e *Engine) Resize(alloc *cluster.GPUAlloc) error {
+	if alloc == nil || alloc.Count() == 0 {
+		return fmt.Errorf("llmsim: resize of %s to empty allocation", e.model.Name)
+	}
+	e.advance()
+	e.adoptAlloc(alloc)
+	e.admit()
+	e.replan()
+	return nil
+}
+
+// OnDrained registers a one-shot callback for the next time the engine has
+// no active or queued requests.
+func (e *Engine) OnDrained(fn func()) {
+	if len(e.active) == 0 && len(e.queue) == 0 {
+		e.engine.Defer(fn)
+		return
+	}
+	e.drainCallbacks = append(e.drainCallbacks, fn)
+}
+
+func (e *Engine) notifyDrained() {
+	if len(e.queue) > 0 || len(e.active) > 0 {
+		return
+	}
+	cbs := e.drainCallbacks
+	e.drainCallbacks = nil
+	for _, fn := range cbs {
+		fn()
+	}
+}
+
+// Utilization returns the engine's instantaneous throughput utilization.
+func (e *Engine) Utilization() float64 {
+	_, util := e.currentRates()
+	return util
+}
+
+// MeanUtilization returns time-averaged engine utilization since t0 (engine
+// creation if t0 is zero).
+func (e *Engine) MeanUtilization(span sim.Duration) float64 {
+	if span <= 0 {
+		return 0
+	}
+	return e.busyIntegral / span.Seconds()
+}

@@ -1,0 +1,59 @@
+package llmsim
+
+import "repro/internal/hardware"
+
+// Default model specs for the paper's deployments. Rates are calibrated so
+// that (a) a single summarization stream keeps an 8-GPU engine ~11%
+// utilized — the baseline's underutilization — while (b) sixteen concurrent
+// streams saturate it, which is where Murakkab's intra-workflow parallelism
+// gets its speedup.
+
+// NVLMText is the NVLM-D-72B text-completion deployment (8×A100 in §4).
+func NVLMText() ModelSpec {
+	return ModelSpec{
+		Name:               "nvlm-d-72b",
+		ParamsB:            72,
+		AggTokensPerGPUSec: 80,
+		SeqTokensPerSec:    82,
+		PrefillWeight:      0.10,
+		KVTokensPerGPU:     25000,
+		MaxBatch:           64,
+		RefGPU:             hardware.GPUA100,
+		Intensity:          0.95,
+		ActivePowerFloor:   0.45,
+	}
+}
+
+// NVLMEmbed is the NVLM embeddings deployment (2×A100 in §4). Embedding
+// requests are all-prefill (PrefillWeight 1, OutputTokens 0).
+func NVLMEmbed() ModelSpec {
+	return ModelSpec{
+		Name:               "nvlm-embed",
+		ParamsB:            7,
+		AggTokensPerGPUSec: 900,
+		SeqTokensPerSec:    800,
+		PrefillWeight:      1.0,
+		KVTokensPerGPU:     120000,
+		MaxBatch:           128,
+		RefGPU:             hardware.GPUA100,
+		Intensity:          0.55,
+		ActivePowerFloor:   0.30,
+	}
+}
+
+// Llama8B is a small text model servable on one GPU, used by ablations and
+// the newsfeed workload.
+func Llama8B() ModelSpec {
+	return ModelSpec{
+		Name:               "llama-3.1-8b",
+		ParamsB:            8,
+		AggTokensPerGPUSec: 700,
+		SeqTokensPerSec:    250,
+		PrefillWeight:      0.08,
+		KVTokensPerGPU:     90000,
+		MaxBatch:           128,
+		RefGPU:             hardware.GPUA100,
+		Intensity:          0.85,
+		ActivePowerFloor:   0.50,
+	}
+}

@@ -1,0 +1,154 @@
+package llmsim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hardware"
+	"repro/internal/sim"
+)
+
+// TestPropertyKVConservation drives an engine with randomized request
+// streams, resizes and interleavings, and checks the invariants that make
+// the simulation trustworthy:
+//
+//   - KV usage never exceeds capacity at admission time and returns to zero
+//     once everything drains;
+//   - every submitted request completes exactly once;
+//   - completions never run before their admission;
+//   - tokens served equals the total submitted work (within float noise).
+func TestPropertyKVConservation(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		se := sim.NewEngine()
+		cat := hardware.DefaultCatalog()
+		cl := cluster.New(se, cat)
+		cl.AddVM("vm0", hardware.NDv4SKUName, false)
+
+		spec := simpleSpec()
+		spec.KVTokensPerGPU = 500 + rng.Intn(1500)
+		spec.MaxBatch = 1 + rng.Intn(8)
+		startGPUs := 1 + rng.Intn(4)
+		alloc, err := cl.AllocGPUs(startGPUs, hardware.GPUA100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewEngine(se, cat, spec, alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		n := 5 + rng.Intn(25)
+		completed := map[string]int{}
+		totalWork := 0.0
+		capacityFloor := spec.KVTokensPerGPU // capacity at 1 GPU (resize floor)
+		for i := 0; i < n; i++ {
+			id := fmt.Sprintf("t%d-r%d", trial, i)
+			prompt := rng.Intn(capacityFloor / 2)
+			output := rng.Intn(capacityFloor / 4)
+			totalWork += float64(prompt)*spec.PrefillWeight + float64(output)
+			req := &Request{ID: id, PromptTokens: prompt, OutputTokens: output}
+			req.OnComplete = func(r *Request) {
+				completed[r.ID]++
+				if r.CompletedAt < r.AdmittedAt {
+					t.Fatalf("trial %d: %s completed before admission", trial, r.ID)
+				}
+			}
+			at := sim.Time(rng.Float64() * 20)
+			se.Schedule(at, func() {
+				// A shrink may leave usage above the new capacity (admission
+				// stalls until it drains); the invariant is that *admission*
+				// never grows usage beyond capacity.
+				before := eng.KVUsed()
+				eng.Submit(req)
+				after := eng.KVUsed()
+				if after > eng.KVCapacity() && after > before {
+					t.Fatalf("trial %d: admission pushed KV %d→%d over capacity %d",
+						trial, before, after, eng.KVCapacity())
+				}
+			})
+		}
+		// Random resizes between 1 and 4 GPUs.
+		for i := 0; i < 3; i++ {
+			at := sim.Time(rng.Float64() * 30)
+			gpus := 1 + rng.Intn(4)
+			se.Schedule(at, func() {
+				if cl.FreeGPUs(hardware.GPUA100)+eng.GPUs() < gpus {
+					return
+				}
+				old := engineAllocSwapSafe(t, cl, eng, gpus)
+				if old != nil {
+					old.Release()
+				}
+			})
+		}
+		se.SetEventLimit(1_000_000)
+		se.Run()
+
+		if eng.Completed() != n {
+			t.Fatalf("trial %d: completed %d of %d", trial, eng.Completed(), n)
+		}
+		for id, c := range completed {
+			if c != 1 {
+				t.Fatalf("trial %d: request %s completed %d times", trial, id, c)
+			}
+		}
+		if eng.KVUsed() != 0 {
+			t.Fatalf("trial %d: KV not drained: %d", trial, eng.KVUsed())
+		}
+		if eng.ActiveCount() != 0 || eng.QueueDepth() != 0 {
+			t.Fatalf("trial %d: engine not idle", trial)
+		}
+		served := eng.TokensServed()
+		if served < totalWork-1e-3 {
+			t.Fatalf("trial %d: served %.3f < submitted %.3f", trial, served, totalWork)
+		}
+	}
+}
+
+func engineAllocSwapSafe(t *testing.T, cl *cluster.Cluster, e *Engine, gpus int) *cluster.GPUAlloc {
+	t.Helper()
+	old := e.alloc
+	// Release first so the new allocation can reuse the devices; the
+	// simulation is single-threaded, so nothing intervenes.
+	old.Release()
+	alloc, err := cl.AllocGPUs(gpus, hardware.GPUA100)
+	if err != nil {
+		// Restore.
+		alloc, err = cl.AllocGPUs(old.Count(), hardware.GPUA100)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Resize(alloc); err != nil {
+		t.Fatal(err)
+	}
+	return nil
+}
+
+// TestPropertyLatencyMonotoneInLoad: adding a competing request never makes
+// an existing request finish earlier.
+func TestPropertyLatencyMonotoneInLoad(t *testing.T) {
+	base := func(competitors int) float64 {
+		se, _, eng := newTestEngine(t, 1, simpleSpec())
+		var done float64
+		eng.Submit(&Request{ID: "probe", OutputTokens: 100,
+			OnComplete: func(r *Request) { done = r.Latency().Seconds() }})
+		for i := 0; i < competitors; i++ {
+			eng.Submit(&Request{ID: fmt.Sprintf("c%d", i), OutputTokens: 100})
+		}
+		se.Run()
+		return done
+	}
+	prev := base(0)
+	for c := 1; c <= 6; c++ {
+		cur := base(c)
+		if cur < prev-1e-9 {
+			t.Fatalf("probe latency decreased with load: %d competitors %.3f < %d competitors %.3f",
+				c, cur, c-1, prev)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,118 @@
+package optimizer
+
+import (
+	"testing"
+
+	"repro/internal/agents"
+	"repro/internal/workflow"
+)
+
+// TestPropertyDecisionsAlwaysFeasible: across all constraints and quality
+// floors, every decision's per-worker config times its parallelism fits the
+// cluster, the implementation provides the right capability, and constraint
+// optima are consistent (MIN_X plans never beat themselves on X when
+// re-scored).
+func TestPropertyDecisionsAlwaysFeasible(t *testing.T) {
+	opt, snap, res := setup(t)
+	lib := agents.DefaultLibrary()
+	floors := []float64{0, 0.85, 0.9, 0.95}
+	constraints := []workflow.Constraint{
+		workflow.MinCost, workflow.MinLatency, workflow.MinPower, workflow.MaxQuality,
+	}
+	for _, c := range constraints {
+		for _, floor := range floors {
+			plan, err := opt.Plan(res.Graph, snap, Options{
+				Constraint: c, MinQuality: floor, RelaxFloor: true, MaxPaths: 4,
+			})
+			if err != nil {
+				t.Fatalf("%s floor %.2f: %v", c, floor, err)
+			}
+			gpuCommit := map[string]int{}
+			for cap, d := range plan.Decisions {
+				im, ok := lib.Get(d.Implementation)
+				if !ok {
+					t.Fatalf("%s/%s: unknown impl %s", c, cap, d.Implementation)
+				}
+				if string(im.Capability) != cap {
+					t.Fatalf("%s: impl %s serves %s, assigned to %s",
+						c, d.Implementation, im.Capability, cap)
+				}
+				if !im.Perf.SupportsConfig(d.Config) {
+					t.Fatalf("%s/%s: config %v outside envelope", c, cap, d.Config)
+				}
+				if d.Parallelism < 1 {
+					t.Fatalf("%s/%s: parallelism %d", c, cap, d.Parallelism)
+				}
+				if d.Config.GPUs > 0 {
+					gpuCommit[string(d.Config.GPUType)] += d.Config.GPUs * d.Parallelism
+				}
+				// Worker fleet must fit cluster totals.
+				if d.Config.CPUCores*d.Parallelism > snap.TotalCPUCores {
+					t.Fatalf("%s/%s: %d×%dc exceeds %d cores",
+						c, cap, d.Parallelism, d.Config.CPUCores, snap.TotalCPUCores)
+				}
+				if d.Config.GPUs > 0 && d.Config.GPUs*d.Parallelism > snap.TotalGPUs[d.Config.GPUType] {
+					t.Fatalf("%s/%s: %d×%d GPUs exceeds cluster", c, cap, d.Parallelism, d.Config.GPUs)
+				}
+				if floor > 0 && d.Quality < floor {
+					// RelaxFloor allows this only when no impl meets the
+					// floor; verify that's the case.
+					best := 0.0
+					for _, im2 := range lib.ByCapability(agents.Capability(cap)) {
+						if im2.Quality > best {
+							best = im2.Quality
+						}
+					}
+					if best >= floor {
+						t.Fatalf("%s/%s: quality %.2f below satisfiable floor %.2f",
+							c, cap, d.Quality, floor)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyConstraintDominance: for each objective, the plan optimized
+// for it is at least as good on that objective as plans optimized for the
+// other constraints.
+func TestPropertyConstraintDominance(t *testing.T) {
+	opt, snap, res := setup(t)
+	constraints := []workflow.Constraint{
+		workflow.MinCost, workflow.MinLatency, workflow.MinPower,
+	}
+	plans := map[workflow.Constraint]*Plan{}
+	for _, c := range constraints {
+		p, err := opt.Plan(res.Graph, snap, Options{Constraint: c, MinQuality: 0.9, RelaxFloor: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[c] = p
+	}
+	objective := func(p *Plan, c workflow.Constraint) float64 {
+		switch c {
+		case workflow.MinCost:
+			return p.EstCostUSD
+		case workflow.MinPower:
+			return p.EstEnergyJ
+		default: // MinLatency: sum of stage latency estimates
+			total := 0.0
+			for _, d := range p.Decisions {
+				total += d.EstLatencyS
+			}
+			return total
+		}
+	}
+	for _, target := range constraints {
+		best := objective(plans[target], target)
+		for _, other := range constraints {
+			if other == target {
+				continue
+			}
+			if got := objective(plans[other], target); got < best-1e-9 {
+				t.Errorf("plan for %s scores %.4f on %s, beating the %s-optimized plan's %.4f",
+					other, got, target, target, best)
+			}
+		}
+	}
+}

@@ -1,0 +1,393 @@
+// Package planner implements Murakkab's job decomposition (§3.2): lowering a
+// declarative Job into a task DAG, following the ReAct pattern — the planner
+// records thought/action/observation steps — and generating executable tool
+// calls for the selected agents.
+//
+// Substitution note (see DESIGN.md): the paper uses NVLM as the orchestrator
+// LLM. We simulate it with a deterministic template planner that consumes
+// the same inputs the LLM would (job description, task hints, the agent
+// library's system prompt) and produces the same outputs (DAG, ReAct trace,
+// tool calls, and token counts for the planning queries whose latency the
+// runtime charges against the workflow — the §3.3(b) "<1%" overhead claim).
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/agents"
+	"repro/internal/dag"
+	"repro/internal/workflow"
+)
+
+// Step is one ReAct iteration.
+type Step struct {
+	Thought     string
+	Action      string
+	Observation string
+}
+
+// Query is one planning LLM call's token footprint; the runtime submits it
+// to the orchestrator-LLM serving engine to charge realistic latency.
+type Query struct {
+	Purpose      string
+	PromptTokens int
+	OutputTokens int
+}
+
+// Result is a completed decomposition.
+type Result struct {
+	Template string
+	Graph    *dag.Graph
+	Trace    []Step
+	Queries  []Query
+}
+
+// TotalPlanningTokens sums tokens across planning queries.
+func (r *Result) TotalPlanningTokens() (prompt, output int) {
+	for _, q := range r.Queries {
+		prompt += q.PromptTokens
+		output += q.OutputTokens
+	}
+	return prompt, output
+}
+
+// Planner lowers jobs into DAGs using the agent library.
+type Planner struct {
+	lib *agents.Library
+}
+
+// New creates a planner over a library.
+func New(lib *agents.Library) *Planner {
+	if lib == nil {
+		panic("planner: nil library")
+	}
+	return &Planner{lib: lib}
+}
+
+// Decompose lowers a job into a task DAG. It selects a workflow template
+// from the description (video understanding, newsfeed, document QA), falls
+// back to chaining the user's task hints, and errors when neither applies —
+// the paper's orchestrator would likewise fail to plan an unintelligible
+// job.
+func (p *Planner) Decompose(job workflow.Job) (*Result, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	desc := strings.ToLower(job.Description)
+	res := &Result{Graph: dag.New()}
+	res.Queries = append(res.Queries, Query{
+		Purpose:      "decompose",
+		PromptTokens: promptTokens(p.lib, job),
+		OutputTokens: 16, // the DAG spec is terse: task ids and edges
+	})
+
+	switch {
+	case strings.Contains(desc, "newsfeed") || strings.Contains(desc, "social media"):
+		res.Template = "newsfeed"
+		p.think(res, "The job asks for a social-media newsfeed; search, rank, generation and a safety filter are needed.",
+			"select template newsfeed")
+		if err := p.buildNewsfeed(res, job); err != nil {
+			return nil, err
+		}
+	case hasKind(job, workflow.InputVideo) &&
+		(strings.Contains(desc, "object") || strings.Contains(desc, "video") || strings.Contains(desc, "scene")):
+		res.Template = "video-understanding"
+		p.think(res, "The job mentions videos and objects; frames, transcripts, detections and per-scene summaries are needed.",
+			"select template video-understanding")
+		if err := p.buildVideoUnderstanding(res, job); err != nil {
+			return nil, err
+		}
+	case hasKind(job, workflow.InputDoc) &&
+		(strings.Contains(desc, "question") || strings.Contains(desc, "answer")):
+		res.Template = "document-qa"
+		p.think(res, "The job asks questions over documents; embed then retrieve-and-answer.",
+			"select template document-qa")
+		if err := p.buildDocQA(res, job); err != nil {
+			return nil, err
+		}
+	case len(job.Tasks) > 0:
+		res.Template = "hint-chain"
+		p.think(res, "No template matches; chaining the user-provided sub-tasks.",
+			"map task hints to capabilities")
+		if err := p.buildHintChain(res, job); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("planner: cannot decompose job %q: no template matches and no task hints given", job.Description)
+	}
+
+	if err := res.Graph.Freeze(); err != nil {
+		return nil, fmt.Errorf("planner: produced invalid DAG: %w", err)
+	}
+	res.Trace = append(res.Trace, Step{
+		Thought:     "The task graph is complete.",
+		Action:      "emit DAG",
+		Observation: fmt.Sprintf("%d tasks across %d capabilities", res.Graph.Len(), len(res.Graph.CapabilityWork())),
+	})
+	// One tool-call generation query per capability (batched); each call
+	// is a one-line function invocation, so outputs are tiny.
+	res.Queries = append(res.Queries, Query{
+		Purpose:      "tool-calls",
+		PromptTokens: 32 * len(res.Graph.CapabilityWork()),
+		OutputTokens: 4 * len(res.Graph.CapabilityWork()),
+	})
+	return res, nil
+}
+
+func (p *Planner) think(res *Result, thought, action string) {
+	res.Trace = append(res.Trace, Step{Thought: thought, Action: action, Observation: "ok"})
+}
+
+func hasKind(job workflow.Job, k workflow.InputKind) bool {
+	for _, in := range job.Inputs {
+		if in.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// promptTokens estimates the decomposition prompt size: the library system
+// prompt plus the job description and hints, at ~4 characters per token.
+func promptTokens(lib *agents.Library, job workflow.Job) int {
+	chars := len(lib.SystemPrompt()) + len(job.Description)
+	for _, t := range job.Tasks {
+		chars += len(t)
+	}
+	n := chars / 4
+	if n < 16 {
+		n = 16
+	}
+	return n
+}
+
+// Per-scene LLM sizing for video understanding: the summarization prompt
+// carries the frames, detections and transcript (~1800 tokens) and produces
+// a ~500-token summary; its embedding covers the ~600-token summary text.
+const (
+	SummarizePromptTokens = 1800
+	SummarizeOutputTokens = 500
+	EmbedTokens           = 600
+	// SummarizePrefillWeight converts prompt tokens to work units,
+	// matching llmsim.NVLMText().PrefillWeight.
+	SummarizePrefillWeight = 0.10
+)
+
+// SummarizeWork is the profile-work of one scene summarization.
+func SummarizeWork() float64 {
+	return SummarizePromptTokens*SummarizePrefillWeight + SummarizeOutputTokens
+}
+
+func (p *Planner) buildVideoUnderstanding(res *Result, job workflow.Job) error {
+	g := res.Graph
+	videos := 0
+	for vi, in := range job.Inputs {
+		if in.Kind != workflow.InputVideo {
+			continue
+		}
+		videos++
+		scenes := int(in.Attr("scenes", 1))
+		frames := in.Attr("frames_per_scene", 24)
+		sceneLen := in.Attr("scene_len_s", 30)
+		for s := 0; s < scenes; s++ {
+			ext := dag.NodeID(fmt.Sprintf("ext_v%d_s%d", vi, s))
+			stt := dag.NodeID(fmt.Sprintf("stt_v%d_s%d", vi, s))
+			det := dag.NodeID(fmt.Sprintf("det_v%d_s%d", vi, s))
+			sum := dag.NodeID(fmt.Sprintf("sum_v%d_s%d", vi, s))
+			emb := dag.NodeID(fmt.Sprintf("emb_v%d_s%d", vi, s))
+			meta := map[string]string{
+				"video": in.Name,
+				"scene": fmt.Sprint(s),
+			}
+			g.MustAddNode(dag.Node{ID: ext, Capability: string(agents.CapFrameExtraction),
+				Label: fmt.Sprintf("extract %s scene %d", in.Name, s), Work: frames, Metadata: withKV(meta, "num_frames", fmt.Sprint(int(frames)))})
+			g.MustAddNode(dag.Node{ID: stt, Capability: string(agents.CapSpeechToText),
+				Label: fmt.Sprintf("transcribe %s scene %d", in.Name, s), Work: sceneLen, Metadata: withKV(meta, "audio_s", fmt.Sprint(sceneLen))})
+			g.MustAddNode(dag.Node{ID: det, Capability: string(agents.CapObjectDetection),
+				Label: fmt.Sprintf("detect %s scene %d", in.Name, s), Work: frames, Metadata: meta})
+			g.MustAddNode(dag.Node{ID: sum, Capability: string(agents.CapSummarization),
+				Label: fmt.Sprintf("summarize %s scene %d", in.Name, s), Work: SummarizeWork(),
+				Metadata: withKV(withKV(meta,
+					"prompt_tokens", fmt.Sprint(SummarizePromptTokens)),
+					"output_tokens", fmt.Sprint(SummarizeOutputTokens))})
+			g.MustAddNode(dag.Node{ID: emb, Capability: string(agents.CapEmbedding),
+				Label: fmt.Sprintf("embed %s scene %d", in.Name, s), Work: EmbedTokens,
+				Metadata: withKV(meta, "prompt_tokens", fmt.Sprint(EmbedTokens))})
+			// Dataflow: frames feed detection; transcript and detections
+			// feed the summary; the summary is embedded. Speech-to-Text has
+			// no upstream dependency — exactly why the paper identifies it
+			// as "the main dependency for the later stages".
+			g.MustAddEdge(ext, det)
+			g.MustAddEdge(stt, sum)
+			g.MustAddEdge(det, sum)
+			g.MustAddEdge(sum, emb)
+		}
+	}
+	if videos == 0 {
+		return fmt.Errorf("planner: video-understanding template without video inputs")
+	}
+	res.Trace = append(res.Trace, Step{
+		Thought:     "Speech-to-Text is the main dependency for the later stages.",
+		Action:      "expose per-scene parallelism in the DAG",
+		Observation: fmt.Sprintf("%d videos, %d tasks", videos, g.Len()),
+	})
+	return nil
+}
+
+func (p *Planner) buildNewsfeed(res *Result, job workflow.Job) error {
+	g := res.Graph
+	var topicIDs []dag.NodeID
+	user := "user"
+	for _, in := range job.Inputs {
+		if in.Kind == workflow.InputUser {
+			user = in.Name
+		}
+	}
+	for ti, in := range job.Inputs {
+		if in.Kind != workflow.InputTopic {
+			continue
+		}
+		id := dag.NodeID(fmt.Sprintf("search_t%d", ti))
+		g.MustAddNode(dag.Node{ID: id, Capability: string(agents.CapWebSearch),
+			Label: "search " + in.Name, Work: in.Attr("queries", 3),
+			Metadata: map[string]string{"topic": in.Name, "user": user}})
+		topicIDs = append(topicIDs, id)
+	}
+	if len(topicIDs) == 0 {
+		return fmt.Errorf("planner: newsfeed template without topic inputs")
+	}
+	rank := dag.NodeID("rank")
+	g.MustAddNode(dag.Node{ID: rank, Capability: string(agents.CapRanking),
+		Label: "rank results", Work: float64(len(topicIDs) * 10),
+		Metadata: map[string]string{"user": user}})
+	gen := dag.NodeID("generate")
+	g.MustAddNode(dag.Node{ID: gen, Capability: string(agents.CapSummarization),
+		Label: "generate feed", Work: SummarizeWork(),
+		Metadata: map[string]string{
+			"user":          user,
+			"prompt_tokens": fmt.Sprint(SummarizePromptTokens),
+			"output_tokens": fmt.Sprint(SummarizeOutputTokens),
+		}})
+	sent := dag.NodeID("sentiment")
+	g.MustAddNode(dag.Node{ID: sent, Capability: string(agents.CapSentiment),
+		Label: "sentiment filter", Work: float64(len(topicIDs)),
+		Metadata: map[string]string{"user": user}})
+	for _, tid := range topicIDs {
+		g.MustAddEdge(tid, rank)
+	}
+	g.MustAddEdge(rank, gen)
+	g.MustAddEdge(gen, sent)
+	return nil
+}
+
+func (p *Planner) buildDocQA(res *Result, job workflow.Job) error {
+	g := res.Graph
+	var embeds []dag.NodeID
+	for di, in := range job.Inputs {
+		if in.Kind != workflow.InputDoc {
+			continue
+		}
+		id := dag.NodeID(fmt.Sprintf("embed_d%d", di))
+		tokens := in.Attr("tokens", 800)
+		g.MustAddNode(dag.Node{ID: id, Capability: string(agents.CapEmbedding),
+			Label: "embed " + in.Name, Work: tokens,
+			Metadata: map[string]string{"doc": in.Name, "prompt_tokens": fmt.Sprint(int(tokens))}})
+		embeds = append(embeds, id)
+	}
+	if len(embeds) == 0 {
+		return fmt.Errorf("planner: document-qa template without document inputs")
+	}
+	qa := dag.NodeID("answer")
+	g.MustAddNode(dag.Node{ID: qa, Capability: string(agents.CapQA),
+		Label: "answer question", Work: 400,
+		Metadata: map[string]string{
+			"prompt_tokens": "1200",
+			"output_tokens": "280",
+		}})
+	for _, e := range embeds {
+		g.MustAddEdge(e, qa)
+	}
+	return nil
+}
+
+// hintCapability maps a free-text task hint to a capability by keyword.
+func hintCapability(hint string) (agents.Capability, error) {
+	h := strings.ToLower(hint)
+	switch {
+	case strings.Contains(h, "frame"):
+		return agents.CapFrameExtraction, nil
+	case strings.Contains(h, "speech") || strings.Contains(h, "transcri") || strings.Contains(h, "audio"):
+		return agents.CapSpeechToText, nil
+	case strings.Contains(h, "object") || strings.Contains(h, "detect"):
+		return agents.CapObjectDetection, nil
+	case strings.Contains(h, "summar") || strings.Contains(h, "describe"):
+		return agents.CapSummarization, nil
+	case strings.Contains(h, "embed"):
+		return agents.CapEmbedding, nil
+	case strings.Contains(h, "search"):
+		return agents.CapWebSearch, nil
+	case strings.Contains(h, "rank"):
+		return agents.CapRanking, nil
+	case strings.Contains(h, "sentiment"):
+		return agents.CapSentiment, nil
+	case strings.Contains(h, "question") || strings.Contains(h, "answer"):
+		return agents.CapQA, nil
+	case strings.Contains(h, "calculat") || strings.Contains(h, "comput"):
+		return agents.CapCalculator, nil
+	default:
+		return "", fmt.Errorf("planner: cannot map task hint %q to any capability", hint)
+	}
+}
+
+func (p *Planner) buildHintChain(res *Result, job workflow.Job) error {
+	g := res.Graph
+	var prev []dag.NodeID
+	for hi, hint := range job.Tasks {
+		cap, err := hintCapability(hint)
+		if err != nil {
+			return err
+		}
+		if len(p.lib.ByCapability(cap)) == 0 {
+			return fmt.Errorf("planner: no implementation in library for capability %q (hint %q)", cap, hint)
+		}
+		var level []dag.NodeID
+		for ii, in := range job.Inputs {
+			id := dag.NodeID(fmt.Sprintf("t%d_i%d", hi, ii))
+			g.MustAddNode(dag.Node{ID: id, Capability: string(cap),
+				Label: hint + " / " + in.Name, Work: hintWork(cap, in),
+				Metadata: map[string]string{"input": in.Name}})
+			if len(prev) > 0 {
+				// Chain per-input: task h on input i depends on task h-1 on i.
+				g.MustAddEdge(prev[ii], id)
+			}
+			level = append(level, id)
+		}
+		prev = level
+	}
+	return nil
+}
+
+func hintWork(cap agents.Capability, in workflow.Input) float64 {
+	switch cap {
+	case agents.CapFrameExtraction, agents.CapObjectDetection:
+		return in.Attr("frames_per_scene", 24) * in.Attr("scenes", 1)
+	case agents.CapSpeechToText:
+		return in.Attr("duration_s", 60)
+	case agents.CapSummarization, agents.CapQA:
+		return SummarizeWork()
+	case agents.CapEmbedding:
+		return in.Attr("tokens", EmbedTokens)
+	default:
+		return 1
+	}
+}
+
+func withKV(m map[string]string, k, v string) map[string]string {
+	out := make(map[string]string, len(m)+1)
+	for key, val := range m {
+		out[key] = val
+	}
+	out[k] = v
+	return out
+}

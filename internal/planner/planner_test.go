@@ -1,0 +1,294 @@
+package planner
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/agents"
+	"repro/internal/dag"
+	"repro/internal/workflow"
+)
+
+func videoJob() workflow.Job {
+	return workflow.Job{
+		Description: "List objects shown/mentioned in the videos",
+		Inputs: []workflow.Input{
+			workflow.VideoInput("cats.mov", 240, 30, 24),
+			workflow.VideoInput("formula_1.mov", 240, 30, 24),
+		},
+		Tasks: []string{
+			"Extract frames from each video",
+			"Run speech-to-text on all scenes",
+			"Detect objects in the frames",
+		},
+		Constraint: workflow.MinCost,
+	}
+}
+
+func newPlanner() *Planner { return New(agents.DefaultLibrary()) }
+
+func TestDecomposeVideoUnderstanding(t *testing.T) {
+	res, err := newPlanner().Decompose(videoJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Template != "video-understanding" {
+		t.Fatalf("template = %q", res.Template)
+	}
+	// 2 videos × 8 scenes × 5 tasks.
+	if res.Graph.Len() != 80 {
+		t.Fatalf("DAG has %d nodes, want 80", res.Graph.Len())
+	}
+	if !res.Graph.Frozen() {
+		t.Fatal("graph not frozen")
+	}
+	cw := res.Graph.CapabilityWork()
+	if cw[string(agents.CapSpeechToText)] != 480 {
+		t.Fatalf("STT work = %v, want 480 audio-seconds", cw[string(agents.CapSpeechToText)])
+	}
+	if cw[string(agents.CapFrameExtraction)] != 2*8*24 {
+		t.Fatalf("extraction work = %v, want 384 frames", cw[string(agents.CapFrameExtraction)])
+	}
+}
+
+func TestVideoDAGDependencies(t *testing.T) {
+	res, err := newPlanner().Decompose(videoJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Graph
+	// STT has no predecessors (it is the root dependency of later stages).
+	if got := g.Predecessors("stt_v0_s0"); len(got) != 0 {
+		t.Fatalf("stt predecessors = %v, want none", got)
+	}
+	// Summarize depends on both stt and detect.
+	preds := g.Predecessors("sum_v0_s0")
+	if len(preds) != 2 {
+		t.Fatalf("summarize predecessors = %v, want [det stt]", preds)
+	}
+	// Embedding depends on summarize.
+	if got := g.Predecessors("emb_v0_s0"); len(got) != 1 || got[0] != "sum_v0_s0" {
+		t.Fatalf("embed predecessors = %v", got)
+	}
+	// Critical path runs through STT or extraction into summarize+embed.
+	path, _ := g.CriticalPath()
+	last := path[len(path)-1]
+	if !strings.HasPrefix(string(last), "emb_") {
+		t.Fatalf("critical path ends at %s, want an embedding node", last)
+	}
+}
+
+func TestDecomposeRecordsReActTrace(t *testing.T) {
+	res, err := newPlanner().Decompose(videoJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) < 3 {
+		t.Fatalf("trace has %d steps, want >= 3", len(res.Trace))
+	}
+	var foundSTT bool
+	for _, s := range res.Trace {
+		if strings.Contains(s.Thought, "Speech-to-Text is the main dependency") {
+			foundSTT = true
+		}
+		if s.Action == "" || s.Thought == "" {
+			t.Fatalf("incomplete ReAct step %+v", s)
+		}
+	}
+	if !foundSTT {
+		t.Fatal("trace missing the paper's STT-dependency observation")
+	}
+}
+
+func TestPlanningQueriesSmall(t *testing.T) {
+	res, err := newPlanner().Decompose(videoJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Queries) < 2 {
+		t.Fatalf("queries = %d, want >= 2 (decompose + tool calls)", len(res.Queries))
+	}
+	prompt, output := res.TotalPlanningTokens()
+	if prompt <= 0 || output <= 0 {
+		t.Fatal("planning token counts not positive")
+	}
+	// §3.3(b): short input, short output queries.
+	if output > 1000 {
+		t.Fatalf("planning output tokens = %d, want short (<1000)", output)
+	}
+}
+
+func TestDecomposeNewsfeed(t *testing.T) {
+	job := workflow.Job{
+		Description: "Generate social media newsfeed for Alice",
+		Inputs: []workflow.Input{
+			{Name: "alice", Kind: workflow.InputUser, Attrs: map[string]float64{}},
+			{Name: "f1", Kind: workflow.InputTopic, Attrs: map[string]float64{"queries": 3}},
+			{Name: "cats", Kind: workflow.InputTopic, Attrs: map[string]float64{"queries": 3}},
+			{Name: "cooking", Kind: workflow.InputTopic, Attrs: map[string]float64{"queries": 3}},
+		},
+		Constraint: workflow.MinLatency,
+	}
+	res, err := newPlanner().Decompose(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Template != "newsfeed" {
+		t.Fatalf("template = %q", res.Template)
+	}
+	// 3 searches + rank + generate + sentiment.
+	if res.Graph.Len() != 6 {
+		t.Fatalf("nodes = %d, want 6", res.Graph.Len())
+	}
+	if got := res.Graph.Predecessors("rank"); len(got) != 3 {
+		t.Fatalf("rank fan-in = %d, want 3", len(got))
+	}
+	if got := res.Graph.Successors("generate"); len(got) != 1 || got[0] != "sentiment" {
+		t.Fatalf("generate successors = %v", got)
+	}
+}
+
+func TestDecomposeDocQA(t *testing.T) {
+	job := workflow.Job{
+		Description: "Answer questions about the contracts",
+		Inputs: []workflow.Input{
+			{Name: "a.pdf", Kind: workflow.InputDoc, Attrs: map[string]float64{"tokens": 1000}},
+			{Name: "b.pdf", Kind: workflow.InputDoc, Attrs: map[string]float64{"tokens": 500}},
+		},
+		Constraint: workflow.MaxQuality,
+	}
+	res, err := newPlanner().Decompose(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Template != "document-qa" {
+		t.Fatalf("template = %q", res.Template)
+	}
+	if got := res.Graph.Predecessors("answer"); len(got) != 2 {
+		t.Fatalf("answer fan-in = %d, want 2", len(got))
+	}
+}
+
+func TestHintChainFallback(t *testing.T) {
+	job := workflow.Job{
+		Description: "Process the recordings", // matches no template
+		Inputs: []workflow.Input{
+			{Name: "rec1", Kind: workflow.InputText, Attrs: map[string]float64{"duration_s": 120}},
+			{Name: "rec2", Kind: workflow.InputText, Attrs: map[string]float64{"duration_s": 60}},
+		},
+		Tasks: []string{
+			"Run speech-to-text on the audio",
+			"Summarize the transcript",
+		},
+		Constraint: workflow.MinCost,
+	}
+	res, err := newPlanner().Decompose(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Template != "hint-chain" {
+		t.Fatalf("template = %q", res.Template)
+	}
+	// 2 hints × 2 inputs, chained per input.
+	if res.Graph.Len() != 4 {
+		t.Fatalf("nodes = %d, want 4", res.Graph.Len())
+	}
+	if got := res.Graph.Predecessors("t1_i0"); len(got) != 1 || got[0] != "t0_i0" {
+		t.Fatalf("chain broken: %v", got)
+	}
+}
+
+func TestUndeconposableJobErrors(t *testing.T) {
+	job := workflow.Job{
+		Description: "Do something wonderful",
+		Inputs:      []workflow.Input{{Name: "x", Kind: workflow.InputText}},
+		Constraint:  workflow.MinCost,
+	}
+	if _, err := newPlanner().Decompose(job); err == nil {
+		t.Fatal("undeconposable job accepted")
+	}
+}
+
+func TestUnknownHintErrors(t *testing.T) {
+	job := workflow.Job{
+		Description: "Process things",
+		Inputs:      []workflow.Input{{Name: "x", Kind: workflow.InputText}},
+		Tasks:       []string{"Perform quantum chromodynamics"},
+		Constraint:  workflow.MinCost,
+	}
+	if _, err := newPlanner().Decompose(job); err == nil {
+		t.Fatal("unmappable hint accepted")
+	}
+}
+
+func TestInvalidJobRejected(t *testing.T) {
+	if _, err := newPlanner().Decompose(workflow.Job{}); err == nil {
+		t.Fatal("empty job accepted")
+	}
+}
+
+func TestToolCallGeneration(t *testing.T) {
+	p := newPlanner()
+	res, err := p.Decompose(videoJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, _ := res.Graph.Node("ext_v0_s0")
+	tc, err := p.ToolCallFor(node, agents.ImplOpenCV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Args["file"] != "cats.mov" {
+		t.Fatalf("tool call file = %q, want cats.mov", tc.Args["file"])
+	}
+	if tc.Args["num_frames"] != "24" {
+		t.Fatalf("num_frames = %q", tc.Args["num_frames"])
+	}
+	// The paper's example shape: FrameExtractor(..., file="cats.mov").
+	if !strings.Contains(tc.String(), `file="cats.mov"`) {
+		t.Fatalf("rendered call = %s", tc.String())
+	}
+}
+
+func TestToolCallForEveryNode(t *testing.T) {
+	p := newPlanner()
+	lib := agents.DefaultLibrary()
+	res, err := p.Decompose(videoJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.Graph.Nodes() {
+		impls := lib.ByCapability(agents.Capability(n.Capability))
+		if len(impls) == 0 {
+			t.Fatalf("no implementation for %s", n.Capability)
+		}
+		if _, err := p.ToolCallFor(n, impls[0].Name); err != nil {
+			t.Fatalf("tool call for %s via %s: %v", n.ID, impls[0].Name, err)
+		}
+	}
+}
+
+func TestToolCallCapabilityMismatch(t *testing.T) {
+	p := newPlanner()
+	node := &dag.Node{ID: "x", Capability: string(agents.CapSpeechToText)}
+	if _, err := p.ToolCallFor(node, agents.ImplOpenCV); err == nil {
+		t.Fatal("capability mismatch accepted")
+	}
+	if _, err := p.ToolCallFor(node, "ghost"); err == nil {
+		t.Fatal("unknown implementation accepted")
+	}
+}
+
+func TestDeterministicDecomposition(t *testing.T) {
+	a, err := newPlanner().Decompose(videoJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newPlanner().Decompose(videoJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.String() != b.Graph.String() {
+		t.Fatal("decomposition not deterministic")
+	}
+}

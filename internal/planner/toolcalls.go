@@ -1,0 +1,90 @@
+package planner
+
+import (
+	"fmt"
+
+	"repro/internal/agents"
+	"repro/internal/dag"
+)
+
+// ToolCallFor generates the executable tool call for a task once the
+// runtime has selected a concrete implementation — the paper's example:
+// given "Extract frames from each video" and metadata, the LLM emits
+// FrameExtractor(start_time=0, end_time=60s, num_frames=10, file="cats.mov").
+// The call is validated against the implementation's schema before return;
+// an invalid generation is a bug surfaced as an error, mirroring the
+// quality-control checkpoints §5 calls for.
+func (p *Planner) ToolCallFor(node *dag.Node, implName string) (agents.ToolCall, error) {
+	im, ok := p.lib.Get(implName)
+	if !ok {
+		return agents.ToolCall{}, fmt.Errorf("planner: tool call for unknown implementation %q", implName)
+	}
+	if string(im.Capability) != node.Capability {
+		return agents.ToolCall{}, fmt.Errorf("planner: implementation %q provides %q, task %q needs %q",
+			implName, im.Capability, node.ID, node.Capability)
+	}
+	args := map[string]string{}
+	meta := node.Metadata
+
+	switch im.Capability {
+	case agents.CapFrameExtraction:
+		args["file"] = metaOr(meta, "video", "input.mov")
+		args["num_frames"] = metaOr(meta, "num_frames", "24")
+	case agents.CapSpeechToText:
+		args["file"] = metaOr(meta, "video", "input.mov")
+	case agents.CapObjectDetection:
+		args["frames"] = fmt.Sprintf("%s/scene%s/frames", metaOr(meta, "video", "input"), metaOr(meta, "scene", "0"))
+	case agents.CapSummarization:
+		args["user_prompt"] = fmt.Sprintf(
+			"Summarize the scenes using frames, detected objects and transcripts. (%s scene %s)",
+			metaOr(meta, "video", metaOr(meta, "user", "input")), metaOr(meta, "scene", "-"))
+		if hasArg(im, "system_prompt") {
+			args["system_prompt"] = "You are an agent that can describe images in detail."
+		}
+		if hasArg(im, "context_len") {
+			args["context_len"] = "4096"
+		}
+	case agents.CapEmbedding:
+		args["text"] = fmt.Sprintf("summary of %s scene %s", metaOr(meta, "video", metaOr(meta, "doc", "input")), metaOr(meta, "scene", "-"))
+	case agents.CapQA:
+		args["question"] = metaOr(meta, "question", "What objects appear?")
+	case agents.CapSentiment:
+		args["text"] = "generated feed for " + metaOr(meta, "user", "user")
+	case agents.CapWebSearch:
+		args["query"] = metaOr(meta, "topic", "news")
+		if hasArg(im, "top_k") {
+			args["top_k"] = "10"
+		}
+	case agents.CapRanking:
+		args["items"] = "search results for " + metaOr(meta, "user", "user")
+	case agents.CapCalculator:
+		args["expression"] = metaOr(meta, "expression", "1+1")
+	default:
+		return agents.ToolCall{}, fmt.Errorf("planner: no tool-call recipe for capability %q", im.Capability)
+	}
+
+	tc := agents.ToolCall{Agent: implName, Args: args}
+	if err := p.lib.ValidateCall(tc); err != nil {
+		return agents.ToolCall{}, fmt.Errorf("planner: generated invalid tool call: %w", err)
+	}
+	return tc, nil
+}
+
+func metaOr(m map[string]string, k, def string) string {
+	if m == nil {
+		return def
+	}
+	if v, ok := m[k]; ok && v != "" {
+		return v
+	}
+	return def
+}
+
+func hasArg(im *agents.Implementation, name string) bool {
+	for _, a := range im.Args {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}

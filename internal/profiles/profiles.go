@@ -1,0 +1,205 @@
+// Package profiles implements the execution-profile layer of §3.2: for every
+// (implementation, hardware configuration) pair the runtime keeps a profile
+// capturing the efficiency-vs-quality surface — latency, power, monetary
+// cost, and result quality. Profiles are the *only* information the
+// optimizer consumes about an implementation, which is what makes the agent
+// library extensible: registering a new model means registering profiles,
+// never touching scheduling code.
+package profiles
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hardware"
+)
+
+// ResourceConfig is a concrete hardware assignment for one agent execution:
+// a number of GPUs of one type and/or a number of CPU cores. It is a valid
+// map key (used to index profile stores).
+type ResourceConfig struct {
+	GPUs     int
+	GPUType  hardware.GPUType
+	CPUCores int
+}
+
+// IsZero reports an empty config.
+func (r ResourceConfig) IsZero() bool { return r.GPUs == 0 && r.CPUCores == 0 }
+
+// Validate checks internal consistency.
+func (r ResourceConfig) Validate() error {
+	if r.GPUs < 0 || r.CPUCores < 0 {
+		return fmt.Errorf("profiles: negative resources in %v", r)
+	}
+	if r.GPUs > 0 && r.GPUType == "" {
+		return fmt.Errorf("profiles: GPUs without a GPU type in %v", r)
+	}
+	if r.GPUs == 0 && r.GPUType != "" {
+		return fmt.Errorf("profiles: GPU type without GPUs in %v", r)
+	}
+	if r.IsZero() {
+		return fmt.Errorf("profiles: empty resource config")
+	}
+	return nil
+}
+
+// String renders e.g. "2xA100-80GB+32c" / "64c" / "1xH100".
+func (r ResourceConfig) String() string {
+	switch {
+	case r.GPUs > 0 && r.CPUCores > 0:
+		return fmt.Sprintf("%dx%s+%dc", r.GPUs, r.GPUType, r.CPUCores)
+	case r.GPUs > 0:
+		return fmt.Sprintf("%dx%s", r.GPUs, r.GPUType)
+	default:
+		return fmt.Sprintf("%dc", r.CPUCores)
+	}
+}
+
+// HourlyUSD prices the config from the catalog: GPUs at their hourly rate
+// plus cores at theirs. This is the fractional-rental view the optimizer
+// uses to estimate per-task cost.
+func (r ResourceConfig) HourlyUSD(cat *hardware.Catalog, cpu hardware.CPUType) float64 {
+	total := 0.0
+	if r.GPUs > 0 {
+		total += float64(r.GPUs) * cat.MustGPU(r.GPUType).HourlyUSD
+	}
+	if r.CPUCores > 0 {
+		total += float64(r.CPUCores) * cat.MustCPU(cpu).HourlyUSDPerCore
+	}
+	return total
+}
+
+// Profile is one measured (implementation, config) execution profile.
+// Latency is affine in work: Latency(w) = BaseS + w·PerUnitS. Work units are
+// capability-specific (audio seconds, frames, tokens); callers must be
+// consistent.
+type Profile struct {
+	Implementation string
+	Capability     string
+	Config         ResourceConfig
+
+	// BaseS is fixed per-invocation overhead (model load, dispatch).
+	BaseS float64
+	// PerUnitS is marginal seconds per work unit.
+	PerUnitS float64
+	// GPUIntensity / CPUIntensity are the device utilizations the execution
+	// sustains, in [0,1]; they drive the power model.
+	GPUIntensity float64
+	CPUIntensity float64
+	// Quality is the result-quality score in [0,1] for this implementation
+	// (configs do not change quality — the paper's Table 1 shows hardware
+	// levers as quality-neutral).
+	Quality float64
+}
+
+// LatencyS predicts execution latency for the given work.
+func (p Profile) LatencyS(work float64) float64 {
+	return p.BaseS + work*p.PerUnitS
+}
+
+// PowerW predicts sustained power draw during execution.
+func (p Profile) PowerW(cat *hardware.Catalog, cpu hardware.CPUType) float64 {
+	total := 0.0
+	if p.Config.GPUs > 0 {
+		spec := cat.MustGPU(p.Config.GPUType)
+		// Marginal power above idle: the devices idle anyway while rented,
+		// so a task's attributable power is the active delta.
+		total += float64(p.Config.GPUs) * (hardware.GPUPower(spec, p.GPUIntensity) - spec.IdleWatts)
+	}
+	if p.Config.CPUCores > 0 {
+		spec := cat.MustCPU(cpu)
+		total += hardware.CPUPower(spec, p.Config.CPUCores, p.CPUIntensity) -
+			hardware.CPUPower(spec, p.Config.CPUCores, 0)
+	}
+	return total
+}
+
+// EnergyJ predicts attributable energy for the given work.
+func (p Profile) EnergyJ(cat *hardware.Catalog, cpu hardware.CPUType, work float64) float64 {
+	return p.PowerW(cat, cpu) * p.LatencyS(work)
+}
+
+// CostUSD predicts monetary cost for the given work: config hourly price ×
+// occupancy time.
+func (p Profile) CostUSD(cat *hardware.Catalog, cpu hardware.CPUType, work float64) float64 {
+	return p.Config.HourlyUSD(cat, cpu) * p.LatencyS(work) / 3600
+}
+
+// Store indexes profiles by implementation and config.
+type Store struct {
+	byImpl map[string][]Profile
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{byImpl: make(map[string][]Profile)}
+}
+
+// Put inserts or replaces the profile for (implementation, config).
+func (s *Store) Put(p Profile) error {
+	if p.Implementation == "" || p.Capability == "" {
+		return fmt.Errorf("profiles: profile missing implementation or capability")
+	}
+	if err := p.Config.Validate(); err != nil {
+		return err
+	}
+	if p.PerUnitS < 0 || p.BaseS < 0 {
+		return fmt.Errorf("profiles: negative latency terms in %s/%v", p.Implementation, p.Config)
+	}
+	list := s.byImpl[p.Implementation]
+	for i := range list {
+		if list[i].Config == p.Config {
+			list[i] = p
+			return nil
+		}
+	}
+	s.byImpl[p.Implementation] = append(list, p)
+	return nil
+}
+
+// MustPut is Put for registration code where failure is a bug.
+func (s *Store) MustPut(p Profile) {
+	if err := s.Put(p); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the profile for (implementation, config).
+func (s *Store) Get(impl string, cfg ResourceConfig) (Profile, bool) {
+	for _, p := range s.byImpl[impl] {
+		if p.Config == cfg {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// ForImplementation returns all profiles of one implementation, sorted by
+// config string for determinism.
+func (s *Store) ForImplementation(impl string) []Profile {
+	out := make([]Profile, len(s.byImpl[impl]))
+	copy(out, s.byImpl[impl])
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Config.String() < out[j].Config.String()
+	})
+	return out
+}
+
+// Implementations returns the implementation names present, sorted.
+func (s *Store) Implementations() []string {
+	out := make([]string, 0, len(s.byImpl))
+	for k := range s.byImpl {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the total profile count.
+func (s *Store) Len() int {
+	n := 0
+	for _, l := range s.byImpl {
+		n += len(l)
+	}
+	return n
+}

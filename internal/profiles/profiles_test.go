@@ -1,0 +1,156 @@
+package profiles
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hardware"
+)
+
+func cfgGPU(n int) ResourceConfig {
+	return ResourceConfig{GPUs: n, GPUType: hardware.GPUA100}
+}
+
+func TestResourceConfigValidate(t *testing.T) {
+	cases := []struct {
+		cfg ResourceConfig
+		ok  bool
+	}{
+		{ResourceConfig{GPUs: 1, GPUType: hardware.GPUA100}, true},
+		{ResourceConfig{CPUCores: 8}, true},
+		{ResourceConfig{GPUs: 1, GPUType: hardware.GPUA100, CPUCores: 8}, true},
+		{ResourceConfig{}, false},
+		{ResourceConfig{GPUs: 1}, false},                   // type missing
+		{ResourceConfig{GPUType: hardware.GPUA100}, false}, // GPUs missing
+		{ResourceConfig{GPUs: -1, GPUType: hardware.GPUA100}, false},
+		{ResourceConfig{CPUCores: -4}, false},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.cfg, err, c.ok)
+		}
+	}
+}
+
+func TestResourceConfigString(t *testing.T) {
+	cases := []struct {
+		cfg  ResourceConfig
+		want string
+	}{
+		{ResourceConfig{GPUs: 2, GPUType: hardware.GPUA100}, "2xA100-80GB"},
+		{ResourceConfig{CPUCores: 64}, "64c"},
+		{ResourceConfig{GPUs: 1, GPUType: hardware.GPUH100, CPUCores: 32}, "1xH100+32c"},
+	}
+	for _, c := range cases {
+		if got := c.cfg.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.cfg, got, c.want)
+		}
+	}
+}
+
+func TestHourlyUSD(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	gpuRate := cat.MustGPU(hardware.GPUA100).HourlyUSD
+	coreRate := cat.MustCPU(hardware.EPYC7V12).HourlyUSDPerCore
+	cfg := ResourceConfig{GPUs: 2, GPUType: hardware.GPUA100, CPUCores: 10}
+	want := 2*gpuRate + 10*coreRate
+	if got := cfg.HourlyUSD(cat, hardware.EPYC7V12); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("HourlyUSD = %v, want %v", got, want)
+	}
+}
+
+func TestProfileLatency(t *testing.T) {
+	p := Profile{BaseS: 2, PerUnitS: 0.5}
+	if got := p.LatencyS(10); got != 7 {
+		t.Fatalf("LatencyS(10) = %v, want 7", got)
+	}
+	if got := p.LatencyS(0); got != 2 {
+		t.Fatalf("LatencyS(0) = %v, want BaseS", got)
+	}
+}
+
+func TestProfilePowerIsMarginal(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	spec := cat.MustGPU(hardware.GPUA100)
+	p := Profile{Config: cfgGPU(2), GPUIntensity: 1}
+	want := 2 * (spec.PeakWatts - spec.IdleWatts)
+	if got := p.PowerW(cat, hardware.EPYC7V12); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("PowerW = %v, want marginal %v", got, want)
+	}
+	// Zero intensity → zero attributable power.
+	p.GPUIntensity = 0
+	if got := p.PowerW(cat, hardware.EPYC7V12); got != 0 {
+		t.Fatalf("PowerW at idle intensity = %v, want 0", got)
+	}
+}
+
+func TestProfileEnergyAndCost(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	p := Profile{Config: cfgGPU(1), GPUIntensity: 1, BaseS: 0, PerUnitS: 1}
+	spec := cat.MustGPU(hardware.GPUA100)
+	wantE := (spec.PeakWatts - spec.IdleWatts) * 10
+	if got := p.EnergyJ(cat, hardware.EPYC7V12, 10); math.Abs(got-wantE) > 1e-9 {
+		t.Fatalf("EnergyJ = %v, want %v", got, wantE)
+	}
+	wantC := spec.HourlyUSD * 10 / 3600
+	if got := p.CostUSD(cat, hardware.EPYC7V12, 10); math.Abs(got-wantC) > 1e-12 {
+		t.Fatalf("CostUSD = %v, want %v", got, wantC)
+	}
+}
+
+func TestStorePutGetReplace(t *testing.T) {
+	s := NewStore()
+	p := Profile{Implementation: "whisper", Capability: "stt", Config: cfgGPU(1), PerUnitS: 1}
+	if err := s.Put(p); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("whisper", cfgGPU(1))
+	if !ok || got.PerUnitS != 1 {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	p.PerUnitS = 2
+	if err := s.Put(p); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after replace, want 1", s.Len())
+	}
+	got, _ = s.Get("whisper", cfgGPU(1))
+	if got.PerUnitS != 2 {
+		t.Fatalf("replace did not take: %v", got.PerUnitS)
+	}
+	if _, ok := s.Get("whisper", cfgGPU(2)); ok {
+		t.Fatal("Get of absent config succeeded")
+	}
+}
+
+func TestStorePutRejectsInvalid(t *testing.T) {
+	s := NewStore()
+	bad := []Profile{
+		{Capability: "x", Config: cfgGPU(1)},     // no impl
+		{Implementation: "a", Config: cfgGPU(1)}, // no capability
+		{Implementation: "a", Capability: "x"},   // empty config
+		{Implementation: "a", Capability: "x", Config: cfgGPU(1), PerUnitS: -1},
+	}
+	for i, p := range bad {
+		if err := s.Put(p); err == nil {
+			t.Errorf("case %d: invalid profile accepted", i)
+		}
+	}
+}
+
+func TestStoreListingsSorted(t *testing.T) {
+	s := NewStore()
+	s.MustPut(Profile{Implementation: "b", Capability: "x", Config: cfgGPU(1)})
+	s.MustPut(Profile{Implementation: "a", Capability: "x", Config: cfgGPU(1)})
+	s.MustPut(Profile{Implementation: "a", Capability: "x", Config: ResourceConfig{CPUCores: 8}})
+	impls := s.Implementations()
+	if len(impls) != 2 || impls[0] != "a" || impls[1] != "b" {
+		t.Fatalf("Implementations = %v", impls)
+	}
+	ps := s.ForImplementation("a")
+	if len(ps) != 2 {
+		t.Fatalf("ForImplementation(a) len = %d", len(ps))
+	}
+}

@@ -1,0 +1,99 @@
+// Package report defines the common result record produced by both the
+// baseline imperative executor and the Murakkab runtime, carrying exactly
+// the quantities the paper's evaluation reports: completion time and energy
+// (Table 2), execution traces and utilization curves (Figure 3), plus cost
+// and quality estimates for the optimizer ablations.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/telemetry"
+)
+
+// Report summarizes one workflow execution.
+type Report struct {
+	Name string
+	// MakespanS is workflow completion time in seconds (Table 2 "Time").
+	MakespanS float64
+	// GPUEnergyWh is GPU energy over the run (Table 2 "Energy"): the paper
+	// measures "only the GPU energy consumption since that is the dominant
+	// source in the system".
+	GPUEnergyWh float64
+	// CPUEnergyWh is CPU energy over the run (reported for completeness).
+	CPUEnergyWh float64
+	// CostUSD is the cluster rental bill for the run.
+	CostUSD float64
+	// MeanGPUUtil / MeanCPUUtil are run-averaged utilizations in [0,1]
+	// (Figure 3's utilization panels, collapsed).
+	MeanGPUUtil float64
+	MeanCPUUtil float64
+	// Quality is the estimated result quality in [0,1].
+	Quality float64
+	// PlanningOverheadFrac is planning time / makespan (§3.3(b): < 1%).
+	PlanningOverheadFrac float64
+	// TasksCompleted counts executed DAG nodes / pipeline steps.
+	TasksCompleted int
+
+	// Tracer holds per-agent spans (Figure 3 timelines).
+	Tracer *telemetry.Tracer
+	// GPUUtil / CPUUtil are cluster-average utilization series (Figure 3
+	// utilization panels).
+	GPUUtil *telemetry.StepSeries
+	CPUUtil *telemetry.StepSeries
+
+	// Decisions records the chosen configuration per capability
+	// ("<impl> @ <config> ×<parallelism>"), empty for the baseline.
+	Decisions map[string]string
+}
+
+// Finalize fills the cluster-derived fields (energy, cost, utilization) for
+// the window [0, makespan].
+func Finalize(r *Report, cl *cluster.Cluster) {
+	r.GPUEnergyWh = telemetry.JoulesToWh(cl.GPUEnergyJoules(0, r.MakespanS))
+	r.CPUEnergyWh = telemetry.JoulesToWh(cl.CPUEnergyJoules(0, r.MakespanS))
+	r.CostUSD = cl.RentalCostUSD(0, r.MakespanS)
+	r.GPUUtil = cl.GPUUtilSeries()
+	r.CPUUtil = cl.CPUUtilSeries()
+	if r.MakespanS > 0 {
+		r.MeanGPUUtil = r.GPUUtil.Mean(0, r.MakespanS)
+		r.MeanCPUUtil = r.CPUUtil.Mean(0, r.MakespanS)
+	}
+}
+
+// String renders a human-readable summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %.1fs, GPU %.1f Wh, CPU %.1f Wh, $%.3f, util GPU %.0f%% CPU %.0f%%",
+		r.Name, r.MakespanS, r.GPUEnergyWh, r.CPUEnergyWh, r.CostUSD,
+		100*r.MeanGPUUtil, 100*r.MeanCPUUtil)
+	if r.Quality > 0 {
+		fmt.Fprintf(&b, ", quality %.2f", r.Quality)
+	}
+	if r.PlanningOverheadFrac > 0 {
+		fmt.Fprintf(&b, ", planning %.2f%%", 100*r.PlanningOverheadFrac)
+	}
+	return b.String()
+}
+
+// Timeline renders the Figure 3 execution trace as ASCII.
+func (r *Report) Timeline(width int) string {
+	if r.Tracer == nil {
+		return "(no trace)\n"
+	}
+	return telemetry.Gantt(r.Tracer, width)
+}
+
+// UtilizationCSV renders the Figure 3 utilization panels as CSV on a dt grid.
+func (r *Report) UtilizationCSV(dt float64) string {
+	if r.GPUUtil == nil || r.CPUUtil == nil {
+		return ""
+	}
+	return telemetry.SeriesCSV(
+		[]string{"cpu_util", "gpu_util"},
+		[]*telemetry.StepSeries{r.CPUUtil, r.GPUUtil},
+		0, r.MakespanS, dt,
+	)
+}

@@ -1,0 +1,94 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hardware"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+func TestFinalizeComputesClusterQuantities(t *testing.T) {
+	se := sim.NewEngine()
+	cl := cluster.New(se, hardware.DefaultCatalog())
+	cl.AddVM("vm0", hardware.NDv4SKUName, false)
+	a, err := cl.AllocGPUs(8, hardware.GPUA100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetIntensity(1)
+	se.Schedule(100, func() { a.Release() })
+	se.Run()
+
+	r := &Report{Name: "test", MakespanS: 100}
+	Finalize(r, cl)
+
+	spec := hardware.DefaultCatalog().MustGPU(hardware.GPUA100)
+	wantJ := 8 * spec.PeakWatts * 100 // busy GPUs at peak
+	// Idle GPUs (0 here: VM has 8, all allocated)... VM has 8 GPUs total.
+	if gotWh := r.GPUEnergyWh; gotWh < telemetry.JoulesToWh(wantJ)*0.99 {
+		t.Fatalf("GPU energy = %v Wh, want >= %v", gotWh, telemetry.JoulesToWh(wantJ))
+	}
+	if r.CostUSD <= 0 {
+		t.Fatal("cost not computed")
+	}
+	if r.MeanGPUUtil != 1 {
+		t.Fatalf("mean GPU util = %v, want 1 (all devices busy whole window)", r.MeanGPUUtil)
+	}
+	if r.GPUUtil == nil || r.CPUUtil == nil {
+		t.Fatal("utilization series missing")
+	}
+}
+
+func TestStringIncludesHeadlineFields(t *testing.T) {
+	r := &Report{
+		Name: "x", MakespanS: 12.5, GPUEnergyWh: 3.25, CPUEnergyWh: 1,
+		CostUSD: 0.5, MeanGPUUtil: 0.5, MeanCPUUtil: 0.25,
+		Quality: 0.9, PlanningOverheadFrac: 0.005,
+	}
+	s := r.String()
+	for _, want := range []string{"12.5s", "3.2 Wh", "$0.500", "quality 0.90", "planning 0.50%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	// Optional fields omitted when zero.
+	r2 := &Report{Name: "y", MakespanS: 1}
+	if strings.Contains(r2.String(), "quality") || strings.Contains(r2.String(), "planning") {
+		t.Errorf("zero optional fields rendered: %q", r2.String())
+	}
+}
+
+func TestTimelineWithoutTracer(t *testing.T) {
+	r := &Report{}
+	if got := r.Timeline(40); got != "(no trace)\n" {
+		t.Fatalf("Timeline = %q", got)
+	}
+	tr := telemetry.NewTracer()
+	tr.Add(telemetry.Span{Track: "stt", Start: 0, End: 5})
+	r.Tracer = tr
+	if !strings.Contains(r.Timeline(40), "stt") {
+		t.Fatal("timeline missing track")
+	}
+}
+
+func TestUtilizationCSV(t *testing.T) {
+	r := &Report{MakespanS: 10}
+	if got := r.UtilizationCSV(1); got != "" {
+		t.Fatalf("CSV without series = %q", got)
+	}
+	g := telemetry.NewStepSeries(0)
+	g.Set(5, 1)
+	r.GPUUtil = g
+	r.CPUUtil = telemetry.NewStepSeries(0.5)
+	out := r.UtilizationCSV(5)
+	if !strings.HasPrefix(out, "time_s,cpu_util,gpu_util\n") {
+		t.Fatalf("CSV header = %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV rows = %d, want header + 2", len(lines))
+	}
+}

@@ -1,0 +1,227 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Every timed behaviour in the repository — agent execution, LLM token
+// generation, cluster scaling, utilization sampling — is driven by a single
+// sim.Engine. The engine is strictly single-threaded: events execute in
+// (time, sequence) order on the caller's goroutine, which makes every run
+// bit-for-bit reproducible. Simulated time is a float64 number of seconds
+// with no relation to the wall clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated time, in seconds since the start of the run.
+type Time float64
+
+// Duration is a span of simulated time in seconds.
+type Duration float64
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the time as a float64 second count.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// Seconds returns the duration as a float64 second count.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+// Forever is a sentinel for "no deadline".
+const Forever = Time(math.MaxFloat64)
+
+// Event is a scheduled callback. It is returned by Schedule/After so the
+// caller can cancel it before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	index    int // heap index, -1 once popped or cancelled
+	fn       func()
+	canceled bool
+}
+
+// At returns the simulated time at which the event fires (or would have
+// fired, if cancelled).
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired or was already cancelled is a no-op. Cancel returns true if the
+// event had been pending.
+func (e *Event) Cancel() bool {
+	if e == nil || e.canceled || e.index < 0 {
+		return false
+	}
+	e.canceled = true
+	return true
+}
+
+// Engine is the discrete-event simulator core. The zero value is not usable;
+// call NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	running bool
+	// processed counts events executed since construction; useful for
+	// runaway detection in tests.
+	processed uint64
+	// maxEvents aborts Run after this many events when non-zero.
+	maxEvents uint64
+}
+
+// NewEngine returns an engine positioned at time zero with an empty queue.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// SetEventLimit makes Run panic after n events; 0 disables the limit.
+// It exists to catch accidental infinite event loops in tests.
+func (e *Engine) SetEventLimit(n uint64) { e.maxEvents = n }
+
+// Schedule arranges for fn to run at absolute time at. Scheduling in the past
+// panics: it would silently reorder causality. Ties at the same instant fire
+// in scheduling order.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule with nil callback")
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After arranges for fn to run d seconds from now. Negative durations panic.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// Defer arranges for fn to run at the current instant, after all callbacks
+// already queued for this instant. It is the simulation analogue of
+// "process this on the next tick".
+func (e *Engine) Defer(fn func()) *Event { return e.Schedule(e.now, fn) }
+
+// Pending reports the number of undelivered events (including cancelled
+// events not yet drained).
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// step executes the earliest pending event. It returns false when the queue
+// holds no live events.
+func (e *Engine) step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		ev.index = -1
+		if ev.canceled {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: event queue went backwards")
+		}
+		e.now = ev.at
+		e.processed++
+		if e.maxEvents != 0 && e.processed > e.maxEvents {
+			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", e.maxEvents, e.now))
+		}
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.step() {
+	}
+}
+
+// RunUntil executes events with firing time ≤ deadline, then advances the
+// clock to exactly deadline (even if no event fired there). Events scheduled
+// beyond the deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	if deadline < e.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", deadline, e.now))
+	}
+	if e.running {
+		panic("sim: RunUntil called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for {
+		ev := e.queue.peekLive()
+		if ev == nil || ev.at > deadline {
+			break
+		}
+		e.step()
+	}
+	e.now = deadline
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// peekLive returns the earliest non-cancelled event without removing it,
+// draining any cancelled events it passes over.
+func (q *eventQueue) peekLive() *Event {
+	for q.Len() > 0 {
+		ev := (*q)[0]
+		if !ev.canceled {
+			return ev
+		}
+		heap.Pop(q)
+	}
+	return nil
+}

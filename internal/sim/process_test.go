@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestLatchFiresAtZero(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	l := NewLatch(e, 3, func() { fired = true })
+	l.Done()
+	l.Done()
+	if fired {
+		t.Fatal("latch fired early")
+	}
+	l.Done()
+	if !fired {
+		t.Fatal("latch did not fire after final Done")
+	}
+}
+
+func TestLatchZeroCountFiresDeferred(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	NewLatch(e, 0, func() { fired = true })
+	if fired {
+		t.Fatal("zero latch fired synchronously; want deferred")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("zero latch never fired")
+	}
+}
+
+func TestLatchAdd(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	l := NewLatch(e, 1, func() { fired = true })
+	l.Add(2)
+	l.Done()
+	l.Done()
+	if fired {
+		t.Fatal("fired before all Done calls")
+	}
+	l.Done()
+	if !fired {
+		t.Fatal("never fired")
+	}
+}
+
+func TestLatchDoneBelowZeroPanics(t *testing.T) {
+	e := NewEngine()
+	l := NewLatch(e, 1, nil)
+	l.Done()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Done below zero did not panic")
+		}
+	}()
+	l.Done()
+}
+
+func TestTickerPeriodAndStop(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	var tk *Ticker
+	tk = NewTicker(e, 10, func(now Time) {
+		ticks = append(ticks, now)
+		if len(ticks) == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks, want 3", len(ticks))
+	}
+	for i, want := range []Time{10, 20, 30} {
+		if ticks[i] != want {
+			t.Fatalf("ticks = %v, want [10 20 30]", ticks)
+		}
+	}
+}
+
+func TestTickerStopBeforeFirstTick(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	tk := NewTicker(e, 5, func(Time) { count++ })
+	tk.Stop()
+	e.Run()
+	if count != 0 {
+		t.Fatalf("stopped ticker ticked %d times", count)
+	}
+}
+
+func TestTokensImmediateGrant(t *testing.T) {
+	e := NewEngine()
+	tk := NewTokens(e, 4)
+	granted := false
+	tk.Acquire(2, func() { granted = true })
+	e.Run()
+	if !granted {
+		t.Fatal("acquire within capacity was not granted")
+	}
+	if tk.InUse() != 2 || tk.Available() != 2 {
+		t.Fatalf("inUse=%d available=%d, want 2/2", tk.InUse(), tk.Available())
+	}
+}
+
+func TestTokensQueueingFIFO(t *testing.T) {
+	e := NewEngine()
+	tk := NewTokens(e, 2)
+	var order []string
+	tk.Acquire(2, func() { order = append(order, "first") })
+	tk.Acquire(1, func() { order = append(order, "second") })
+	tk.Acquire(1, func() { order = append(order, "third") })
+	e.Run()
+	if len(order) != 1 || order[0] != "first" {
+		t.Fatalf("order = %v, want only first granted", order)
+	}
+	tk.Release(2)
+	e.Run()
+	if len(order) != 3 || order[1] != "second" || order[2] != "third" {
+		t.Fatalf("order = %v, want FIFO grant of second then third", order)
+	}
+}
+
+func TestTokensHeadOfLineBlocking(t *testing.T) {
+	e := NewEngine()
+	tk := NewTokens(e, 4)
+	var order []string
+	tk.Acquire(3, func() { order = append(order, "big1") })
+	tk.Acquire(3, func() { order = append(order, "big2") }) // must wait
+	tk.Acquire(1, func() { order = append(order, "small") })
+	e.Run()
+	// big2 needs 3 but only 1 free; small must NOT jump the queue.
+	if len(order) != 1 {
+		t.Fatalf("order = %v, want only big1 (no starvation bypass)", order)
+	}
+	tk.Release(3)
+	e.Run()
+	if len(order) != 3 || order[1] != "big2" || order[2] != "small" {
+		t.Fatalf("order = %v, want big1,big2,small", order)
+	}
+}
+
+func TestTokensResizeGrowDrainsQueue(t *testing.T) {
+	e := NewEngine()
+	tk := NewTokens(e, 1)
+	granted := 0
+	tk.Acquire(1, func() { granted++ })
+	tk.Acquire(1, func() { granted++ })
+	e.Run()
+	if granted != 1 {
+		t.Fatalf("granted=%d, want 1 before resize", granted)
+	}
+	tk.Resize(2)
+	e.Run()
+	if granted != 2 {
+		t.Fatalf("granted=%d, want 2 after growth", granted)
+	}
+}
+
+func TestTokensShrinkBelowInUse(t *testing.T) {
+	e := NewEngine()
+	tk := NewTokens(e, 4)
+	tk.Acquire(4, func() {})
+	e.Run()
+	tk.Resize(2) // oversubscribed now
+	if tk.Available() != -2 {
+		t.Fatalf("available=%d, want -2 while oversubscribed", tk.Available())
+	}
+	granted := false
+	tk.Acquire(1, func() { granted = true })
+	e.Run()
+	if granted {
+		t.Fatal("grant while oversubscribed")
+	}
+	tk.Release(4)
+	e.Run()
+	if !granted {
+		t.Fatal("no grant after oversubscription cleared")
+	}
+	if tk.InUse() != 1 {
+		t.Fatalf("inUse=%d, want 1", tk.InUse())
+	}
+}
+
+func TestTokensReleaseBelowZeroPanics(t *testing.T) {
+	e := NewEngine()
+	tk := NewTokens(e, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("release below zero did not panic")
+		}
+	}()
+	tk.Release(1)
+}
+
+// Property: conservation — after any sequence of acquire/release, inUse equals
+// acquired-minus-released and never exceeds capacity at grant time.
+func TestPropertyTokenConservation(t *testing.T) {
+	e := NewEngine()
+	tk := NewTokens(e, 8)
+	held := 0
+	var releases []int
+	for i := 0; i < 100; i++ {
+		n := 1 + i%4
+		tk.Acquire(n, func() {
+			held += n
+			if held > 8 {
+				t.Fatalf("grant pushed held=%d above capacity", held)
+			}
+			releases = append(releases, n)
+		})
+		e.Run()
+		// Release half of what we hold, FIFO.
+		for len(releases) > 1 {
+			r := releases[0]
+			releases = releases[1:]
+			held -= r
+			tk.Release(r)
+		}
+		e.Run()
+	}
+	if tk.InUse() != held {
+		t.Fatalf("pool inUse=%d, model held=%d", tk.InUse(), held)
+	}
+}

@@ -1,0 +1,228 @@
+// Package telemetry records what the simulated cluster did: piecewise-
+// constant time series (utilization, power), integrated quantities (energy,
+// cost), and per-agent execution spans. It also renders the artifacts the
+// paper's Figure 3 shows — per-agent Gantt timelines and CPU/GPU utilization
+// curves — as ASCII and CSV.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// StepSeries is a right-continuous piecewise-constant function of simulated
+// time: the value set at time t holds on [t, next-set-time). Samples must be
+// appended in nondecreasing time order, which every simulation source
+// naturally satisfies.
+type StepSeries struct {
+	times  []float64
+	values []float64
+}
+
+// NewStepSeries returns a series with an initial value holding from t=0.
+func NewStepSeries(initial float64) *StepSeries {
+	return &StepSeries{times: []float64{0}, values: []float64{initial}}
+}
+
+// Set records that the series takes value v from time t onward. Setting at a
+// time earlier than the last sample panics (simulation time never rewinds).
+// Setting the same time twice overwrites — the last write at an instant wins,
+// matching event-queue semantics.
+func (s *StepSeries) Set(t, v float64) {
+	n := len(s.times)
+	if n > 0 {
+		last := s.times[n-1]
+		if t < last {
+			panic(fmt.Sprintf("telemetry: Set at t=%v before last sample t=%v", t, last))
+		}
+		if t == last {
+			s.values[n-1] = v
+			return
+		}
+		if s.values[n-1] == v {
+			return // no change; keep the series minimal
+		}
+	}
+	s.times = append(s.times, t)
+	s.values = append(s.values, v)
+}
+
+// Value returns the series value at time t. Times before the first sample
+// return the first value.
+func (s *StepSeries) Value(t float64) float64 {
+	if len(s.times) == 0 {
+		return 0
+	}
+	// Find the last sample with time <= t.
+	i := sort.SearchFloat64s(s.times, t)
+	if i < len(s.times) && s.times[i] == t {
+		return s.values[i]
+	}
+	if i == 0 {
+		return s.values[0]
+	}
+	return s.values[i-1]
+}
+
+// Last returns the most recent value.
+func (s *StepSeries) Last() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.values[len(s.values)-1]
+}
+
+// Len returns the number of stored change points.
+func (s *StepSeries) Len() int { return len(s.times) }
+
+// ChangeTimes returns a copy of the series' change-point times in order.
+func (s *StepSeries) ChangeTimes() []float64 {
+	out := make([]float64, len(s.times))
+	copy(out, s.times)
+	return out
+}
+
+// Integral returns ∫ s(t) dt over [t0, t1]. For a power series in watts this
+// is energy in joules. t0 > t1 panics.
+func (s *StepSeries) Integral(t0, t1 float64) float64 {
+	if t0 > t1 {
+		panic(fmt.Sprintf("telemetry: integral over reversed interval [%v,%v]", t0, t1))
+	}
+	if len(s.times) == 0 || t0 == t1 {
+		return 0
+	}
+	total := 0.0
+	for i := 0; i < len(s.times); i++ {
+		segStart := s.times[i]
+		segEnd := math.Inf(1)
+		if i+1 < len(s.times) {
+			segEnd = s.times[i+1]
+		}
+		lo := math.Max(segStart, t0)
+		hi := math.Min(segEnd, t1)
+		if i == 0 && t0 < segStart {
+			// The initial value extends back to t0.
+			total += s.values[0] * (math.Min(segStart, t1) - t0)
+		}
+		if hi > lo {
+			total += s.values[i] * (hi - lo)
+		}
+	}
+	return total
+}
+
+// Mean returns the time-weighted mean over [t0, t1]; zero if the interval is
+// empty.
+func (s *StepSeries) Mean(t0, t1 float64) float64 {
+	if t1 <= t0 {
+		return 0
+	}
+	return s.Integral(t0, t1) / (t1 - t0)
+}
+
+// Max returns the maximum value attained in [t0, t1].
+func (s *StepSeries) Max(t0, t1 float64) float64 {
+	if len(s.times) == 0 {
+		return 0
+	}
+	max := s.Value(t0)
+	for i, t := range s.times {
+		if t > t0 && t <= t1 && s.values[i] > max {
+			max = s.values[i]
+		}
+	}
+	return max
+}
+
+// Resample evaluates the series on a regular grid [t0, t1] with step dt,
+// returning one value per grid point (inclusive of t0, exclusive of points
+// beyond t1). Each grid value is the time-weighted mean over its bucket,
+// which is what a utilization plot wants.
+func (s *StepSeries) Resample(t0, t1, dt float64) []float64 {
+	if dt <= 0 {
+		panic("telemetry: non-positive resample step")
+	}
+	var out []float64
+	for t := t0; t < t1; t += dt {
+		end := math.Min(t+dt, t1)
+		out = append(out, s.Mean(t, end))
+	}
+	return out
+}
+
+// SumSeries point-wise adds step series, producing a new series with change
+// points at the union of inputs' change points. Used to aggregate per-device
+// power into cluster power.
+func SumSeries(series ...*StepSeries) *StepSeries {
+	pts := changePoints(series)
+	out := NewStepSeries(0)
+	for _, t := range pts {
+		total := 0.0
+		for _, s := range series {
+			total += s.Value(t)
+		}
+		out.Set(t, total)
+	}
+	return out
+}
+
+// MeanSeries point-wise averages step series (e.g. per-device utilization →
+// average device utilization). Empty input returns a zero series.
+func MeanSeries(series ...*StepSeries) *StepSeries {
+	if len(series) == 0 {
+		return NewStepSeries(0)
+	}
+	pts := changePoints(series)
+	out := NewStepSeries(0)
+	for _, t := range pts {
+		total := 0.0
+		for _, s := range series {
+			total += s.Value(t)
+		}
+		out.Set(t, total/float64(len(series)))
+	}
+	return out
+}
+
+func changePoints(series []*StepSeries) []float64 {
+	seen := map[float64]bool{0: true}
+	var pts []float64
+	pts = append(pts, 0)
+	for _, s := range series {
+		for _, t := range s.times {
+			if !seen[t] {
+				seen[t] = true
+				pts = append(pts, t)
+			}
+		}
+	}
+	sort.Float64s(pts)
+	return pts
+}
+
+// JoulesToWh converts joules to watt-hours (the unit Table 2 reports).
+func JoulesToWh(j float64) float64 { return j / 3600 }
+
+// Sparkline renders values as a one-line unicode sparkline, a quick terminal
+// stand-in for the utilization plots in Figure 3.
+func Sparkline(values []float64, max float64) string {
+	if max <= 0 {
+		max = 1
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, v := range values {
+		frac := v / max
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		idx := int(frac * float64(len(levels)-1))
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestStepSeriesValue(t *testing.T) {
+	s := NewStepSeries(1)
+	s.Set(10, 5)
+	s.Set(20, 2)
+	cases := []struct{ t, want float64 }{
+		{0, 1}, {5, 1}, {10, 5}, {15, 5}, {20, 2}, {100, 2},
+	}
+	for _, c := range cases {
+		if got := s.Value(c.t); got != c.want {
+			t.Errorf("Value(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestStepSeriesSetSameInstantOverwrites(t *testing.T) {
+	s := NewStepSeries(0)
+	s.Set(5, 1)
+	s.Set(5, 9)
+	if got := s.Value(5); got != 9 {
+		t.Fatalf("Value(5) = %v, want last-write 9", got)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (no duplicate points)", s.Len())
+	}
+}
+
+func TestStepSeriesDedupEqualValues(t *testing.T) {
+	s := NewStepSeries(3)
+	s.Set(5, 3) // no change
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after redundant Set", s.Len())
+	}
+}
+
+func TestStepSeriesRewindPanics(t *testing.T) {
+	s := NewStepSeries(0)
+	s.Set(10, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set in the past did not panic")
+		}
+	}()
+	s.Set(5, 2)
+}
+
+func TestIntegral(t *testing.T) {
+	s := NewStepSeries(2) // 2 on [0,10), 4 on [10,20), 0 after
+	s.Set(10, 4)
+	s.Set(20, 0)
+	cases := []struct{ t0, t1, want float64 }{
+		{0, 10, 20},
+		{0, 20, 60},
+		{5, 15, 30},
+		{0, 30, 60},
+		{20, 30, 0},
+		{7, 7, 0},
+	}
+	for _, c := range cases {
+		if got := s.Integral(c.t0, c.t1); !almost(got, c.want) {
+			t.Errorf("Integral(%v,%v) = %v, want %v", c.t0, c.t1, got, c.want)
+		}
+	}
+}
+
+func TestMeanAndMax(t *testing.T) {
+	s := NewStepSeries(0)
+	s.Set(10, 10)
+	if got := s.Mean(0, 20); !almost(got, 5) {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := s.Max(0, 20); got != 10 {
+		t.Errorf("Max = %v, want 10", got)
+	}
+	if got := s.Max(0, 5); got != 0 {
+		t.Errorf("Max over flat prefix = %v, want 0", got)
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := NewStepSeries(0)
+	s.Set(5, 100) // 0 for [0,5), 100 after
+	got := s.Resample(0, 10, 5)
+	if len(got) != 2 || !almost(got[0], 0) || !almost(got[1], 100) {
+		t.Fatalf("Resample = %v, want [0 100]", got)
+	}
+	// Bucket straddling the step: mean of half 0, half 100.
+	got = s.Resample(0, 10, 10)
+	if len(got) != 1 || !almost(got[0], 50) {
+		t.Fatalf("straddling Resample = %v, want [50]", got)
+	}
+}
+
+func TestSumAndMeanSeries(t *testing.T) {
+	a := NewStepSeries(1)
+	a.Set(10, 3)
+	b := NewStepSeries(2)
+	b.Set(5, 0)
+	sum := SumSeries(a, b)
+	if got := sum.Value(0); !almost(got, 3) {
+		t.Errorf("sum at 0 = %v, want 3", got)
+	}
+	if got := sum.Value(7); !almost(got, 1) {
+		t.Errorf("sum at 7 = %v, want 1", got)
+	}
+	if got := sum.Value(12); !almost(got, 3) {
+		t.Errorf("sum at 12 = %v, want 3", got)
+	}
+	mean := MeanSeries(a, b)
+	if got := mean.Value(12); !almost(got, 1.5) {
+		t.Errorf("mean at 12 = %v, want 1.5", got)
+	}
+}
+
+func TestJoulesToWh(t *testing.T) {
+	if got := JoulesToWh(3600); got != 1 {
+		t.Fatalf("3600 J = %v Wh, want 1", got)
+	}
+}
+
+// Property: the integral over [a,c] equals integral [a,b] + [b,c] for any
+// split point (additivity), and is nonnegative for nonnegative series.
+func TestPropertyIntegralAdditive(t *testing.T) {
+	f := func(vals []uint8, split uint8) bool {
+		s := NewStepSeries(1)
+		t0 := 0.0
+		for i, v := range vals {
+			t0 += 1 + float64(v%7)
+			s.Set(t0, float64(v%50))
+			_ = i
+		}
+		end := t0 + 10
+		mid := float64(split) / 255 * end
+		whole := s.Integral(0, end)
+		parts := s.Integral(0, mid) + s.Integral(mid, end)
+		return math.Abs(whole-parts) < 1e-6 && whole >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	got := Sparkline([]float64{0, 50, 100}, 100)
+	if len([]rune(got)) != 3 {
+		t.Fatalf("sparkline rune count = %d, want 3", len([]rune(got)))
+	}
+	if !strings.HasSuffix(got, "█") {
+		t.Fatalf("sparkline %q does not end at full block", got)
+	}
+	if !strings.HasPrefix(got, "▁") {
+		t.Fatalf("sparkline %q does not start at empty block", got)
+	}
+}

@@ -1,0 +1,78 @@
+package workflow
+
+import "testing"
+
+func TestConstraintString(t *testing.T) {
+	cases := map[Constraint]string{
+		MinCost:    "MIN_COST",
+		MinLatency: "MIN_LATENCY",
+		MinPower:   "MIN_POWER",
+		MaxQuality: "MAX_QUALITY",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), got, want)
+		}
+	}
+	if got := Constraint(99).String(); got != "Constraint(99)" {
+		t.Errorf("unknown constraint = %q", got)
+	}
+}
+
+func TestJobValidate(t *testing.T) {
+	good := Job{
+		Description: "List objects in the videos",
+		Inputs:      []Input{VideoInput("cats.mov", 240, 30, 24)},
+		Constraint:  MinCost,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid job rejected: %v", err)
+	}
+	cases := []Job{
+		{Inputs: good.Inputs},                            // no description
+		{Description: "x"},                               // no inputs
+		{Description: "x", Inputs: []Input{{}}},          // unnamed input
+		{Description: "x", Inputs: []Input{{Name: "a"}}}, // kindless input
+		{Description: "x", Inputs: good.Inputs, MinQuality: 1.5},
+		{Description: "x", Inputs: good.Inputs, Constraint: Constraint(42)},
+	}
+	for i, j := range cases {
+		if err := j.Validate(); err == nil {
+			t.Errorf("case %d: invalid job accepted", i)
+		}
+	}
+}
+
+func TestVideoInput(t *testing.T) {
+	in := VideoInput("cats.mov", 240, 30, 24)
+	if in.Kind != InputVideo {
+		t.Fatalf("kind = %q", in.Kind)
+	}
+	if got := in.Attr("scenes", 0); got != 8 {
+		t.Fatalf("scenes = %v, want 8", got)
+	}
+	if got := in.Attr("frames_per_scene", 0); got != 24 {
+		t.Fatalf("frames = %v", got)
+	}
+	// Non-divisible duration rounds scene count up.
+	in = VideoInput("x.mov", 100, 30, 10)
+	if got := in.Attr("scenes", 0); got != 4 {
+		t.Fatalf("scenes = %v, want ceil(100/30) = 4", got)
+	}
+}
+
+func TestVideoInputPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive duration did not panic")
+		}
+	}()
+	VideoInput("x", 0, 30, 10)
+}
+
+func TestAttrDefault(t *testing.T) {
+	in := Input{Name: "x", Kind: InputText}
+	if got := in.Attr("missing", 7); got != 7 {
+		t.Fatalf("Attr default = %v, want 7", got)
+	}
+}

@@ -1,0 +1,143 @@
+// Package workload generates synthetic job streams for scale experiments:
+// parameterized video-understanding and newsfeed jobs, mixed-tenant traces
+// with Poisson arrivals, and deterministic seeding throughout. The paper's
+// evaluation runs one workflow at a time; these generators drive the
+// multi-tenant and load-sweep extensions (Figure 2's vision at scale).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/workflow"
+)
+
+// VideoJob builds a video-understanding job with the given shape.
+func VideoJob(videos, scenesPerVideo int, sceneLenS float64, framesPerScene int,
+	c workflow.Constraint) workflow.Job {
+	job := workflow.Job{
+		Description: "List objects shown/mentioned in the videos",
+		Constraint:  c,
+		MinQuality:  0.95,
+	}
+	for i := 0; i < videos; i++ {
+		job.Inputs = append(job.Inputs, workflow.VideoInput(
+			fmt.Sprintf("video%d.mov", i),
+			float64(scenesPerVideo)*sceneLenS, sceneLenS, framesPerScene))
+	}
+	return job
+}
+
+// NewsfeedJob builds a newsfeed job for a user with n topics.
+func NewsfeedJob(user string, topics int, c workflow.Constraint) workflow.Job {
+	job := workflow.Job{
+		Description: "Generate social media newsfeed for " + user,
+		Constraint:  c,
+		Inputs: []workflow.Input{
+			{Name: user, Kind: workflow.InputUser},
+		},
+	}
+	for i := 0; i < topics; i++ {
+		job.Inputs = append(job.Inputs, workflow.Input{
+			Name:  fmt.Sprintf("topic%d", i),
+			Kind:  workflow.InputTopic,
+			Attrs: map[string]float64{"queries": 3},
+		})
+	}
+	return job
+}
+
+// DocQAJob builds a document question-answering job over n documents.
+func DocQAJob(docs int, tokensPerDoc float64, c workflow.Constraint) workflow.Job {
+	job := workflow.Job{
+		Description: "Answer questions about the documents",
+		Constraint:  c,
+	}
+	for i := 0; i < docs; i++ {
+		job.Inputs = append(job.Inputs, workflow.Input{
+			Name:  fmt.Sprintf("doc%d.pdf", i),
+			Kind:  workflow.InputDoc,
+			Attrs: map[string]float64{"tokens": tokensPerDoc},
+		})
+	}
+	return job
+}
+
+// Arrival is one job arriving at a simulated time for a tenant.
+type Arrival struct {
+	AtS    float64
+	Tenant string
+	Job    workflow.Job
+}
+
+// MixSpec weights job kinds in a trace.
+type MixSpec struct {
+	// VideoWeight / NewsfeedWeight / DocQAWeight are relative frequencies;
+	// they need not sum to 1.
+	VideoWeight    float64
+	NewsfeedWeight float64
+	DocQAWeight    float64
+	// Tenants is the tenant population; arrivals round-robin with jitter.
+	Tenants []string
+	// Constraint applies to every generated job.
+	Constraint workflow.Constraint
+}
+
+// DefaultMix is a video-heavy mix over three tenants.
+func DefaultMix() MixSpec {
+	return MixSpec{
+		VideoWeight:    0.5,
+		NewsfeedWeight: 0.35,
+		DocQAWeight:    0.15,
+		Tenants:        []string{"alice", "bob", "carol"},
+		Constraint:     workflow.MinCost,
+	}
+}
+
+// PoissonTrace generates arrivals with exponential inter-arrival times at
+// the given mean rate (jobs/second) over [0, horizonS). Deterministic for a
+// fixed seed.
+func PoissonTrace(mix MixSpec, rate, horizonS float64, seed int64) ([]Arrival, error) {
+	if rate <= 0 || horizonS <= 0 {
+		return nil, fmt.Errorf("workload: rate and horizon must be positive")
+	}
+	total := mix.VideoWeight + mix.NewsfeedWeight + mix.DocQAWeight
+	if total <= 0 {
+		return nil, fmt.Errorf("workload: mix has no weight")
+	}
+	if len(mix.Tenants) == 0 {
+		return nil, fmt.Errorf("workload: mix has no tenants")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []Arrival
+	t := 0.0
+	for {
+		t += expSample(rng, rate)
+		if t >= horizonS {
+			break
+		}
+		tenant := mix.Tenants[rng.Intn(len(mix.Tenants))]
+		u := rng.Float64() * total
+		var job workflow.Job
+		switch {
+		case u < mix.VideoWeight:
+			// Small videos keep trace experiments fast: 1 video × 4 scenes.
+			job = VideoJob(1, 4, 30, 24, mix.Constraint)
+		case u < mix.VideoWeight+mix.NewsfeedWeight:
+			job = NewsfeedJob(tenant, 2+rng.Intn(3), mix.Constraint)
+		default:
+			job = DocQAJob(2+rng.Intn(3), 800, mix.Constraint)
+		}
+		out = append(out, Arrival{AtS: t, Tenant: tenant, Job: job})
+	}
+	return out, nil
+}
+
+func expSample(rng *rand.Rand, rate float64) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return -math.Log(u) / rate
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workflow"
+)
+
+func TestVideoJobShape(t *testing.T) {
+	job := VideoJob(2, 8, 30, 24, workflow.MinCost)
+	if err := job.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(job.Inputs) != 2 {
+		t.Fatalf("inputs = %d", len(job.Inputs))
+	}
+	if got := job.Inputs[0].Attr("scenes", 0); got != 8 {
+		t.Fatalf("scenes = %v", got)
+	}
+}
+
+func TestNewsfeedJobShape(t *testing.T) {
+	job := NewsfeedJob("alice", 3, workflow.MinLatency)
+	if err := job.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 user + 3 topics.
+	if len(job.Inputs) != 4 {
+		t.Fatalf("inputs = %d", len(job.Inputs))
+	}
+	if job.Inputs[0].Kind != workflow.InputUser {
+		t.Fatal("first input not the user profile")
+	}
+}
+
+func TestDocQAJobShape(t *testing.T) {
+	job := DocQAJob(3, 500, workflow.MaxQuality)
+	if err := job.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(job.Inputs) != 3 || job.Inputs[0].Attr("tokens", 0) != 500 {
+		t.Fatalf("inputs = %+v", job.Inputs)
+	}
+}
+
+func TestPoissonTraceDeterministic(t *testing.T) {
+	a, err := PoissonTrace(DefaultMix(), 0.1, 600, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := PoissonTrace(DefaultMix(), 0.1, 600, 42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].AtS != b[i].AtS || a[i].Tenant != b[i].Tenant ||
+			a[i].Job.Description != b[i].Job.Description {
+			t.Fatalf("traces diverge at %d", i)
+		}
+	}
+	c, _ := PoissonTrace(DefaultMix(), 0.1, 600, 43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i].AtS != c[i].AtS {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestPoissonTraceRate(t *testing.T) {
+	// Mean arrivals over a long horizon ≈ rate × horizon.
+	arr, err := PoissonTrace(DefaultMix(), 0.5, 10000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5 * 10000
+	if math.Abs(float64(len(arr))-want) > 0.1*want {
+		t.Fatalf("arrivals = %d, want ≈ %.0f", len(arr), want)
+	}
+	// Ordered in time, inside the horizon.
+	for i, a := range arr {
+		if a.AtS < 0 || a.AtS >= 10000 {
+			t.Fatalf("arrival %d at %v outside horizon", i, a.AtS)
+		}
+		if i > 0 && arr[i-1].AtS > a.AtS {
+			t.Fatal("arrivals not time-ordered")
+		}
+	}
+}
+
+func TestPoissonTraceMixCoverage(t *testing.T) {
+	arr, _ := PoissonTrace(DefaultMix(), 1, 2000, 3)
+	kinds := map[string]int{}
+	tenants := map[string]int{}
+	for _, a := range arr {
+		kinds[a.Job.Description]++
+		tenants[a.Tenant]++
+		if err := a.Job.Validate(); err != nil {
+			t.Fatalf("generated invalid job: %v", err)
+		}
+	}
+	if len(kinds) < 3 {
+		t.Fatalf("only %d job kinds generated: %v", len(kinds), kinds)
+	}
+	if len(tenants) != 3 {
+		t.Fatalf("tenants = %v", tenants)
+	}
+}
+
+func TestPoissonTraceErrors(t *testing.T) {
+	if _, err := PoissonTrace(DefaultMix(), 0, 100, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := PoissonTrace(DefaultMix(), 1, 0, 1); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	bad := DefaultMix()
+	bad.Tenants = nil
+	if _, err := PoissonTrace(bad, 1, 100, 1); err == nil {
+		t.Error("tenantless mix accepted")
+	}
+	bad = DefaultMix()
+	bad.VideoWeight, bad.NewsfeedWeight, bad.DocQAWeight = 0, 0, 0
+	if _, err := PoissonTrace(bad, 1, 100, 1); err == nil {
+		t.Error("weightless mix accepted")
+	}
+}
