@@ -1,0 +1,27 @@
+# Build / test / benchmark entry points for the reproduction.
+
+GO ?= go
+DATE := $(shell date +%F)
+
+.PHONY: all build test vet bench bench-smoke
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench writes the full benchmark suite (paper metrics + perf counters +
+# allocation stats) as test2json events to BENCH_<date>.json, building the
+# perf trajectory across PRs. Human-readable output goes to stdout via tee.
+bench:
+	$(GO) test -bench . -benchmem -benchtime 5x -run '^$$' -json . | tee BENCH_$(DATE).json
+
+# bench-smoke is the CI-speed variant: one iteration per benchmark.
+bench-smoke:
+	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' .

@@ -137,6 +137,30 @@ func BenchmarkLoadSweep(b *testing.B) {
 	b.ReportMetric(last.Points[0].MeanQueueS, "mean_queue_s")
 }
 
+// BenchmarkLoadSweepHeavy measures the AIWaaS pipeline at production shape:
+// ~420 Poisson jobs over a 2000 s horizon at 0.2 jobs/s. This is the
+// regression guard for the O(events) telemetry/report path — per-job report
+// finalization reads the cluster's running aggregates, plans and
+// decompositions are memoized across the sweep's structurally-identical
+// jobs, and profiling is shared across testbeds, so cost stays near-linear
+// in simulated events instead of quadratic.
+func BenchmarkLoadSweepHeavy(b *testing.B) {
+	b.ReportAllocs()
+	var last *experiments.LoadSweepResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.LoadSweep([]float64{0.2}, 2000, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	pt := last.Points[0]
+	b.ReportMetric(float64(pt.Jobs), "jobs")
+	b.ReportMetric(float64(pt.Completed), "completed")
+	b.ReportMetric(pt.MeanLatencyS, "mean_latency_s")
+	b.ReportMetric(pt.MeanQueueS, "mean_queue_s")
+}
+
 // BenchmarkMultiCloud measures the §5 multi-platform placement comparison.
 func BenchmarkMultiCloud(b *testing.B) {
 	var last *experiments.MultiCloudResult

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/agents"
@@ -113,8 +114,13 @@ func main() {
 
 	fmt.Println(rep.String())
 	fmt.Println("\nDecisions:")
-	for cap, d := range rep.Decisions {
-		fmt.Printf("  %-22s %s\n", cap, d)
+	caps := make([]string, 0, len(rep.Decisions))
+	for cap := range rep.Decisions {
+		caps = append(caps, cap)
+	}
+	sort.Strings(caps)
+	for _, cap := range caps {
+		fmt.Printf("  %-22s %s\n", cap, rep.Decisions[cap])
 	}
 	fmt.Println("\nTimeline:")
 	fmt.Print(rep.Timeline(*width))

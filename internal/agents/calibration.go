@@ -1,6 +1,10 @@
 package agents
 
-import "repro/internal/hardware"
+import (
+	"sync"
+
+	"repro/internal/hardware"
+)
 
 // This file defines the default agent library with its calibration
 // constants. Work units per capability:
@@ -326,5 +330,18 @@ func DefaultLibrary() *Library {
 		Args: []ArgSpec{{Name: "expression", Type: "string", Required: true}},
 	})
 
+	// Every DefaultLibrary call registers the same content, so the (fairly
+	// expensive) fingerprint rendering is computed once per process and
+	// pre-seeded into each instance; later registrations bump gen and force
+	// a recompute.
+	defaultFPOnce.Do(func() { defaultFP = l.Fingerprint() })
+	l.fpCache = defaultFP
+	l.fpGen = l.gen
+
 	return l
 }
+
+var (
+	defaultFPOnce sync.Once
+	defaultFP     string
+)

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/contentkey"
 )
 
 // Library is the runtime's registry of implementations, "detailing their
@@ -14,6 +16,17 @@ import (
 type Library struct {
 	byName map[string]*Implementation
 	byCap  map[Capability][]*Implementation
+	// gen counts registrations, letting caches keyed on library content
+	// (plan cache, shared profile stores) detect additions in O(1).
+	gen int
+	// promptCache memoizes SystemPrompt for promptGen == gen; the planner
+	// renders the prompt on every decomposition, and the library rarely
+	// changes after construction. fpCache does the same for Fingerprint,
+	// which every testbed construction consults for the shared profile key.
+	promptCache string
+	promptGen   int
+	fpCache     string
+	fpGen       int
 }
 
 // NewLibrary returns an empty library.
@@ -35,7 +48,61 @@ func (l *Library) Register(im Implementation) error {
 	cp := im
 	l.byName[im.Name] = &cp
 	l.byCap[im.Capability] = append(l.byCap[im.Capability], &cp)
+	l.gen++
 	return nil
+}
+
+// Gen returns the library's registration generation.
+func (l *Library) Gen() int { return l.gen }
+
+// Fingerprint renders the library's full content deterministically and
+// injectively: string fields are length-prefixed and numbers
+// semicolon-terminated, so no two distinct libraries share a fingerprint
+// even with adversarial names — the key contract behind SharedProfiles.
+// Every Implementation field must be serialized here; a field added to the
+// struct without a line below silently escapes content keying. The
+// rendering is memoized until the next registration.
+func (l *Library) Fingerprint() string {
+	if l.fpCache != "" && l.fpGen == l.gen {
+		return l.fpCache
+	}
+	var b strings.Builder
+	str := func(s string) { contentkey.WriteString(&b, s) }
+	num := func(f float64) { contentkey.WriteFloat(&b, f) }
+	for _, c := range l.Capabilities() {
+		for _, im := range l.byCapabilitySorted(c) {
+			str(im.Name)
+			str(string(im.Capability))
+			str(string(im.Kind))
+			num(im.ParamsB)
+			num(im.Quality)
+			p := im.Perf
+			num(p.BaseS)
+			num(p.GPUUnitS)
+			num(p.CPUCoreUnitS)
+			num(p.GPUParallelExp)
+			num(p.CPUParallelExp)
+			num(p.GPUIntensity)
+			num(p.CPUIntensity)
+			str(string(p.RefGPU))
+			contentkey.WriteInt(&b, p.MinGPUs)
+			contentkey.WriteInt(&b, p.MaxGPUs)
+			contentkey.WriteInt(&b, p.MinCores)
+			contentkey.WriteInt(&b, p.MaxCores)
+			for _, a := range im.Args {
+				str(a.Name)
+				str(a.Type)
+				if a.Required {
+					b.WriteByte('!')
+				}
+				b.WriteByte(';')
+			}
+			b.WriteByte('|')
+		}
+	}
+	l.fpCache = b.String()
+	l.fpGen = l.gen
+	return l.fpCache
 }
 
 // MustRegister is Register for construction code.
@@ -45,20 +112,53 @@ func (l *Library) MustRegister(im Implementation) {
 	}
 }
 
-// Get returns an implementation by name.
+// Get returns an implementation by name. The returned value is a defensive
+// copy (Args included): registered implementations are immutable, which is
+// what lets the content-keyed caches (Fingerprint, SystemPrompt,
+// SharedProfiles, the runtime's plan cache) trust the registration
+// generation. Mutating the copy does not change the library; re-register
+// under a new name instead.
 func (l *Library) Get(name string) (*Implementation, bool) {
 	im, ok := l.byName[name]
-	return im, ok
+	if !ok {
+		return nil, false
+	}
+	return im.clone(), true
+}
+
+// clone deep-copies an implementation (the Args slice gets its own backing
+// array so no mutation path back into the registry exists).
+func (im *Implementation) clone() *Implementation {
+	cp := *im
+	if len(im.Args) > 0 {
+		cp.Args = append([]ArgSpec(nil), im.Args...)
+	}
+	return &cp
 }
 
 // ByCapability returns implementations providing a capability, sorted by
-// name for determinism.
+// name for determinism. Like Get, the elements are defensive copies.
 func (l *Library) ByCapability(c Capability) []*Implementation {
+	raw := l.byCapabilitySorted(c)
+	list := make([]*Implementation, len(raw))
+	for i, im := range raw {
+		list[i] = im.clone()
+	}
+	return list
+}
+
+// byCapabilitySorted returns the registry's own pointers sorted by name —
+// for internal read-only iteration that must not pay the defensive clone.
+func (l *Library) byCapabilitySorted(c Capability) []*Implementation {
 	list := make([]*Implementation, len(l.byCap[c]))
 	copy(list, l.byCap[c])
 	sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
 	return list
 }
+
+// HasCapability reports whether at least one implementation provides c,
+// without the copying ByCapability does.
+func (l *Library) HasCapability(c Capability) bool { return len(l.byCap[c]) > 0 }
 
 // Capabilities returns the capabilities with at least one implementation,
 // sorted.
@@ -76,13 +176,17 @@ func (l *Library) Len() int { return len(l.byName) }
 
 // SystemPrompt renders the library as the agent-catalog system prompt the
 // paper describes feeding the orchestrator LLM ("Murakkab provides the agent
-// library via the system prompt").
+// library via the system prompt"). The rendering is memoized until the next
+// registration.
 func (l *Library) SystemPrompt() string {
+	if l.promptCache != "" && l.promptGen == l.gen {
+		return l.promptCache
+	}
 	var b strings.Builder
 	b.WriteString("You are an orchestrator that decomposes jobs into tasks and assigns agents.\n")
 	b.WriteString("Available agents:\n")
 	for _, c := range l.Capabilities() {
-		for _, im := range l.ByCapability(c) {
+		for _, im := range l.byCapabilitySorted(c) {
 			fmt.Fprintf(&b, "- %s (%s, %s): capability=%s", im.Name, im.Kind, paramsLabel(im.ParamsB), c)
 			if len(im.Args) > 0 {
 				names := make([]string, len(im.Args))
@@ -98,7 +202,9 @@ func (l *Library) SystemPrompt() string {
 			b.WriteString("\n")
 		}
 	}
-	return b.String()
+	l.promptCache = b.String()
+	l.promptGen = l.gen
+	return l.promptCache
 }
 
 func paramsLabel(b float64) string {

@@ -2,7 +2,9 @@ package agents
 
 import (
 	"fmt"
+	"strings"
 
+	"repro/internal/contentkey"
 	"repro/internal/hardware"
 	"repro/internal/profiles"
 )
@@ -72,6 +74,28 @@ func (p *Profiler) ProfileImplementation(im *Implementation, cfg profiles.Resour
 		CPUIntensity:   cpuIntensity,
 		Quality:        im.Quality,
 	}, nil
+}
+
+// SharedProfiles returns the profile store for (catalog, library), profiling
+// at most once per distinct content and handing every caller a copy-on-write
+// view of the memoized result — §3.3(a)'s "profiling is amortized over the
+// lifetime of all the workflows" made literal. Experiments that build a
+// fresh testbed per load point hit the same master store as long as their
+// catalog and library contents match; callers that mutate their view
+// (calibration tests) detach automatically and cannot perturb anyone else.
+//
+// The content key lives in profiles.Shared rather than taking the library
+// directly because profiles must not import agents (agents consumes
+// profiles).
+func SharedProfiles(cat *hardware.Catalog, lib *Library) (*profiles.Store, error) {
+	// Length-prefix both fingerprints so the joint key inherits their
+	// injectivity (a bare separator could be forged by a name payload).
+	var key strings.Builder
+	contentkey.WriteString(&key, cat.Fingerprint())
+	contentkey.WriteString(&key, lib.Fingerprint())
+	return profiles.Shared(key.String(), func() (*profiles.Store, error) {
+		return NewProfiler(cat).ProfileLibrary(lib)
+	})
 }
 
 // ProfileLibrary measures every implementation in the library across its

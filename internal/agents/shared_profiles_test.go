@@ -1,0 +1,103 @@
+package agents
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/hardware"
+	"repro/internal/profiles"
+)
+
+// TestSharedProfilesEqualAcrossCalls pins the §3.3(a) amortization contract:
+// repeated calls — including with distinct but content-equal catalog/library
+// instances — return stores with identical contents.
+func TestSharedProfilesEqualAcrossCalls(t *testing.T) {
+	a, err := SharedProfiles(hardware.DefaultCatalog(), DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SharedProfiles(hardware.DefaultCatalog(), DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 {
+		t.Fatal("shared store is empty")
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("store sizes differ across calls: %d vs %d", a.Len(), b.Len())
+	}
+	fresh, err := NewProfiler(hardware.DefaultCatalog()).ProfileLibrary(DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, impl := range fresh.Implementations() {
+		if !reflect.DeepEqual(a.ForImplementation(impl), fresh.ForImplementation(impl)) {
+			t.Fatalf("shared store diverges from fresh profiling for %s", impl)
+		}
+		if !reflect.DeepEqual(a.ForImplementation(impl), b.ForImplementation(impl)) {
+			t.Fatalf("two shared views diverge for %s", impl)
+		}
+	}
+}
+
+// TestSharedProfilesCopyOnWrite verifies that mutating one view (as a
+// calibration-tweaking test would) never leaks into sibling views or later
+// calls.
+func TestSharedProfilesCopyOnWrite(t *testing.T) {
+	a, err := SharedProfiles(hardware.DefaultCatalog(), DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := profiles.ResourceConfig{CPUCores: 4}
+	orig, ok := a.Get(ImplWhisper, cfg)
+	if !ok {
+		t.Fatalf("no %s profile for %v", ImplWhisper, cfg)
+	}
+	mutated := orig
+	mutated.BaseS = orig.BaseS + 42
+	if err := a.Put(mutated); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := a.Get(ImplWhisper, cfg); got.BaseS != orig.BaseS+42 {
+		t.Fatalf("mutation did not stick on the mutated view: %v", got.BaseS)
+	}
+	if a.Gen() == 0 {
+		t.Fatal("mutation did not bump the view's generation")
+	}
+
+	b, err := SharedProfiles(hardware.DefaultCatalog(), DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := b.Get(ImplWhisper, cfg); got.BaseS != orig.BaseS {
+		t.Fatalf("mutation leaked into a sibling view: BaseS %v, want %v", got.BaseS, orig.BaseS)
+	}
+	if b.Gen() != 0 {
+		t.Fatalf("fresh view has non-zero generation %d", b.Gen())
+	}
+}
+
+// TestSharedProfilesDistinctContentDistinctStores ensures the content key
+// actually separates different libraries.
+func TestSharedProfilesDistinctContentDistinctStores(t *testing.T) {
+	small := NewLibrary()
+	small.MustRegister(Implementation{
+		Name: "only-tool", Capability: CapFrameExtraction, Kind: KindTool,
+		Quality: 1.0,
+		Perf: PerfModel{
+			BaseS: 0.1, CPUCoreUnitS: 0.1, CPUParallelExp: 1, CPUIntensity: 0.5,
+			MinCores: 1, MaxCores: 4,
+		},
+	})
+	s, err := SharedProfiles(hardware.DefaultCatalog(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := SharedProfiles(hardware.DefaultCatalog(), DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() == full.Len() {
+		t.Fatalf("distinct libraries mapped to the same store (%d profiles)", s.Len())
+	}
+}

@@ -38,6 +38,20 @@ func (g *GPU) Util() *telemetry.StepSeries { return g.util }
 // Power returns the device's power series in watts.
 func (g *GPU) Power() *telemetry.StepSeries { return g.power }
 
+// setUtil records the device's utilization at now, keeping the cluster-wide
+// utilization-sum aggregate in sync.
+func (g *GPU) setUtil(now, u float64) {
+	g.vm.cluster.gpuUtilSumAgg.AddDelta(now, u-g.util.Last())
+	g.util.Set(now, u)
+}
+
+// setPower records the device's power draw at now, keeping the cluster-wide
+// power aggregate in sync.
+func (g *GPU) setPower(now, w float64) {
+	g.vm.cluster.gpuPowerAgg.AddDelta(now, w-g.power.Last())
+	g.power.Set(now, w)
+}
+
 // VM is one rented machine: a CPU-core pool plus zero or more GPUs.
 type VM struct {
 	Name string
@@ -45,15 +59,18 @@ type VM struct {
 	// Spot marks the VM as preemptible (rented at SKU.SpotDiscount).
 	Spot bool
 
-	cluster   *Cluster
-	gpus      []*GPU
-	cpuSpec   hardware.CPUSpec
-	cpuTotal  int
-	cpuInUse  int
-	cpuUtil   *telemetry.StepSeries // fraction of cores busy, weighted by intensity
-	cpuPower  *telemetry.StepSeries
-	cpuLoad   float64 // Σ cores×intensity across live CPU allocations
-	preempted bool
+	cluster  *Cluster
+	gpus     []*GPU
+	cpuSpec  hardware.CPUSpec
+	cpuTotal int
+	cpuInUse int
+	cpuUtil  *telemetry.StepSeries // fraction of cores busy, weighted by intensity
+	cpuPower *telemetry.StepSeries
+	cpuLoad  float64 // Σ cores×intensity across live CPU allocations
+	// sampledLoad is the load value most recently folded into the cluster's
+	// load-sum aggregate (the delta base for the next sample).
+	sampledLoad float64
+	preempted   bool
 }
 
 // GPUs returns the VM's devices.
@@ -100,6 +117,17 @@ type Cluster struct {
 	nextAllocID  int
 	liveGPU      map[int]*GPUAlloc
 	liveCPU      map[int]*CPUAlloc
+
+	// Cluster-wide running aggregates, updated O(1) at every device sample so
+	// report finalization reads them directly instead of re-merging every
+	// per-device series per execution (§3.3's amortization applied to
+	// telemetry). gpuPowerAgg/cpuPowerAgg total watts; gpuUtilSumAgg is the
+	// unweighted Σ of per-GPU intensities; cpuLoadSumAgg is Σ cores×intensity
+	// across VMs (the core-weighted load).
+	gpuPowerAgg   *telemetry.StepSeries
+	cpuPowerAgg   *telemetry.StepSeries
+	gpuUtilSumAgg *telemetry.StepSeries
+	cpuLoadSumAgg *telemetry.StepSeries
 }
 
 // New creates an empty cluster on the given engine and catalog.
@@ -108,10 +136,14 @@ func New(engine *sim.Engine, catalog *hardware.Catalog) *Cluster {
 		panic("cluster: nil engine or catalog")
 	}
 	return &Cluster{
-		engine:  engine,
-		catalog: catalog,
-		liveGPU: make(map[int]*GPUAlloc),
-		liveCPU: make(map[int]*CPUAlloc),
+		engine:        engine,
+		catalog:       catalog,
+		liveGPU:       make(map[int]*GPUAlloc),
+		liveCPU:       make(map[int]*CPUAlloc),
+		gpuPowerAgg:   telemetry.NewStepSeries(0),
+		cpuPowerAgg:   telemetry.NewStepSeries(0),
+		gpuUtilSumAgg: telemetry.NewStepSeries(0),
+		cpuLoadSumAgg: telemetry.NewStepSeries(0),
 	}
 }
 
@@ -139,7 +171,7 @@ func (c *Cluster) AddVM(name, skuName string, spot bool) *VM {
 		cpuSpec:  c.catalog.MustCPU(sku.CPU),
 		cpuTotal: sku.CPUCores,
 		cpuUtil:  telemetry.NewStepSeries(0),
-		cpuPower: telemetry.NewStepSeries(hardware.CPUPower(c.catalog.MustCPU(sku.CPU), sku.CPUCores, 0)),
+		cpuPower: telemetry.NewStepSeries(0),
 	}
 	for i := 0; i < sku.GPUCount; i++ {
 		spec := c.catalog.MustGPU(sku.GPU)
@@ -148,10 +180,17 @@ func (c *Cluster) AddVM(name, skuName string, spot bool) *VM {
 			Spec:  spec,
 			vm:    vm,
 			util:  telemetry.NewStepSeries(0),
-			power: telemetry.NewStepSeries(spec.IdleWatts),
+			power: telemetry.NewStepSeries(0),
 		})
 	}
 	c.vms = append(c.vms, vm)
+	// Record the idle draw through the sampling helpers so the cluster-wide
+	// aggregates pick it up.
+	now := c.engine.Now().Seconds()
+	vm.sampleCPU(now, 0, 0, hardware.CPUPower(vm.cpuSpec, vm.cpuTotal, 0))
+	for _, g := range vm.gpus {
+		g.setPower(now, g.Spec.IdleWatts)
+	}
 	return vm
 }
 
@@ -207,8 +246,8 @@ func (a *GPUAlloc) SetIntensity(x float64) {
 	now := a.cluster.engine.Now().Seconds()
 	for _, g := range a.gpus {
 		g.intensity = x
-		g.util.Set(now, x)
-		g.power.Set(now, hardware.GPUPower(g.Spec, x))
+		g.setUtil(now, x)
+		g.setPower(now, hardware.GPUPower(g.Spec, x))
 	}
 }
 
@@ -223,9 +262,9 @@ func (a *GPUAlloc) Release() {
 	for _, g := range a.gpus {
 		g.allocated = false
 		g.intensity = 0
-		g.util.Set(now, 0)
+		g.setUtil(now, 0)
 		if !g.vm.preempted {
-			g.power.Set(now, g.Spec.IdleWatts)
+			g.setPower(now, g.Spec.IdleWatts)
 		}
 	}
 	a.cluster.notifyRelease()
@@ -380,8 +419,19 @@ func (v *VM) refreshCPUSeries() {
 	if v.cpuTotal > 0 {
 		util = v.cpuLoad / float64(v.cpuTotal)
 	}
+	v.sampleCPU(now, v.cpuLoad, util, hardware.CPUPower(v.cpuSpec, v.cpuTotal, util))
+}
+
+// sampleCPU records the VM's CPU load (Σ cores×intensity), utilization and
+// power at now, updating the cluster-wide running aggregates by the deltas.
+// Preemption passes zeros for all three (a gone machine draws nothing).
+func (v *VM) sampleCPU(now, load, util, power float64) {
+	c := v.cluster
+	c.cpuLoadSumAgg.AddDelta(now, load-v.sampledLoad)
+	v.sampledLoad = load
+	c.cpuPowerAgg.AddDelta(now, power-v.cpuPower.Last())
 	v.cpuUtil.Set(now, util)
-	v.cpuPower.Set(now, hardware.CPUPower(v.cpuSpec, v.cpuTotal, util))
+	v.cpuPower.Set(now, power)
 }
 
 // AllocCPUs grants cores on one VM, choosing the VM with the most free cores
@@ -488,13 +538,12 @@ func (c *Cluster) PreemptVM(name string) {
 	for _, g := range vm.gpus {
 		g.allocated = false
 		g.intensity = 0
-		g.util.Set(now, 0)
-		g.power.Set(now, 0) // powered off once evicted
+		g.setUtil(now, 0)
+		g.setPower(now, 0) // powered off once evicted
 	}
 	vm.cpuInUse = 0
 	vm.cpuLoad = 0
-	vm.cpuUtil.Set(now, 0)
-	vm.cpuPower.Set(now, 0)
+	vm.sampleCPU(now, 0, 0, 0)
 
 	for _, a := range victimsGPU {
 		if a.OnPreempt != nil {

@@ -9,91 +9,112 @@ import (
 // raw per-device series: GPU energy (Table 2), CPU/GPU utilization curves
 // (Figure 3), and rental cost (the MIN_COST constraint's objective).
 
+// Every quantity here reads the cluster's incrementally-maintained running
+// aggregates (updated O(1) at each device sample), so deriving a report is
+// O(log n) per integral and O(n) per returned curve — the per-device series
+// are never re-merged. The per-device series remain available through
+// VM/GPU accessors for fine-grained inspection.
+
 // GPUUtilSeries returns the cluster-wide average GPU utilization (0..1) —
-// the "GPU Util. (%)" panel of Figure 3 divided by 100.
+// the "GPU Util. (%)" panel of Figure 3 divided by 100. Devices on VMs added
+// later or preempted stay in the denominator, matching a fixed-fleet view.
 func (c *Cluster) GPUUtilSeries() *telemetry.StepSeries {
-	var all []*telemetry.StepSeries
-	for _, vm := range c.vms {
-		for _, g := range vm.gpus {
-			all = append(all, g.util)
-		}
-	}
-	return telemetry.MeanSeries(all...)
+	return c.UtilSource().GPUUtilSeries()
 }
 
 // CPUUtilSeries returns the cluster-wide average CPU utilization (0..1),
 // weighting each VM by its core count — the "CPU Util. (%)" panel of
 // Figure 3 divided by 100.
 func (c *Cluster) CPUUtilSeries() *telemetry.StepSeries {
+	return c.UtilSource().CPUUtilSeries()
+}
+
+// UtilSource is a lightweight handle for materializing the cluster-average
+// utilization curves later without retaining the cluster itself: it holds
+// only the two running aggregate series (shared, append-only) and the
+// device/core counts at capture time. Reports store one of these so a
+// retained report pins two series, never the engine or the VM fleet.
+type UtilSource struct {
+	gpuSum  *telemetry.StepSeries
+	loadSum *telemetry.StepSeries
+	gpus    int
+	cores   int
+}
+
+// UtilSource captures the current aggregate handles and fleet counts.
+func (c *Cluster) UtilSource() UtilSource {
+	s := UtilSource{gpuSum: c.gpuUtilSumAgg, loadSum: c.cpuLoadSumAgg}
+	for _, vm := range c.vms {
+		s.gpus += len(vm.gpus)
+		s.cores += vm.cpuTotal
+	}
+	return s
+}
+
+// GPUUtilSeries materializes the average-GPU-utilization curve (snapshot
+// copy).
+func (s UtilSource) GPUUtilSeries() *telemetry.StepSeries {
+	if s.gpus == 0 || s.gpuSum == nil {
+		return telemetry.NewStepSeries(0)
+	}
+	return s.gpuSum.Scale(1 / float64(s.gpus))
+}
+
+// CPUUtilSeries materializes the core-weighted CPU-utilization curve
+// (snapshot copy).
+func (s UtilSource) CPUUtilSeries() *telemetry.StepSeries {
+	if s.cores == 0 || s.loadSum == nil {
+		return telemetry.NewStepSeries(0)
+	}
+	return s.loadSum.Scale(1 / float64(s.cores))
+}
+
+// MeanGPUUtilOver returns the time-weighted cluster-average GPU utilization
+// over [t0, t1], read from the running aggregate in O(log n) — the report
+// path uses this instead of materializing the full curve.
+func (c *Cluster) MeanGPUUtilOver(t0, t1 float64) float64 {
+	n := 0
+	for _, vm := range c.vms {
+		n += len(vm.gpus)
+	}
+	if n == 0 {
+		return 0
+	}
+	return c.gpuUtilSumAgg.Mean(t0, t1) / float64(n)
+}
+
+// MeanCPUUtilOver returns the time-weighted core-weighted CPU utilization
+// over [t0, t1] in O(log n).
+func (c *Cluster) MeanCPUUtilOver(t0, t1 float64) float64 {
 	totalCores := 0
 	for _, vm := range c.vms {
 		totalCores += vm.cpuTotal
 	}
 	if totalCores == 0 {
-		return telemetry.NewStepSeries(0)
+		return 0
 	}
-	// Weighted mean: sum(load_i) / sum(cores_i). Build from per-VM load
-	// series (util × cores) then divide.
-	var loads []*telemetry.StepSeries
-	for _, vm := range c.vms {
-		load := telemetry.NewStepSeries(0)
-		// Scale the util series by core count via resample-free scaling:
-		// replay its change points.
-		replayScaled(vm.cpuUtil, load, float64(vm.cpuTotal))
-		loads = append(loads, load)
-	}
-	sum := telemetry.SumSeries(loads...)
-	out := telemetry.NewStepSeries(0)
-	replayScaled(sum, out, 1/float64(totalCores))
-	return out
+	return c.cpuLoadSumAgg.Mean(t0, t1) / float64(totalCores)
 }
 
-// replayScaled copies src into dst with values multiplied by k. It relies on
-// StepSeries exposing Value at its own change points via Resample-free
-// iteration: we sample at integral-preserving points by reconstructing from
-// Value() at a merged point set.
-func replayScaled(src, dst *telemetry.StepSeries, k float64) {
-	for _, t := range changeTimes(src) {
-		dst.Set(t, src.Value(t)*k)
-	}
-}
+// GPUPowerSeries returns total GPU power in watts across the cluster, as a
+// snapshot copy of the running aggregate (callers may hold or mutate it
+// freely; energy accounting keeps reading the internal aggregate).
+func (c *Cluster) GPUPowerSeries() *telemetry.StepSeries { return c.gpuPowerAgg.Scale(1) }
 
-func changeTimes(s *telemetry.StepSeries) []float64 {
-	// StepSeries does not export its points; walk via SumSeries trick is
-	// wasteful, so telemetry exports ChangeTimes for this purpose.
-	return s.ChangeTimes()
-}
-
-// GPUPowerSeries returns total GPU power in watts across the cluster.
-func (c *Cluster) GPUPowerSeries() *telemetry.StepSeries {
-	var all []*telemetry.StepSeries
-	for _, vm := range c.vms {
-		for _, g := range vm.gpus {
-			all = append(all, g.power)
-		}
-	}
-	return telemetry.SumSeries(all...)
-}
-
-// CPUPowerSeries returns total CPU power in watts across the cluster.
-func (c *Cluster) CPUPowerSeries() *telemetry.StepSeries {
-	var all []*telemetry.StepSeries
-	for _, vm := range c.vms {
-		all = append(all, vm.cpuPower)
-	}
-	return telemetry.SumSeries(all...)
-}
+// CPUPowerSeries returns total CPU power in watts across the cluster
+// (snapshot copy, like GPUPowerSeries).
+func (c *Cluster) CPUPowerSeries() *telemetry.StepSeries { return c.cpuPowerAgg.Scale(1) }
 
 // GPUEnergyJoules integrates total GPU power over [t0, t1]. Table 2 reports
 // exactly this quantity (converted to Wh): the paper measures only GPU
 // energy "since that is the dominant source in the system".
 func (c *Cluster) GPUEnergyJoules(t0, t1 float64) float64 {
-	return c.GPUPowerSeries().Integral(t0, t1)
+	return c.gpuPowerAgg.Integral(t0, t1)
 }
 
 // CPUEnergyJoules integrates total CPU power over [t0, t1].
 func (c *Cluster) CPUEnergyJoules(t0, t1 float64) float64 {
-	return c.CPUPowerSeries().Integral(t0, t1)
+	return c.cpuPowerAgg.Integral(t0, t1)
 }
 
 // RentalCostUSD returns the cost of renting every VM in the cluster for

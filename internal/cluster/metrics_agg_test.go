@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hardware"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// These tests pin the incrementally-maintained cluster aggregates to the
+// seed's semantics: merging every per-device series from scratch. A random
+// allocate/set-intensity/release/preempt schedule is driven through the
+// cluster, then each aggregate is compared point-wise against the naive
+// merge of the per-device series it summarizes.
+
+// naiveGPUPower re-merges per-device power series (the seed's
+// GPUPowerSeries).
+func naiveGPUPower(c *Cluster) *telemetry.StepSeries {
+	var all []*telemetry.StepSeries
+	for _, vm := range c.VMs() {
+		for _, g := range vm.GPUs() {
+			all = append(all, g.Power())
+		}
+	}
+	return telemetry.SumSeries(all...)
+}
+
+func naiveGPUUtil(c *Cluster) *telemetry.StepSeries {
+	var all []*telemetry.StepSeries
+	for _, vm := range c.VMs() {
+		for _, g := range vm.GPUs() {
+			all = append(all, g.Util())
+		}
+	}
+	return telemetry.MeanSeries(all...)
+}
+
+func naiveCPUPower(c *Cluster) *telemetry.StepSeries {
+	var all []*telemetry.StepSeries
+	for _, vm := range c.VMs() {
+		all = append(all, vm.cpuPower)
+	}
+	return telemetry.SumSeries(all...)
+}
+
+// seriesClose compares two step series on a fine grid.
+func seriesClose(t *testing.T, name string, got, want *telemetry.StepSeries, t0, t1 float64) {
+	t.Helper()
+	const steps = 400
+	dt := (t1 - t0) / steps
+	for i := 0; i <= steps; i++ {
+		x := t0 + float64(i)*dt
+		g, w := got.Value(x), want.Value(x)
+		if math.Abs(g-w) > 1e-6*math.Max(1, math.Abs(w)) {
+			t.Fatalf("%s diverges at t=%v: aggregate %v, naive merge %v", name, x, g, w)
+		}
+	}
+	gi, wi := got.Integral(t0, t1), want.Integral(t0, t1)
+	if math.Abs(gi-wi) > 1e-6*math.Max(1, math.Abs(wi)) {
+		t.Fatalf("%s integral diverges: aggregate %v, naive merge %v", name, gi, wi)
+	}
+}
+
+func TestAggregatesMatchNaiveMerge(t *testing.T) {
+	se := sim.NewEngine()
+	cl := New(se, hardware.DefaultCatalog())
+	cl.AddVM("vm0", hardware.NDv4SKUName, false)
+	cl.AddVM("vm1", hardware.NDv4SKUName, true)
+
+	rng := rand.New(rand.NewSource(3))
+	var gpuAllocs []*GPUAlloc
+	var cpuAllocs []*CPUAlloc
+	tnow := 0.0
+	for i := 0; i < 300; i++ {
+		tnow += rng.Float64() * 5
+		i := i
+		se.Schedule(sim.Time(tnow), func() {
+			switch op := rng.Intn(10); {
+			case op < 4:
+				if a, err := cl.AllocGPUs(1+rng.Intn(2), hardware.GPUA100); err == nil {
+					a.SetIntensity(rng.Float64())
+					gpuAllocs = append(gpuAllocs, a)
+				}
+			case op < 6:
+				if a, err := cl.AllocCPUs(1 + rng.Intn(16)); err == nil {
+					a.SetIntensity(rng.Float64())
+					cpuAllocs = append(cpuAllocs, a)
+				}
+			case op < 8 && len(gpuAllocs) > 0:
+				gpuAllocs[rng.Intn(len(gpuAllocs))].Release()
+			case op < 9 && len(cpuAllocs) > 0:
+				cpuAllocs[rng.Intn(len(cpuAllocs))].Release()
+			default:
+				if i == 200 {
+					cl.PreemptVM("vm1")
+				}
+			}
+		})
+	}
+	se.Run()
+	end := se.Now().Seconds() + 1
+
+	seriesClose(t, "GPU power", cl.GPUPowerSeries(), naiveGPUPower(cl), 0, end)
+	seriesClose(t, "CPU power", cl.CPUPowerSeries(), naiveCPUPower(cl), 0, end)
+	seriesClose(t, "GPU util", cl.GPUUtilSeries(), naiveGPUUtil(cl), 0, end)
+
+	// CPU util: weighted mean Σ(load_i)/Σcores, rebuilt naively.
+	totalCores := 0
+	var loads []*telemetry.StepSeries
+	for _, vm := range cl.VMs() {
+		totalCores += vm.cpuTotal
+		loads = append(loads, vm.cpuUtil.Scale(float64(vm.cpuTotal)))
+	}
+	want := telemetry.SumSeries(loads...).Scale(1 / float64(totalCores))
+	seriesClose(t, "CPU util", cl.CPUUtilSeries(), want, 0, end)
+}
+
+func TestAggregateEnergyMatchesPerDeviceSum(t *testing.T) {
+	se := sim.NewEngine()
+	cl := New(se, hardware.DefaultCatalog())
+	cl.AddVM("vm0", hardware.NDv4SKUName, false)
+
+	a, err := cl.AllocGPUs(2, hardware.GPUA100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se.Schedule(10, func() { a.SetIntensity(0.8) })
+	se.Schedule(60, func() { a.Release() })
+	se.Run()
+
+	perDevice := 0.0
+	for _, vm := range cl.VMs() {
+		for _, g := range vm.GPUs() {
+			perDevice += g.Power().Integral(0, 100)
+		}
+	}
+	got := cl.GPUEnergyJoules(0, 100)
+	if math.Abs(got-perDevice) > 1e-6*perDevice {
+		t.Fatalf("aggregate energy %v, per-device sum %v", got, perDevice)
+	}
+}

@@ -1,0 +1,33 @@
+// Package contentkey provides the injective encoding shared by every
+// content-keyed cache in the repository (catalog/library fingerprints, the
+// runtime's plan and decomposition caches): strings are length-prefixed and
+// numbers semicolon-terminated, so concatenated fields can never be
+// re-segmented into a different value sequence — no crafted name collides
+// with another key. Keeping the contract in one leaf package means a format
+// change cannot drift between producers.
+package contentkey
+
+import (
+	"strconv"
+	"strings"
+)
+
+// WriteString appends s as "<len>:<s>".
+func WriteString(b *strings.Builder, s string) {
+	b.WriteString(strconv.Itoa(len(s)))
+	b.WriteByte(':')
+	b.WriteString(s)
+}
+
+// WriteFloat appends f in shortest round-trip form, ';'-terminated (';'
+// cannot occur in a formatted number).
+func WriteFloat(b *strings.Builder, f float64) {
+	b.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+	b.WriteByte(';')
+}
+
+// WriteInt appends n ';'-terminated.
+func WriteInt(b *strings.Builder, n int) {
+	b.WriteString(strconv.Itoa(n))
+	b.WriteByte(';')
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/contentkey"
+	"repro/internal/dag"
+	"repro/internal/hardware"
+	"repro/internal/optimizer"
+	"repro/internal/planner"
+	"repro/internal/workflow"
+)
+
+// The plan cache memoizes optimizer.Plan results. A load sweep submits
+// hundreds of structurally-identical jobs; without the cache each submit
+// re-enumerates every (implementation, config, parallelism, paths) candidate
+// and re-runs the O(n²) Pareto prune. The key captures everything Plan reads:
+//
+//   - the DAG's (capability, work) content — the only node fields demands()
+//     consumes;
+//   - the search options (constraint, quality floor, relaxation, pins, max
+//     execution paths);
+//   - the capacity class: total CPU cores and total GPUs per type, the only
+//     snapshot fields the optimizer consumes. A capacity change (VM added,
+//     cloud resized) therefore changes the key, which is the invalidation;
+//   - the profile-store and library generations, so registering an
+//     implementation or recalibrating a profile can never serve a stale plan.
+//
+// Plans are immutable after construction (the runtime and stages only read
+// Decisions), so cached plans are shared across executions by pointer.
+
+// planCacheLimit bounds memory: the cache holds at most this many plans and
+// resets wholesale when full (distinct keys are few in practice — job shapes
+// × capacity classes — so a reset effectively never fires mid-sweep).
+const planCacheLimit = 1024
+
+func planCacheKey(g *dag.Graph, snap cluster.Snapshot, opts optimizer.Options, storeGen, libGen int) string {
+	var b strings.Builder
+	b.Grow(256)
+	for _, n := range g.Nodes() {
+		contentkey.WriteString(&b, n.Capability)
+		contentkey.WriteFloat(&b, n.Work)
+	}
+	b.WriteString("|c")
+	contentkey.WriteInt(&b, int(opts.Constraint))
+	b.WriteString("|q")
+	contentkey.WriteFloat(&b, opts.MinQuality)
+	if opts.RelaxFloor {
+		b.WriteString("|relax")
+	}
+	b.WriteString("|p")
+	contentkey.WriteInt(&b, opts.MaxPaths)
+	if len(opts.Pinned) > 0 {
+		caps := make([]string, 0, len(opts.Pinned))
+		for c := range opts.Pinned {
+			caps = append(caps, c)
+		}
+		sort.Strings(caps)
+		for _, c := range caps {
+			pin := opts.Pinned[c]
+			b.WriteString("|pin")
+			contentkey.WriteString(&b, c)
+			contentkey.WriteString(&b, pin.Implementation)
+			contentkey.WriteString(&b, pin.Config.String())
+			contentkey.WriteInt(&b, pin.Parallelism)
+			if pin.AllowScaling {
+				b.WriteString("+scale")
+			}
+		}
+	}
+	b.WriteString("|cores")
+	contentkey.WriteInt(&b, snap.TotalCPUCores)
+	types := make([]string, 0, len(snap.TotalGPUs))
+	for t := range snap.TotalGPUs {
+		types = append(types, string(t))
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		b.WriteString("|gpu")
+		contentkey.WriteString(&b, t)
+		contentkey.WriteInt(&b, snap.TotalGPUs[hardware.GPUType(t)])
+	}
+	b.WriteString("|sg")
+	contentkey.WriteInt(&b, storeGen)
+	b.WriteString("|lg")
+	contentkey.WriteInt(&b, libGen)
+	return b.String()
+}
+
+// planFor returns a cached plan for the key or computes and caches one.
+func (rt *Runtime) planFor(g *dag.Graph, snap cluster.Snapshot, opts optimizer.Options) (*optimizer.Plan, error) {
+	key := planCacheKey(g, snap, opts, rt.store.Gen(), rt.lib.Gen())
+	if p, ok := rt.planCache[key]; ok {
+		rt.planCacheHits++
+		return p, nil
+	}
+	p, err := rt.opt.Plan(g, snap, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(rt.planCache) >= planCacheLimit {
+		rt.planCache = make(map[string]*optimizer.Plan)
+	}
+	rt.planCache[key] = p
+	return p, nil
+}
+
+// PlanCacheHits reports how many submissions reused a cached plan (for
+// overhead accounting and tests).
+func (rt *Runtime) PlanCacheHits() int { return rt.planCacheHits }
+
+// jobKey renders a job's full content deterministically for the
+// decomposition cache. Free-text fields (description, tasks, input names,
+// attr keys) are length-prefixed and every numeric value is
+// semicolon-terminated (';' cannot occur in a formatted float), so the
+// encoding is injective — no crafted job content can collide with another
+// job's key. Attribute maps are emitted in sorted key order.
+func jobKey(job workflow.Job, libGen int) string {
+	var b strings.Builder
+	b.Grow(128)
+	contentkey.WriteString(&b, job.Description)
+	b.WriteString("|c")
+	contentkey.WriteInt(&b, int(job.Constraint))
+	b.WriteString("|q")
+	contentkey.WriteFloat(&b, job.MinQuality)
+	for _, t := range job.Tasks {
+		b.WriteString("|t")
+		contentkey.WriteString(&b, t)
+	}
+	for _, in := range job.Inputs {
+		b.WriteString("|i")
+		contentkey.WriteString(&b, in.Name)
+		contentkey.WriteString(&b, string(in.Kind))
+		if len(in.Attrs) > 0 {
+			keys := make([]string, 0, len(in.Attrs))
+			for k := range in.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				contentkey.WriteString(&b, k)
+				contentkey.WriteFloat(&b, in.Attrs[k])
+			}
+		}
+	}
+	b.WriteString("|lg")
+	contentkey.WriteInt(&b, libGen)
+	return b.String()
+}
+
+// decompose memoizes planner decompositions per job content: the planner is
+// deterministic and its output frozen, so structurally-identical jobs (the
+// load sweep's bread and butter) share one DAG; each execution still gets
+// its own Tracker. The library generation is in the key so registering a new
+// implementation re-plans.
+func (rt *Runtime) decompose(job workflow.Job) (*planner.Result, error) {
+	key := jobKey(job, rt.lib.Gen())
+	if r, ok := rt.decompCache[key]; ok {
+		rt.decompCacheHits++
+		return r, nil
+	}
+	r, err := rt.pl.Decompose(job)
+	if err != nil {
+		return nil, err
+	}
+	if len(rt.decompCache) >= planCacheLimit {
+		rt.decompCache = make(map[string]*planner.Result)
+	}
+	rt.decompCache[key] = r
+	return r, nil
+}
+
+// DecompCacheHits reports how many submissions reused a cached
+// decomposition.
+func (rt *Runtime) DecompCacheHits() int { return rt.decompCacheHits }

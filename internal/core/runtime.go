@@ -62,6 +62,15 @@ type Runtime struct {
 	engineRefs map[string]int
 	active     int
 	nextExecID int
+	// planCache memoizes optimizer plans across submissions (see
+	// plancache.go); planCacheHits counts reuses. decompCache memoizes
+	// planner decompositions the same way — the planner produces an
+	// identical DAG for a structurally-identical job, and the graph is
+	// frozen (read-only) so executions share it safely.
+	planCache       map[string]*optimizer.Plan
+	planCacheHits   int
+	decompCache     map[string]*planner.Result
+	decompCacheHits int
 	// rebalance is the manager's loop period; the loop runs only while
 	// workflows are active (a permanent ticker would keep the simulation's
 	// event queue non-empty forever).
@@ -79,8 +88,11 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	store := cfg.Profiles
 	if store == nil {
+		// Amortized profiling (§3.3(a)): the library is profiled once per
+		// distinct (catalog, library) content; runtimes receive copy-on-write
+		// views of the shared store.
 		var err error
-		store, err = agents.NewProfiler(cfg.Cluster.Catalog()).ProfileLibrary(cfg.Library)
+		store, err = agents.SharedProfiles(cfg.Cluster.Catalog(), cfg.Library)
 		if err != nil {
 			return nil, fmt.Errorf("core: profiling library: %w", err)
 		}
@@ -90,16 +102,18 @@ func New(cfg Config) (*Runtime, error) {
 		mgr = clustermgr.New(cfg.Engine, cfg.Cluster)
 	}
 	return &Runtime{
-		se:         cfg.Engine,
-		cl:         cfg.Cluster,
-		mgr:        mgr,
-		lib:        cfg.Library,
-		store:      store,
-		pl:         planner.New(cfg.Library),
-		opt:        optimizer.New(cfg.Cluster.Catalog(), cfg.Library, store, cfg.CPUType),
-		db:         vectordb.New(64),
-		engineRefs: map[string]int{},
-		rebalance:  cfg.RebalancePeriod,
+		se:          cfg.Engine,
+		cl:          cfg.Cluster,
+		mgr:         mgr,
+		lib:         cfg.Library,
+		store:       store,
+		pl:          planner.New(cfg.Library),
+		opt:         optimizer.New(cfg.Cluster.Catalog(), cfg.Library, store, cfg.CPUType),
+		db:          vectordb.New(64),
+		engineRefs:  map[string]int{},
+		planCache:   map[string]*optimizer.Plan{},
+		decompCache: map[string]*planner.Result{},
+		rebalance:   cfg.RebalancePeriod,
 	}, nil
 }
 
@@ -192,11 +206,14 @@ func (ex *Execution) OnDone(fn func(*report.Report, error)) {
 // returned synchronously; execution then proceeds when the simulation
 // engine runs.
 func (rt *Runtime) Submit(job workflow.Job, opts SubmitOptions) (*Execution, error) {
-	decomp, err := rt.pl.Decompose(job)
+	decomp, err := rt.decompose(job)
 	if err != nil {
 		return nil, err
 	}
-	plan, err := rt.opt.Plan(decomp.Graph, rt.cl.Snapshot(), optimizer.Options{
+	// Plans are memoized: the load sweep's structurally-identical jobs reuse
+	// the first job's configuration search instead of re-enumerating and
+	// re-pruning per submit (§3.3(c) amortized).
+	plan, err := rt.planFor(decomp.Graph, rt.cl.Snapshot(), optimizer.Options{
 		Constraint: job.Constraint,
 		MinQuality: job.MinQuality,
 		RelaxFloor: opts.RelaxFloor,

@@ -20,6 +20,11 @@ type stage struct {
 	ex    *Execution
 	cap   string
 	isLLM bool
+	// im is the stage's implementation, looked up once at construction
+	// (Library.Get returns a defensive copy; per-task lookups would allocate
+	// on the dispatch hot path). nil if the decision names an unknown
+	// implementation — workers surface that as an execution error.
+	im *agents.Implementation
 
 	queue   []*dag.Node
 	workers []*worker
@@ -31,10 +36,12 @@ func (ex *Execution) stageFor(capability string) *stage {
 	if st, ok := ex.stages[capability]; ok {
 		return st
 	}
+	im, _ := ex.rt.lib.Get(ex.plan.Decisions[capability].Implementation)
 	st := &stage{
 		ex:    ex,
 		cap:   capability,
 		isLLM: ex.engineServed(capability, ex.plan.Decisions[capability]),
+		im:    im,
 	}
 	ex.stages[capability] = st
 	return st
@@ -240,8 +247,8 @@ func (w *worker) run(node *dag.Node) {
 	}
 	ex.toolCalls++
 
-	im, ok := ex.rt.lib.Get(d.Implementation)
-	if !ok {
+	im := st.im
+	if im == nil {
 		ex.finish(fmt.Errorf("core: unknown implementation %q", d.Implementation))
 		return
 	}

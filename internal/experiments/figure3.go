@@ -74,8 +74,8 @@ func (r *Figure3Result) String() string {
 		fmt.Fprintf(&b, "[%s]  measured %.0fs, paper %.0fs\n",
 			row.Name, row.Report.MakespanS, row.PaperTimeS)
 		b.WriteString(row.Report.Timeline(72))
-		cpu := row.Report.CPUUtil.Resample(0, row.Report.MakespanS, row.Report.MakespanS/60)
-		gpu := row.Report.GPUUtil.Resample(0, row.Report.MakespanS, row.Report.MakespanS/60)
+		cpu := row.Report.CPUUtil().Resample(0, row.Report.MakespanS, row.Report.MakespanS/60)
+		gpu := row.Report.GPUUtil().Resample(0, row.Report.MakespanS, row.Report.MakespanS/60)
 		fmt.Fprintf(&b, "CPU util %% |%s| mean %.0f%%\n", telemetry.Sparkline(cpu, 1), 100*row.Report.MeanCPUUtil)
 		fmt.Fprintf(&b, "GPU util %% |%s| mean %.0f%%\n\n", telemetry.Sparkline(gpu, 1), 100*row.Report.MeanGPUUtil)
 	}

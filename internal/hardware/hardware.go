@@ -9,7 +9,14 @@
 // is not the point — the optimizer only consumes relative shapes.
 package hardware
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+
+	"strings"
+
+	"repro/internal/contentkey"
+)
 
 // GPUType identifies a GPU generation/SKU.
 type GPUType string
@@ -78,6 +85,8 @@ type Catalog struct {
 	gpus map[GPUType]GPUSpec
 	cpus map[CPUType]CPUSpec
 	vms  map[string]VMSKU
+	// fp caches Fingerprint (catalogs are immutable after NewCatalog).
+	fp string
 }
 
 // NewCatalog builds a catalog from explicit spec lists. Duplicate names panic
@@ -209,6 +218,64 @@ func sortGPUTypes(ts []GPUType) {
 			ts[j], ts[j-1] = ts[j-1], ts[j]
 		}
 	}
+}
+
+// Fingerprint renders the catalog's full content deterministically and
+// injectively (length-prefixed names, semicolon-terminated numbers). Two
+// catalogs with equal fingerprints behave identically everywhere specs are
+// consumed, which is what lets content-keyed caches (shared profile stores,
+// plan caches) treat distinct catalog instances as interchangeable. Every
+// spec field must be serialized here. Catalogs are immutable, so the
+// rendering is computed once.
+func (c *Catalog) Fingerprint() string {
+	if c.fp != "" {
+		return c.fp
+	}
+	var b strings.Builder
+	str := func(s string) { contentkey.WriteString(&b, s) }
+	num := func(f float64) { contentkey.WriteFloat(&b, f) }
+	for _, t := range c.GPUTypes() {
+		g := c.gpus[t]
+		b.WriteString("gpu")
+		str(string(g.Type))
+		contentkey.WriteInt(&b, g.MemoryGB)
+		num(g.FP16TFLOPS)
+		num(g.IdleWatts)
+		num(g.PeakWatts)
+		num(g.HourlyUSD)
+	}
+	cpus := make([]string, 0, len(c.cpus))
+	for t := range c.cpus {
+		cpus = append(cpus, string(t))
+	}
+	sort.Strings(cpus)
+	for _, t := range cpus {
+		p := c.cpus[CPUType(t)]
+		b.WriteString("cpu")
+		str(string(p.Type))
+		num(p.PerCoreGFLOPS)
+		num(p.IdleWattsPerCore)
+		num(p.PeakWattsPerCore)
+		num(p.HourlyUSDPerCore)
+	}
+	vms := make([]string, 0, len(c.vms))
+	for n := range c.vms {
+		vms = append(vms, n)
+	}
+	sort.Strings(vms)
+	for _, n := range vms {
+		v := c.vms[n]
+		b.WriteString("vm")
+		str(v.Name)
+		str(string(v.CPU))
+		contentkey.WriteInt(&b, v.CPUCores)
+		str(string(v.GPU))
+		contentkey.WriteInt(&b, v.GPUCount)
+		num(v.HourlyUSD)
+		num(v.SpotDiscount)
+	}
+	c.fp = b.String()
+	return c.fp
 }
 
 // GPUPower returns instantaneous GPU power draw at a given utilization in

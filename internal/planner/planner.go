@@ -55,6 +55,12 @@ func (r *Result) TotalPlanningTokens() (prompt, output int) {
 // Planner lowers jobs into DAGs using the agent library.
 type Planner struct {
 	lib *agents.Library
+	// implCache holds one Library.Get clone per implementation name, valid
+	// for implGen == lib.Gen(): ToolCallFor runs once per executed task, and
+	// cloning the schema on every task would allocate on the dispatch hot
+	// path.
+	implCache map[string]*agents.Implementation
+	implGen   int
 }
 
 // New creates a planner over a library.
@@ -62,7 +68,24 @@ func New(lib *agents.Library) *Planner {
 	if lib == nil {
 		panic("planner: nil library")
 	}
-	return &Planner{lib: lib}
+	return &Planner{lib: lib, implCache: map[string]*agents.Implementation{}}
+}
+
+// impl is a memoized Library.Get; entries invalidate when the library's
+// registration generation changes.
+func (p *Planner) impl(name string) (*agents.Implementation, bool) {
+	if p.implGen != p.lib.Gen() {
+		p.implCache = map[string]*agents.Implementation{}
+		p.implGen = p.lib.Gen()
+	}
+	if im, ok := p.implCache[name]; ok {
+		return im, true
+	}
+	im, ok := p.lib.Get(name)
+	if ok {
+		p.implCache[name] = im
+	}
+	return im, ok
 }
 
 // Decompose lowers a job into a task DAG. It selects a workflow template
@@ -348,7 +371,7 @@ func (p *Planner) buildHintChain(res *Result, job workflow.Job) error {
 		if err != nil {
 			return err
 		}
-		if len(p.lib.ByCapability(cap)) == 0 {
+		if !p.lib.HasCapability(cap) {
 			return fmt.Errorf("planner: no implementation in library for capability %q (hint %q)", cap, hint)
 		}
 		var level []dag.NodeID

@@ -15,7 +15,7 @@ import (
 // an invalid generation is a bug surfaced as an error, mirroring the
 // quality-control checkpoints §5 calls for.
 func (p *Planner) ToolCallFor(node *dag.Node, implName string) (agents.ToolCall, error) {
-	im, ok := p.lib.Get(implName)
+	im, ok := p.impl(implName)
 	if !ok {
 		return agents.ToolCall{}, fmt.Errorf("planner: tool call for unknown implementation %q", implName)
 	}

@@ -10,6 +10,8 @@ package profiles
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"sync"
 
 	"repro/internal/hardware"
 )
@@ -43,15 +45,17 @@ func (r ResourceConfig) Validate() error {
 	return nil
 }
 
-// String renders e.g. "2xA100-80GB+32c" / "64c" / "1xH100".
+// String renders e.g. "2xA100-80GB+32c" / "64c" / "1xH100". It is on the
+// optimizer's enumeration hot path, so it concatenates directly rather than
+// going through fmt.
 func (r ResourceConfig) String() string {
 	switch {
 	case r.GPUs > 0 && r.CPUCores > 0:
-		return fmt.Sprintf("%dx%s+%dc", r.GPUs, r.GPUType, r.CPUCores)
+		return strconv.Itoa(r.GPUs) + "x" + string(r.GPUType) + "+" + strconv.Itoa(r.CPUCores) + "c"
 	case r.GPUs > 0:
-		return fmt.Sprintf("%dx%s", r.GPUs, r.GPUType)
+		return strconv.Itoa(r.GPUs) + "x" + string(r.GPUType)
 	default:
-		return fmt.Sprintf("%dc", r.CPUCores)
+		return strconv.Itoa(r.CPUCores) + "c"
 	}
 }
 
@@ -126,13 +130,48 @@ func (p Profile) CostUSD(cat *hardware.Catalog, cpu hardware.CPUType, work float
 }
 
 // Store indexes profiles by implementation and config.
+//
+// Stores returned by Shared are copy-on-write views over a memoized master:
+// reads share the master's data, and the first mutation transparently
+// detaches a private deep copy, so calibration-mutating callers stay
+// isolated while everyone else amortizes profiling (§3.3(a)).
 type Store struct {
 	byImpl map[string][]Profile
+	// cow marks the backing data as shared; the first write detaches.
+	cow bool
+	// gen counts mutations, letting caches keyed on profile content (e.g.
+	// the runtime's plan cache) detect staleness in O(1).
+	gen int
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
 	return &Store{byImpl: make(map[string][]Profile)}
+}
+
+// View returns a copy-on-write view of the store: reads are shared, the
+// first mutation detaches a private copy.
+func (s *Store) View() *Store {
+	return &Store{byImpl: s.byImpl, cow: true}
+}
+
+// Gen returns the store's mutation generation (0 for a never-mutated store
+// or a fresh view).
+func (s *Store) Gen() int { return s.gen }
+
+// detach deep-copies shared backing data before the first write.
+func (s *Store) detach() {
+	if !s.cow {
+		return
+	}
+	m := make(map[string][]Profile, len(s.byImpl))
+	for k, v := range s.byImpl {
+		cp := make([]Profile, len(v))
+		copy(cp, v)
+		m[k] = cp
+	}
+	s.byImpl = m
+	s.cow = false
 }
 
 // Put inserts or replaces the profile for (implementation, config).
@@ -146,6 +185,8 @@ func (s *Store) Put(p Profile) error {
 	if p.PerUnitS < 0 || p.BaseS < 0 {
 		return fmt.Errorf("profiles: negative latency terms in %s/%v", p.Implementation, p.Config)
 	}
+	s.detach()
+	s.gen++
 	list := s.byImpl[p.Implementation]
 	for i := range list {
 		if list[i].Config == p.Config {
@@ -153,7 +194,14 @@ func (s *Store) Put(p Profile) error {
 			return nil
 		}
 	}
-	s.byImpl[p.Implementation] = append(list, p)
+	// Keep each implementation's list sorted by config string so the
+	// optimizer's per-enumeration reads need no per-call sort.
+	key := p.Config.String()
+	i := sort.Search(len(list), func(i int) bool { return list[i].Config.String() > key })
+	list = append(list, Profile{})
+	copy(list[i+1:], list[i:])
+	list[i] = p
+	s.byImpl[p.Implementation] = list
 	return nil
 }
 
@@ -175,13 +223,11 @@ func (s *Store) Get(impl string, cfg ResourceConfig) (Profile, bool) {
 }
 
 // ForImplementation returns all profiles of one implementation, sorted by
-// config string for determinism.
+// config string for determinism. The list is maintained sorted at Put time,
+// so this is a straight copy.
 func (s *Store) ForImplementation(impl string) []Profile {
 	out := make([]Profile, len(s.byImpl[impl]))
 	copy(out, s.byImpl[impl])
-	sort.Slice(out, func(i, j int) bool {
-		return out[i].Config.String() < out[j].Config.String()
-	})
 	return out
 }
 
@@ -203,3 +249,34 @@ func (s *Store) Len() int {
 	}
 	return n
 }
+
+// Shared memoizes store construction under a content key, implementing the
+// paper's §3.3(a) amortization: profiling runs once per distinct
+// (catalog, library) content and every later caller — each experiment, each
+// load point, each testbed — receives a copy-on-write view of the same
+// master in O(1). The key must capture everything the builder reads (use
+// the catalog/library fingerprints); the builder runs at most once per key.
+//
+// The registry itself is mutex-guarded; the build function runs while the
+// lock is held, so it must not call Shared recursively. Note that callers
+// typically derive the key from Library/Catalog fingerprints, and those
+// types (like the rest of the simulation) are not goroutine-safe — share a
+// Library across goroutines only with external synchronization.
+func Shared(key string, build func() (*Store, error)) (*Store, error) {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if master, ok := sharedStores[key]; ok {
+		return master.View(), nil
+	}
+	st, err := build()
+	if err != nil {
+		return nil, err
+	}
+	sharedStores[key] = st
+	return st.View(), nil
+}
+
+var (
+	sharedMu     sync.Mutex
+	sharedStores = map[string]*Store{}
+)

@@ -39,28 +39,68 @@ type Report struct {
 
 	// Tracer holds per-agent spans (Figure 3 timelines).
 	Tracer *telemetry.Tracer
-	// GPUUtil / CPUUtil are cluster-average utilization series (Figure 3
-	// utilization panels).
-	GPUUtil *telemetry.StepSeries
-	CPUUtil *telemetry.StepSeries
 
 	// Decisions records the chosen configuration per capability
 	// ("<impl> @ <config> ×<parallelism>"), empty for the baseline.
 	Decisions map[string]string
+
+	// utilSrc backs the lazily-materialized utilization curves: a load
+	// sweep finalizes hundreds of reports but only figure-rendering callers
+	// ever read the curves, so Finalize must not pay the O(n) copy per job.
+	// The handle holds only the two aggregate series, never the cluster.
+	utilSrc cluster.UtilSource
+	gpuUtil *telemetry.StepSeries
+	cpuUtil *telemetry.StepSeries
 }
 
 // Finalize fills the cluster-derived fields (energy, cost, utilization) for
-// the window [0, makespan].
+// the window [0, makespan]. Every read is an O(log n) query against the
+// cluster's running aggregates; the utilization curves materialize lazily
+// on first access (GPUUtil/CPUUtil).
 func Finalize(r *Report, cl *cluster.Cluster) {
+	r.utilSrc = cl.UtilSource()
 	r.GPUEnergyWh = telemetry.JoulesToWh(cl.GPUEnergyJoules(0, r.MakespanS))
 	r.CPUEnergyWh = telemetry.JoulesToWh(cl.CPUEnergyJoules(0, r.MakespanS))
 	r.CostUSD = cl.RentalCostUSD(0, r.MakespanS)
-	r.GPUUtil = cl.GPUUtilSeries()
-	r.CPUUtil = cl.CPUUtilSeries()
 	if r.MakespanS > 0 {
-		r.MeanGPUUtil = r.GPUUtil.Mean(0, r.MakespanS)
-		r.MeanCPUUtil = r.CPUUtil.Mean(0, r.MakespanS)
+		r.MeanGPUUtil = cl.MeanGPUUtilOver(0, r.MakespanS)
+		r.MeanCPUUtil = cl.MeanCPUUtilOver(0, r.MakespanS)
 	}
+}
+
+// GPUUtil returns the cluster-average GPU utilization curve (Figure 3),
+// materialized and cached on first call; nil before Finalize unless
+// injected via SetUtilSeries.
+func (r *Report) GPUUtil() *telemetry.StepSeries {
+	r.materializeUtil()
+	return r.gpuUtil
+}
+
+// CPUUtil returns the core-weighted CPU utilization curve (Figure 3), with
+// the same laziness as GPUUtil.
+func (r *Report) CPUUtil() *telemetry.StepSeries {
+	r.materializeUtil()
+	return r.cpuUtil
+}
+
+func (r *Report) materializeUtil() {
+	src := r.utilSrc
+	if src == (cluster.UtilSource{}) {
+		return
+	}
+	if r.gpuUtil == nil {
+		r.gpuUtil = src.GPUUtilSeries()
+	}
+	if r.cpuUtil == nil {
+		r.cpuUtil = src.CPUUtilSeries()
+	}
+	r.utilSrc = cluster.UtilSource{}
+}
+
+// SetUtilSeries injects explicit utilization curves (synthetic reports,
+// tests).
+func (r *Report) SetUtilSeries(gpu, cpu *telemetry.StepSeries) {
+	r.gpuUtil, r.cpuUtil = gpu, cpu
 }
 
 // String renders a human-readable summary.
@@ -88,12 +128,13 @@ func (r *Report) Timeline(width int) string {
 
 // UtilizationCSV renders the Figure 3 utilization panels as CSV on a dt grid.
 func (r *Report) UtilizationCSV(dt float64) string {
-	if r.GPUUtil == nil || r.CPUUtil == nil {
+	gpu, cpu := r.GPUUtil(), r.CPUUtil()
+	if gpu == nil || cpu == nil {
 		return ""
 	}
 	return telemetry.SeriesCSV(
 		[]string{"cpu_util", "gpu_util"},
-		[]*telemetry.StepSeries{r.CPUUtil, r.GPUUtil},
+		[]*telemetry.StepSeries{cpu, gpu},
 		0, r.MakespanS, dt,
 	)
 }

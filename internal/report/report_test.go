@@ -1,6 +1,7 @@
 package report
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -37,8 +38,11 @@ func TestFinalizeComputesClusterQuantities(t *testing.T) {
 	if r.MeanGPUUtil != 1 {
 		t.Fatalf("mean GPU util = %v, want 1 (all devices busy whole window)", r.MeanGPUUtil)
 	}
-	if r.GPUUtil == nil || r.CPUUtil == nil {
+	if r.GPUUtil() == nil || r.CPUUtil() == nil {
 		t.Fatal("utilization series missing")
+	}
+	if got := r.GPUUtil().Mean(0, 100); math.Abs(got-r.MeanGPUUtil) > 1e-9 {
+		t.Fatalf("lazy curve mean %v disagrees with finalized MeanGPUUtil %v", got, r.MeanGPUUtil)
 	}
 }
 
@@ -81,8 +85,7 @@ func TestUtilizationCSV(t *testing.T) {
 	}
 	g := telemetry.NewStepSeries(0)
 	g.Set(5, 1)
-	r.GPUUtil = g
-	r.CPUUtil = telemetry.NewStepSeries(0.5)
+	r.SetUtilSeries(g, telemetry.NewStepSeries(0.5))
 	out := r.UtilizationCSV(5)
 	if !strings.HasPrefix(out, "time_s,cpu_util,gpu_util\n") {
 		t.Fatalf("CSV header = %q", out)

@@ -41,6 +41,7 @@ type Event struct {
 	at       Time
 	seq      uint64
 	index    int // heap index, -1 once popped or cancelled
+	owner    *Engine
 	fn       func()
 	canceled bool
 }
@@ -49,14 +50,20 @@ type Event struct {
 // fired, if cancelled).
 func (e *Event) At() Time { return e.at }
 
-// Cancel prevents the event from firing. Cancelling an event that already
-// fired or was already cancelled is a no-op. Cancel returns true if the
-// event had been pending.
+// Cancel prevents the event from firing and removes it from the engine's
+// queue immediately via its stored heap index — a cancelled event releases
+// its memory (including whatever its callback closes over) right away
+// instead of lingering until its firing time is popped. Cancelling an event
+// that already fired or was already cancelled is a no-op. Cancel returns
+// true if the event had been pending.
 func (e *Event) Cancel() bool {
 	if e == nil || e.canceled || e.index < 0 {
 		return false
 	}
 	e.canceled = true
+	heap.Remove(&e.owner.queue, e.index)
+	e.index = -1
+	e.fn = nil
 	return true
 }
 
@@ -102,7 +109,7 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 		panic("sim: schedule with nil callback")
 	}
 	e.seq++
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	ev := &Event{at: at, seq: e.seq, owner: e, fn: fn}
 	heap.Push(&e.queue, ev)
 	return ev
 }
@@ -120,12 +127,13 @@ func (e *Engine) After(d Duration, fn func()) *Event {
 // "process this on the next tick".
 func (e *Engine) Defer(fn func()) *Event { return e.Schedule(e.now, fn) }
 
-// Pending reports the number of undelivered events (including cancelled
-// events not yet drained).
+// Pending reports the number of undelivered live events. Cancelled events
+// are removed from the queue eagerly and never counted.
 func (e *Engine) Pending() int { return e.queue.Len() }
 
 // step executes the earliest pending event. It returns false when the queue
-// holds no live events.
+// holds no live events. The cancelled-event check is defensive: Cancel
+// removes events from the heap eagerly, so none should be observed here.
 func (e *Engine) step() bool {
 	for e.queue.Len() > 0 {
 		ev := heap.Pop(&e.queue).(*Event)

@@ -254,3 +254,60 @@ func TestDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestCancelRemovesFromQueue pins the eager-removal contract: a cancelled
+// event leaves the heap (and Pending) immediately instead of lingering until
+// its firing time is popped.
+func TestCancelRemovesFromQueue(t *testing.T) {
+	e := NewEngine()
+	keep := 0
+	var evs []*Event
+	for i := 0; i < 100; i++ {
+		evs = append(evs, e.Schedule(Time(i), func() { keep++ }))
+	}
+	if e.Pending() != 100 {
+		t.Fatalf("Pending = %d, want 100", e.Pending())
+	}
+	// Cancel every other event, including the current heap root.
+	cancelled := 0
+	for i := 0; i < 100; i += 2 {
+		if !evs[i].Cancel() {
+			t.Fatalf("Cancel of pending event %d returned false", i)
+		}
+		cancelled++
+		if got, want := e.Pending(), 100-cancelled; got != want {
+			t.Fatalf("after %d cancels Pending = %d, want %d", cancelled, got, want)
+		}
+	}
+	e.Run()
+	if keep != 50 {
+		t.Fatalf("%d events fired, want 50", keep)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after Run, want 0", e.Pending())
+	}
+}
+
+// TestCancelMidHeapPreservesOrder cancels from the middle of the heap and
+// verifies remaining events still fire in (time, seq) order.
+func TestCancelMidHeapPreservesOrder(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	var evs []*Event
+	for i := 0; i < 50; i++ {
+		i := i
+		evs = append(evs, e.Schedule(Time(50-i), func() { fired = append(fired, 50-i) }))
+	}
+	for _, i := range []int{3, 17, 29, 41, 49} {
+		evs[i].Cancel()
+	}
+	e.Run()
+	if len(fired) != 45 {
+		t.Fatalf("%d events fired, want 45", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("events fired out of order: %v", fired)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package telemetry
 
 import (
+	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -16,14 +17,24 @@ import (
 // time: the value set at time t holds on [t, next-set-time). Samples must be
 // appended in nondecreasing time order, which every simulation source
 // naturally satisfies.
+//
+// Alongside the change points the series maintains a cumulative-integral
+// index (cum[i] = ∫ from times[0] to times[i]), kept up to date in O(1) per
+// append, so Integral/Mean over any window are O(log n) rather than a full
+// scan — the telemetry analogue of aggregating online instead of re-merging
+// raw samples at report time.
 type StepSeries struct {
 	times  []float64
 	values []float64
+	// cum[i] is the integral of the series from times[0] to times[i]; it only
+	// depends on values[0..i-1], so overwriting the value at the last change
+	// point never invalidates it.
+	cum []float64
 }
 
 // NewStepSeries returns a series with an initial value holding from t=0.
 func NewStepSeries(initial float64) *StepSeries {
-	return &StepSeries{times: []float64{0}, values: []float64{initial}}
+	return &StepSeries{times: []float64{0}, values: []float64{initial}, cum: []float64{0}}
 }
 
 // Set records that the series takes value v from time t onward. Setting at a
@@ -44,9 +55,20 @@ func (s *StepSeries) Set(t, v float64) {
 		if s.values[n-1] == v {
 			return // no change; keep the series minimal
 		}
+		s.cum = append(s.cum, s.cum[n-1]+s.values[n-1]*(t-last))
+	} else {
+		s.cum = append(s.cum, 0)
 	}
 	s.times = append(s.times, t)
 	s.values = append(s.values, v)
+}
+
+// AddDelta shifts the series by d from time t onward: Set(t, Last()+d). It is
+// the primitive incremental aggregates are built from — each device sample
+// updates a cluster-wide running series in O(1) instead of the cluster
+// re-merging every per-device series at report time.
+func (s *StepSeries) AddDelta(t, d float64) {
+	s.Set(t, s.Last()+d)
 }
 
 // Value returns the series value at time t. Times before the first sample
@@ -77,15 +99,24 @@ func (s *StepSeries) Last() float64 {
 // Len returns the number of stored change points.
 func (s *StepSeries) Len() int { return len(s.times) }
 
-// ChangeTimes returns a copy of the series' change-point times in order.
-func (s *StepSeries) ChangeTimes() []float64 {
-	out := make([]float64, len(s.times))
-	copy(out, s.times)
-	return out
+// integralTo returns ∫ s(x) dx from times[0] to t using the cumulative
+// index; the first value extends back before times[0] (negative area for
+// t < times[0]).
+func (s *StepSeries) integralTo(t float64) float64 {
+	if t <= s.times[0] {
+		return s.values[0] * (t - s.times[0])
+	}
+	// Last index j with times[j] <= t.
+	j := sort.SearchFloat64s(s.times, t)
+	if j == len(s.times) || s.times[j] > t {
+		j--
+	}
+	return s.cum[j] + s.values[j]*(t-s.times[j])
 }
 
 // Integral returns ∫ s(t) dt over [t0, t1]. For a power series in watts this
-// is energy in joules. t0 > t1 panics.
+// is energy in joules. t0 > t1 panics. The cumulative index makes this an
+// O(log n) window query.
 func (s *StepSeries) Integral(t0, t1 float64) float64 {
 	if t0 > t1 {
 		panic(fmt.Sprintf("telemetry: integral over reversed interval [%v,%v]", t0, t1))
@@ -93,24 +124,7 @@ func (s *StepSeries) Integral(t0, t1 float64) float64 {
 	if len(s.times) == 0 || t0 == t1 {
 		return 0
 	}
-	total := 0.0
-	for i := 0; i < len(s.times); i++ {
-		segStart := s.times[i]
-		segEnd := math.Inf(1)
-		if i+1 < len(s.times) {
-			segEnd = s.times[i+1]
-		}
-		lo := math.Max(segStart, t0)
-		hi := math.Min(segEnd, t1)
-		if i == 0 && t0 < segStart {
-			// The initial value extends back to t0.
-			total += s.values[0] * (math.Min(segStart, t1) - t0)
-		}
-		if hi > lo {
-			total += s.values[i] * (hi - lo)
-		}
-	}
-	return total
+	return s.integralTo(t1) - s.integralTo(t0)
 }
 
 // Mean returns the time-weighted mean over [t0, t1]; zero if the interval is
@@ -122,18 +136,50 @@ func (s *StepSeries) Mean(t0, t1 float64) float64 {
 	return s.Integral(t0, t1) / (t1 - t0)
 }
 
-// Max returns the maximum value attained in [t0, t1].
+// Max returns the maximum value attained in [t0, t1]. The window bounds are
+// located by binary search so only change points inside the window are
+// visited.
 func (s *StepSeries) Max(t0, t1 float64) float64 {
 	if len(s.times) == 0 {
 		return 0
 	}
 	max := s.Value(t0)
-	for i, t := range s.times {
-		if t > t0 && t <= t1 && s.values[i] > max {
+	// First index with times[i] > t0.
+	i := sort.SearchFloat64s(s.times, t0)
+	for i < len(s.times) && s.times[i] <= t0 {
+		i++
+	}
+	for ; i < len(s.times) && s.times[i] <= t1; i++ {
+		if s.values[i] > max {
 			max = s.values[i]
 		}
 	}
 	return max
+}
+
+// Scale returns a new series with every value multiplied by k (same change
+// points). It replaces the change-point replay dance callers previously used
+// to build weighted aggregates.
+func (s *StepSeries) Scale(k float64) *StepSeries {
+	out := &StepSeries{
+		times:  make([]float64, len(s.times)),
+		values: make([]float64, len(s.values)),
+		cum:    make([]float64, 0, len(s.cum)),
+	}
+	copy(out.times, s.times)
+	for i, v := range s.values {
+		out.values[i] = v * k
+	}
+	// Rebuild the cumulative index from the scaled values so the index stays
+	// self-consistent with the recurrence Set maintains.
+	for i := range out.times {
+		if i == 0 {
+			out.cum = append(out.cum, 0)
+			continue
+		}
+		out.cum = append(out.cum, out.cum[i-1]+out.values[i-1]*(out.times[i]-out.times[i-1]))
+	}
+	return out
 }
 
 // Resample evaluates the series on a regular grid [t0, t1] with step dt,
@@ -156,16 +202,7 @@ func (s *StepSeries) Resample(t0, t1, dt float64) []float64 {
 // points at the union of inputs' change points. Used to aggregate per-device
 // power into cluster power.
 func SumSeries(series ...*StepSeries) *StepSeries {
-	pts := changePoints(series)
-	out := NewStepSeries(0)
-	for _, t := range pts {
-		total := 0.0
-		for _, s := range series {
-			total += s.Value(t)
-		}
-		out.Set(t, total)
-	}
-	return out
+	return mergeSeries(series, 1)
 }
 
 // MeanSeries point-wise averages step series (e.g. per-device utilization →
@@ -174,32 +211,83 @@ func MeanSeries(series ...*StepSeries) *StepSeries {
 	if len(series) == 0 {
 		return NewStepSeries(0)
 	}
-	pts := changePoints(series)
-	out := NewStepSeries(0)
-	for _, t := range pts {
-		total := 0.0
-		for _, s := range series {
-			total += s.Value(t)
-		}
-		out.Set(t, total/float64(len(series)))
-	}
-	return out
+	return mergeSeries(series, float64(len(series)))
 }
 
-func changePoints(series []*StepSeries) []float64 {
-	seen := map[float64]bool{0: true}
-	var pts []float64
-	pts = append(pts, 0)
-	for _, s := range series {
-		for _, t := range s.times {
-			if !seen[t] {
-				seen[t] = true
-				pts = append(pts, t)
-			}
+// mergePoint is one pending change point in the k-way merge heap.
+type mergePoint struct {
+	t      float64
+	series int // index into the input slice
+	idx    int // index of the change point within that series
+}
+
+type mergeHeap []mergePoint
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].series < h[j].series
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergePoint)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	*h = old[:n-1]
+	return p
+}
+
+// mergeSeries is the k-way heap merge behind SumSeries/MeanSeries: change
+// points are visited once each in global time order (O(P log S) for P total
+// points across S series), and at every union point the current values are
+// re-summed in input order — that keeps the float operation order, and hence
+// the result, bit-identical to the naive per-point Σ Value(t) merge while
+// dropping its per-point binary searches. div divides the per-point total
+// (1 for a sum, len(series) for a mean).
+func mergeSeries(series []*StepSeries, div float64) *StepSeries {
+	cur := make([]float64, len(series))
+	h := make(mergeHeap, 0, len(series))
+	for i, s := range series {
+		if s.Len() > 0 {
+			// The first value extends back to t=0, matching Value().
+			cur[i] = s.values[0]
+			h = append(h, mergePoint{t: s.times[0], series: i, idx: 0})
 		}
 	}
-	sort.Float64s(pts)
-	return pts
+	heap.Init(&h)
+	out := NewStepSeries(0)
+	emit := func(t float64) {
+		total := 0.0
+		for _, v := range cur {
+			total += v
+		}
+		if div != 1 {
+			total /= div
+		}
+		out.Set(t, total)
+	}
+	// The union point set always includes t=0 (every aggregate starts at the
+	// beginning of simulated time).
+	if len(h) == 0 || h[0].t > 0 {
+		emit(0)
+	}
+	for len(h) > 0 {
+		t := h[0].t
+		// Apply every change at this instant before emitting once.
+		for len(h) > 0 && h[0].t == t {
+			p := heap.Pop(&h).(mergePoint)
+			s := series[p.series]
+			cur[p.series] = s.values[p.idx]
+			if p.idx+1 < s.Len() {
+				heap.Push(&h, mergePoint{t: s.times[p.idx+1], series: p.series, idx: p.idx + 1})
+			}
+		}
+		emit(t)
+	}
+	return out
 }
 
 // JoulesToWh converts joules to watt-hours (the unit Table 2 reports).

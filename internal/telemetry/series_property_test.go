@@ -1,0 +1,217 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// This file pins the optimized StepSeries machinery to the seed's naive
+// implementations: the k-way heap merge behind SumSeries/MeanSeries must be
+// bit-identical to the per-point Σ Value(t) merge (same float operation
+// order), and the cumulative-index Integral must agree with the full-segment
+// scan to float accumulation error.
+
+// naiveIntegral is the seed's full-scan implementation, kept verbatim as the
+// reference semantics.
+func naiveIntegral(s *StepSeries, t0, t1 float64) float64 {
+	if len(s.times) == 0 || t0 == t1 {
+		return 0
+	}
+	total := 0.0
+	for i := 0; i < len(s.times); i++ {
+		segStart := s.times[i]
+		segEnd := math.Inf(1)
+		if i+1 < len(s.times) {
+			segEnd = s.times[i+1]
+		}
+		lo := math.Max(segStart, t0)
+		hi := math.Min(segEnd, t1)
+		if i == 0 && t0 < segStart {
+			total += s.values[0] * (math.Min(segStart, t1) - t0)
+		}
+		if hi > lo {
+			total += s.values[i] * (hi - lo)
+		}
+	}
+	return total
+}
+
+// naiveMax is the seed's full-scan max.
+func naiveMax(s *StepSeries, t0, t1 float64) float64 {
+	if len(s.times) == 0 {
+		return 0
+	}
+	max := s.Value(t0)
+	for i, t := range s.times {
+		if t > t0 && t <= t1 && s.values[i] > max {
+			max = s.values[i]
+		}
+	}
+	return max
+}
+
+// naiveChangePoints and naiveMerge are the seed's map-and-sort union merge.
+func naiveChangePoints(series []*StepSeries) []float64 {
+	seen := map[float64]bool{0: true}
+	var pts []float64
+	pts = append(pts, 0)
+	for _, s := range series {
+		for _, t := range s.times {
+			if !seen[t] {
+				seen[t] = true
+				pts = append(pts, t)
+			}
+		}
+	}
+	sort.Float64s(pts)
+	return pts
+}
+
+func naiveSum(series ...*StepSeries) *StepSeries {
+	pts := naiveChangePoints(series)
+	out := NewStepSeries(0)
+	for _, t := range pts {
+		total := 0.0
+		for _, s := range series {
+			total += s.Value(t)
+		}
+		out.Set(t, total)
+	}
+	return out
+}
+
+func naiveMean(series ...*StepSeries) *StepSeries {
+	if len(series) == 0 {
+		return NewStepSeries(0)
+	}
+	pts := naiveChangePoints(series)
+	out := NewStepSeries(0)
+	for _, t := range pts {
+		total := 0.0
+		for _, s := range series {
+			total += s.Value(t)
+		}
+		out.Set(t, total/float64(len(series)))
+	}
+	return out
+}
+
+// randomSeries builds a series with random change points; shareTimes makes
+// collisions across series likely (the simulation sets many samples at the
+// same event instant).
+func randomSeries(rng *rand.Rand, points int, shareTimes bool) *StepSeries {
+	s := NewStepSeries(rng.Float64() * 10)
+	t := 0.0
+	for i := 0; i < points; i++ {
+		if shareTimes {
+			t += float64(rng.Intn(4)) // repeats and integer collisions
+		} else {
+			t += rng.Float64() * 3
+		}
+		s.Set(t, rng.Float64()*100-20)
+	}
+	return s
+}
+
+func seriesEqual(a, b *StepSeries) bool {
+	if len(a.times) != len(b.times) {
+		return false
+	}
+	for i := range a.times {
+		if a.times[i] != b.times[i] || a.values[i] != b.values[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSumMeanSeriesBitIdenticalToNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(6)
+		shared := trial%2 == 0
+		var series []*StepSeries
+		for i := 0; i < n; i++ {
+			series = append(series, randomSeries(rng, rng.Intn(40), shared))
+		}
+		gotSum := SumSeries(series...)
+		wantSum := naiveSum(series...)
+		if !seriesEqual(gotSum, wantSum) {
+			t.Fatalf("trial %d: SumSeries diverged from naive merge\n got %v %v\nwant %v %v",
+				trial, gotSum.times, gotSum.values, wantSum.times, wantSum.values)
+		}
+		gotMean := MeanSeries(series...)
+		wantMean := naiveMean(series...)
+		if !seriesEqual(gotMean, wantMean) {
+			t.Fatalf("trial %d: MeanSeries diverged from naive merge", trial)
+		}
+	}
+}
+
+func TestIndexedIntegralMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		s := randomSeries(rng, 1+rng.Intn(60), trial%2 == 0)
+		span := s.times[len(s.times)-1] + 5
+		for q := 0; q < 20; q++ {
+			t0 := rng.Float64() * span
+			t1 := t0 + rng.Float64()*span
+			got := s.Integral(t0, t1)
+			want := naiveIntegral(s, t0, t1)
+			// The cumulative index accumulates from t=0 while the naive scan
+			// accumulates per-window, so the two differ only by float
+			// rounding of mathematically identical sums.
+			tol := 1e-9 * math.Max(1, math.Abs(want))
+			if math.Abs(got-want) > tol {
+				t.Fatalf("trial %d: Integral(%v,%v) = %v, naive %v", trial, t0, t1, got, want)
+			}
+			if m := s.Max(t0, t1); m != naiveMax(s, t0, t1) {
+				t.Fatalf("trial %d: Max(%v,%v) = %v, naive %v", trial, t0, t1, m, naiveMax(s, t0, t1))
+			}
+		}
+	}
+}
+
+func TestScaleMatchesPointwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		s := randomSeries(rng, rng.Intn(50), false)
+		k := rng.Float64()*4 - 2
+		sc := s.Scale(k)
+		if sc.Len() != s.Len() {
+			t.Fatalf("Scale changed the change-point count: %d vs %d", sc.Len(), s.Len())
+		}
+		for i, tm := range s.times {
+			if sc.values[i] != s.values[i]*k {
+				t.Fatalf("Scale value mismatch at %v", tm)
+			}
+		}
+		// The scaled series' integral index must stay self-consistent.
+		end := s.times[len(s.times)-1] + 1
+		got := sc.Integral(0, end)
+		want := naiveIntegral(sc, 0, end)
+		if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Fatalf("scaled integral %v, naive %v", got, want)
+		}
+	}
+}
+
+func TestAddDelta(t *testing.T) {
+	s := NewStepSeries(2)
+	s.AddDelta(1, 3)
+	s.AddDelta(2, -5)
+	if got := s.Value(0.5); got != 2 {
+		t.Fatalf("Value(0.5) = %v, want 2", got)
+	}
+	if got := s.Value(1.5); got != 5 {
+		t.Fatalf("Value(1.5) = %v, want 5", got)
+	}
+	if got := s.Value(3); got != 0 {
+		t.Fatalf("Value(3) = %v, want 0", got)
+	}
+	if got, want := s.Integral(0, 3), 2*1+5*1+0*1.0; got != want {
+		t.Fatalf("Integral = %v, want %v", got, want)
+	}
+}
