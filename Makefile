@@ -3,7 +3,7 @@
 GO ?= go
 DATE := $(shell date +%F)
 
-.PHONY: all build test vet bench bench-smoke
+.PHONY: all build test race vet bench bench-smoke
 
 all: vet build test
 
@@ -12,6 +12,12 @@ build:
 
 test:
 	$(GO) test ./...
+
+# race runs the full suite under the race detector; the serving daemon's
+# HTTP surface, shard loops and job registry are exercised concurrently by
+# the api package's tests.
+race:
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...

@@ -1,22 +1,36 @@
 // Command murakkabd serves the Murakkab runtime over HTTP — the AIWaaS
-// surface from the paper's §5 discussion.
+// surface from the paper's §5 discussion, run as a long-lived, sharded
+// serving daemon: tenants hash to runtime shards, jobs are admitted
+// asynchronously and multiplex each shard's warm serving engines.
 //
-//	murakkabd -addr :8080
+//	murakkabd -addr :8080 -shards 2 -concurrency 4 -vms 2
 //
 //	curl localhost:8080/v1/library
-//	curl localhost:8080/v1/experiments/table2
+//	curl localhost:8080/v1/stats
 //	curl -X POST localhost:8080/v1/jobs -d '{
+//	  "tenant": "alice",
 //	  "description": "List objects shown/mentioned in the videos",
 //	  "constraint": "MIN_COST", "min_quality": 0.95,
 //	  "inputs": [{"name": "cats.mov", "kind": "video",
 //	              "attrs": {"duration_s": 240, "scene_len_s": 30,
 //	                        "frames_per_scene": 24}}]}'
+//	curl localhost:8080/v1/jobs/job-00000001
+//	curl -X DELETE localhost:8080/v1/jobs/job-00000001
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, drains in-flight
+// HTTP requests, then drains the runtime shards (queued and running jobs
+// complete) before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/api"
@@ -24,15 +38,61 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.Int("shards", 2, "runtime shards (tenants hash across them)")
+	concurrency := flag.Int("concurrency", 4, "max concurrent jobs per shard")
+	vms := flag.Int("vms", 2, "ND96amsr_A100_v4 VMs per shard")
+	perRequest := flag.Bool("per-request", false,
+		"baseline mode: provision a throwaway testbed per request instead of sharing runtimes")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"how long to wait for in-flight HTTP requests on shutdown")
 	flag.Parse()
+
+	server, err := api.NewServer(api.PoolConfig{
+		Shards:                *shards,
+		VMsPerShard:           *vms,
+		MaxConcurrentPerShard: *concurrency,
+		PerRequest:            *perRequest,
+	})
+	if err != nil {
+		log.Fatalf("murakkabd: provisioning runtime pool: %v", err)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           api.NewHandler(),
+		Handler:           server,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("murakkabd listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
-		log.Fatal(err)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	if *perRequest {
+		log.Printf("murakkabd listening on %s (per-request baseline mode)", *addr)
+	} else {
+		log.Printf("murakkabd listening on %s (%d shards × %d VMs, %d jobs/shard)",
+			*addr, *shards, *vms, *concurrency)
 	}
+
+	select {
+	case err := <-errCh:
+		// Listener died before any signal: nothing to drain.
+		log.Fatalf("murakkabd: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	log.Printf("murakkabd: shutdown signal received, draining")
+
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		log.Printf("murakkabd: HTTP drain: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("murakkabd: listener: %v", err)
+	}
+	// Drain the runtime shards: queued and running jobs complete.
+	server.Close()
+	log.Printf("murakkabd: drained, exiting")
 }

@@ -1,10 +1,11 @@
 // Package aiwaas implements the paper's §5 "AI Workflows-as-a-Service"
 // vision: a multi-tenant front end over the Murakkab runtime, analogous to
-// FaaS. Tenants submit declarative jobs; the service handles admission
-// (bounded concurrency with fair-share ordering across tenants), keeps
-// serving engines warm between jobs, and meters per-tenant usage (jobs,
-// estimated spend, energy, latency) — "developers focus solely on
-// application logic, without needing to manage model or resource details".
+// FaaS. Tenants submit declarative jobs; admission (bounded concurrency with
+// fair-share ordering across tenants) is delegated to the core scheduler —
+// the scheduler/executor split — while this layer keeps serving engines warm
+// between jobs and meters per-tenant usage (jobs, estimated spend, energy,
+// latency) — "developers focus solely on application logic, without needing
+// to manage model or resource details".
 package aiwaas
 
 import (
@@ -26,6 +27,7 @@ const (
 	StatusRunning
 	StatusDone
 	StatusFailed
+	StatusCanceled
 )
 
 // String renders the status.
@@ -39,50 +41,57 @@ func (s Status) String() string {
 		return "done"
 	case StatusFailed:
 		return "failed"
+	case StatusCanceled:
+		return "canceled"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
 }
 
-// Ticket tracks one submitted job through the service.
+// Ticket tracks one submitted job through the service. It is a tenant-facing
+// view over the core scheduler's job handle.
 type Ticket struct {
 	ID     int
 	Tenant string
 	Job    workflow.Job
 	Opts   core.SubmitOptions
 
-	status      Status
-	submittedAt sim.Time
-	startedAt   sim.Time
-	exec        *core.Execution
-	err         error
-	onDone      []func(*Ticket)
+	h *core.Handle
 }
 
 // Status returns the current state.
-func (t *Ticket) Status() Status { return t.status }
-
-// Err returns the terminal error for failed tickets.
-func (t *Ticket) Err() error { return t.err }
-
-// Report returns the execution report once done.
-func (t *Ticket) Report() *report.Report {
-	if t.exec == nil || !t.exec.Done() {
-		return nil
+func (t *Ticket) Status() Status {
+	switch t.h.Status() {
+	case core.JobQueued:
+		return StatusQueued
+	case core.JobRunning:
+		return StatusRunning
+	case core.JobDone:
+		return StatusDone
+	case core.JobCanceled:
+		return StatusCanceled
+	default:
+		return StatusFailed
 	}
-	return t.exec.Report()
 }
 
-// QueueDelayS is time spent waiting for admission.
-func (t *Ticket) QueueDelayS() float64 { return t.startedAt.Sub(t.submittedAt).Seconds() }
+// Err returns the terminal error for failed tickets.
+func (t *Ticket) Err() error { return t.h.Err() }
 
-// OnDone registers a completion callback (fires for done and failed).
+// Report returns the execution report once done.
+func (t *Ticket) Report() *report.Report { return t.h.Report() }
+
+// QueueDelayS is time spent waiting for admission.
+func (t *Ticket) QueueDelayS() float64 { return t.h.QueueDelayS() }
+
+// Cancel terminates the ticket's job (queued or running); it reports whether
+// the job was still cancelable.
+func (t *Ticket) Cancel() bool { return t.h.Cancel() }
+
+// OnDone registers a completion callback (fires for done, failed and
+// canceled).
 func (t *Ticket) OnDone(fn func(*Ticket)) {
-	if t.status == StatusDone || t.status == StatusFailed {
-		fn(t)
-		return
-	}
-	t.onDone = append(t.onDone, fn)
+	t.h.OnDone(func(*core.Handle) { fn(t) })
 }
 
 // TenantUsage is the §5 metering record for one tenant.
@@ -91,6 +100,7 @@ type TenantUsage struct {
 	Submitted     int
 	Completed     int
 	Failed        int
+	Canceled      int
 	TotalBillUSD  float64
 	TotalEnergyWh float64
 	TotalLatencyS float64
@@ -99,60 +109,44 @@ type TenantUsage struct {
 
 // Service is the AIWaaS front end.
 type Service struct {
-	se *sim.Engine
-	rt *core.Runtime
-	// maxConcurrent bounds simultaneously-running jobs; further submissions
-	// queue with fair-share ordering.
-	maxConcurrent int
+	sched *core.Scheduler
 
-	nextID  int
-	queue   []*Ticket
-	running int
-	usage   map[string]*TenantUsage
-	// inFlight counts running jobs per tenant; admitted counts total jobs
-	// ever admitted per tenant. Together they order fair-share admission.
-	inFlight map[string]int
-	admitted map[string]int
+	nextID int
+	usage  map[string]*TenantUsage
 }
 
-// New creates a service over a runtime.
+// New creates a service over a runtime with the given admission concurrency.
 func New(se *sim.Engine, rt *core.Runtime, maxConcurrent int) *Service {
-	if maxConcurrent <= 0 {
-		panic("aiwaas: non-positive concurrency limit")
-	}
 	return &Service{
-		se:            se,
-		rt:            rt,
-		maxConcurrent: maxConcurrent,
-		usage:         map[string]*TenantUsage{},
-		inFlight:      map[string]int{},
-		admitted:      map[string]int{},
+		sched: core.NewScheduler(se, rt, maxConcurrent),
+		usage: map[string]*TenantUsage{},
 	}
 }
+
+// Scheduler exposes the admission layer (for stats).
+func (s *Service) Scheduler() *core.Scheduler { return s.sched }
 
 // Submit enqueues a job for a tenant. Validation errors return immediately;
 // planning/execution errors surface on the ticket.
 func (s *Service) Submit(tenant string, job workflow.Job, opts core.SubmitOptions) (*Ticket, error) {
-	if tenant == "" {
-		return nil, fmt.Errorf("aiwaas: empty tenant")
-	}
-	if err := job.Validate(); err != nil {
-		return nil, err
-	}
 	// Engines stay warm across jobs: the service owns their lifecycle.
 	opts.KeepEngines = true
+	h, err := s.sched.Submit(tenant, job, opts)
+	if err != nil {
+		return nil, err
+	}
 	s.nextID++
 	t := &Ticket{
-		ID:          s.nextID,
-		Tenant:      tenant,
-		Job:         job,
-		Opts:        opts,
-		status:      StatusQueued,
-		submittedAt: s.se.Now(),
+		ID:     s.nextID,
+		Tenant: tenant,
+		Job:    job,
+		Opts:   opts,
+		h:      h,
 	}
 	s.tenantUsage(tenant).Submitted++
-	s.queue = append(s.queue, t)
-	s.se.Defer(s.pump)
+	// Metering registers first, so usage is settled before any tenant
+	// callbacks observe the terminal state.
+	h.OnDone(func(h *core.Handle) { s.meter(t, h) })
 	return t, nil
 }
 
@@ -165,84 +159,32 @@ func (s *Service) tenantUsage(tenant string) *TenantUsage {
 	return u
 }
 
-// pump admits queued tickets up to the concurrency limit, fair-share: the
-// tenant with the fewest in-flight jobs goes first, ties broken by the
-// least total service received (jobs ever admitted), then submission order —
-// so one tenant's burst cannot starve others.
-func (s *Service) pump() {
-	for s.running < s.maxConcurrent && len(s.queue) > 0 {
-		idx := s.pickNext()
-		t := s.queue[idx]
-		s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
-		s.start(t)
-	}
-}
-
-func (s *Service) pickNext() int {
-	best := 0
-	key := func(i int) (int, int) {
-		t := s.queue[i].Tenant
-		return s.inFlight[t], s.admitted[t]
-	}
-	for i := 1; i < len(s.queue); i++ {
-		fi, ai := key(i)
-		fb, ab := key(best)
-		if fi < fb || (fi == fb && ai < ab) {
-			best = i
-		}
-	}
-	return best
-}
-
-func (s *Service) start(t *Ticket) {
-	t.status = StatusRunning
-	t.startedAt = s.se.Now()
-	s.running++
-	s.inFlight[t.Tenant]++
-	s.admitted[t.Tenant]++
-	ex, err := s.rt.Submit(t.Job, t.Opts)
-	if err != nil {
-		s.finish(t, nil, err)
-		return
-	}
-	t.exec = ex
-	ex.OnDone(func(rep *report.Report, err error) {
-		s.finish(t, rep, err)
-	})
-}
-
-func (s *Service) finish(t *Ticket, rep *report.Report, err error) {
-	s.running--
-	s.inFlight[t.Tenant]--
+func (s *Service) meter(t *Ticket, h *core.Handle) {
 	u := s.tenantUsage(t.Tenant)
-	u.TotalQueueS += t.QueueDelayS()
-	if err != nil {
-		t.status = StatusFailed
-		t.err = err
+	u.TotalQueueS += h.QueueDelayS()
+	switch h.Status() {
+	case core.JobCanceled:
+		u.Canceled++
+	case core.JobFailed:
 		u.Failed++
-	} else {
-		t.status = StatusDone
+	case core.JobDone:
 		u.Completed++
 		// Billing uses the optimizer's per-decision resource-seconds
 		// estimates (cloud-style metering of what the job committed), not
 		// the whole-cluster rental, which is shared across tenants.
-		u.TotalBillUSD += t.exec.Plan().EstCostUSD
-		if rep != nil {
+		u.TotalBillUSD += h.Execution().Plan().EstCostUSD
+		if rep := h.Report(); rep != nil {
 			u.TotalEnergyWh += rep.GPUEnergyWh
 			u.TotalLatencyS += rep.MakespanS
 		}
 	}
-	for _, fn := range t.onDone {
-		fn(t)
-	}
-	s.se.Defer(s.pump)
 }
 
 // QueueDepth returns queued (unadmitted) tickets.
-func (s *Service) QueueDepth() int { return len(s.queue) }
+func (s *Service) QueueDepth() int { return s.sched.QueueDepth() }
 
 // Running returns currently-admitted jobs.
-func (s *Service) Running() int { return s.running }
+func (s *Service) Running() int { return s.sched.Running() }
 
 // Usage returns per-tenant usage records, sorted by tenant.
 func (s *Service) Usage() []TenantUsage {

@@ -188,10 +188,32 @@ func TestOnDoneAfterCompletionFiresImmediately(t *testing.T) {
 	}
 }
 
+func TestCancelQueuedTicketMetersAsCanceled(t *testing.T) {
+	se, s := service(t, 1)
+	t1, _ := s.Submit("alice", smallVideoJob(), core.SubmitOptions{RelaxFloor: true})
+	t2, _ := s.Submit("alice", smallVideoJob(), core.SubmitOptions{RelaxFloor: true})
+	se.RunUntil(1)
+	if !t2.Cancel() {
+		t.Fatal("queued ticket not cancelable")
+	}
+	if t2.Status() != StatusCanceled {
+		t.Fatalf("t2 = %v, want canceled", t2.Status())
+	}
+	se.Run()
+	if t1.Status() != StatusDone {
+		t.Fatalf("t1 = %v after drain", t1.Status())
+	}
+	u := s.Usage()[0]
+	if u.Canceled != 1 || u.Completed != 1 {
+		t.Fatalf("usage = %+v", u)
+	}
+}
+
 func TestStatusString(t *testing.T) {
 	for s, want := range map[Status]string{
 		StatusQueued: "queued", StatusRunning: "running",
-		StatusDone: "done", StatusFailed: "failed", Status(9): "Status(9)",
+		StatusDone: "done", StatusFailed: "failed",
+		StatusCanceled: "canceled", Status(9): "Status(9)",
 	} {
 		if s.String() != want {
 			t.Errorf("%d.String() = %q", int(s), s.String())

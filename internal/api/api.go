@@ -1,14 +1,20 @@
 // Package api exposes the Murakkab runtime over HTTP — the service surface
-// of the §5 AIWaaS vision. Each job request provisions a fresh simulated
-// testbed, runs the workflow to completion, and returns the report; the
-// handler is therefore stateless and safe under concurrent requests.
+// of the §5 AIWaaS vision, rebuilt as a long-lived, sharded serving daemon.
+// Jobs are admitted asynchronously into a pool of shared runtimes (one
+// sim-loop goroutine per shard, tenants hashed across shards), so concurrent
+// submissions multiplex warm serving engines and reuse generation-checked
+// plan/decomposition caches instead of provisioning a throwaway testbed per
+// request.
 //
 // Endpoints:
 //
-//	GET  /healthz                     liveness
-//	GET  /v1/library                  the agent library (capabilities, schemas)
-//	POST /v1/jobs                     run a declarative job, returns the report
-//	GET  /v1/experiments/{name}       regenerate a table/figure (text/plain)
+//	GET    /healthz                   liveness
+//	GET    /v1/library                the agent library (capabilities, schemas)
+//	POST   /v1/jobs                   submit a job → 202 + job id ("wait":true blocks for the result)
+//	GET    /v1/jobs/{id}              job status / result
+//	DELETE /v1/jobs/{id}              cancel a queued or running job
+//	GET    /v1/stats                  multiplexing, cache and utilization counters
+//	GET    /v1/experiments/{name}     regenerate a table/figure (text/plain)
 package api
 
 import (
@@ -18,25 +24,33 @@ import (
 	"strings"
 
 	"repro/internal/agents"
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/hardware"
-	"repro/internal/sim"
 	"repro/internal/workflow"
 )
 
 // JobRequest is the POST /v1/jobs body.
 type JobRequest struct {
+	// Tenant namespaces the job; tenants hash to runtime shards ("default"
+	// when empty).
+	Tenant      string         `json:"tenant,omitempty"`
 	Description string         `json:"description"`
 	Constraint  string         `json:"constraint"` // MIN_COST | MIN_LATENCY | MIN_POWER | MAX_QUALITY
 	MinQuality  float64        `json:"min_quality,omitempty"`
 	Tasks       []string       `json:"tasks,omitempty"`
 	Inputs      []InputRequest `json:"inputs"`
-	// VMs sizes the simulated cluster (default 2 ND96amsr_A100_v4).
-	VMs int `json:"vms,omitempty"`
 	// MaxPaths enables execution-path replication under MAX_QUALITY.
 	MaxPaths int `json:"max_paths,omitempty"`
+	// Wait blocks the request until the job completes and returns the result
+	// inline (per-request mode always behaves this way).
+	Wait bool `json:"wait,omitempty"`
+	// Timeline includes the rendered execution timeline in the result.
+	// Off by default: it is a debugging artifact, and rendering plus
+	// serializing it is measurable at serving rates.
+	Timeline bool `json:"timeline,omitempty"`
+	// VMs sizes the throwaway cluster in per-request mode (default 2). It is
+	// rejected in shared mode, where shard clusters are sized at daemon start.
+	VMs int `json:"vms,omitempty"`
 }
 
 // InputRequest is one typed job input.
@@ -46,21 +60,53 @@ type InputRequest struct {
 	Attrs map[string]float64 `json:"attrs,omitempty"`
 }
 
-// JobResponse is the POST /v1/jobs reply.
+// maxRequestVMs caps the client-supplied throwaway-cluster size in
+// per-request mode: provisioning is synchronous on the handler goroutine,
+// so an unbounded count would let one request exhaust daemon memory.
+const maxRequestVMs = 16
+
+// maxRequestPaths caps MAX_QUALITY execution-path replication per request:
+// every LLM task replicates up to this factor on the tenant's shared shard,
+// so an unbounded value would let one request monopolize it.
+const maxRequestPaths = 8
+
+// JobResponse is a finished job's result payload.
+//
+// CostUSD, GPUEnergyWh, CPUEnergyWh and the utilization means are
+// cluster-wide quantities over the job's execution window: in shared mode
+// the window covers everything the shard's cluster ran concurrently, so
+// overlapping tenants each observe the shared total (summing cost_usd
+// across jobs double-counts the rental). EstCostUSD is the per-job metering
+// figure — the optimizer's estimate of the resources this job alone
+// committed — and is what aiwaas-style billing charges.
 type JobResponse struct {
 	Name                 string            `json:"name"`
 	MakespanS            float64           `json:"makespan_s"`
 	GPUEnergyWh          float64           `json:"gpu_energy_wh"`
 	CPUEnergyWh          float64           `json:"cpu_energy_wh"`
 	CostUSD              float64           `json:"cost_usd"`
+	EstCostUSD           float64           `json:"est_cost_usd"`
 	MeanGPUUtil          float64           `json:"mean_gpu_util"`
 	MeanCPUUtil          float64           `json:"mean_cpu_util"`
 	Quality              float64           `json:"quality"`
 	PlanningOverheadFrac float64           `json:"planning_overhead_frac"`
 	TasksCompleted       int               `json:"tasks_completed"`
 	Decisions            map[string]string `json:"decisions"`
-	Timeline             string            `json:"timeline"`
+	Timeline             string            `json:"timeline,omitempty"`
 	Template             string            `json:"template"`
+}
+
+// JobStatusResponse is the async job envelope (POST 202 and GET /v1/jobs/{id}).
+type JobStatusResponse struct {
+	ID            string       `json:"id"`
+	Tenant        string       `json:"tenant"`
+	Shard         int          `json:"shard"`
+	Status        string       `json:"status"`
+	QueueDelayS   float64      `json:"queue_delay_s"`
+	SubmittedSimS float64      `json:"submitted_sim_s"`
+	FinishedSimS  float64      `json:"finished_sim_s,omitempty"`
+	Error         string       `json:"error,omitempty"`
+	Result        *JobResponse `json:"result,omitempty"`
 }
 
 // LibraryEntry describes one implementation in GET /v1/library.
@@ -78,25 +124,44 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// NewHandler returns the service's http.Handler.
-func NewHandler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", handleHealth)
-	mux.HandleFunc("/v1/library", handleLibrary)
-	mux.HandleFunc("/v1/jobs", handleJobs)
-	mux.HandleFunc("/v1/experiments/", handleExperiments)
-	return mux
+// Server is the serving daemon: a runtime pool plus its HTTP surface. Close
+// it to drain the shard loops.
+type Server struct {
+	pool *Pool
+	mux  *http.ServeMux
 }
 
-func handleHealth(w http.ResponseWriter, r *http.Request) {
+// NewServer provisions the pool and wires the routes.
+func NewServer(cfg PoolConfig) (*Server, error) {
+	pool, err := NewPool(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{pool: pool, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/library", handleLibrary)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/experiments/{name}", handleExperiments)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Pool exposes the runtime pool (for stats and tests).
+func (s *Server) Pool() *Pool { return s.pool }
+
+// Close drains the pool's shard loops.
+func (s *Server) Close() { s.pool.Close() }
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func handleLibrary(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
-		return
-	}
 	lib := agents.DefaultLibrary()
 	var out []LibraryEntry
 	for _, c := range lib.Capabilities() {
@@ -121,11 +186,7 @@ func handleLibrary(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-func handleJobs(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
-		return
-	}
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -133,51 +194,120 @@ func handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
 		return
 	}
+	if req.VMs != 0 && !s.pool.PerRequest() {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(
+			"vms applies only to per-request mode; shard cluster size is fixed at daemon start"))
+		return
+	}
+	if req.VMs < 0 || req.VMs > maxRequestVMs {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(
+			"vms must be in [1, %d] (0 for the default)", maxRequestVMs))
+		return
+	}
+	if req.MaxPaths < 0 || req.MaxPaths > maxRequestPaths {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(
+			"max_paths must be in [1, %d] (0 disables path replication)", maxRequestPaths))
+		return
+	}
 	job, err := req.toJob()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	vms := req.VMs
-	if vms <= 0 {
-		vms = 2
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "default"
 	}
-	se := sim.NewEngine()
-	cl := cluster.New(se, hardware.DefaultCatalog())
-	for i := 0; i < vms; i++ {
-		cl.AddVM(fmt.Sprintf("vm%d", i), hardware.NDv4SKUName, false)
-	}
-	rt, err := core.New(core.Config{Engine: se, Cluster: cl, Library: agents.DefaultLibrary()})
+	rec, err := s.pool.Submit(tenant, job, core.SubmitOptions{
+		RelaxFloor: true, MaxPaths: req.MaxPaths,
+	}, submitExtras{vms: req.VMs, timeline: req.Timeline})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
-	ex, err := rt.Submit(job, core.SubmitOptions{RelaxFloor: true, MaxPaths: req.MaxPaths})
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+	if req.Wait || s.pool.PerRequest() {
+		select {
+		case <-rec.Done():
+		case <-r.Context().Done():
+			// Client gave up; the job keeps running and stays pollable.
+			writeJSON(w, http.StatusAccepted, statusResponse(rec.snapshot()))
+			return
+		}
+		st := rec.snapshot()
+		if st.Status == core.JobFailed {
+			writeJSON(w, http.StatusUnprocessableEntity, statusResponse(st))
+			return
+		}
+		writeJSON(w, http.StatusOK, statusResponse(st))
 		return
 	}
-	se.Run()
-	if ex.Err() != nil {
-		writeError(w, http.StatusInternalServerError, ex.Err())
+	writeJSON(w, http.StatusAccepted, statusResponse(rec.snapshot()))
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.pool.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
-	rep := ex.Report()
-	writeJSON(w, http.StatusOK, JobResponse{
-		Name:                 rep.Name,
-		MakespanS:            rep.MakespanS,
-		GPUEnergyWh:          rep.GPUEnergyWh,
-		CPUEnergyWh:          rep.CPUEnergyWh,
-		CostUSD:              rep.CostUSD,
-		MeanGPUUtil:          rep.MeanGPUUtil,
-		MeanCPUUtil:          rep.MeanCPUUtil,
-		Quality:              rep.Quality,
-		PlanningOverheadFrac: rep.PlanningOverheadFrac,
-		TasksCompleted:       rep.TasksCompleted,
-		Decisions:            rep.Decisions,
-		Timeline:             rep.Timeline(72),
-		Template:             ex.Decomposition().Template,
-	})
+	writeJSON(w, http.StatusOK, statusResponse(st))
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	st, canceled, ok := s.pool.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	if !canceled {
+		writeJSON(w, http.StatusConflict, statusResponse(st))
+		return
+	}
+	writeJSON(w, http.StatusOK, statusResponse(st))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.pool.Stats())
+}
+
+func statusResponse(st JobState) JobStatusResponse {
+	return JobStatusResponse{
+		ID:            st.ID,
+		Tenant:        st.Tenant,
+		Shard:         st.Shard,
+		Status:        st.Status.String(),
+		QueueDelayS:   st.QueueDelayS,
+		SubmittedSimS: st.SubmittedSimS,
+		FinishedSimS:  st.FinishedSimS,
+		Error:         st.Error,
+		Result:        st.Result,
+	}
+}
+
+// allowedConstraints and allowedKinds gate request validation up front, so
+// malformed submissions fail with 400 and the permitted values instead of
+// surfacing as runtime errors mid-admission.
+var allowedConstraints = "MIN_COST, MIN_LATENCY, MIN_POWER, MAX_QUALITY"
+
+var allowedKindOrder = []workflow.InputKind{
+	workflow.InputVideo, workflow.InputText, workflow.InputUser,
+	workflow.InputTopic, workflow.InputDoc,
+}
+
+var allowedKinds = func() map[workflow.InputKind]bool {
+	m := make(map[workflow.InputKind]bool, len(allowedKindOrder))
+	for _, k := range allowedKindOrder {
+		m[k] = true
+	}
+	return m
+}()
+
+func allowedKindList() string {
+	out := make([]string, len(allowedKindOrder))
+	for i, k := range allowedKindOrder {
+		out[i] = string(k)
+	}
+	return strings.Join(out, ", ")
 }
 
 func (req JobRequest) toJob() (workflow.Job, error) {
@@ -192,7 +322,8 @@ func (req JobRequest) toJob() (workflow.Job, error) {
 	case "MAX_QUALITY":
 		c = workflow.MaxQuality
 	default:
-		return workflow.Job{}, fmt.Errorf("unknown constraint %q", req.Constraint)
+		return workflow.Job{}, fmt.Errorf("unknown constraint %q (allowed: %s)",
+			req.Constraint, allowedConstraints)
 	}
 	job := workflow.Job{
 		Description: req.Description,
@@ -201,6 +332,10 @@ func (req JobRequest) toJob() (workflow.Job, error) {
 		MinQuality:  req.MinQuality,
 	}
 	for _, in := range req.Inputs {
+		if !allowedKinds[workflow.InputKind(in.Kind)] {
+			return workflow.Job{}, fmt.Errorf("unknown input kind %q for %q (allowed: %s)",
+				in.Kind, in.Name, allowedKindList())
+		}
 		if in.Kind == string(workflow.InputVideo) && in.Attrs["scenes"] == 0 {
 			// Convenience: duration_s + scene_len_s + frames_per_scene.
 			dur := in.Attrs["duration_s"]
@@ -223,11 +358,7 @@ func (req JobRequest) toJob() (workflow.Job, error) {
 }
 
 func handleExperiments(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
-		return
-	}
-	name := strings.TrimPrefix(r.URL.Path, "/v1/experiments/")
+	name := r.PathValue("name")
 	var out string
 	var err error
 	switch name {
@@ -266,9 +397,9 @@ func handleExperiments(w http.ResponseWriter, r *http.Request) {
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
+	// Compact encoding: the daemon serves high request rates, and indented
+	// output measurably inflates encode time and response bytes.
+	if err := json.NewEncoder(w).Encode(v); err != nil {
 		// Headers already sent; nothing more to do.
 		_ = err
 	}

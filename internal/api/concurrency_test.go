@@ -1,0 +1,134 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSubmissionsShareRuntimePool fires parallel POST /v1/jobs plus
+// status polls and stats reads against one shared runtime pool. Run with
+// -race (CI does): it asserts both data-race freedom across the HTTP surface,
+// the shard loops and the job registry, and consistency of the final reports
+// and counters.
+func TestConcurrentSubmissionsShareRuntimePool(t *testing.T) {
+	s, err := NewServer(PoolConfig{Shards: 2, MaxConcurrentPerShard: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	t.Cleanup(func() { srv.Close(); s.Close() })
+
+	tenants := []string{"alice", "bob", "carol", "dave", "erin", "frank"}
+	const jobsPerTenant = 3
+
+	// Jobs within a tenant are structurally identical, so the shard's
+	// decomposition/plan caches must serve repeats.
+	newsfeedBody := func(tenant string, _ int) string {
+		return fmt.Sprintf(`{
+			"tenant": %q,
+			"description": "Generate social media newsfeed for %s",
+			"constraint": "MIN_LATENCY",
+			"inputs": [{"name": %q, "kind": "user-profile"},
+			           {"name": "cats", "kind": "topic"}]
+		}`, tenant, tenant, tenant)
+	}
+
+	var (
+		mu      sync.Mutex
+		results []JobStatusResponse
+	)
+	var wg sync.WaitGroup
+	for _, tenant := range tenants {
+		for i := 0; i < jobsPerTenant; i++ {
+			wg.Add(1)
+			go func(tenant string, i int) {
+				defer wg.Done()
+				resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+					strings.NewReader(newsfeedBody(tenant, i)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var st JobStatusResponse
+				json.NewDecoder(resp.Body).Decode(&st)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted {
+					t.Errorf("%s/%d: POST = %d (%+v)", tenant, i, resp.StatusCode, st)
+					return
+				}
+				// Poll with interleaved stats reads to stress the registry
+				// and the shard loops from many goroutines at once.
+				for {
+					code, cur := getJob(t, srv, st.ID)
+					if code != http.StatusOK {
+						t.Errorf("%s/%d: GET = %d", tenant, i, code)
+						return
+					}
+					if cur.Status == "done" || cur.Status == "failed" || cur.Status == "canceled" {
+						mu.Lock()
+						results = append(results, cur)
+						mu.Unlock()
+						return
+					}
+					if resp, err := http.Get(srv.URL + "/v1/stats"); err == nil {
+						resp.Body.Close()
+					}
+				}
+			}(tenant, i)
+		}
+	}
+	wg.Wait()
+
+	total := len(tenants) * jobsPerTenant
+	if len(results) != total {
+		t.Fatalf("settled %d of %d jobs", len(results), total)
+	}
+	byTenant := map[string]int{}
+	for _, r := range results {
+		if r.Status != "done" {
+			t.Errorf("job %s (%s): status %s err %q", r.ID, r.Tenant, r.Status, r.Error)
+			continue
+		}
+		if r.Result == nil || r.Result.TasksCompleted != 4 || r.Result.MakespanS <= 0 {
+			t.Errorf("job %s: inconsistent report %+v", r.ID, r.Result)
+		}
+		byTenant[r.Tenant]++
+	}
+	for _, tenant := range tenants {
+		if byTenant[tenant] != jobsPerTenant {
+			t.Errorf("tenant %s completed %d of %d", tenant, byTenant[tenant], jobsPerTenant)
+		}
+	}
+
+	// Counters must reconcile exactly once the system is quiescent.
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats PoolStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Submitted != total || stats.Completed != total {
+		t.Fatalf("stats = %+v, want %d submitted+completed", stats, total)
+	}
+	if stats.Running != 0 || stats.Queued != 0 {
+		t.Fatalf("stats show residual work: %+v", stats)
+	}
+	if len(stats.Shards) != 2 {
+		t.Fatalf("shards = %d", len(stats.Shards))
+	}
+	decompHits := 0
+	for _, sh := range stats.Shards {
+		decompHits += sh.DecompCacheHits
+	}
+	if decompHits == 0 {
+		t.Error("no decomposition reuse across concurrent submissions")
+	}
+}

@@ -1,0 +1,544 @@
+package api
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/agents"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/hardware"
+	"repro/internal/sim"
+	"repro/internal/workflow"
+)
+
+// Pool is the serving daemon's runtime layer: a set of long-lived simulated
+// clusters ("shards"), each owned by one sim.Loop goroutine and fronted by a
+// core.Scheduler. Tenants hash to shards, so every job a tenant submits lands
+// in the same shared cluster and multiplexes its warm serving engines,
+// plan/decomposition caches and worker pools — instead of provisioning a
+// fresh testbed per HTTP request.
+//
+// HTTP handler goroutines never touch a shard's engine or runtime directly:
+// submissions, cancels and stats reads are posted into the shard's loop and
+// results come back through the mutex-guarded job registry, so the whole
+// surface is race-free under concurrent requests.
+//
+// A Pool can also run in per-request mode (PoolConfig.PerRequest), the
+// pre-daemon baseline: every job synchronously provisions a throwaway
+// testbed, runs to completion and tears it down. It exists as the comparison
+// arm for the serving experiment and benchmarks.
+//
+// Known limit: a shard's cluster telemetry (per-device power/utilization
+// series) is append-only, so a shard's memory grows with the simulated
+// history it has served; JobHistoryLimit bounds the job registry but not
+// the telemetry. Long-lived deployments need series retention/rollup or
+// periodic shard recycling — tracked as an open item.
+type Pool struct {
+	cfg    PoolConfig
+	shards []*shard
+
+	nextJob atomic.Uint64
+
+	mu      sync.Mutex
+	jobs    map[string]*jobRecord
+	retired []string // terminal job ids, oldest first, for history eviction
+	closed  bool
+
+	// per-request mode counters (atomics: submissions run on handler
+	// goroutines, not on a shard loop).
+	prSubmitted atomic.Int64
+	prCompleted atomic.Int64
+	prFailed    atomic.Int64
+}
+
+// PoolConfig sizes the pool.
+type PoolConfig struct {
+	// Shards is the number of independent runtime shards (default 2).
+	Shards int
+	// VMsPerShard sizes each shard's cluster in ND96amsr_A100_v4 VMs
+	// (default 2, the paper's §4 testbed).
+	VMsPerShard int
+	// MaxConcurrentPerShard bounds jobs admitted concurrently into one
+	// shard's runtime (default 4); excess queues in the shard's scheduler.
+	MaxConcurrentPerShard int
+	// JobHistoryLimit bounds retained terminal job records (default 4096);
+	// the oldest are evicted so the registry cannot grow without bound.
+	JobHistoryLimit int
+	// PerRequest switches the pool to the per-request-testbed baseline.
+	PerRequest bool
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.VMsPerShard <= 0 {
+		c.VMsPerShard = 2
+	}
+	if c.MaxConcurrentPerShard <= 0 {
+		c.MaxConcurrentPerShard = 4
+	}
+	if c.JobHistoryLimit <= 0 {
+		c.JobHistoryLimit = 4096
+	}
+	return c
+}
+
+// shard is one long-lived runtime plus the loop goroutine that owns it.
+type shard struct {
+	idx   int
+	eng   *sim.Engine
+	cl    *cluster.Cluster
+	rt    *core.Runtime
+	sched *core.Scheduler
+	loop  *sim.Loop
+}
+
+// errShuttingDown is returned once Close has been called.
+var errShuttingDown = fmt.Errorf("api: pool is shutting down")
+
+// NewPool provisions the shards and starts their loop goroutines.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	cfg = cfg.withDefaults()
+	p := &Pool{cfg: cfg, jobs: map[string]*jobRecord{}}
+	if cfg.PerRequest {
+		return p, nil
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		se := sim.NewEngine()
+		cl := cluster.New(se, hardware.DefaultCatalog())
+		for v := 0; v < cfg.VMsPerShard; v++ {
+			cl.AddVM(fmt.Sprintf("s%d-vm%d", i, v), hardware.NDv4SKUName, false)
+		}
+		rt, err := core.New(core.Config{Engine: se, Cluster: cl, Library: agents.DefaultLibrary()})
+		if err != nil {
+			return nil, fmt.Errorf("api: provisioning shard %d: %w", i, err)
+		}
+		sh := &shard{
+			idx:   i,
+			eng:   se,
+			cl:    cl,
+			rt:    rt,
+			sched: core.NewScheduler(se, rt, cfg.MaxConcurrentPerShard),
+			loop:  sim.NewLoop(se),
+		}
+		p.shards = append(p.shards, sh)
+		go sh.loop.Run()
+	}
+	return p, nil
+}
+
+// Close drains every shard loop (in-flight and queued jobs run to completion)
+// and stops accepting submissions. Safe to call more than once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	for _, sh := range p.shards {
+		sh.loop.Close()
+	}
+}
+
+// PerRequest reports whether the pool runs the baseline mode.
+func (p *Pool) PerRequest() bool { return p.cfg.PerRequest }
+
+// Shards returns the shard count (0 in per-request mode).
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// shardFor maps a tenant to its home shard. The modulo happens in uint32 so
+// the index stays non-negative on 32-bit platforms.
+func (p *Pool) shardFor(tenant string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(tenant))
+	return p.shards[int(h.Sum32()%uint32(len(p.shards)))]
+}
+
+// submitExtras carries request options that are not scheduler options.
+type submitExtras struct {
+	// vms sizes the throwaway cluster in per-request mode.
+	vms int
+	// timeline includes the rendered execution timeline in the result.
+	timeline bool
+}
+
+// Submit admits a job for a tenant and returns its registry record. In
+// shared mode this is asynchronous: the record starts queued and settles when
+// the shard completes the job. In per-request mode it blocks while a fresh
+// testbed runs the job.
+func (p *Pool) Submit(tenant string, job workflow.Job, opts core.SubmitOptions, extras submitExtras) (*jobRecord, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, errShuttingDown
+	}
+	p.mu.Unlock()
+
+	id := fmt.Sprintf("job-%08d", p.nextJob.Add(1))
+	if p.cfg.PerRequest {
+		return p.submitPerRequest(id, tenant, job, opts, extras)
+	}
+
+	// Engines stay warm across jobs in the shared runtime — the daemon owns
+	// their lifecycle, and successive jobs multiplex them.
+	opts.KeepEngines = true
+	sh := p.shardFor(tenant)
+	rec := &jobRecord{
+		id:     id,
+		tenant: tenant,
+		shard:  sh.idx,
+		status: core.JobQueued,
+		done:   make(chan struct{}),
+	}
+	posted := sh.loop.Post(func() {
+		h, err := sh.sched.Submit(tenant, job, opts)
+		if err != nil {
+			// Pre-validated by the handler; this is a safety net.
+			rec.settle(core.JobFailed, err.Error(), nil, sh.eng.Now().Seconds())
+			p.retire(rec)
+			return
+		}
+		rec.mu.Lock()
+		rec.handle = h
+		rec.submittedSimS = sh.eng.Now().Seconds()
+		rec.mu.Unlock()
+		// Status transitions push into the record, so HTTP status reads are
+		// mutex-only and never round-trip through the shard loop.
+		h.OnStart(func(h *core.Handle) {
+			rec.mu.Lock()
+			rec.status = core.JobRunning
+			rec.queueDelayS = h.QueueDelayS()
+			rec.mu.Unlock()
+		})
+		h.OnDone(func(h *core.Handle) {
+			var resp *JobResponse
+			errMsg := ""
+			if h.Status() == core.JobDone {
+				resp = jobResponseFrom(h.Execution(), extras.timeline)
+			} else if h.Err() != nil {
+				errMsg = h.Err().Error()
+			}
+			rec.mu.Lock()
+			rec.queueDelayS = h.QueueDelayS()
+			rec.mu.Unlock()
+			rec.settle(h.Status(), errMsg, resp, sh.eng.Now().Seconds())
+			p.retire(rec)
+		})
+	})
+	if !posted {
+		return nil, errShuttingDown
+	}
+	// Register only after the submission closure is enqueued: the shard
+	// inbox is FIFO, so any later posted cancel observes the handle.
+	p.mu.Lock()
+	p.jobs[id] = rec
+	p.mu.Unlock()
+	return rec, nil
+}
+
+// submitPerRequest is the baseline path: fresh testbed, synchronous run.
+func (p *Pool) submitPerRequest(id, tenant string, job workflow.Job, opts core.SubmitOptions, extras submitExtras) (*jobRecord, error) {
+	p.prSubmitted.Add(1)
+	vms := extras.vms
+	if vms <= 0 {
+		vms = 2
+	}
+	rec := &jobRecord{
+		id:     id,
+		tenant: tenant,
+		shard:  -1,
+		done:   make(chan struct{}),
+	}
+	se := sim.NewEngine()
+	cl := cluster.New(se, hardware.DefaultCatalog())
+	for i := 0; i < vms; i++ {
+		cl.AddVM(fmt.Sprintf("vm%d", i), hardware.NDv4SKUName, false)
+	}
+	rt, err := core.New(core.Config{Engine: se, Cluster: cl, Library: agents.DefaultLibrary()})
+	if err != nil {
+		return nil, err
+	}
+	ex, err := rt.Submit(job, opts)
+	if err != nil {
+		p.prFailed.Add(1)
+		rec.settle(core.JobFailed, err.Error(), nil, se.Now().Seconds())
+		p.register(rec)
+		return rec, nil
+	}
+	se.Run()
+	if ex.Err() != nil {
+		p.prFailed.Add(1)
+		rec.settle(core.JobFailed, ex.Err().Error(), nil, se.Now().Seconds())
+	} else {
+		p.prCompleted.Add(1)
+		rec.settle(core.JobDone, "", jobResponseFrom(ex, extras.timeline), se.Now().Seconds())
+	}
+	p.register(rec)
+	return rec, nil
+}
+
+func (p *Pool) register(rec *jobRecord) {
+	p.mu.Lock()
+	p.jobs[rec.id] = rec
+	p.mu.Unlock()
+	p.retire(rec)
+}
+
+// retire records a terminal job for history eviction.
+func (p *Pool) retire(rec *jobRecord) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.retired = append(p.retired, rec.id)
+	for len(p.retired) > p.cfg.JobHistoryLimit {
+		delete(p.jobs, p.retired[0])
+		p.retired = p.retired[1:]
+	}
+}
+
+// Get returns a snapshot of a job's state. Status transitions are pushed
+// into the record by the owning shard (OnStart/OnDone), so this is a
+// mutex-only read.
+func (p *Pool) Get(id string) (JobState, bool) {
+	p.mu.Lock()
+	rec, ok := p.jobs[id]
+	p.mu.Unlock()
+	if !ok {
+		return JobState{}, false
+	}
+	return rec.snapshot(), true
+}
+
+// Cancel terminates a job (queued or running). It reports the post-cancel
+// state, whether the cancel took effect, and whether the job exists.
+func (p *Pool) Cancel(id string) (JobState, bool, bool) {
+	p.mu.Lock()
+	rec, ok := p.jobs[id]
+	p.mu.Unlock()
+	if !ok {
+		return JobState{}, false, false
+	}
+	if p.cfg.PerRequest {
+		// Per-request jobs complete within their own request; nothing to do.
+		return rec.snapshot(), false, true
+	}
+	sh := p.shards[rec.shard]
+	reply := make(chan bool, 1)
+	if !sh.loop.Post(func() {
+		rec.mu.Lock()
+		h := rec.handle
+		rec.mu.Unlock()
+		reply <- h != nil && h.Cancel()
+	}) {
+		return rec.snapshot(), false, true
+	}
+	canceled := <-reply
+	return rec.snapshot(), canceled, true
+}
+
+// JobState is a point-in-time view of one job.
+type JobState struct {
+	ID            string
+	Tenant        string
+	Shard         int
+	Status        core.JobStatus
+	QueueDelayS   float64
+	SubmittedSimS float64
+	FinishedSimS  float64
+	Error         string
+	Result        *JobResponse
+}
+
+// jobRecord is the registry entry behind a JobState.
+type jobRecord struct {
+	id     string
+	tenant string
+	shard  int
+	done   chan struct{}
+
+	mu            sync.Mutex
+	status        core.JobStatus
+	queueDelayS   float64
+	submittedSimS float64
+	finishedSimS  float64
+	errMsg        string
+	result        *JobResponse
+	// handle is only touched on the owning shard's loop goroutine.
+	handle *core.Handle
+}
+
+// Done closes when the job reaches a terminal state.
+func (r *jobRecord) Done() <-chan struct{} { return r.done }
+
+// ID returns the registry id.
+func (r *jobRecord) ID() string { return r.id }
+
+func (r *jobRecord) settle(st core.JobStatus, errMsg string, resp *JobResponse, simNowS float64) {
+	r.mu.Lock()
+	r.status = st
+	r.errMsg = errMsg
+	r.result = resp
+	r.finishedSimS = simNowS
+	r.mu.Unlock()
+	close(r.done)
+}
+
+func (r *jobRecord) snapshot() JobState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return JobState{
+		ID:            r.id,
+		Tenant:        r.tenant,
+		Shard:         r.shard,
+		Status:        r.status,
+		QueueDelayS:   r.queueDelayS,
+		SubmittedSimS: r.submittedSimS,
+		FinishedSimS:  r.finishedSimS,
+		Error:         r.errMsg,
+		Result:        r.result,
+	}
+}
+
+// jobResponseFrom builds the result payload from a finished execution. It
+// must run on the goroutine owning the execution's engine.
+func jobResponseFrom(ex *core.Execution, timeline bool) *JobResponse {
+	rep := ex.Report()
+	resp := &JobResponse{
+		Name:                 rep.Name,
+		MakespanS:            rep.MakespanS,
+		GPUEnergyWh:          rep.GPUEnergyWh,
+		CPUEnergyWh:          rep.CPUEnergyWh,
+		CostUSD:              rep.CostUSD,
+		EstCostUSD:           ex.Plan().EstCostUSD,
+		MeanGPUUtil:          rep.MeanGPUUtil,
+		MeanCPUUtil:          rep.MeanCPUUtil,
+		Quality:              rep.Quality,
+		PlanningOverheadFrac: rep.PlanningOverheadFrac,
+		TasksCompleted:       rep.TasksCompleted,
+		Decisions:            rep.Decisions,
+		Template:             ex.Decomposition().Template,
+	}
+	if timeline {
+		resp.Timeline = rep.Timeline(72)
+	}
+	return resp
+}
+
+// ShardStats is one shard's slice of GET /v1/stats.
+type ShardStats struct {
+	Shard           int              `json:"shard"`
+	SimTimeS        float64          `json:"sim_time_s"`
+	Submitted       int              `json:"submitted"`
+	Completed       int              `json:"completed"`
+	Failed          int              `json:"failed"`
+	Canceled        int              `json:"canceled"`
+	Running         int              `json:"running"`
+	Queued          int              `json:"queued"`
+	PeakRunning     int              `json:"peak_running"`
+	PlanCacheHits   int              `json:"plan_cache_hits"`
+	DecompCacheHits int              `json:"decomp_cache_hits"`
+	MeanGPUUtil     float64          `json:"mean_gpu_util"`
+	Engines         []EngineStatJSON `json:"engines"`
+}
+
+// EngineStatJSON describes one warm serving engine.
+type EngineStatJSON struct {
+	Model      string `json:"model"`
+	Capability string `json:"capability"`
+	GPUs       int    `json:"gpus"`
+	QueueDepth int    `json:"queue_depth"`
+	Active     int    `json:"active"`
+}
+
+// PoolStats aggregates the shards for GET /v1/stats.
+type PoolStats struct {
+	Mode        string       `json:"mode"` // "shared" | "per-request"
+	Shards      []ShardStats `json:"shards,omitempty"`
+	Submitted   int          `json:"submitted"`
+	Completed   int          `json:"completed"`
+	Failed      int          `json:"failed"`
+	Canceled    int          `json:"canceled"`
+	Running     int          `json:"running"`
+	Queued      int          `json:"queued"`
+	EnginesUp   int          `json:"engines_up"`
+	JobsTracked int          `json:"jobs_tracked"`
+}
+
+// Stats gathers a consistent per-shard view (each shard snapshot is taken on
+// its own loop goroutine) and aggregates it.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	tracked := len(p.jobs)
+	p.mu.Unlock()
+	out := PoolStats{Mode: "shared", JobsTracked: tracked}
+	if p.cfg.PerRequest {
+		out.Mode = "per-request"
+		out.Submitted = int(p.prSubmitted.Load())
+		out.Completed = int(p.prCompleted.Load())
+		out.Failed = int(p.prFailed.Load())
+		return out
+	}
+	// Fan the snapshot closures out to every shard first, then collect:
+	// each shard takes its snapshot on its own loop goroutine concurrently,
+	// so stats latency is the slowest shard's round trip, not the sum.
+	replies := make([]chan ShardStats, 0, len(p.shards))
+	for _, sh := range p.shards {
+		sh := sh
+		reply := make(chan ShardStats, 1)
+		if !sh.loop.Post(func() {
+			st := sh.sched.Stats()
+			now := sh.eng.Now().Seconds()
+			ss := ShardStats{
+				Shard:           sh.idx,
+				SimTimeS:        now,
+				Submitted:       st.Submitted,
+				Completed:       st.Completed,
+				Failed:          st.Failed,
+				Canceled:        st.Canceled,
+				Running:         st.Running,
+				Queued:          st.Queued,
+				PeakRunning:     st.PeakRunning,
+				PlanCacheHits:   sh.rt.PlanCacheHits(),
+				DecompCacheHits: sh.rt.DecompCacheHits(),
+			}
+			if now > 0 {
+				ss.MeanGPUUtil = sh.cl.MeanGPUUtilOver(0, now)
+			}
+			mgr := sh.rt.Manager().Stats()
+			for name, es := range mgr.Engines {
+				ss.Engines = append(ss.Engines, EngineStatJSON{
+					Model:      name,
+					Capability: es.Capability,
+					GPUs:       es.GPUs,
+					QueueDepth: es.QueueDepth,
+					Active:     es.Active,
+				})
+			}
+			sort.Slice(ss.Engines, func(i, j int) bool {
+				return ss.Engines[i].Model < ss.Engines[j].Model
+			})
+			reply <- ss
+		}) {
+			continue // shutting down: report what we have
+		}
+		replies = append(replies, reply)
+	}
+	for _, reply := range replies {
+		ss := <-reply
+		out.Shards = append(out.Shards, ss)
+		out.Submitted += ss.Submitted
+		out.Completed += ss.Completed
+		out.Failed += ss.Failed
+		out.Canceled += ss.Canceled
+		out.Running += ss.Running
+		out.Queued += ss.Queued
+		out.EnginesUp += len(ss.Engines)
+	}
+	return out
+}

@@ -167,6 +167,9 @@ func (rt *Runtime) decompose(job workflow.Job) (*planner.Result, error) {
 	}
 	if len(rt.decompCache) >= planCacheLimit {
 		rt.decompCache = make(map[string]*planner.Result)
+		// The planner's tool-call memos key on node pointers from the
+		// evicted decompositions; drop them with the graphs they pin.
+		rt.pl.ResetCallCache()
 	}
 	rt.decompCache[key] = r
 	return r, nil

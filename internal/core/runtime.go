@@ -362,8 +362,24 @@ func (ex *Execution) chargePlanning(next func()) {
 	}
 }
 
+// Cancel terminates the execution: stages shut down, workers release their
+// allocations and the report is finalized over the truncated run. In-flight
+// engine requests drain harmlessly (their completions are ignored). Cancel
+// reports whether the execution was still live.
+func (ex *Execution) Cancel() bool {
+	if ex.done {
+		return false
+	}
+	ex.finish(ErrCanceled)
+	return true
+}
+
 // dispatchReady feeds every ready DAG node to its capability stage.
 func (ex *Execution) dispatchReady() {
+	if ex.done {
+		// Canceled (or failed) while the planning queries were in flight.
+		return
+	}
 	for _, id := range ex.tracker.Ready() {
 		node, _ := ex.tracker.Graph().Node(id)
 		if err := ex.tracker.Start(id); err != nil {
@@ -375,6 +391,11 @@ func (ex *Execution) dispatchReady() {
 
 // completeNode marks a node done and dispatches newly-ready successors.
 func (ex *Execution) completeNode(id dag.NodeID) {
+	if ex.done {
+		// A canceled execution's in-flight engine requests still complete;
+		// their results are dropped.
+		return
+	}
 	newly, err := ex.tracker.Complete(id)
 	if err != nil {
 		panic(err)
@@ -408,6 +429,7 @@ func (ex *Execution) finish(err error) {
 	if !ex.opts.KeepEngines {
 		ex.rt.releaseEngineRefs(ex)
 	}
+	ex.rep.StartS = ex.startedAt.Seconds()
 	ex.rep.MakespanS = ex.rt.se.Now().Sub(ex.startedAt).Seconds()
 	ex.rep.TasksCompleted = ex.tracker.CompletedCount()
 	if ex.rep.MakespanS > 0 {

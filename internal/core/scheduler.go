@@ -1,0 +1,343 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workflow"
+)
+
+// The scheduler/executor split: Runtime (runtime.go) is the executor — it
+// plans one job and drives its DAG against the shared cluster the moment
+// Submit is called. Scheduler is the admission layer in front of it: jobs
+// enter an admission queue, are released into the executor under a
+// concurrency bound with fair-share ordering across tenants, and are tracked
+// through first-class handles (submit → JobID, status, result, cancel). Many
+// jobs admitted through one Scheduler share a single Runtime and therefore
+// multiplex its serving engines, plan/decomposition caches and worker pools —
+// the paper's sharing thesis applied to the service path.
+//
+// Like the Runtime, the Scheduler is single-threaded: every method must run
+// on the goroutine driving the simulation engine (directly, or via
+// sim.Loop.Post in daemon mode).
+
+// ErrCanceled is the terminal error of a canceled job.
+var ErrCanceled = errors.New("core: job canceled")
+
+// JobID identifies a job admitted through a Scheduler.
+type JobID int
+
+// JobStatus is a handle's lifecycle state.
+type JobStatus int
+
+// Job lifecycle states.
+const (
+	JobQueued JobStatus = iota
+	JobRunning
+	JobDone
+	JobFailed
+	JobCanceled
+)
+
+// String renders the status.
+func (s JobStatus) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	case JobCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("JobStatus(%d)", int(s))
+	}
+}
+
+// Terminal reports whether the status is final.
+func (s JobStatus) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// Handle tracks one job from admission to completion.
+type Handle struct {
+	s      *Scheduler
+	id     JobID
+	tenant string
+	job    workflow.Job
+	opts   SubmitOptions
+
+	status      JobStatus
+	submittedAt sim.Time
+	startedAt   sim.Time
+	exec        *Execution
+	err         error
+	onStart     []func(*Handle)
+	onDone      []func(*Handle)
+}
+
+// ID returns the job's scheduler-scoped identifier.
+func (h *Handle) ID() JobID { return h.id }
+
+// Tenant returns the submitting tenant.
+func (h *Handle) Tenant() string { return h.tenant }
+
+// Job returns the submitted job.
+func (h *Handle) Job() workflow.Job { return h.job }
+
+// Status returns the current lifecycle state.
+func (h *Handle) Status() JobStatus { return h.status }
+
+// Err returns the terminal error of failed or canceled jobs.
+func (h *Handle) Err() error { return h.err }
+
+// Execution returns the underlying execution (nil until the job is released
+// from the admission queue, and still nil if planning rejected it).
+func (h *Handle) Execution() *Execution { return h.exec }
+
+// Report returns the result once the job is done.
+func (h *Handle) Report() *report.Report {
+	if h.exec == nil || !h.exec.Done() {
+		return nil
+	}
+	return h.exec.Report()
+}
+
+// QueueDelayS is simulated time spent in the admission queue.
+func (h *Handle) QueueDelayS() float64 {
+	if h.status == JobQueued {
+		return h.s.se.Now().Sub(h.submittedAt).Seconds()
+	}
+	return h.startedAt.Sub(h.submittedAt).Seconds()
+}
+
+// OnStart registers a callback fired when the job leaves the admission
+// queue (immediately when already past it). Jobs canceled while queued never
+// start and never fire it.
+func (h *Handle) OnStart(fn func(*Handle)) {
+	if h.status == JobQueued {
+		h.onStart = append(h.onStart, fn)
+		return
+	}
+	if h.status != JobCanceled || h.exec != nil {
+		fn(h)
+	}
+}
+
+// OnDone registers a completion callback; it fires once for done, failed and
+// canceled jobs alike (immediately when already terminal).
+func (h *Handle) OnDone(fn func(*Handle)) {
+	if h.status.Terminal() {
+		fn(h)
+		return
+	}
+	h.onDone = append(h.onDone, fn)
+}
+
+// Cancel terminates the job: queued jobs leave the admission queue without
+// running; running jobs stop (their in-flight simulated work is abandoned).
+// It reports whether the job was still cancelable.
+func (h *Handle) Cancel() bool {
+	switch h.status {
+	case JobQueued:
+		h.s.removeQueued(h)
+		h.s.canceled++
+		h.startedAt = h.s.se.Now()
+		h.finish(JobCanceled, ErrCanceled)
+		return true
+	case JobRunning:
+		return h.exec.Cancel()
+	default:
+		return false
+	}
+}
+
+func (h *Handle) finish(st JobStatus, err error) {
+	h.status = st
+	h.err = err
+	for _, fn := range h.onDone {
+		fn(h)
+	}
+	h.onDone = nil
+}
+
+// SchedulerStats is a point-in-time view of the admission layer.
+type SchedulerStats struct {
+	Submitted   int
+	Completed   int
+	Failed      int
+	Canceled    int
+	Running     int
+	Queued      int
+	PeakRunning int
+}
+
+// Scheduler admits jobs into a shared Runtime.
+type Scheduler struct {
+	se *sim.Engine
+	rt *Runtime
+	// maxConcurrent bounds simultaneously-running jobs; further submissions
+	// wait in the admission queue.
+	maxConcurrent int
+
+	nextID  JobID
+	queue   []*Handle
+	running int
+	// inFlight counts running jobs per tenant; admitted counts jobs ever
+	// admitted per tenant. Together they order fair-share admission.
+	inFlight map[string]int
+	admitted map[string]int
+
+	completed   int
+	failed      int
+	canceled    int
+	peakRunning int
+}
+
+// NewScheduler builds the admission layer over a runtime.
+func NewScheduler(se *sim.Engine, rt *Runtime, maxConcurrent int) *Scheduler {
+	if maxConcurrent <= 0 {
+		panic("core: non-positive scheduler concurrency limit")
+	}
+	return &Scheduler{
+		se:            se,
+		rt:            rt,
+		maxConcurrent: maxConcurrent,
+		inFlight:      map[string]int{},
+		admitted:      map[string]int{},
+	}
+}
+
+// Runtime exposes the executor the scheduler feeds.
+func (s *Scheduler) Runtime() *Runtime { return s.rt }
+
+// Submit validates and enqueues a job for a tenant, returning its handle.
+// Validation errors return synchronously; planning and execution errors
+// surface on the handle.
+func (s *Scheduler) Submit(tenant string, job workflow.Job, opts SubmitOptions) (*Handle, error) {
+	if tenant == "" {
+		return nil, fmt.Errorf("core: empty tenant")
+	}
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	s.nextID++
+	h := &Handle{
+		s:           s,
+		id:          s.nextID,
+		tenant:      tenant,
+		job:         job,
+		opts:        opts,
+		status:      JobQueued,
+		submittedAt: s.se.Now(),
+	}
+	s.queue = append(s.queue, h)
+	s.se.Defer(s.pump)
+	return h, nil
+}
+
+// pump releases queued jobs into the executor up to the concurrency limit,
+// fair-share: the tenant with the fewest in-flight jobs goes first, ties
+// broken by the least total service received (jobs ever admitted), then
+// submission order — so one tenant's burst cannot starve others.
+func (s *Scheduler) pump() {
+	for s.running < s.maxConcurrent && len(s.queue) > 0 {
+		idx := s.pickNext()
+		h := s.queue[idx]
+		s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+		s.start(h)
+	}
+}
+
+func (s *Scheduler) pickNext() int {
+	best := 0
+	key := func(i int) (int, int) {
+		t := s.queue[i].tenant
+		return s.inFlight[t], s.admitted[t]
+	}
+	for i := 1; i < len(s.queue); i++ {
+		fi, ai := key(i)
+		fb, ab := key(best)
+		if fi < fb || (fi == fb && ai < ab) {
+			best = i
+		}
+	}
+	return best
+}
+
+func (s *Scheduler) start(h *Handle) {
+	h.status = JobRunning
+	h.startedAt = s.se.Now()
+	s.running++
+	if s.running > s.peakRunning {
+		s.peakRunning = s.running
+	}
+	s.inFlight[h.tenant]++
+	s.admitted[h.tenant]++
+	for _, fn := range h.onStart {
+		fn(h)
+	}
+	h.onStart = nil
+	ex, err := s.rt.Submit(h.job, h.opts)
+	if err != nil {
+		s.settle(h, err)
+		return
+	}
+	h.exec = ex
+	ex.OnDone(func(_ *report.Report, err error) {
+		s.settle(h, err)
+	})
+}
+
+// settle retires a released job (completed, failed or canceled mid-run) and
+// re-pumps the admission queue.
+func (s *Scheduler) settle(h *Handle, err error) {
+	s.running--
+	s.inFlight[h.tenant]--
+	switch {
+	case errors.Is(err, ErrCanceled):
+		s.canceled++
+		h.finish(JobCanceled, err)
+	case err != nil:
+		s.failed++
+		h.finish(JobFailed, err)
+	default:
+		s.completed++
+		h.finish(JobDone, nil)
+	}
+	s.se.Defer(s.pump)
+}
+
+// removeQueued drops a handle from the admission queue.
+func (s *Scheduler) removeQueued(h *Handle) {
+	for i, q := range s.queue {
+		if q == h {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// QueueDepth returns jobs waiting for admission.
+func (s *Scheduler) QueueDepth() int { return len(s.queue) }
+
+// Running returns currently-admitted jobs.
+func (s *Scheduler) Running() int { return s.running }
+
+// Stats returns lifecycle counters.
+func (s *Scheduler) Stats() SchedulerStats {
+	return SchedulerStats{
+		Submitted:   int(s.nextID),
+		Completed:   s.completed,
+		Failed:      s.failed,
+		Canceled:    s.canceled,
+		Running:     s.running,
+		Queued:      len(s.queue),
+		PeakRunning: s.peakRunning,
+	}
+}

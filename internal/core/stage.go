@@ -92,6 +92,9 @@ func (st *stage) submitLLM(node *dag.Node) {
 				if remaining > 0 {
 					return // top-k barrier: wait for all paths
 				}
+				if ex.done {
+					return // canceled mid-request: drop the result
+				}
 				ex.tracer.End(span, ex.rt.se.Now().Seconds())
 				st.afterTask(node)
 				ex.completeNode(node.ID)
@@ -320,6 +323,11 @@ func (w *worker) destroy() {
 	}
 	w.dead = true
 	w.ready = false
+	if w.doneEv != nil {
+		// Cancellation can destroy a busy worker; abandon its in-flight task.
+		w.doneEv.Cancel()
+		w.doneEv = nil
+	}
 	if w.gpuAlloc != nil {
 		w.gpuAlloc.OnPreempt = nil
 		w.gpuAlloc.Release()

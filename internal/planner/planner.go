@@ -60,24 +60,60 @@ type Planner struct {
 	// cloning the schema on every task would allocate on the dispatch hot
 	// path.
 	implCache map[string]*agents.Implementation
+	// callCache memoizes generated-and-validated tool calls per (node,
+	// implementation). Graphs are frozen after decomposition and shared
+	// across structurally-identical executions, so a long-lived serving
+	// runtime replays the same nodes continually; the generation step is a
+	// pure function of node metadata and the schema, which the library
+	// generation guards. Invalidated together with implCache.
+	callCache map[toolCallKey]agents.ToolCall
 	implGen   int
 }
+
+type toolCallKey struct {
+	node *dag.Node
+	impl string
+}
+
+// callCacheLimit bounds memory: reached only if a service sees that many
+// distinct (node, implementation) pairs, at which point the cache resets
+// wholesale like the runtime's plan caches.
+const callCacheLimit = 1 << 16
 
 // New creates a planner over a library.
 func New(lib *agents.Library) *Planner {
 	if lib == nil {
 		panic("planner: nil library")
 	}
-	return &Planner{lib: lib, implCache: map[string]*agents.Implementation{}}
+	return &Planner{
+		lib:       lib,
+		implCache: map[string]*agents.Implementation{},
+		callCache: map[toolCallKey]agents.ToolCall{},
+	}
+}
+
+// ResetCallCache drops the memoized tool calls. The runtime calls this when
+// it evicts its decomposition cache wholesale: callCache keys on node
+// pointers from those decompositions, so the evicted entries could never hit
+// again yet would pin the old graphs until the cache's own limit tripped.
+func (p *Planner) ResetCallCache() {
+	p.callCache = map[toolCallKey]agents.ToolCall{}
+}
+
+// checkGen flushes the memoization caches when the library's registration
+// generation moves.
+func (p *Planner) checkGen() {
+	if p.implGen != p.lib.Gen() {
+		p.implCache = map[string]*agents.Implementation{}
+		p.callCache = map[toolCallKey]agents.ToolCall{}
+		p.implGen = p.lib.Gen()
+	}
 }
 
 // impl is a memoized Library.Get; entries invalidate when the library's
 // registration generation changes.
 func (p *Planner) impl(name string) (*agents.Implementation, bool) {
-	if p.implGen != p.lib.Gen() {
-		p.implCache = map[string]*agents.Implementation{}
-		p.implGen = p.lib.Gen()
-	}
+	p.checkGen()
 	if im, ok := p.implCache[name]; ok {
 		return im, true
 	}

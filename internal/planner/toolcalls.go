@@ -15,6 +15,11 @@ import (
 // an invalid generation is a bug surfaced as an error, mirroring the
 // quality-control checkpoints §5 calls for.
 func (p *Planner) ToolCallFor(node *dag.Node, implName string) (agents.ToolCall, error) {
+	p.checkGen()
+	key := toolCallKey{node: node, impl: implName}
+	if tc, ok := p.callCache[key]; ok {
+		return tc, nil
+	}
 	im, ok := p.impl(implName)
 	if !ok {
 		return agents.ToolCall{}, fmt.Errorf("planner: tool call for unknown implementation %q", implName)
@@ -67,6 +72,10 @@ func (p *Planner) ToolCallFor(node *dag.Node, implName string) (agents.ToolCall,
 	if err := p.lib.ValidateCall(tc); err != nil {
 		return agents.ToolCall{}, fmt.Errorf("planner: generated invalid tool call: %w", err)
 	}
+	if len(p.callCache) >= callCacheLimit {
+		p.callCache = map[toolCallKey]agents.ToolCall{}
+	}
+	p.callCache[key] = tc
 	return tc, nil
 }
 

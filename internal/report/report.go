@@ -16,6 +16,12 @@ import (
 // Report summarizes one workflow execution.
 type Report struct {
 	Name string
+	// StartS is the simulated time the workflow started. It anchors the
+	// energy/cost/utilization window: standalone experiment runs start at 0,
+	// but jobs admitted into a long-lived serving runtime start mid-history,
+	// and their reports must integrate [StartS, StartS+MakespanS] — not the
+	// cluster's distant past.
+	StartS float64
 	// MakespanS is workflow completion time in seconds (Table 2 "Time").
 	MakespanS float64
 	// GPUEnergyWh is GPU energy over the run (Table 2 "Energy"): the paper
@@ -54,17 +60,18 @@ type Report struct {
 }
 
 // Finalize fills the cluster-derived fields (energy, cost, utilization) for
-// the window [0, makespan]. Every read is an O(log n) query against the
-// cluster's running aggregates; the utilization curves materialize lazily
-// on first access (GPUUtil/CPUUtil).
+// the window [StartS, StartS+MakespanS]. Every read is an O(log n) query
+// against the cluster's running aggregates; the utilization curves
+// materialize lazily on first access (GPUUtil/CPUUtil).
 func Finalize(r *Report, cl *cluster.Cluster) {
+	start, end := r.StartS, r.StartS+r.MakespanS
 	r.utilSrc = cl.UtilSource()
-	r.GPUEnergyWh = telemetry.JoulesToWh(cl.GPUEnergyJoules(0, r.MakespanS))
-	r.CPUEnergyWh = telemetry.JoulesToWh(cl.CPUEnergyJoules(0, r.MakespanS))
-	r.CostUSD = cl.RentalCostUSD(0, r.MakespanS)
+	r.GPUEnergyWh = telemetry.JoulesToWh(cl.GPUEnergyJoules(start, end))
+	r.CPUEnergyWh = telemetry.JoulesToWh(cl.CPUEnergyJoules(start, end))
+	r.CostUSD = cl.RentalCostUSD(start, end)
 	if r.MakespanS > 0 {
-		r.MeanGPUUtil = cl.MeanGPUUtilOver(0, r.MakespanS)
-		r.MeanCPUUtil = cl.MeanCPUUtilOver(0, r.MakespanS)
+		r.MeanGPUUtil = cl.MeanGPUUtilOver(start, end)
+		r.MeanCPUUtil = cl.MeanCPUUtilOver(start, end)
 	}
 }
 

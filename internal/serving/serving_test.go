@@ -1,0 +1,30 @@
+package serving
+
+import "testing"
+
+// TestRunSmallTrace smoke-tests both architectures on a short trace: every
+// job must complete through the HTTP surface in both modes.
+func TestRunSmallTrace(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Rate = 0.05
+	opts.HorizonS = 200 // ~10 jobs
+	opts.Clients = 4
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []ModeResult{res.Shared, res.PerRequest} {
+		if m.Jobs == 0 || m.Completed != m.Jobs || m.Failed != 0 {
+			t.Fatalf("%s: %+v", m.Mode, m)
+		}
+		if m.Throughput <= 0 || m.P95LatencyMs < m.P50LatencyMs {
+			t.Fatalf("%s: inconsistent curve %+v", m.Mode, m)
+		}
+	}
+	if res.ThroughputGainX <= 0 {
+		t.Fatalf("gain = %v", res.ThroughputGainX)
+	}
+	if res.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}

@@ -155,6 +155,19 @@ func (e *Engine) step() bool {
 	return false
 }
 
+// Step executes the earliest pending event and reports whether one fired.
+// It is the unit of the service-drivable stepping mode (see Loop): a daemon
+// goroutine can interleave bounded batches of Step calls with externally
+// injected work instead of committing to a full Run.
+func (e *Engine) Step() bool {
+	if e.running {
+		panic("sim: Step called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	return e.step()
+}
+
 // Run executes events until the queue is empty.
 func (e *Engine) Run() {
 	if e.running {

@@ -1,0 +1,112 @@
+package sim
+
+import "sync"
+
+// Loop is the service-drivable stepping mode of an Engine: a long-lived
+// daemon goroutine pumps the event queue while other goroutines inject work.
+//
+// The engine itself stays strictly single-threaded — every callback and every
+// injected closure executes on the goroutine that called Run — so nothing in
+// the simulation needs locks and per-shard determinism is preserved for a
+// fixed submission order. Other goroutines interact with the simulation only
+// through Post, which enqueues a closure for the loop goroutine to execute at
+// the current simulated instant.
+//
+// The loop alternates between draining the post inbox and executing a bounded
+// batch of simulation events, so submissions arriving mid-backlog are admitted
+// promptly instead of waiting for the queue to empty. When both the inbox and
+// the event queue are empty the loop blocks; simulated time only advances
+// while events execute.
+type Loop struct {
+	eng *Engine
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	inbox  []func()
+	posted uint64
+	closed bool
+	done   chan struct{}
+}
+
+// stepBatch bounds how many simulation events execute between inbox drains.
+const stepBatch = 256
+
+// NewLoop wraps an engine for daemon-driven stepping. The caller must start
+// exactly one goroutine executing Run; the engine must not be driven through
+// Run/RunUntil/Step by anyone else afterwards.
+func NewLoop(eng *Engine) *Loop {
+	l := &Loop{eng: eng, done: make(chan struct{})}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Post schedules fn to execute on the loop goroutine at the current simulated
+// time. It is safe to call from any goroutine and returns false (dropping fn)
+// once the loop is closing — callers should surface that as "shutting down".
+func (l *Loop) Post(fn func()) bool {
+	if fn == nil {
+		panic("sim: Post with nil closure")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return false
+	}
+	l.inbox = append(l.inbox, fn)
+	l.posted++
+	l.cond.Signal()
+	return true
+}
+
+// Posted reports the total number of closures accepted so far
+// (observability; also lets tests sequence posts deterministically against
+// a deliberately stalled loop, where inbox depth would depend on how many
+// the loop already batched out).
+func (l *Loop) Posted() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.posted
+}
+
+// Run pumps the loop until Close is called and both the inbox and the event
+// queue have drained. It blocks; run it on a dedicated goroutine.
+func (l *Loop) Run() {
+	defer close(l.done)
+	for {
+		l.mu.Lock()
+		for len(l.inbox) == 0 && !l.closed && l.eng.Pending() == 0 {
+			l.cond.Wait()
+		}
+		batch := l.inbox
+		l.inbox = nil
+		closing := l.closed
+		l.mu.Unlock()
+
+		for _, fn := range batch {
+			fn()
+		}
+		for i := 0; i < stepBatch && l.eng.Step(); i++ {
+		}
+
+		if closing && l.eng.Pending() == 0 {
+			l.mu.Lock()
+			drained := len(l.inbox) == 0
+			l.mu.Unlock()
+			if drained {
+				return
+			}
+		}
+	}
+}
+
+// Close stops the loop after in-flight work drains: posts already accepted
+// and every simulation event they cascade into still execute, then Run
+// returns. Close blocks until the loop goroutine has exited and is safe to
+// call more than once.
+func (l *Loop) Close() {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Signal()
+	l.mu.Unlock()
+	<-l.done
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLoopExecutesPostedWorkAndEvents(t *testing.T) {
+	eng := NewEngine()
+	l := NewLoop(eng)
+	go l.Run()
+
+	var fired atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(1)
+	ok := l.Post(func() {
+		eng.After(1.5, func() {
+			fired.Add(1)
+			wg.Done()
+		})
+	})
+	if !ok {
+		t.Fatal("Post rejected before Close")
+	}
+	wg.Wait()
+	l.Close()
+	if fired.Load() != 1 {
+		t.Fatalf("fired = %d, want 1", fired.Load())
+	}
+	if eng.Now() != 1.5 {
+		t.Fatalf("now = %v, want 1.5", eng.Now())
+	}
+}
+
+func TestLoopConcurrentPosters(t *testing.T) {
+	eng := NewEngine()
+	l := NewLoop(eng)
+	go l.Run()
+
+	const posters, perPoster = 8, 50
+	var done atomic.Int32
+	var wg sync.WaitGroup
+	for p := 0; p < posters; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perPoster; i++ {
+				if !l.Post(func() {
+					eng.After(0.1, func() { done.Add(1) })
+				}) {
+					t.Error("Post rejected mid-run")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	l.Close() // drains every cascaded event before returning
+	if got := done.Load(); got != posters*perPoster {
+		t.Fatalf("events executed = %d, want %d", got, posters*perPoster)
+	}
+}
+
+func TestLoopCloseDrainsAndRejectsNewPosts(t *testing.T) {
+	eng := NewEngine()
+	l := NewLoop(eng)
+	go l.Run()
+
+	var chain atomic.Int32
+	l.Post(func() {
+		// A three-deep event cascade: Close must wait for all of it.
+		eng.After(1, func() {
+			chain.Add(1)
+			eng.After(1, func() {
+				chain.Add(1)
+				eng.After(1, func() { chain.Add(1) })
+			})
+		})
+	})
+	l.Close()
+	if chain.Load() != 3 {
+		t.Fatalf("cascade executed %d of 3 before Close returned", chain.Load())
+	}
+	if l.Post(func() {}) {
+		t.Fatal("Post accepted after Close")
+	}
+	l.Close() // idempotent
+}
+
+func TestStepReentrancyPanics(t *testing.T) {
+	eng := NewEngine()
+	eng.After(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-entrant Step did not panic")
+			}
+		}()
+		eng.Step()
+	})
+	eng.Run()
+}

@@ -82,6 +82,14 @@ type MixSpec struct {
 	Tenants []string
 	// Constraint applies to every generated job.
 	Constraint workflow.Constraint
+	// VideoScenes overrides the per-video scene count (default 4).
+	VideoScenes int
+	// NewsfeedTopics pins the topic count when > 0; otherwise topics vary
+	// uniformly in [2,4] per arrival.
+	NewsfeedTopics int
+	// DocQADocs pins the document count when > 0; otherwise it varies
+	// uniformly in [2,4] per arrival.
+	DocQADocs int
 }
 
 // DefaultMix is a video-heavy mix over three tenants.
@@ -92,6 +100,27 @@ func DefaultMix() MixSpec {
 		DocQAWeight:    0.15,
 		Tenants:        []string{"alice", "bob", "carol"},
 		Constraint:     workflow.MinCost,
+	}
+}
+
+// ServiceMix is the serving-daemon request mix: a larger tenant population
+// (so tenant→shard hashing spreads load) issuing small, highly-repetitive
+// requests — the high-rate regime an AIWaaS front end actually sees, where
+// per-request testbed provisioning and planning dominate and a shared
+// runtime's warm engines and caches pay off.
+func ServiceMix() MixSpec {
+	return MixSpec{
+		VideoWeight:    0.3,
+		NewsfeedWeight: 0.45,
+		DocQAWeight:    0.25,
+		Tenants: []string{
+			"alice", "bob", "carol", "dave",
+			"erin", "frank", "grace", "heidi",
+		},
+		Constraint:     workflow.MinCost,
+		VideoScenes:    2,
+		NewsfeedTopics: 2,
+		DocQADocs:      2,
 	}
 }
 
@@ -119,15 +148,27 @@ func PoissonTrace(mix MixSpec, rate, horizonS float64, seed int64) ([]Arrival, e
 		}
 		tenant := mix.Tenants[rng.Intn(len(mix.Tenants))]
 		u := rng.Float64() * total
+		scenes := mix.VideoScenes
+		if scenes <= 0 {
+			scenes = 4
+		}
 		var job workflow.Job
 		switch {
 		case u < mix.VideoWeight:
-			// Small videos keep trace experiments fast: 1 video × 4 scenes.
-			job = VideoJob(1, 4, 30, 24, mix.Constraint)
+			// Small videos keep trace experiments fast: 1 video per job.
+			job = VideoJob(1, scenes, 30, 24, mix.Constraint)
 		case u < mix.VideoWeight+mix.NewsfeedWeight:
-			job = NewsfeedJob(tenant, 2+rng.Intn(3), mix.Constraint)
+			topics := mix.NewsfeedTopics
+			if topics <= 0 {
+				topics = 2 + rng.Intn(3)
+			}
+			job = NewsfeedJob(tenant, topics, mix.Constraint)
 		default:
-			job = DocQAJob(2+rng.Intn(3), 800, mix.Constraint)
+			docs := mix.DocQADocs
+			if docs <= 0 {
+				docs = 2 + rng.Intn(3)
+			}
+			job = DocQAJob(docs, 800, mix.Constraint)
 		}
 		out = append(out, Arrival{AtS: t, Tenant: tenant, Job: job})
 	}
