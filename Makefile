@@ -3,7 +3,7 @@
 GO ?= go
 DATE := $(shell date +%F)
 
-.PHONY: all build test race vet bench bench-smoke
+.PHONY: all build test race vet bench bench-smoke memprofile
 
 all: vet build test
 
@@ -31,3 +31,11 @@ bench:
 # bench-smoke is the CI-speed variant: one iteration per benchmark.
 bench-smoke:
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' .
+
+# memprofile runs the retention benchmark (bounded shard telemetry under a
+# long served history) with heap/alloc profiles, for digging into where
+# serving memory goes: go tool pprof mem_<date>.prof
+memprofile:
+	$(GO) test -bench 'BenchmarkServingRetention' -benchmem -benchtime 3x \
+		-run '^$$' -memprofile mem_$(DATE).prof -memprofilerate 1 .
+	@echo "wrote mem_$(DATE).prof (inspect with: go tool pprof repro.test mem_$(DATE).prof)"

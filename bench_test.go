@@ -188,6 +188,37 @@ func BenchmarkServing(b *testing.B) {
 	b.ReportMetric(float64(best.Shared.Completed), "jobs")
 }
 
+// BenchmarkServingRetention replays the mixed-tenant trace against the
+// shared pool with a retention window ~1/50th of the served simulated
+// history, and reports the bounded-memory claim: retained telemetry
+// points/bytes plateau (points_peak ≈ points_final, a small multiple of one
+// retention window) while the unbounded baseline's footprint grows with
+// history (contained_x), at no throughput cost versus BenchmarkServing's
+// shared arm (jobs_per_s).
+func BenchmarkServingRetention(b *testing.B) {
+	b.ReportAllocs()
+	var best *serving.RetentionResult
+	for i := 0; i < b.N; i++ {
+		res, err := serving.RunRetention(serving.DefaultRetentionOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if best == nil || res.Throughput > best.Throughput {
+			best = res
+		}
+	}
+	b.ReportMetric(float64(best.PeakPoints), "points_peak")
+	b.ReportMetric(float64(best.FinalPoints), "points_final")
+	b.ReportMetric(float64(best.PeakBytes), "bytes_peak")
+	b.ReportMetric(float64(best.UnboundedPeakPoints), "unbounded_points_peak")
+	b.ReportMetric(best.GrowthContainedX, "contained_x")
+	b.ReportMetric(best.HistoryOverRetainX, "history_x_retention")
+	b.ReportMetric(float64(best.CompactedPoints), "compacted_points")
+	b.ReportMetric(float64(best.Recycles), "recycles")
+	b.ReportMetric(best.Throughput, "jobs_per_s")
+	b.ReportMetric(float64(best.Completed), "jobs")
+}
+
 // BenchmarkMultiCloud measures the §5 multi-platform placement comparison.
 func BenchmarkMultiCloud(b *testing.B) {
 	var last *experiments.MultiCloudResult

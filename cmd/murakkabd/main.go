@@ -1,9 +1,14 @@
 // Command murakkabd serves the Murakkab runtime over HTTP — the AIWaaS
 // surface from the paper's §5 discussion, run as a long-lived, sharded
 // serving daemon: tenants hash to runtime shards, jobs are admitted
-// asynchronously and multiplex each shard's warm serving engines.
+// asynchronously and multiplex each shard's warm serving engines. Shard
+// memory stays bounded under retention: telemetry older than -retain
+// simulated seconds is compacted into rollup buckets, and a shard whose
+// retained series exceed -max-series-points is recycled (drained and
+// replaced) without failing in-flight jobs.
 //
-//	murakkabd -addr :8080 -shards 2 -concurrency 4 -vms 2
+//	murakkabd -addr :8080 -shards 2 -concurrency 4 -vms 2 \
+//	  -retain 3600 -max-series-points 1048576
 //
 //	curl localhost:8080/v1/library
 //	curl localhost:8080/v1/stats
@@ -43,6 +48,12 @@ func main() {
 	vms := flag.Int("vms", 2, "ND96amsr_A100_v4 VMs per shard")
 	perRequest := flag.Bool("per-request", false,
 		"baseline mode: provision a throwaway testbed per request instead of sharing runtimes")
+	retain := flag.Float64("retain", 0,
+		"per-shard telemetry retention window in simulated seconds: older history is "+
+			"compacted into rollup buckets (0 = default 3600, negative disables compaction)")
+	maxSeriesPoints := flag.Int("max-series-points", 0,
+		"per-shard telemetry budget in series change points before the shard is recycled "+
+			"(0 = default 1048576, negative disables recycling)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"how long to wait for in-flight HTTP requests on shutdown")
 	flag.Parse()
@@ -51,6 +62,8 @@ func main() {
 		Shards:                *shards,
 		VMsPerShard:           *vms,
 		MaxConcurrentPerShard: *concurrency,
+		RetainSimSeconds:      *retain,
+		MaxSeriesPoints:       *maxSeriesPoints,
 		PerRequest:            *perRequest,
 	})
 	if err != nil {

@@ -52,4 +52,22 @@
 // caches. BenchmarkServing replays a mixed-tenant Poisson trace through the
 // HTTP surface and reports ≥ 2× the throughput of the per-request-testbed
 // baseline (serving_gain_x), with p50/p95 latency.
+//
+// # Telemetry retention
+//
+// Shard memory is bounded by tiered retention instead of growing with
+// served history: telemetry.StepSeries.CompactBefore drops change points
+// behind a watermark while keeping the cumulative-integral index anchored,
+// so retained-window Integral/Mean/Max stay bit-identical
+// (property-tested); telemetry.RetainedSeries collapses compacted epochs
+// into exact-integral rollup buckets on the cluster-wide aggregates;
+// cluster.AdvanceEpoch compacts every per-device series and aggregate
+// coherently; report.Finalize returns a typed WindowCompactedError for
+// windows older than the watermark. The serving pool drives compaction
+// from a sim.Loop tick, clamped to the oldest running job's start, and
+// recycles a shard (drain → rebuild → swap; in-flight jobs complete) when
+// its retained points exceed the configured budget (murakkabd -retain /
+// -max-series-points). BenchmarkServingRetention shows the footprint
+// plateau across ≥ 10× the retention window of served history
+// (contained_x vs the unbounded baseline).
 package repro

@@ -32,14 +32,18 @@ import (
 // testbed, runs to completion and tears it down. It exists as the comparison
 // arm for the serving experiment and benchmarks.
 //
-// Known limit: a shard's cluster telemetry (per-device power/utilization
-// series) is append-only, so a shard's memory grows with the simulated
-// history it has served; JobHistoryLimit bounds the job registry but not
-// the telemetry. Long-lived deployments need series retention/rollup or
-// periodic shard recycling — tracked as an open item.
+// Shard memory is bounded by tiered telemetry retention: a compaction tick
+// riding each shard's loop advances the cluster's retention watermark to
+// now − RetainSimSeconds (never past the oldest running job's start, so
+// report finalization windows stay exact), collapsing older history into
+// rollup buckets. If a shard's retained telemetry still exceeds
+// MaxSeriesPoints — long-running jobs pinning the watermark, or an
+// operator-chosen tight budget — the shard is recycled: a warm replacement
+// is built and swapped in for new submissions while the old shard drains
+// its in-flight jobs to completion in the background.
 type Pool struct {
 	cfg    PoolConfig
-	shards []*shard
+	shards []*shard // guarded by mu: recycling swaps entries
 
 	nextJob atomic.Uint64
 
@@ -47,6 +51,21 @@ type Pool struct {
 	jobs    map[string]*jobRecord
 	retired []string // terminal job ids, oldest first, for history eviction
 	closed  bool
+
+	// Pool-level lifecycle counters for shared mode, maintained by the
+	// pool's own submit/settle path rather than summed from per-shard
+	// schedulers: they stay monotonic and complete while a recycled shard
+	// drains in the background (when its scheduler is in no shard list).
+	shSubmitted atomic.Int64
+	shCompleted atomic.Int64
+	shFailed    atomic.Int64
+	shCanceled  atomic.Int64
+
+	// recycles counts shard recycles, incremented at swap time (the drain
+	// completes in the background). drains joins those background drains so
+	// Close can honor its everything-ran-to-completion contract.
+	recycles atomic.Int64
+	drains   sync.WaitGroup
 
 	// per-request mode counters (atomics: submissions run on handler
 	// goroutines, not on a shard loop).
@@ -68,9 +87,30 @@ type PoolConfig struct {
 	// JobHistoryLimit bounds retained terminal job records (default 4096);
 	// the oldest are evicted so the registry cannot grow without bound.
 	JobHistoryLimit int
+	// RetainSimSeconds is each shard's telemetry retention window in
+	// simulated seconds: the compaction tick keeps full-resolution series
+	// only over roughly the last RetainSimSeconds of shard history (older
+	// epochs collapse into rollup buckets), clamped so the watermark never
+	// passes a running job's start. 0 selects the default (3600); negative
+	// disables compaction (the pre-retention append-only behaviour).
+	RetainSimSeconds float64
+	// MaxSeriesPoints is a shard's retained-telemetry budget in change
+	// points; a shard still exceeding it after compaction is recycled
+	// (drain → rebuild → swap) without failing in-flight jobs. 0 selects
+	// the default (1<<20, ~24 MiB of series data); negative disables
+	// recycling.
+	MaxSeriesPoints int
 	// PerRequest switches the pool to the per-request-testbed baseline.
 	PerRequest bool
 }
+
+// Retention defaults: an hour of simulated history at full resolution, and
+// a ~24 MiB per-shard point budget that only a watermark-pinning workload
+// can reach.
+const (
+	defaultRetainSimSeconds = 3600
+	defaultMaxSeriesPoints  = 1 << 20
+)
 
 func (c PoolConfig) withDefaults() PoolConfig {
 	if c.Shards <= 0 {
@@ -85,6 +125,12 @@ func (c PoolConfig) withDefaults() PoolConfig {
 	if c.JobHistoryLimit <= 0 {
 		c.JobHistoryLimit = 4096
 	}
+	if c.RetainSimSeconds == 0 {
+		c.RetainSimSeconds = defaultRetainSimSeconds
+	}
+	if c.MaxSeriesPoints == 0 {
+		c.MaxSeriesPoints = defaultMaxSeriesPoints
+	}
 	return c
 }
 
@@ -96,6 +142,15 @@ type shard struct {
 	rt    *core.Runtime
 	sched *core.Scheduler
 	loop  *sim.Loop
+
+	// Retention state, owned by the shard's loop goroutine (written only in
+	// the tick): compactStride is how far the watermark must lag the target
+	// before compaction runs (retention/4 — amortizes the O(points) copy),
+	// droppedPoints counts change points compacted away, recycling latches
+	// once a recycle has been requested.
+	compactStride float64
+	droppedPoints int
+	recycling     bool
 }
 
 // errShuttingDown is returned once Close has been called.
@@ -109,31 +164,117 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 		return p, nil
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		se := sim.NewEngine()
-		cl := cluster.New(se, hardware.DefaultCatalog())
-		for v := 0; v < cfg.VMsPerShard; v++ {
-			cl.AddVM(fmt.Sprintf("s%d-vm%d", i, v), hardware.NDv4SKUName, false)
-		}
-		rt, err := core.New(core.Config{Engine: se, Cluster: cl, Library: agents.DefaultLibrary()})
+		sh, err := p.newShard(i)
 		if err != nil {
-			return nil, fmt.Errorf("api: provisioning shard %d: %w", i, err)
-		}
-		sh := &shard{
-			idx:   i,
-			eng:   se,
-			cl:    cl,
-			rt:    rt,
-			sched: core.NewScheduler(se, rt, cfg.MaxConcurrentPerShard),
-			loop:  sim.NewLoop(se),
+			return nil, err
 		}
 		p.shards = append(p.shards, sh)
-		go sh.loop.Run()
 	}
 	return p, nil
 }
 
+// newShard builds one warm runtime shard and starts its loop goroutine.
+// Recycling builds replacement shards through the same path, so a recycled
+// shard comes back identically provisioned (profiling is content-memoized,
+// making the rebuild cheap).
+func (p *Pool) newShard(idx int) (*shard, error) {
+	cfg := p.cfg
+	se := sim.NewEngine()
+	cl := cluster.New(se, hardware.DefaultCatalog())
+	for v := 0; v < cfg.VMsPerShard; v++ {
+		cl.AddVM(fmt.Sprintf("s%d-vm%d", idx, v), hardware.NDv4SKUName, false)
+	}
+	rt, err := core.New(core.Config{Engine: se, Cluster: cl, Library: agents.DefaultLibrary()})
+	if err != nil {
+		return nil, fmt.Errorf("api: provisioning shard %d: %w", idx, err)
+	}
+	sh := &shard{
+		idx:   idx,
+		eng:   se,
+		cl:    cl,
+		rt:    rt,
+		sched: core.NewScheduler(se, rt, cfg.MaxConcurrentPerShard),
+		loop:  sim.NewLoop(se),
+	}
+	if cfg.RetainSimSeconds >= 0 {
+		sh.compactStride = cfg.RetainSimSeconds / 4
+	}
+	if cfg.RetainSimSeconds >= 0 || cfg.MaxSeriesPoints > 0 {
+		// The retention tick rides the loop (SetTick must precede Run): it
+		// runs after each event batch, so it never interleaves with
+		// simulation callbacks and needs no locks for shard state.
+		sh.loop.SetTick(func() { p.shardTick(sh) })
+	}
+	go sh.loop.Run()
+	return sh, nil
+}
+
+// shardTick is the background compaction tick: advance the retention
+// watermark once it lags the target by a stride, then check the telemetry
+// budget. Runs on the shard's loop goroutine after every event batch.
+func (p *Pool) shardTick(sh *shard) {
+	if p.cfg.RetainSimSeconds >= 0 {
+		target := sh.eng.Now().Seconds() - p.cfg.RetainSimSeconds
+		// Never compact past a running job's execution window: Finalize
+		// integrates from the job's start, and a window behind the
+		// watermark is a loud typed error.
+		if min, ok := sh.sched.MinRunningStartS(); ok && min < target {
+			target = min
+		}
+		if target-sh.cl.Watermark() >= sh.compactStride {
+			sh.droppedPoints += sh.cl.AdvanceEpoch(target)
+		}
+	}
+	if p.cfg.MaxSeriesPoints > 0 && !sh.recycling {
+		if fp := sh.cl.TelemetryFootprint(); fp.Points > p.cfg.MaxSeriesPoints {
+			sh.recycling = true
+			// The Add happens on the loop goroutine, which Close joins
+			// before waiting on drains — so no recycle can slip past a
+			// completed Close.
+			p.drains.Add(1)
+			go func() {
+				defer p.drains.Done()
+				p.recycleShard(sh)
+			}()
+		}
+	}
+}
+
+// recycleShard replaces a shard whose telemetry outgrew its budget: build a
+// warm replacement, swap it in so new submissions land there, then drain
+// the displaced shard — posts already accepted and every in-flight job run
+// to completion (their records settle normally; cancels still reach the
+// draining loop through the records' shard pointers).
+func (p *Pool) recycleShard(old *shard) {
+	fresh, err := p.newShard(old.idx)
+	if err != nil {
+		// Rebuild failed (same config that provisioned the pool, so this is
+		// effectively unreachable); keep serving from the old shard and let
+		// a later tick retry.
+		old.loop.Post(func() { old.recycling = false })
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		fresh.loop.Close()
+		return
+	}
+	p.shards[old.idx] = fresh
+	p.recycles.Add(1)
+	p.mu.Unlock()
+	// Drain in the background: the displaced shard's jobs settle through
+	// the pool-level counters, so stats lose nothing while it winds down.
+	old.loop.Close()
+}
+
 // Close drains every shard loop (in-flight and queued jobs run to completion)
-// and stops accepting submissions. Safe to call more than once.
+// and stops accepting submissions. Safe to call more than once. Shards
+// displaced by an in-progress recycle are drained by their recycler
+// goroutine, which Close joins: setting closed first guarantees no further
+// swaps land after the snapshot below, closing the live loops quiesces the
+// ticks that could start new recycles, and the final Wait covers drains
+// already in flight.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	if p.closed {
@@ -141,10 +282,12 @@ func (p *Pool) Close() {
 		return
 	}
 	p.closed = true
+	shards := append([]*shard(nil), p.shards...)
 	p.mu.Unlock()
-	for _, sh := range p.shards {
+	for _, sh := range shards {
 		sh.loop.Close()
 	}
+	p.drains.Wait()
 }
 
 // PerRequest reports whether the pool runs the baseline mode.
@@ -154,7 +297,8 @@ func (p *Pool) PerRequest() bool { return p.cfg.PerRequest }
 func (p *Pool) Shards() int { return len(p.shards) }
 
 // shardFor maps a tenant to its home shard. The modulo happens in uint32 so
-// the index stays non-negative on 32-bit platforms.
+// the index stays non-negative on 32-bit platforms. Callers must hold p.mu:
+// recycling swaps slice entries.
 func (p *Pool) shardFor(tenant string) *shard {
 	h := fnv.New32a()
 	h.Write([]byte(tenant))
@@ -174,66 +318,93 @@ type submitExtras struct {
 // the shard completes the job. In per-request mode it blocks while a fresh
 // testbed runs the job.
 func (p *Pool) Submit(tenant string, job workflow.Job, opts core.SubmitOptions, extras submitExtras) (*jobRecord, error) {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return nil, errShuttingDown
-	}
-	p.mu.Unlock()
-
 	id := fmt.Sprintf("job-%08d", p.nextJob.Add(1))
 	if p.cfg.PerRequest {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, errShuttingDown
+		}
+		p.mu.Unlock()
 		return p.submitPerRequest(id, tenant, job, opts, extras)
 	}
 
 	// Engines stay warm across jobs in the shared runtime — the daemon owns
 	// their lifecycle, and successive jobs multiplex them.
 	opts.KeepEngines = true
-	sh := p.shardFor(tenant)
 	rec := &jobRecord{
 		id:     id,
 		tenant: tenant,
-		shard:  sh.idx,
 		status: core.JobQueued,
 		done:   make(chan struct{}),
 	}
-	posted := sh.loop.Post(func() {
-		h, err := sh.sched.Submit(tenant, job, opts)
-		if err != nil {
-			// Pre-validated by the handler; this is a safety net.
-			rec.settle(core.JobFailed, err.Error(), nil, sh.eng.Now().Seconds())
-			p.retire(rec)
-			return
+	// A recycle can swap the tenant's home shard between picking it and
+	// posting (the displaced loop rejects posts once it starts draining), so
+	// retry against the replacement; one retry suffices per concurrent
+	// recycle, and the bound only guards against a pathological storm.
+	for attempt := 0; ; attempt++ {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, errShuttingDown
 		}
-		rec.mu.Lock()
-		rec.handle = h
-		rec.submittedSimS = sh.eng.Now().Seconds()
-		rec.mu.Unlock()
-		// Status transitions push into the record, so HTTP status reads are
-		// mutex-only and never round-trip through the shard loop.
-		h.OnStart(func(h *core.Handle) {
-			rec.mu.Lock()
-			rec.status = core.JobRunning
-			rec.queueDelayS = h.QueueDelayS()
-			rec.mu.Unlock()
-		})
-		h.OnDone(func(h *core.Handle) {
-			var resp *JobResponse
-			errMsg := ""
-			if h.Status() == core.JobDone {
-				resp = jobResponseFrom(h.Execution(), extras.timeline)
-			} else if h.Err() != nil {
-				errMsg = h.Err().Error()
+		sh := p.shardFor(tenant)
+		p.mu.Unlock()
+		rec.sh = sh
+		rec.shard = sh.idx
+		posted := sh.loop.Post(func() {
+			h, err := sh.sched.Submit(tenant, job, opts)
+			if err != nil {
+				// Pre-validated by the handler; this is a safety net.
+				p.shFailed.Add(1)
+				rec.settle(core.JobFailed, err.Error(), nil, sh.eng.Now().Seconds())
+				p.retire(rec)
+				return
 			}
 			rec.mu.Lock()
-			rec.queueDelayS = h.QueueDelayS()
+			rec.handle = h
+			rec.submittedSimS = sh.eng.Now().Seconds()
 			rec.mu.Unlock()
-			rec.settle(h.Status(), errMsg, resp, sh.eng.Now().Seconds())
-			p.retire(rec)
+			// Status transitions push into the record, so HTTP status reads are
+			// mutex-only and never round-trip through the shard loop.
+			h.OnStart(func(h *core.Handle) {
+				rec.mu.Lock()
+				rec.status = core.JobRunning
+				rec.queueDelayS = h.QueueDelayS()
+				rec.mu.Unlock()
+			})
+			h.OnDone(func(h *core.Handle) {
+				var resp *JobResponse
+				errMsg := ""
+				switch h.Status() {
+				case core.JobDone:
+					resp = jobResponseFrom(h.Execution(), extras.timeline)
+					p.shCompleted.Add(1)
+				case core.JobCanceled:
+					p.shCanceled.Add(1)
+					if h.Err() != nil {
+						errMsg = h.Err().Error()
+					}
+				default:
+					p.shFailed.Add(1)
+					if h.Err() != nil {
+						errMsg = h.Err().Error()
+					}
+				}
+				rec.mu.Lock()
+				rec.queueDelayS = h.QueueDelayS()
+				rec.mu.Unlock()
+				rec.settle(h.Status(), errMsg, resp, sh.eng.Now().Seconds())
+				p.retire(rec)
+			})
 		})
-	})
-	if !posted {
-		return nil, errShuttingDown
+		if posted {
+			p.shSubmitted.Add(1)
+			break
+		}
+		if attempt >= 8 {
+			return nil, errShuttingDown
+		}
 	}
 	// Register only after the submission closure is enqueued: the shard
 	// inbox is FIFO, so any later posted cancel observes the handle.
@@ -328,7 +499,10 @@ func (p *Pool) Cancel(id string) (JobState, bool, bool) {
 		// Per-request jobs complete within their own request; nothing to do.
 		return rec.snapshot(), false, true
 	}
-	sh := p.shards[rec.shard]
+	// The record pins its owning shard directly: after a recycle the index
+	// points at the replacement, but the job (and its handle) live on the
+	// displaced shard until its drain completes.
+	sh := rec.sh
 	reply := make(chan bool, 1)
 	if !sh.loop.Post(func() {
 		rec.mu.Lock()
@@ -359,8 +533,12 @@ type JobState struct {
 type jobRecord struct {
 	id     string
 	tenant string
-	shard  int
-	done   chan struct{}
+	// sh is the owning shard (nil in per-request mode), pinned at submit so
+	// cancels keep reaching a shard displaced by recycling; shard is its
+	// index at submit time (-1 in per-request mode), for display.
+	sh    *shard
+	shard int
+	done  chan struct{}
 
 	mu            sync.Mutex
 	status        core.JobStatus
@@ -432,18 +610,28 @@ func jobResponseFrom(ex *core.Execution, timeline bool) *JobResponse {
 
 // ShardStats is one shard's slice of GET /v1/stats.
 type ShardStats struct {
-	Shard           int              `json:"shard"`
-	SimTimeS        float64          `json:"sim_time_s"`
-	Submitted       int              `json:"submitted"`
-	Completed       int              `json:"completed"`
-	Failed          int              `json:"failed"`
-	Canceled        int              `json:"canceled"`
-	Running         int              `json:"running"`
-	Queued          int              `json:"queued"`
-	PeakRunning     int              `json:"peak_running"`
-	PlanCacheHits   int              `json:"plan_cache_hits"`
-	DecompCacheHits int              `json:"decomp_cache_hits"`
-	MeanGPUUtil     float64          `json:"mean_gpu_util"`
+	Shard           int     `json:"shard"`
+	SimTimeS        float64 `json:"sim_time_s"`
+	Submitted       int     `json:"submitted"`
+	Completed       int     `json:"completed"`
+	Failed          int     `json:"failed"`
+	Canceled        int     `json:"canceled"`
+	Running         int     `json:"running"`
+	Queued          int     `json:"queued"`
+	PeakRunning     int     `json:"peak_running"`
+	PlanCacheHits   int     `json:"plan_cache_hits"`
+	DecompCacheHits int     `json:"decomp_cache_hits"`
+	MeanGPUUtil     float64 `json:"mean_gpu_util"`
+	// Telemetry retention accounting: live change points and their bytes
+	// retained by the shard's cluster, the rollup buckets summarizing
+	// compacted epochs, the retention watermark and epoch count, and the
+	// points dropped by compaction so far.
+	TelemetryPoints int              `json:"telemetry_points"`
+	TelemetryBytes  int              `json:"telemetry_bytes"`
+	RollupBuckets   int              `json:"rollup_buckets"`
+	WatermarkS      float64          `json:"watermark_s"`
+	Epoch           int              `json:"epoch"`
+	CompactedPoints int              `json:"compacted_points"`
 	Engines         []EngineStatJSON `json:"engines"`
 }
 
@@ -468,6 +656,18 @@ type PoolStats struct {
 	Queued      int          `json:"queued"`
 	EnginesUp   int          `json:"engines_up"`
 	JobsTracked int          `json:"jobs_tracked"`
+	// TelemetryPoints/TelemetryBytes total the live shards' retained
+	// telemetry; Recycles counts shards replaced after exceeding
+	// MaxSeriesPoints (incremented at swap; the displaced shard drains in
+	// the background). The pool-level lifecycle counters above are
+	// maintained by the pool's own submit/settle path, so they are
+	// monotonic and include jobs served by recycled shards even while one
+	// is still draining; Running/Queued (and the per-shard rows) are
+	// live-shard gauges and can transiently exclude a draining shard's
+	// in-flight jobs.
+	TelemetryPoints int `json:"telemetry_points"`
+	TelemetryBytes  int `json:"telemetry_bytes"`
+	Recycles        int `json:"recycles"`
 }
 
 // Stats gathers a consistent per-shard view (each shard snapshot is taken on
@@ -475,6 +675,7 @@ type PoolStats struct {
 func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	tracked := len(p.jobs)
+	shards := append([]*shard(nil), p.shards...)
 	p.mu.Unlock()
 	out := PoolStats{Mode: "shared", JobsTracked: tracked}
 	if p.cfg.PerRequest {
@@ -484,11 +685,16 @@ func (p *Pool) Stats() PoolStats {
 		out.Failed = int(p.prFailed.Load())
 		return out
 	}
+	out.Recycles = int(p.recycles.Load())
+	out.Submitted = int(p.shSubmitted.Load())
+	out.Completed = int(p.shCompleted.Load())
+	out.Failed = int(p.shFailed.Load())
+	out.Canceled = int(p.shCanceled.Load())
 	// Fan the snapshot closures out to every shard first, then collect:
 	// each shard takes its snapshot on its own loop goroutine concurrently,
 	// so stats latency is the slowest shard's round trip, not the sum.
-	replies := make([]chan ShardStats, 0, len(p.shards))
-	for _, sh := range p.shards {
+	replies := make([]chan ShardStats, 0, len(shards))
+	for _, sh := range shards {
 		sh := sh
 		reply := make(chan ShardStats, 1)
 		if !sh.loop.Post(func() {
@@ -508,8 +714,17 @@ func (p *Pool) Stats() PoolStats {
 				DecompCacheHits: sh.rt.DecompCacheHits(),
 			}
 			if now > 0 {
+				// Full-history mean: epochs behind the watermark come from
+				// the aggregate's rollup buckets.
 				ss.MeanGPUUtil = sh.cl.MeanGPUUtilOver(0, now)
 			}
+			fp := sh.cl.TelemetryFootprint()
+			ss.TelemetryPoints = fp.Points
+			ss.TelemetryBytes = fp.Bytes
+			ss.RollupBuckets = fp.RollupBuckets
+			ss.WatermarkS = sh.cl.Watermark()
+			ss.Epoch = sh.cl.Epoch()
+			ss.CompactedPoints = sh.droppedPoints
 			mgr := sh.rt.Manager().Stats()
 			for name, es := range mgr.Engines {
 				ss.Engines = append(ss.Engines, EngineStatJSON{
@@ -532,13 +747,11 @@ func (p *Pool) Stats() PoolStats {
 	for _, reply := range replies {
 		ss := <-reply
 		out.Shards = append(out.Shards, ss)
-		out.Submitted += ss.Submitted
-		out.Completed += ss.Completed
-		out.Failed += ss.Failed
-		out.Canceled += ss.Canceled
 		out.Running += ss.Running
 		out.Queued += ss.Queued
 		out.EnginesUp += len(ss.Engines)
+		out.TelemetryPoints += ss.TelemetryPoints
+		out.TelemetryBytes += ss.TelemetryBytes
 	}
 	return out
 }

@@ -123,11 +123,22 @@ type Cluster struct {
 	// per-device series per execution (§3.3's amortization applied to
 	// telemetry). gpuPowerAgg/cpuPowerAgg total watts; gpuUtilSumAgg is the
 	// unweighted Σ of per-GPU intensities; cpuLoadSumAgg is Σ cores×intensity
-	// across VMs (the core-weighted load).
-	gpuPowerAgg   *telemetry.StepSeries
-	cpuPowerAgg   *telemetry.StepSeries
-	gpuUtilSumAgg *telemetry.StepSeries
-	cpuLoadSumAgg *telemetry.StepSeries
+	// across VMs (the core-weighted load). They live under tiered retention:
+	// AdvanceEpoch collapses history behind the watermark into rollup
+	// buckets, so full-history reads (daemon stats, long-lived dashboards)
+	// stay answerable after per-device points are dropped.
+	gpuPowerAgg   *telemetry.RetainedSeries
+	cpuPowerAgg   *telemetry.RetainedSeries
+	gpuUtilSumAgg *telemetry.RetainedSeries
+	cpuLoadSumAgg *telemetry.RetainedSeries
+
+	// watermarkS is the telemetry retention watermark: per-device series
+	// keep full-resolution change points only at or after it. Readers may no
+	// longer assume history back to t=0 — window queries must start at or
+	// after the watermark (report.Finalize fails loudly otherwise), and
+	// full-history aggregate reads go through the rollup buckets.
+	watermarkS float64
+	epoch      int
 }
 
 // New creates an empty cluster on the given engine and catalog.
@@ -140,15 +151,88 @@ func New(engine *sim.Engine, catalog *hardware.Catalog) *Cluster {
 		catalog:       catalog,
 		liveGPU:       make(map[int]*GPUAlloc),
 		liveCPU:       make(map[int]*CPUAlloc),
-		gpuPowerAgg:   telemetry.NewStepSeries(0),
-		cpuPowerAgg:   telemetry.NewStepSeries(0),
-		gpuUtilSumAgg: telemetry.NewStepSeries(0),
-		cpuLoadSumAgg: telemetry.NewStepSeries(0),
+		gpuPowerAgg:   telemetry.NewRetained(0),
+		cpuPowerAgg:   telemetry.NewRetained(0),
+		gpuUtilSumAgg: telemetry.NewRetained(0),
+		cpuLoadSumAgg: telemetry.NewRetained(0),
 	}
 }
 
 // Engine returns the simulation engine the cluster runs on.
 func (c *Cluster) Engine() *sim.Engine { return c.engine }
+
+// Watermark returns the telemetry retention watermark in simulated seconds:
+// per-device series hold full-resolution history only at or after it (0
+// until AdvanceEpoch is first called, i.e. full history).
+func (c *Cluster) Watermark() float64 { return c.watermarkS }
+
+// Epoch returns how many times AdvanceEpoch has compacted telemetry.
+func (c *Cluster) Epoch() int { return c.epoch }
+
+// AdvanceEpoch moves the retention watermark to t (clamped to [current
+// watermark, now]) and compacts every per-GPU/VM series plus the four
+// cluster-wide aggregates coherently: the aggregates roll the dropped epoch
+// into exact-integral rollup buckets first, then everyone drops change
+// points behind the watermark. Window queries at or after the watermark
+// remain bit-identical to the uncompacted cluster; reads reaching behind it
+// must use the aggregate (rollup-backed) paths. Returns the number of
+// change points dropped.
+//
+// Like every Cluster method, AdvanceEpoch must run on the goroutine driving
+// the simulation engine.
+func (c *Cluster) AdvanceEpoch(t float64) int {
+	if now := c.engine.Now().Seconds(); t > now {
+		t = now
+	}
+	if t <= c.watermarkS {
+		return 0
+	}
+	dropped := 0
+	for _, vm := range c.vms {
+		dropped += vm.cpuUtil.CompactBefore(t)
+		dropped += vm.cpuPower.CompactBefore(t)
+		for _, g := range vm.gpus {
+			dropped += g.util.CompactBefore(t)
+			dropped += g.power.CompactBefore(t)
+		}
+	}
+	dropped += c.gpuPowerAgg.CompactBefore(t)
+	dropped += c.cpuPowerAgg.CompactBefore(t)
+	dropped += c.gpuUtilSumAgg.CompactBefore(t)
+	dropped += c.cpuLoadSumAgg.CompactBefore(t)
+	c.watermarkS = t
+	c.epoch++
+	return dropped
+}
+
+// TelemetryFootprint is the cluster's retained-telemetry accounting: live
+// change points across every per-device series and aggregate, the rollup
+// buckets retained behind the watermark, and the resulting heap bytes
+// (3 float64 slots per change point, 5 per bucket).
+type TelemetryFootprint struct {
+	Points        int
+	RollupBuckets int
+	Bytes         int
+}
+
+// TelemetryFootprint sums retained points/buckets across all series.
+func (c *Cluster) TelemetryFootprint() TelemetryFootprint {
+	var fp TelemetryFootprint
+	for _, vm := range c.vms {
+		fp.Points += vm.cpuUtil.Len() + vm.cpuPower.Len()
+		for _, g := range vm.gpus {
+			fp.Points += g.util.Len() + g.power.Len()
+		}
+	}
+	for _, agg := range []*telemetry.RetainedSeries{
+		c.gpuPowerAgg, c.cpuPowerAgg, c.gpuUtilSumAgg, c.cpuLoadSumAgg,
+	} {
+		fp.Points += agg.Len()
+		fp.RollupBuckets += len(agg.Rollups())
+	}
+	fp.Bytes = fp.Points*3*8 + fp.RollupBuckets*5*8
+	return fp
+}
 
 // Catalog returns the hardware catalog.
 func (c *Cluster) Catalog() *hardware.Catalog { return c.catalog }

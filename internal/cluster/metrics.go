@@ -31,9 +31,13 @@ func (c *Cluster) CPUUtilSeries() *telemetry.StepSeries {
 
 // UtilSource is a lightweight handle for materializing the cluster-average
 // utilization curves later without retaining the cluster itself: it holds
-// only the two running aggregate series (shared, append-only) and the
+// only the two running aggregate series (shared, live-windowed) and the
 // device/core counts at capture time. Reports store one of these so a
 // retained report pins two series, never the engine or the VM fleet.
+//
+// The handles track the aggregates' live windows, which are clamped at the
+// cluster's retention watermark: if the cluster compacts after capture, a
+// lazily-materialized curve starts at the watermark rather than t=0.
 type UtilSource struct {
 	gpuSum  *telemetry.StepSeries
 	loadSum *telemetry.StepSeries
@@ -43,7 +47,7 @@ type UtilSource struct {
 
 // UtilSource captures the current aggregate handles and fleet counts.
 func (c *Cluster) UtilSource() UtilSource {
-	s := UtilSource{gpuSum: c.gpuUtilSumAgg, loadSum: c.cpuLoadSumAgg}
+	s := UtilSource{gpuSum: c.gpuUtilSumAgg.Live(), loadSum: c.cpuLoadSumAgg.Live()}
 	for _, vm := range c.vms {
 		s.gpus += len(vm.gpus)
 		s.cores += vm.cpuTotal
@@ -71,7 +75,9 @@ func (s UtilSource) CPUUtilSeries() *telemetry.StepSeries {
 
 // MeanGPUUtilOver returns the time-weighted cluster-average GPU utilization
 // over [t0, t1], read from the running aggregate in O(log n) — the report
-// path uses this instead of materializing the full curve.
+// path uses this instead of materializing the full curve. Windows at or
+// after the retention watermark are exact (bit-identical to full history);
+// windows reaching behind it read the compacted epochs' rollup buckets.
 func (c *Cluster) MeanGPUUtilOver(t0, t1 float64) float64 {
 	n := 0
 	for _, vm := range c.vms {
@@ -97,17 +103,19 @@ func (c *Cluster) MeanCPUUtilOver(t0, t1 float64) float64 {
 }
 
 // GPUPowerSeries returns total GPU power in watts across the cluster, as a
-// snapshot copy of the running aggregate (callers may hold or mutate it
-// freely; energy accounting keeps reading the internal aggregate).
-func (c *Cluster) GPUPowerSeries() *telemetry.StepSeries { return c.gpuPowerAgg.Scale(1) }
+// snapshot copy of the running aggregate's live window (callers may hold or
+// mutate it freely; energy accounting keeps reading the internal aggregate).
+func (c *Cluster) GPUPowerSeries() *telemetry.StepSeries { return c.gpuPowerAgg.Live().Scale(1) }
 
 // CPUPowerSeries returns total CPU power in watts across the cluster
 // (snapshot copy, like GPUPowerSeries).
-func (c *Cluster) CPUPowerSeries() *telemetry.StepSeries { return c.cpuPowerAgg.Scale(1) }
+func (c *Cluster) CPUPowerSeries() *telemetry.StepSeries { return c.cpuPowerAgg.Live().Scale(1) }
 
 // GPUEnergyJoules integrates total GPU power over [t0, t1]. Table 2 reports
 // exactly this quantity (converted to Wh): the paper measures only GPU
-// energy "since that is the dominant source in the system".
+// energy "since that is the dominant source in the system". Windows at or
+// after the retention watermark are exact; older history comes from the
+// compacted epochs' exact-integral rollups.
 func (c *Cluster) GPUEnergyJoules(t0, t1 float64) float64 {
 	return c.gpuPowerAgg.Integral(t0, t1)
 }

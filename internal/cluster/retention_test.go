@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hardware"
+	"repro/internal/sim"
+)
+
+// buildBusyCluster runs a little allocation history: GPUs and CPUs ramp up
+// and down over [0, 400] so every series accumulates change points.
+func buildBusyCluster(t *testing.T) (*sim.Engine, *Cluster) {
+	t.Helper()
+	se := sim.NewEngine()
+	cl := New(se, hardware.DefaultCatalog())
+	cl.AddVM("vm0", hardware.NDv4SKUName, false)
+	cl.AddVM("vm1", hardware.NDv4SKUName, false)
+	for i := 0; i < 20; i++ {
+		start := float64(i * 20)
+		se.Schedule(sim.Time(start), func() {
+			g, err := cl.AllocGPUs(4, hardware.GPUA100)
+			if err != nil {
+				t.Errorf("alloc GPUs at %v: %v", start, err)
+				return
+			}
+			g.SetIntensity(0.25 + 0.5*float64(i%3)/2)
+			c, err := cl.AllocCPUs(16)
+			if err != nil {
+				t.Errorf("alloc CPUs at %v: %v", start, err)
+				return
+			}
+			c.SetIntensity(0.5)
+			se.After(15, func() { g.Release(); c.Release() })
+		})
+	}
+	se.Run()
+	return se, cl
+}
+
+// TestAdvanceEpochPreservesRetainedWindows: after compacting at a watermark,
+// every report-path read over a window at or after it is bit-identical to
+// the uncompacted cluster, the footprint shrinks, and full-history aggregate
+// reads still answer (via rollups) to float accumulation error.
+func TestAdvanceEpochPreservesRetainedWindows(t *testing.T) {
+	_, cl := buildBusyCluster(t)
+	now := cl.Engine().Now().Seconds()
+	const w = 180.0
+
+	type reads struct {
+		gpuE, cpuE, gpuU, cpuU float64
+	}
+	read := func(t0, t1 float64) reads {
+		return reads{
+			gpuE: cl.GPUEnergyJoules(t0, t1),
+			cpuE: cl.CPUEnergyJoules(t0, t1),
+			gpuU: cl.MeanGPUUtilOver(t0, t1),
+			cpuU: cl.MeanCPUUtilOver(t0, t1),
+		}
+	}
+	wantLive := read(w, now)
+	wantMid := read(250, 310)
+	fullE := cl.GPUEnergyJoules(0, now)
+	fullU := cl.MeanGPUUtilOver(0, now)
+	before := cl.TelemetryFootprint()
+
+	dropped := cl.AdvanceEpoch(w)
+	if dropped == 0 {
+		t.Fatal("AdvanceEpoch dropped nothing on a busy cluster")
+	}
+	if cl.Watermark() != w {
+		t.Fatalf("watermark = %v, want %v", cl.Watermark(), w)
+	}
+	if cl.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1", cl.Epoch())
+	}
+	after := cl.TelemetryFootprint()
+	if after.Points >= before.Points || after.Bytes >= before.Bytes {
+		t.Fatalf("footprint did not shrink: %+v -> %+v", before, after)
+	}
+	if after.RollupBuckets != 4 {
+		t.Fatalf("rollup buckets = %d, want 4 (one per aggregate)", after.RollupBuckets)
+	}
+
+	if got := read(w, now); got != wantLive {
+		t.Fatalf("retained-window reads diverged after compaction:\n got %+v\nwant %+v", got, wantLive)
+	}
+	if got := read(250, 310); got != wantMid {
+		t.Fatalf("interior-window reads diverged after compaction:\n got %+v\nwant %+v", got, wantMid)
+	}
+	if got := cl.GPUEnergyJoules(0, now); math.Abs(got-fullE) > 1e-9*fullE {
+		t.Fatalf("full-history energy via rollups = %v, want %v", got, fullE)
+	}
+	if got := cl.MeanGPUUtilOver(0, now); math.Abs(got-fullU) > 1e-9*math.Max(1, fullU) {
+		t.Fatalf("full-history util via rollups = %v, want %v", got, fullU)
+	}
+
+	// A second epoch advances the watermark further; regressing it is a
+	// no-op.
+	if n := cl.AdvanceEpoch(100); n != 0 {
+		t.Fatal("regressing the watermark must be a no-op")
+	}
+	if cl.AdvanceEpoch(300) == 0 {
+		t.Fatal("second epoch dropped nothing")
+	}
+	if cl.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", cl.Epoch())
+	}
+}
+
+// TestAdvanceEpochClampsToNow: a watermark beyond the current simulated time
+// clamps to now instead of declaring future history compacted.
+func TestAdvanceEpochClampsToNow(t *testing.T) {
+	_, cl := buildBusyCluster(t)
+	now := cl.Engine().Now().Seconds()
+	cl.AdvanceEpoch(now + 1e6)
+	if cl.Watermark() != now {
+		t.Fatalf("watermark = %v, want clamped to now %v", cl.Watermark(), now)
+	}
+}
+
+// TestCompactionKeepsRecordingConsistent: samples recorded after an epoch
+// advance integrate seamlessly with the retained history.
+func TestCompactionKeepsRecordingConsistent(t *testing.T) {
+	se := sim.NewEngine()
+	cl := New(se, hardware.DefaultCatalog())
+	cl.AddVM("vm0", hardware.NDv4SKUName, false)
+	var a *GPUAlloc
+	se.Schedule(10, func() {
+		var err error
+		a, err = cl.AllocGPUs(8, hardware.GPUA100)
+		if err != nil {
+			t.Errorf("alloc: %v", err)
+			return
+		}
+		a.SetIntensity(1)
+	})
+	se.Schedule(50, func() { cl.AdvanceEpoch(40) })
+	se.Schedule(100, func() { a.SetIntensity(0.5) })
+	se.Schedule(200, func() { a.Release() })
+	se.Run()
+
+	spec := hardware.DefaultCatalog().MustGPU(hardware.GPUA100)
+	// [40, 100]: 8 GPUs at peak; [100, 200]: 8 GPUs at 50% intensity.
+	wantPeak := 8 * spec.PeakWatts * 60
+	if got := cl.GPUEnergyJoules(40, 100); math.Abs(got-wantPeak) > 1e-6 {
+		t.Fatalf("post-compaction energy [40,100] = %v, want %v", got, wantPeak)
+	}
+	if got := cl.MeanGPUUtilOver(100, 200); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("post-compaction util [100,200] = %v, want 0.5", got)
+	}
+}

@@ -435,7 +435,13 @@ func (ex *Execution) finish(err error) {
 	if ex.rep.MakespanS > 0 {
 		ex.rep.PlanningOverheadFrac = ex.planLatS / ex.rep.MakespanS
 	}
-	report.Finalize(ex.rep, ex.rt.cl)
+	// A window behind the retention watermark means the serving layer's
+	// compaction policy violated its invariant (never compact past a live
+	// job's start); surface it as the job's terminal error rather than
+	// shipping a report silently zeroed over missing history.
+	if ferr := report.Finalize(ex.rep, ex.rt.cl); ferr != nil && ex.err == nil {
+		ex.err = ferr
+	}
 	for _, fn := range ex.onDone {
 		fn(ex.rep, ex.err)
 	}

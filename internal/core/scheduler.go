@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -188,6 +189,10 @@ type Scheduler struct {
 	nextID  JobID
 	queue   []*Handle
 	running int
+	// runningSet holds the currently-admitted handles (≤ maxConcurrent of
+	// them); the retention layer reads it to keep the telemetry watermark
+	// behind every live job's execution window.
+	runningSet map[JobID]*Handle
 	// inFlight counts running jobs per tenant; admitted counts jobs ever
 	// admitted per tenant. Together they order fair-share admission.
 	inFlight map[string]int
@@ -208,6 +213,7 @@ func NewScheduler(se *sim.Engine, rt *Runtime, maxConcurrent int) *Scheduler {
 		se:            se,
 		rt:            rt,
 		maxConcurrent: maxConcurrent,
+		runningSet:    map[JobID]*Handle{},
 		inFlight:      map[string]int{},
 		admitted:      map[string]int{},
 	}
@@ -274,6 +280,7 @@ func (s *Scheduler) start(h *Handle) {
 	h.status = JobRunning
 	h.startedAt = s.se.Now()
 	s.running++
+	s.runningSet[h.id] = h
 	if s.running > s.peakRunning {
 		s.peakRunning = s.running
 	}
@@ -298,6 +305,7 @@ func (s *Scheduler) start(h *Handle) {
 // re-pumps the admission queue.
 func (s *Scheduler) settle(h *Handle, err error) {
 	s.running--
+	delete(s.runningSet, h.id)
 	s.inFlight[h.tenant]--
 	switch {
 	case errors.Is(err, ErrCanceled):
@@ -325,6 +333,25 @@ func (s *Scheduler) removeQueued(h *Handle) {
 
 // QueueDepth returns jobs waiting for admission.
 func (s *Scheduler) QueueDepth() int { return len(s.queue) }
+
+// MinRunningStartS returns the earliest start time among currently-running
+// jobs, and whether any job is running. The retention layer clamps its
+// compaction watermark to this so a live job's execution window (which
+// report.Finalize integrates from its start) is never compacted from under
+// it. Queued jobs need no clamp: they start at admission time, which is
+// always at or after any watermark chosen from the past.
+func (s *Scheduler) MinRunningStartS() (float64, bool) {
+	if len(s.runningSet) == 0 {
+		return 0, false
+	}
+	min := math.Inf(1)
+	for _, h := range s.runningSet {
+		if t := h.startedAt.Seconds(); t < min {
+			min = t
+		}
+	}
+	return min, true
+}
 
 // Running returns currently-admitted jobs.
 func (s *Scheduler) Running() int { return s.running }

@@ -59,12 +59,38 @@ type Report struct {
 	cpuUtil *telemetry.StepSeries
 }
 
+// WindowCompactedError reports a finalization window that begins behind the
+// cluster's telemetry retention watermark: the full-resolution history it
+// would integrate has been compacted away, so the exact per-job quantities
+// are unrecoverable. Callers must keep the watermark behind every live
+// job's start (the serving pool clamps its compaction tick to the oldest
+// running job) — hitting this error means the retention policy and the job
+// lifecycle disagree, and it is surfaced loudly rather than silently
+// reporting zeros integrated over missing history.
+type WindowCompactedError struct {
+	// StartS is the requested window start; WatermarkS the cluster
+	// watermark it fell behind.
+	StartS     float64
+	WatermarkS float64
+}
+
+func (e *WindowCompactedError) Error() string {
+	return fmt.Sprintf("report: window start %.3fs predates telemetry watermark %.3fs (history compacted)",
+		e.StartS, e.WatermarkS)
+}
+
 // Finalize fills the cluster-derived fields (energy, cost, utilization) for
 // the window [StartS, StartS+MakespanS]. Every read is an O(log n) query
 // against the cluster's running aggregates; the utilization curves
-// materialize lazily on first access (GPUUtil/CPUUtil).
-func Finalize(r *Report, cl *cluster.Cluster) {
+// materialize lazily on first access (GPUUtil/CPUUtil). It returns a
+// *WindowCompactedError — leaving the report's cluster-derived fields zero —
+// when the window begins behind the cluster's retention watermark, where
+// the per-job integrals can no longer be answered exactly.
+func Finalize(r *Report, cl *cluster.Cluster) error {
 	start, end := r.StartS, r.StartS+r.MakespanS
+	if wm := cl.Watermark(); start < wm {
+		return &WindowCompactedError{StartS: start, WatermarkS: wm}
+	}
 	r.utilSrc = cl.UtilSource()
 	r.GPUEnergyWh = telemetry.JoulesToWh(cl.GPUEnergyJoules(start, end))
 	r.CPUEnergyWh = telemetry.JoulesToWh(cl.CPUEnergyJoules(start, end))
@@ -73,6 +99,7 @@ func Finalize(r *Report, cl *cluster.Cluster) {
 		r.MeanGPUUtil = cl.MeanGPUUtilOver(start, end)
 		r.MeanCPUUtil = cl.MeanCPUUtilOver(start, end)
 	}
+	return nil
 }
 
 // GPUUtil returns the cluster-average GPU utilization curve (Figure 3),

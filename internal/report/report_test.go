@@ -1,6 +1,7 @@
 package report
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -24,7 +25,9 @@ func TestFinalizeComputesClusterQuantities(t *testing.T) {
 	se.Run()
 
 	r := &Report{Name: "test", MakespanS: 100}
-	Finalize(r, cl)
+	if err := Finalize(r, cl); err != nil {
+		t.Fatal(err)
+	}
 
 	spec := hardware.DefaultCatalog().MustGPU(hardware.GPUA100)
 	wantJ := 8 * spec.PeakWatts * 100 // busy GPUs at peak
@@ -43,6 +46,45 @@ func TestFinalizeComputesClusterQuantities(t *testing.T) {
 	}
 	if got := r.GPUUtil().Mean(0, 100); math.Abs(got-r.MeanGPUUtil) > 1e-9 {
 		t.Fatalf("lazy curve mean %v disagrees with finalized MeanGPUUtil %v", got, r.MeanGPUUtil)
+	}
+}
+
+// TestFinalizeFailsLoudlyBehindWatermark: a finalization window that begins
+// before the cluster's retention watermark must return the typed error with
+// both bounds, not silently integrate missing history to zeros.
+func TestFinalizeFailsLoudlyBehindWatermark(t *testing.T) {
+	se := sim.NewEngine()
+	cl := cluster.New(se, hardware.DefaultCatalog())
+	cl.AddVM("vm0", hardware.NDv4SKUName, false)
+	a, err := cl.AllocGPUs(2, hardware.GPUA100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetIntensity(1)
+	se.Schedule(200, func() { a.Release() })
+	se.Run()
+	cl.AdvanceEpoch(150)
+
+	r := &Report{Name: "stale", StartS: 50, MakespanS: 100}
+	err = Finalize(r, cl)
+	var typed *WindowCompactedError
+	if !errors.As(err, &typed) {
+		t.Fatalf("Finalize = %v, want *WindowCompactedError", err)
+	}
+	if typed.StartS != 50 || typed.WatermarkS != 150 {
+		t.Fatalf("error bounds = %+v, want StartS 50, WatermarkS 150", typed)
+	}
+	if r.GPUEnergyWh != 0 || r.CostUSD != 0 {
+		t.Fatal("a failed Finalize must leave cluster-derived fields zero")
+	}
+
+	// At or after the watermark the same report finalizes cleanly.
+	r2 := &Report{Name: "fresh", StartS: 150, MakespanS: 50}
+	if err := Finalize(r2, cl); err != nil {
+		t.Fatalf("Finalize at the watermark: %v", err)
+	}
+	if r2.GPUEnergyWh <= 0 {
+		t.Fatal("retained-window finalize produced no energy")
 	}
 }
 

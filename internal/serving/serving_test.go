@@ -2,6 +2,41 @@ package serving
 
 import "testing"
 
+// TestRetentionBoundsTelemetry replays the default trace with a retention
+// window a small fraction of the served history and asserts the
+// bounded-memory claim end to end: every job completes, the served history
+// spans ≥ 10 retention windows, and the retained footprint stays far below
+// the unbounded baseline's peak (which grows with history).
+func TestRetentionBoundsTelemetry(t *testing.T) {
+	res, err := RunRetention(DefaultRetentionOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != res.Jobs || res.Failed != 0 {
+		t.Fatalf("jobs lost under retention: %+v", res)
+	}
+	if res.HistoryOverRetainX < 10 {
+		t.Fatalf("served history %.1f× retention, want ≥ 10× for the plateau claim", res.HistoryOverRetainX)
+	}
+	if res.CompactedPoints == 0 {
+		t.Fatal("compaction never ran")
+	}
+	if res.PeakPoints <= 0 || res.UnboundedPeakPoints <= res.PeakPoints {
+		t.Fatalf("retained peak %d not below unbounded peak %d", res.PeakPoints, res.UnboundedPeakPoints)
+	}
+	// The plateau: the unbounded pool's footprint grows with history; the
+	// retained pool holds a small multiple of one retention window. 4× is a
+	// loose floor (measured ~25×) that still fails if compaction stops
+	// bounding memory.
+	if res.GrowthContainedX < 4 {
+		t.Fatalf("retained peak %d vs unbounded %d (%.1f×): telemetry no longer bounded",
+			res.PeakPoints, res.UnboundedPeakPoints, res.GrowthContainedX)
+	}
+	if res.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
 // TestRunSmallTrace smoke-tests both architectures on a short trace: every
 // job must complete through the HTTP surface in both modes.
 func TestRunSmallTrace(t *testing.T) {

@@ -20,6 +20,11 @@ import "sync"
 type Loop struct {
 	eng *Engine
 
+	// tick, when set, runs on the loop goroutine after every batch of
+	// simulation events (see SetTick). It is read without the mutex, so it
+	// must be installed before Run starts.
+	tick func()
+
 	mu     sync.Mutex
 	cond   *sync.Cond
 	inbox  []func()
@@ -39,6 +44,16 @@ func NewLoop(eng *Engine) *Loop {
 	l.cond = sync.NewCond(&l.mu)
 	return l
 }
+
+// SetTick installs a maintenance hook the loop invokes on its own goroutine
+// after each batch of executed events, while the simulation is quiescent at
+// the current instant. It is how periodic housekeeping (telemetry
+// compaction, budget checks) rides the loop without scheduling simulation
+// events of its own — a permanently re-armed sim timer would keep the event
+// queue non-empty forever and defeat drain-on-Close. The hook must be cheap
+// (it runs once per pump iteration) and must be installed before the Run
+// goroutine starts; it never runs concurrently with simulation callbacks.
+func (l *Loop) SetTick(fn func()) { l.tick = fn }
 
 // Post schedules fn to execute on the loop goroutine at the current simulated
 // time. It is safe to call from any goroutine and returns false (dropping fn)
@@ -86,6 +101,9 @@ func (l *Loop) Run() {
 			fn()
 		}
 		for i := 0; i < stepBatch && l.eng.Step(); i++ {
+		}
+		if l.tick != nil {
+			l.tick()
 		}
 
 		if closing && l.eng.Pending() == 0 {

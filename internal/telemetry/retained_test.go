@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestRetainedLivePathBitIdentical: while no compaction has happened (and
+// for windows at or after the watermark afterwards), a RetainedSeries must
+// answer exactly like the bare StepSeries it wraps.
+func TestRetainedLivePathBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	r := NewRetained(3)
+	ref := NewStepSeries(3)
+	tm := 0.0
+	for i := 0; i < 100; i++ {
+		tm += rng.Float64() * 2
+		v := rng.Float64() * 40
+		r.Set(tm, v)
+		ref.Set(tm, v)
+	}
+	for q := 0; q < 50; q++ {
+		t0 := rng.Float64() * tm
+		t1 := t0 + rng.Float64()*(tm-t0)
+		if r.Integral(t0, t1) != ref.Integral(t0, t1) ||
+			r.Mean(t0, t1) != ref.Mean(t0, t1) ||
+			r.Max(t0, t1) != ref.Max(t0, t1) {
+			t.Fatalf("uncompacted RetainedSeries diverged from StepSeries on [%v,%v]", t0, t1)
+		}
+	}
+}
+
+// TestRetainedRollupsAnswerBehindWatermark: after compaction, full-history
+// integrals combine exact bucket integrals with the live tail; bucket-
+// boundary windows are exact to float accumulation error, and Max behind
+// the watermark is a conservative epoch-max bound.
+func TestRetainedRollupsAnswerBehindWatermark(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	r := NewRetained(5)
+	ref := NewStepSeries(5)
+	tm := 0.0
+	set := func(n int) {
+		for i := 0; i < n; i++ {
+			tm += rng.Float64() * 2
+			v := rng.Float64() * 40
+			r.Set(tm, v)
+			ref.Set(tm, v)
+		}
+	}
+	set(80)
+	w1 := tm * 0.4
+	r.CompactBefore(w1)
+	set(60)
+	w2 := tm * 0.7
+	r.CompactBefore(w2)
+	set(40)
+	end := tm + 1
+
+	if r.Watermark() != w2 {
+		t.Fatalf("watermark = %v, want %v", r.Watermark(), w2)
+	}
+	if got := len(r.Rollups()); got != 2 {
+		t.Fatalf("rollup buckets = %d, want 2", got)
+	}
+	if r.DroppedPoints() == 0 || r.Len() >= ref.Len() {
+		t.Fatal("compaction dropped nothing")
+	}
+
+	// Full-history integral across both buckets plus the live tail.
+	got, want := r.Integral(0, end), ref.Integral(0, end)
+	if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+		t.Fatalf("full-history Integral = %v, want %v", got, want)
+	}
+	// Bucket-boundary window: exact bucket integral.
+	got, want = r.Integral(0, w1), ref.Integral(0, w1)
+	if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+		t.Fatalf("bucket-aligned Integral = %v, want %v", got, want)
+	}
+	// Partial-bucket windows are mean-prorated: sane, not exact.
+	mid := w1 / 2
+	if est := r.Integral(mid, end); est <= 0 {
+		t.Fatalf("prorated Integral = %v, want > 0", est)
+	}
+	// Mean over full history agrees to the same tolerance.
+	gm, wm := r.Mean(0, end), ref.Mean(0, end)
+	if math.Abs(gm-wm) > 1e-9*math.Max(1, math.Abs(wm)) {
+		t.Fatalf("full-history Mean = %v, want %v", gm, wm)
+	}
+	// Max behind the watermark: conservative upper bound, and equal at
+	// full coverage (every epoch max is attained somewhere in history).
+	if gmax, wmax := r.Max(0, end), ref.Max(0, end); gmax != wmax {
+		t.Fatalf("full-history Max = %v, want %v", gmax, wmax)
+	}
+	if r.Max(0, w1) < ref.Max(0, w1) {
+		t.Fatal("bucket Max lost the epoch maximum")
+	}
+
+	// Live-side queries stay bit-identical after both compactions.
+	for q := 0; q < 30; q++ {
+		t0 := w2 + rng.Float64()*(end-w2)
+		t1 := t0 + rng.Float64()*(end-t0)
+		if r.Integral(t0, t1) != ref.Integral(t0, t1) {
+			t.Fatalf("live-window Integral diverged on [%v,%v]", t0, t1)
+		}
+	}
+}
+
+// TestRetainedRollupCapBoundsBuckets: the bucket list must stay bounded
+// across arbitrarily many epochs (the oldest buckets merge), and the merged
+// deep history must keep answering full-span integrals exactly — otherwise
+// rollups reintroduce the unbounded-growth mode retention exists to kill.
+func TestRetainedRollupCapBoundsBuckets(t *testing.T) {
+	r := NewRetained(2)
+	ref := NewStepSeries(2)
+	tm := 0.0
+	rng := rand.New(rand.NewSource(31))
+	const epochs = 500
+	for e := 0; e < epochs; e++ {
+		for i := 0; i < 3; i++ {
+			tm += 0.5 + rng.Float64()
+			v := rng.Float64() * 10
+			r.Set(tm, v)
+			ref.Set(tm, v)
+		}
+		r.CompactBefore(tm)
+	}
+	if got := len(r.Rollups()); got > maxRollups {
+		t.Fatalf("bucket list grew to %d across %d epochs, cap is %d", got, epochs, maxRollups)
+	}
+	got, want := r.Integral(0, tm), ref.Integral(0, tm)
+	if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+		t.Fatalf("full-history Integral through merged buckets = %v, want %v", got, want)
+	}
+	if gmax, wmax := r.Max(0, tm), ref.Max(0, tm); gmax != wmax {
+		t.Fatalf("full-history Max through merged buckets = %v, want %v", gmax, wmax)
+	}
+	// Buckets must tile [0, watermark] with no gaps after merging.
+	bs := r.Rollups()
+	if bs[0].StartS != 0 || bs[len(bs)-1].EndS != r.Watermark() {
+		t.Fatalf("buckets span [%v,%v], want [0,%v]", bs[0].StartS, bs[len(bs)-1].EndS, r.Watermark())
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i].StartS != bs[i-1].EndS {
+			t.Fatalf("bucket gap at %d: %v != %v", i, bs[i].StartS, bs[i-1].EndS)
+		}
+	}
+}
+
+// TestRetainedCompactNoop: compacting at or behind the watermark, or on an
+// empty epoch, must not grow the bucket list spuriously.
+func TestRetainedCompactNoop(t *testing.T) {
+	r := NewRetained(1)
+	r.Set(10, 2)
+	r.CompactBefore(5)
+	if n := r.CompactBefore(5); n != 0 {
+		t.Fatalf("re-compacting at the watermark dropped %d points", n)
+	}
+	if n := r.CompactBefore(3); n != 0 {
+		t.Fatal("compacting behind the watermark must be a no-op")
+	}
+	if len(r.Rollups()) != 1 {
+		t.Fatalf("buckets = %d, want 1", len(r.Rollups()))
+	}
+}

@@ -99,12 +99,49 @@ func (s *StepSeries) Last() float64 {
 // Len returns the number of stored change points.
 func (s *StepSeries) Len() int { return len(s.times) }
 
-// integralTo returns ∫ s(x) dx from times[0] to t using the cumulative
-// index; the first value extends back before times[0] (negative area for
-// t < times[0]).
+// CompactBefore drops every change point strictly older than the last one at
+// or before t, copying the retained tail into fresh slices so the dropped
+// prefix is actually freed. The point covering t is kept — it carries the
+// value in effect at the watermark — and the cumulative-integral index is
+// retained verbatim (cum stays anchored at the original t=0 origin), so
+// Integral/Mean/Max over any window that starts at or after t are
+// bit-identical to the uncompacted series: the binary searches resolve to
+// the same change points and the same cum entries, and the origin anchor
+// cancels in the window subtraction. Queries reaching before the retained
+// region extrapolate the oldest retained value; readers that need history
+// behind the watermark must hold a RetainedSeries. Returns the number of
+// change points dropped.
+func (s *StepSeries) CompactBefore(t float64) int {
+	if len(s.times) == 0 {
+		return 0
+	}
+	// k = last index with times[k] <= t.
+	k := sort.SearchFloat64s(s.times, t)
+	if k == len(s.times) || s.times[k] > t {
+		k--
+	}
+	if k <= 0 {
+		return 0
+	}
+	nt := make([]float64, len(s.times)-k)
+	nv := make([]float64, len(s.values)-k)
+	nc := make([]float64, len(s.cum)-k)
+	copy(nt, s.times[k:])
+	copy(nv, s.values[k:])
+	copy(nc, s.cum[k:])
+	s.times, s.values, s.cum = nt, nv, nc
+	return k
+}
+
+// integralTo returns ∫ s(x) dx from the series origin to t using the
+// cumulative index; the first value extends back before times[0] (negative
+// area for t < times[0]). cum[0] is 0 until CompactBefore drops a prefix,
+// after which it anchors the retained index at the original origin — the
+// addition is exact (+0) in the uncompacted case, keeping window integrals
+// bit-identical either way.
 func (s *StepSeries) integralTo(t float64) float64 {
 	if t <= s.times[0] {
-		return s.values[0] * (t - s.times[0])
+		return s.cum[0] + s.values[0]*(t-s.times[0])
 	}
 	// Last index j with times[j] <= t.
 	j := sort.SearchFloat64s(s.times, t)
@@ -294,16 +331,19 @@ func mergeSeries(series []*StepSeries, div float64) *StepSeries {
 func JoulesToWh(j float64) float64 { return j / 3600 }
 
 // Sparkline renders values as a one-line unicode sparkline, a quick terminal
-// stand-in for the utilization plots in Figure 3.
+// stand-in for the utilization plots in Figure 3. Non-finite or non-positive
+// scales fall back to 1, and NaN values render as the lowest level — a
+// float-to-int conversion of NaN is platform-defined and would index out of
+// range.
 func Sparkline(values []float64, max float64) string {
-	if max <= 0 {
+	if max <= 0 || math.IsNaN(max) {
 		max = 1
 	}
 	levels := []rune("▁▂▃▄▅▆▇█")
 	var b strings.Builder
 	for _, v := range values {
 		frac := v / max
-		if frac < 0 {
+		if math.IsNaN(frac) || frac < 0 {
 			frac = 0
 		}
 		if frac > 1 {

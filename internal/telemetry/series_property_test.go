@@ -198,6 +198,74 @@ func TestScaleMatchesPointwise(t *testing.T) {
 	}
 }
 
+// cloneSeries deep-copies a series, cum index included.
+func cloneSeries(s *StepSeries) *StepSeries {
+	c := &StepSeries{
+		times:  append([]float64(nil), s.times...),
+		values: append([]float64(nil), s.values...),
+		cum:    append([]float64(nil), s.cum...),
+	}
+	return c
+}
+
+// TestCompactBeforeBitIdentical pins the retention contract: for random
+// series and random watermarks, compacting and then querying any window that
+// starts at or after the watermark returns bit-identical Integral/Mean/Max
+// (float equality, not tolerance) to the uncompacted series — the binary
+// searches must land on the same change points and the retained cum entries
+// must be the original ones.
+func TestCompactBeforeBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		full := randomSeries(rng, 1+rng.Intn(60), trial%2 == 0)
+		span := full.times[len(full.times)-1] + 5
+		w := rng.Float64() * span
+		compacted := cloneSeries(full)
+		dropped := compacted.CompactBefore(w)
+		if got := full.Len() - compacted.Len(); got != dropped {
+			t.Fatalf("trial %d: CompactBefore reported %d dropped, len shrank by %d", trial, dropped, got)
+		}
+		// The retained head must carry the value in effect at the watermark.
+		if compacted.Value(w) != full.Value(w) {
+			t.Fatalf("trial %d: Value(%v) = %v after compaction, want %v",
+				trial, w, compacted.Value(w), full.Value(w))
+		}
+		if compacted.Last() != full.Last() {
+			t.Fatalf("trial %d: Last changed across compaction", trial)
+		}
+		for q := 0; q < 30; q++ {
+			t0 := w + rng.Float64()*(span-w)
+			t1 := t0 + rng.Float64()*(span-t0)
+			if got, want := compacted.Integral(t0, t1), full.Integral(t0, t1); got != want {
+				t.Fatalf("trial %d: Integral(%v,%v) = %v after CompactBefore(%v), want bit-identical %v",
+					trial, t0, t1, got, w, want)
+			}
+			if got, want := compacted.Mean(t0, t1), full.Mean(t0, t1); got != want {
+				t.Fatalf("trial %d: Mean(%v,%v) diverged after compaction", trial, t0, t1)
+			}
+			if got, want := compacted.Max(t0, t1), full.Max(t0, t1); got != want {
+				t.Fatalf("trial %d: Max(%v,%v) = %v after compaction, want %v", trial, t0, t1, got, want)
+			}
+		}
+		// Query exactly at the retained head: this exercises integralTo's
+		// t <= times[0] branch, which must respect the retained cum anchor.
+		h := compacted.times[0]
+		if got, want := compacted.Integral(h, span), full.Integral(h, span); got != want {
+			t.Fatalf("trial %d: Integral at retained head %v = %v, want %v", trial, h, got, want)
+		}
+		// Appending after compaction must keep the index consistent. Anchor
+		// the tail past both the retained head and the watermark so the
+		// closing window stays within the bit-identical region.
+		tail := math.Max(compacted.times[compacted.Len()-1], w) + 1 + rng.Float64()
+		v := rng.Float64() * 50
+		compacted.Set(tail, v)
+		full.Set(tail, v)
+		if got, want := compacted.Integral(w, tail+2), full.Integral(w, tail+2); got != want {
+			t.Fatalf("trial %d: post-compaction append diverged: %v vs %v", trial, got, want)
+		}
+	}
+}
+
 func TestAddDelta(t *testing.T) {
 	s := NewStepSeries(2)
 	s.AddDelta(1, 3)

@@ -162,3 +162,33 @@ func TestSparkline(t *testing.T) {
 		t.Fatalf("sparkline %q does not start at empty block", got)
 	}
 }
+
+// TestSparklineDegenerateInputs pins the guards: non-positive or non-finite
+// scales and NaN/±Inf values must render in-range runes (a NaN-to-int
+// conversion is platform-defined and used to index out of range), never
+// garbage.
+func TestSparklineDegenerateInputs(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []struct {
+		name   string
+		values []float64
+		max    float64
+		want   string
+	}{
+		{"zero max", []float64{0, 1, 2}, 0, "▁██"},
+		{"negative max", []float64{0.5, 1}, -3, "▄█"},
+		{"NaN max", []float64{0.5, 1}, nan, "▄█"},
+		{"+Inf max", []float64{1, 1e300}, inf, "▁▁"},
+		{"NaN value", []float64{nan, 1}, 1, "▁█"},
+		{"+Inf value", []float64{inf, 0}, 1, "█▁"},
+		{"-Inf value", []float64{math.Inf(-1), 1}, 1, "▁█"},
+		{"negative values clamp", []float64{-5, 5}, 5, "▁█"},
+		{"empty", nil, 1, ""},
+	}
+	for _, tc := range cases {
+		if got := Sparkline(tc.values, tc.max); got != tc.want {
+			t.Errorf("%s: Sparkline(%v, %v) = %q, want %q", tc.name, tc.values, tc.max, got, tc.want)
+		}
+	}
+}
