@@ -3,7 +3,7 @@
 GO ?= go
 DATE := $(shell date +%F)
 
-.PHONY: all build test race vet bench bench-smoke memprofile
+.PHONY: all build test race vet bench bench-smoke bench-json bench-baseline memprofile
 
 all: vet build test
 
@@ -31,6 +31,21 @@ bench:
 # bench-smoke is the CI-speed variant: one iteration per benchmark.
 bench-smoke:
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' .
+
+# bench-json emits the machine-readable perf trajectory for the two
+# serving-path benchmarks as test2json event streams: BENCH_admission.json
+# carries plans/sec, admission_gain_x, submit p50/p95 and allocs/op;
+# BENCH_serving.json carries jobs/s, serving_gain_x and tail latencies. The
+# checked-in copies are the first baseline; rerun this target to extend the
+# trajectory when the hot path changes.
+bench-json:
+	$(GO) test -bench '^BenchmarkAdmission$$' -benchmem -benchtime 3x -run '^$$' -json . > BENCH_admission.json
+	$(GO) test -bench '^BenchmarkServing$$' -benchmem -benchtime 1x -run '^$$' -json . > BENCH_serving.json
+
+# bench-baseline refreshes the text baseline cmd/benchgate compares against
+# in CI (hot-path ns/op for the load sweep and the serving replay).
+bench-baseline:
+	$(GO) test -bench '^(BenchmarkLoadSweep|BenchmarkServing)$$' -benchmem -benchtime 2x -run '^$$' . > bench/baseline.txt
 
 # memprofile runs the retention benchmark (bounded shard telemetry under a
 # long served history) with heap/alloc profiles, for digging into where

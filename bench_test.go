@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
@@ -186,6 +187,45 @@ func BenchmarkServing(b *testing.B) {
 	b.ReportMetric(best.Shared.P50LatencyMs, "shared_p50_ms")
 	b.ReportMetric(best.Shared.P95LatencyMs, "shared_p95_ms")
 	b.ReportMetric(float64(best.Shared.Completed), "jobs")
+}
+
+// BenchmarkAdmission replays a bursty multi-tenant submission storm against
+// one runtime shard under both admission architectures — plan search
+// serialized inline on the shard loop vs. the off-loop worker pool with
+// optimistic snapshot commit — and reports the plans/sec gain, submit-to-
+// admission latency percentiles and the singleflight/conflict counters. On a
+// host with ≥ 4 cores the parallel arm must hold a real speedup and conflict
+// re-plans must stay rare; both are CI gates.
+func BenchmarkAdmission(b *testing.B) {
+	b.ReportAllocs()
+	var best *serving.AdmissionComparison
+	for i := 0; i < b.N; i++ {
+		res, err := serving.RunAdmission(serving.DefaultAdmissionOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Serial.SubmitErrors != 0 || res.Parallel.SubmitErrors != 0 {
+			b.Fatalf("submission errors: serial %d parallel %d",
+				res.Serial.SubmitErrors, res.Parallel.SubmitErrors)
+		}
+		if best == nil || res.SpeedupX > best.SpeedupX {
+			best = res
+		}
+	}
+	b.ReportMetric(best.SpeedupX, "admission_gain_x")
+	b.ReportMetric(best.Parallel.PlansPerSec, "plans_per_s")
+	b.ReportMetric(best.Serial.PlansPerSec, "serial_plans_per_s")
+	b.ReportMetric(best.Parallel.SubmitP50Ms, "submit_p50_ms")
+	b.ReportMetric(best.Parallel.SubmitP95Ms, "submit_p95_ms")
+	b.ReportMetric(float64(best.Parallel.SingleflightHits), "singleflight_hits")
+	b.ReportMetric(100*best.Parallel.ConflictFrac, "conflict_pct")
+	if best.Parallel.ConflictFrac >= 0.10 {
+		b.Errorf("conflict re-plans %.1f%% of admissions, want < 10%%", 100*best.Parallel.ConflictFrac)
+	}
+	if runtime.NumCPU() >= 4 && best.SpeedupX < 1.4 {
+		b.Errorf("off-loop admission speedup %.2fx on %d cores, want >= 1.4x (target 2x)",
+			best.SpeedupX, runtime.NumCPU())
+	}
 }
 
 // BenchmarkServingRetention replays the mixed-tenant trace against the

@@ -1,0 +1,198 @@
+// Command benchgate is the CI regression gate over `go test -bench` output:
+// a dependency-free stand-in for benchstat comparison that actually fails.
+// It parses the standard benchmark text format ("BenchmarkX-8 N 123 ns/op
+// 4.5 some_metric ..."), compares a metric (default ns/op) between a
+// checked-in baseline and the current run per benchmark, and fails when the
+// current value regresses beyond -max-ratio. Independently, -require asserts
+// absolute thresholds on the current run's custom metrics (e.g. the
+// admission speedup or the serving multiplexing gain).
+//
+//	go test -bench '^(BenchmarkLoadSweep|BenchmarkServing)$' -run '^$' . > new.txt
+//	go run ./cmd/benchgate -baseline bench/baseline.txt -current new.txt -max-ratio 2.5 \
+//	  -require 'BenchmarkServing:serving_gain_x>=1.5'
+//
+// Baselines and current runs usually come from different machines, so
+// -max-ratio should be generous: the gate exists to catch asymptotic
+// blowups and order-of-magnitude regressions, not single-digit percentages.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// measurement is one benchmark line's metrics by unit.
+type measurement map[string]float64
+
+// parseBench reads go-bench text output into name → metrics. The trailing
+// "-8" GOMAXPROCS suffix is stripped so baselines compare across hosts; when
+// a benchmark appears multiple times (e.g. -count > 1), the minimum per unit
+// is kept — wall-clock noise is one-sided.
+func parseBench(path string) (map[string]measurement, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]measurement{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m := out[name]
+		if m == nil {
+			m = measurement{}
+			out[name] = m
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			if prev, ok := m[unit]; !ok || v < prev {
+				m[unit] = v
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// requirement is one "-require Bench:unit>=value" assertion.
+type requirement struct {
+	bench, unit string
+	ge          bool
+	value       float64
+}
+
+func parseRequirement(s string) (requirement, error) {
+	var r requirement
+	name, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return r, fmt.Errorf("requirement %q: want Benchmark:unit>=value", s)
+	}
+	r.bench = name
+	for _, op := range []string{">=", "<="} {
+		if unit, val, ok := strings.Cut(rest, op); ok {
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return r, fmt.Errorf("requirement %q: bad threshold: %v", s, err)
+			}
+			r.unit, r.ge, r.value = unit, op == ">=", v
+			return r, nil
+		}
+	}
+	return r, fmt.Errorf("requirement %q: want >= or <=", s)
+}
+
+// requireList collects repeated -require flags.
+type requireList []requirement
+
+func (l *requireList) String() string { return fmt.Sprint([]requirement(*l)) }
+func (l *requireList) Set(s string) error {
+	r, err := parseRequirement(s)
+	if err != nil {
+		return err
+	}
+	*l = append(*l, r)
+	return nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "checked-in baseline bench output (empty skips ratio checks)")
+	current := flag.String("current", "", "current bench output (required)")
+	metric := flag.String("metric", "ns/op", "unit compared against the baseline")
+	maxRatio := flag.Float64("max-ratio", 2.5, "fail when current/baseline exceeds this")
+	var requires requireList
+	flag.Var(&requires, "require", "absolute threshold on the current run, Benchmark:unit>=value (repeatable)")
+	flag.Parse()
+
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+	cur, err := parseBench(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: reading current: %v\n", err)
+		os.Exit(2)
+	}
+	failed := false
+
+	if *baseline != "" {
+		base, err := parseBench(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: reading baseline: %v\n", err)
+			os.Exit(2)
+		}
+		for name, bm := range base {
+			bv, ok := bm[*metric]
+			if !ok || bv <= 0 {
+				continue
+			}
+			cm, ok := cur[name]
+			if !ok {
+				// A baseline benchmark that vanished (renamed, panicked, or
+				// filtered out) silently disabling its own gate is exactly
+				// the failure mode a gate must not have.
+				fmt.Printf("benchgate: %-28s missing from current run FAIL\n", name)
+				failed = true
+				continue
+			}
+			cv, ok := cm[*metric]
+			if !ok {
+				continue
+			}
+			ratio := cv / bv
+			verdict := "ok"
+			if ratio > *maxRatio {
+				verdict = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("benchgate: %-28s %12.0f → %12.0f %s  (%.2fx, limit %.2fx) %s\n",
+				name, bv, cv, *metric, ratio, *maxRatio, verdict)
+		}
+	}
+
+	for _, r := range requires {
+		m, ok := cur[r.bench]
+		if !ok {
+			fmt.Printf("benchgate: %-28s missing from current run: requirement %s unchecked\n", r.bench, r.unit)
+			failed = true
+			continue
+		}
+		v, ok := m[r.unit]
+		if !ok {
+			fmt.Printf("benchgate: %-28s has no metric %q\n", r.bench, r.unit)
+			failed = true
+			continue
+		}
+		op, pass := ">=", v >= r.value
+		if !r.ge {
+			op, pass = "<=", v <= r.value
+		}
+		verdict := "ok"
+		if !pass {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("benchgate: %-28s %s = %.3f, require %s %.3f  %s\n",
+			r.bench, r.unit, v, op, r.value, verdict)
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}

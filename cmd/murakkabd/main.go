@@ -8,7 +8,7 @@
 // replaced) without failing in-flight jobs.
 //
 //	murakkabd -addr :8080 -shards 2 -concurrency 4 -vms 2 \
-//	  -retain 3600 -max-series-points 1048576
+//	  -retain 3600 -max-series-points 1048576 -plan-workers 0
 //
 //	curl localhost:8080/v1/library
 //	curl localhost:8080/v1/stats
@@ -54,6 +54,10 @@ func main() {
 	maxSeriesPoints := flag.Int("max-series-points", 0,
 		"per-shard telemetry budget in series change points before the shard is recycled "+
 			"(0 = default 1048576, negative disables recycling)")
+	planWorkers := flag.Int("plan-workers", 0,
+		"per-shard off-loop plan-search workers: admission's configuration search runs "+
+			"in parallel against immutable snapshots and commits optimistically on the "+
+			"shard loop (0 = default GOMAXPROCS, negative serializes planning inline)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"how long to wait for in-flight HTTP requests on shutdown")
 	flag.Parse()
@@ -64,6 +68,7 @@ func main() {
 		MaxConcurrentPerShard: *concurrency,
 		RetainSimSeconds:      *retain,
 		MaxSeriesPoints:       *maxSeriesPoints,
+		PlanWorkers:           *planWorkers,
 		PerRequest:            *perRequest,
 	})
 	if err != nil {

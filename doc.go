@@ -53,6 +53,18 @@
 // HTTP surface and reports ≥ 2× the throughput of the per-request-testbed
 // baseline (serving_gain_x), with p50/p95 latency.
 //
+// Admission itself is pipelined off the shard loop: the configuration
+// search (decompose + optimizer enumerate/prune/score) runs on a
+// plan-search worker pool (murakkabd -plan-workers, default GOMAXPROCS)
+// against immutable generation-stamped cluster snapshots, deduped through a
+// singleflight table, and commits optimistically back on the loop — the
+// commit validates the capacity-class / profile / library generations and
+// re-plans inline only on conflict, so plans are bit-identical to inline
+// planning while bursts search in parallel. sim.Loop holds keep a draining
+// shard alive until in-flight searches land. BenchmarkAdmission replays a
+// bursty multi-tenant mix against both admission architectures and reports
+// plans/sec, admission_gain_x, submit p50/p95 and conflict_pct.
+//
 // # Telemetry retention
 //
 // Shard memory is bounded by tiered retention instead of growing with

@@ -189,13 +189,13 @@ func (im *Implementation) CandidateConfigs(cat *hardware.Catalog) []profiles.Res
 	m := im.Perf
 	if m.SupportsGPU() {
 		for _, gt := range cat.GPUTypes() {
-			for n := maxInt(1, m.MinGPUs); n <= m.MaxGPUs; n *= 2 {
+			for n := max(1, m.MinGPUs); n <= m.MaxGPUs; n *= 2 {
 				out = append(out, profiles.ResourceConfig{GPUs: n, GPUType: gt})
 			}
 		}
 	}
 	if m.SupportsCPU() {
-		for c := maxInt(1, m.MinCores); c <= m.MaxCores; c *= 2 {
+		for c := max(1, m.MinCores); c <= m.MaxCores; c *= 2 {
 			if c >= m.MinCores {
 				out = append(out, profiles.ResourceConfig{CPUCores: c})
 			}
@@ -203,7 +203,7 @@ func (im *Implementation) CandidateConfigs(cat *hardware.Catalog) []profiles.Res
 	}
 	if m.SupportsGPU() && m.SupportsCPU() {
 		for _, gt := range cat.GPUTypes() {
-			n := maxInt(1, m.MinGPUs)
+			n := max(1, m.MinGPUs)
 			for _, c := range []int{m.MinCores, m.MaxCores / 2} {
 				if c >= m.MinCores {
 					out = append(out, profiles.ResourceConfig{GPUs: n, GPUType: gt, CPUCores: c})
@@ -212,11 +212,4 @@ func (im *Implementation) CandidateConfigs(cat *hardware.Catalog) []profiles.Res
 		}
 	}
 	return out
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

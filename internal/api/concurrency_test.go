@@ -132,3 +132,128 @@ func TestConcurrentSubmissionsShareRuntimePool(t *testing.T) {
 		t.Error("no decomposition reuse across concurrent submissions")
 	}
 }
+
+// TestConcurrentSubmitCancelRecycleWithPlanSearch races the full off-loop
+// admission surface under -race: structurally-distinct submissions (every one
+// dispatches a real plan search to the shard's worker pool) racing
+// cancellations that can land while the search is still in flight, on a pool
+// whose telemetry budget is small enough that shards recycle underneath both.
+// Every job must settle as done or canceled — never failed, never stranded —
+// and the pool-level counters must reconcile across the recycles.
+func TestConcurrentSubmitCancelRecycleWithPlanSearch(t *testing.T) {
+	s, err := NewServer(PoolConfig{
+		Shards:                2,
+		MaxConcurrentPerShard: 2,
+		RetainSimSeconds:      -1, // compaction off: force budget recycles
+		MaxSeriesPoints:       64, // below even one busy job's footprint
+		PlanWorkers:           4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	t.Cleanup(func() { srv.Close(); s.Close() })
+
+	distinctBody := func(tenant string, c, i int) string {
+		// Distinct description, topic fan-out and quality floor per
+		// submission: no plan-cache or singleflight hit can absorb it, so
+		// each one exercises dispatch → off-loop search → optimistic commit.
+		return fmt.Sprintf(`{
+			"tenant": %q,
+			"description": "Generate social media newsfeed variant %d-%d",
+			"constraint": "MIN_LATENCY",
+			"min_quality": %.9f,
+			"inputs": [{"name": %q, "kind": "user-profile"},
+			           {"name": "t%d", "kind": "topic", "attrs": {"queries": %d}}]
+		}`, tenant, c, i, 0.05+float64(c*100+i)*1e-9, tenant, i, 2+i%3)
+	}
+
+	const clients, perClient = 6, 5
+	var (
+		mu       sync.Mutex
+		done     int
+		canceled int
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant-%d", c)
+			for i := 0; i < perClient; i++ {
+				resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+					strings.NewReader(distinctBody(tenant, c, i)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var st JobStatusResponse
+				json.NewDecoder(resp.Body).Decode(&st)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted {
+					t.Errorf("%s/%d: POST = %d (%+v)", tenant, i, resp.StatusCode, st)
+					return
+				}
+				if i%2 == 0 {
+					// Cancel immediately: depending on the race this lands
+					// while the plan search is in flight (queued), mid-run, or
+					// after completion (409) — all must leave consistent state.
+					req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+st.ID, nil)
+					resp, err := http.DefaultClient.Do(req)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+						t.Errorf("%s/%d: DELETE = %d", tenant, i, resp.StatusCode)
+						return
+					}
+				}
+				for settled := false; !settled; {
+					code, cur := getJob(t, srv, st.ID)
+					if code != http.StatusOK {
+						t.Errorf("%s/%d: GET = %d", tenant, i, code)
+						return
+					}
+					switch cur.Status {
+					case "done":
+						mu.Lock()
+						done++
+						mu.Unlock()
+						settled = true
+					case "canceled":
+						mu.Lock()
+						canceled++
+						mu.Unlock()
+						settled = true
+					case "failed":
+						t.Errorf("%s/%d: failed: %s", tenant, i, cur.Error)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	total := clients * perClient
+	if done+canceled != total {
+		t.Fatalf("settled %d done + %d canceled of %d", done, canceled, total)
+	}
+	stats := fetchStats(t, srv)
+	if stats.Submitted != total {
+		t.Fatalf("submitted = %d, want %d", stats.Submitted, total)
+	}
+	if stats.Completed+stats.Canceled != total || stats.Failed != 0 {
+		t.Fatalf("counters do not reconcile: %+v (client view: %d done, %d canceled)",
+			stats, done, canceled)
+	}
+	if stats.Completed != done || stats.Canceled != canceled {
+		t.Fatalf("pool counters %d/%d disagree with client view %d/%d",
+			stats.Completed, stats.Canceled, done, canceled)
+	}
+	if stats.Running != 0 || stats.Queued != 0 || stats.PlanSearchInflight != 0 {
+		t.Fatalf("residual work after quiescence: %+v", stats)
+	}
+}

@@ -67,6 +67,14 @@ type Pool struct {
 	recycles atomic.Int64
 	drains   sync.WaitGroup
 
+	// Retired admission counters: when a recycled shard finishes draining,
+	// its final plan-search/singleflight/conflict counts fold in here so the
+	// pool totals stay monotonic across recycles (like the lifecycle
+	// counters above) instead of resetting with the shard.
+	retSearches     atomic.Int64
+	retSingleflight atomic.Int64
+	retConflicts    atomic.Int64
+
 	// per-request mode counters (atomics: submissions run on handler
 	// goroutines, not on a shard loop).
 	prSubmitted atomic.Int64
@@ -100,6 +108,13 @@ type PoolConfig struct {
 	// the default (1<<20, ~24 MiB of series data); negative disables
 	// recycling.
 	MaxSeriesPoints int
+	// PlanWorkers sizes each shard's off-loop plan-search pool: admission's
+	// configuration search runs on these workers against an immutable
+	// cluster snapshot and commits optimistically on the shard loop, so
+	// bursts plan in parallel instead of serializing on the loop goroutine.
+	// 0 selects the default (GOMAXPROCS); negative disables off-loop search
+	// (the serial inline-planning baseline).
+	PlanWorkers int
 	// PerRequest switches the pool to the per-request-testbed baseline.
 	PerRequest bool
 }
@@ -153,6 +168,14 @@ type shard struct {
 	recycling     bool
 }
 
+// close drains the shard's loop (plan searches in flight resolve first — Run
+// waits on their holds — then queued and running jobs complete) and stops its
+// plan-search workers. Blocks until both are down.
+func (sh *shard) close() {
+	sh.loop.Close()
+	sh.sched.StopPlanSearch()
+}
+
 // errShuttingDown is returned once Close has been called.
 var errShuttingDown = fmt.Errorf("api: pool is shutting down")
 
@@ -195,6 +218,11 @@ func (p *Pool) newShard(idx int) (*shard, error) {
 		rt:    rt,
 		sched: core.NewScheduler(se, rt, cfg.MaxConcurrentPerShard),
 		loop:  sim.NewLoop(se),
+	}
+	if cfg.PlanWorkers >= 0 {
+		// Off-loop admission: plan search runs on a worker pool against
+		// immutable snapshots and commits on the loop (0 = GOMAXPROCS).
+		sh.sched.EnablePlanSearch(sh.loop, cfg.PlanWorkers)
 	}
 	if cfg.RetainSimSeconds >= 0 {
 		sh.compactStride = cfg.RetainSimSeconds / 4
@@ -257,7 +285,7 @@ func (p *Pool) recycleShard(old *shard) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		fresh.loop.Close()
+		fresh.close()
 		return
 	}
 	p.shards[old.idx] = fresh
@@ -265,7 +293,13 @@ func (p *Pool) recycleShard(old *shard) {
 	p.mu.Unlock()
 	// Drain in the background: the displaced shard's jobs settle through
 	// the pool-level counters, so stats lose nothing while it winds down.
-	old.loop.Close()
+	old.close()
+	// The loop goroutine has exited; this recycler goroutine is the shard's
+	// sole remaining accessor, so reading its final counters is race-free.
+	st := old.sched.Stats()
+	p.retSearches.Add(int64(st.PlanSearches))
+	p.retSingleflight.Add(int64(st.SingleflightHits))
+	p.retConflicts.Add(int64(st.PlanConflicts))
 }
 
 // Close drains every shard loop (in-flight and queued jobs run to completion)
@@ -285,7 +319,7 @@ func (p *Pool) Close() {
 	shards := append([]*shard(nil), p.shards...)
 	p.mu.Unlock()
 	for _, sh := range shards {
-		sh.loop.Close()
+		sh.close()
 	}
 	p.drains.Wait()
 }
@@ -621,7 +655,17 @@ type ShardStats struct {
 	PeakRunning     int     `json:"peak_running"`
 	PlanCacheHits   int     `json:"plan_cache_hits"`
 	DecompCacheHits int     `json:"decomp_cache_hits"`
-	MeanGPUUtil     float64 `json:"mean_gpu_util"`
+	// Off-loop admission accounting: searches dispatched to the shard's
+	// plan-search workers, submissions deduped onto an identical in-flight
+	// search, admissions whose optimistic commit was invalidated by a
+	// capacity-class change (re-planned inline), and the live in-flight
+	// gauge. All zero when PlanWorkers is negative (serial admission).
+	PlanWorkers        int     `json:"plan_workers"`
+	PlanSearches       int     `json:"plan_searches"`
+	SingleflightHits   int     `json:"singleflight_hits"`
+	PlanConflicts      int     `json:"plan_conflicts"`
+	PlanSearchInflight int     `json:"plan_search_inflight"`
+	MeanGPUUtil        float64 `json:"mean_gpu_util"`
 	// Telemetry retention accounting: live change points and their bytes
 	// retained by the shard's cluster, the rollup buckets summarizing
 	// compacted epochs, the retention watermark and epoch count, and the
@@ -668,6 +712,15 @@ type PoolStats struct {
 	TelemetryPoints int `json:"telemetry_points"`
 	TelemetryBytes  int `json:"telemetry_bytes"`
 	Recycles        int `json:"recycles"`
+	// Off-loop admission totals: live shards plus drained recycled shards
+	// (their final counts fold into pool atomics at drain completion, so
+	// these stay monotonic across recycles; a shard mid-drain is briefly
+	// invisible, like the Running/Queued gauges). PlanSearchInflight is a
+	// live-shard gauge.
+	PlanSearches       int `json:"plan_searches"`
+	SingleflightHits   int `json:"singleflight_hits"`
+	PlanConflicts      int `json:"plan_conflicts"`
+	PlanSearchInflight int `json:"plan_search_inflight"`
 }
 
 // Stats gathers a consistent per-shard view (each shard snapshot is taken on
@@ -686,6 +739,9 @@ func (p *Pool) Stats() PoolStats {
 		return out
 	}
 	out.Recycles = int(p.recycles.Load())
+	out.PlanSearches = int(p.retSearches.Load())
+	out.SingleflightHits = int(p.retSingleflight.Load())
+	out.PlanConflicts = int(p.retConflicts.Load())
 	out.Submitted = int(p.shSubmitted.Load())
 	out.Completed = int(p.shCompleted.Load())
 	out.Failed = int(p.shFailed.Load())
@@ -701,17 +757,22 @@ func (p *Pool) Stats() PoolStats {
 			st := sh.sched.Stats()
 			now := sh.eng.Now().Seconds()
 			ss := ShardStats{
-				Shard:           sh.idx,
-				SimTimeS:        now,
-				Submitted:       st.Submitted,
-				Completed:       st.Completed,
-				Failed:          st.Failed,
-				Canceled:        st.Canceled,
-				Running:         st.Running,
-				Queued:          st.Queued,
-				PeakRunning:     st.PeakRunning,
-				PlanCacheHits:   sh.rt.PlanCacheHits(),
-				DecompCacheHits: sh.rt.DecompCacheHits(),
+				Shard:              sh.idx,
+				SimTimeS:           now,
+				Submitted:          st.Submitted,
+				Completed:          st.Completed,
+				Failed:             st.Failed,
+				Canceled:           st.Canceled,
+				Running:            st.Running,
+				Queued:             st.Queued,
+				PeakRunning:        st.PeakRunning,
+				PlanCacheHits:      sh.rt.PlanCacheHits(),
+				DecompCacheHits:    sh.rt.DecompCacheHits(),
+				PlanWorkers:        sh.sched.PlanWorkers(),
+				PlanSearches:       st.PlanSearches,
+				SingleflightHits:   st.SingleflightHits,
+				PlanConflicts:      st.PlanConflicts,
+				PlanSearchInflight: st.PlanSearchInflight,
 			}
 			if now > 0 {
 				// Full-history mean: epochs behind the watermark come from
@@ -752,6 +813,10 @@ func (p *Pool) Stats() PoolStats {
 		out.EnginesUp += len(ss.Engines)
 		out.TelemetryPoints += ss.TelemetryPoints
 		out.TelemetryBytes += ss.TelemetryBytes
+		out.PlanSearches += ss.PlanSearches
+		out.SingleflightHits += ss.SingleflightHits
+		out.PlanConflicts += ss.PlanConflicts
+		out.PlanSearchInflight += ss.PlanSearchInflight
 	}
 	return out
 }

@@ -139,6 +139,20 @@ type Cluster struct {
 	// full-history aggregate reads go through the rollup buckets.
 	watermarkS float64
 	epoch      int
+
+	// gen counts state changes (alloc, free, intensity, preemption, resize,
+	// epoch advance): Snapshot memoizes on it, and off-loop readers use it to
+	// detect that a captured snapshot is stale. capacityGen moves only when
+	// the capacity class itself changes (VM added, preempted or resized) —
+	// the only snapshot content the optimizer's plan consumes — so it is the
+	// validity check for optimistic plan commit.
+	gen         uint64
+	capacityGen uint64
+	// snapCache memoizes the last Snapshot per gen (metrics.go); snapValid
+	// distinguishes gen 0 from "never built".
+	snapCache Snapshot
+	snapGen   uint64
+	snapValid bool
 }
 
 // New creates an empty cluster on the given engine and catalog.
@@ -160,6 +174,23 @@ func New(engine *sim.Engine, catalog *hardware.Catalog) *Cluster {
 
 // Engine returns the simulation engine the cluster runs on.
 func (c *Cluster) Engine() *sim.Engine { return c.engine }
+
+// Gen returns the cluster's state generation: it moves on every allocation,
+// release, intensity change, preemption, resize and epoch advance. Two equal
+// generations bracket a window in which Snapshot content cannot have changed.
+func (c *Cluster) Gen() uint64 { return c.gen }
+
+// CapacityGen returns the capacity-class generation, bumped only when the
+// fleet itself changes (AddVM, PreemptVM, SetCPUCapacity). Plans are a pure
+// function of the capacity class (plus profile/library generations), so an
+// optimistically-searched plan commits cleanly iff CapacityGen is unchanged.
+func (c *Cluster) CapacityGen() uint64 { return c.capacityGen }
+
+// bump marks a cluster state change (invalidates the memoized snapshot).
+func (c *Cluster) bump() { c.gen++ }
+
+// bumpCapacity marks a capacity-class change (also a state change).
+func (c *Cluster) bumpCapacity() { c.gen++; c.capacityGen++ }
 
 // Watermark returns the telemetry retention watermark in simulated seconds:
 // per-device series hold full-resolution history only at or after it (0
@@ -202,6 +233,7 @@ func (c *Cluster) AdvanceEpoch(t float64) int {
 	dropped += c.cpuLoadSumAgg.CompactBefore(t)
 	c.watermarkS = t
 	c.epoch++
+	c.bump()
 	return dropped
 }
 
@@ -268,6 +300,7 @@ func (c *Cluster) AddVM(name, skuName string, spot bool) *VM {
 		})
 	}
 	c.vms = append(c.vms, vm)
+	c.bumpCapacity()
 	// Record the idle draw through the sampling helpers so the cluster-wide
 	// aggregates pick it up.
 	now := c.engine.Now().Seconds()
@@ -333,6 +366,7 @@ func (a *GPUAlloc) SetIntensity(x float64) {
 		g.setUtil(now, x)
 		g.setPower(now, hardware.GPUPower(g.Spec, x))
 	}
+	a.cluster.bump()
 }
 
 // Release returns the devices to the pool. Idempotent.
@@ -351,6 +385,7 @@ func (a *GPUAlloc) Release() {
 			g.setPower(now, g.Spec.IdleWatts)
 		}
 	}
+	a.cluster.bump()
 	a.cluster.notifyRelease()
 }
 
@@ -397,6 +432,7 @@ func (c *Cluster) AllocGPUs(n int, t hardware.GPUType) (*GPUAlloc, error) {
 	c.nextAllocID++
 	a := &GPUAlloc{ID: c.nextAllocID, cluster: c, gpus: grant}
 	c.liveGPU[a.ID] = a
+	c.bump()
 	a.SetIntensity(0)
 	return a, nil
 }
@@ -477,6 +513,7 @@ func (a *CPUAlloc) SetIntensity(x float64) {
 	a.vm.cpuLoad += float64(a.cores) * (x - a.intensity)
 	a.intensity = x
 	a.vm.refreshCPUSeries()
+	a.vm.cluster.bump()
 }
 
 // Release returns the cores. Idempotent.
@@ -494,6 +531,7 @@ func (a *CPUAlloc) Release() {
 		}
 		a.vm.refreshCPUSeries()
 	}
+	a.vm.cluster.bump()
 	a.vm.cluster.notifyRelease()
 }
 
@@ -540,6 +578,7 @@ func (c *Cluster) AllocCPUs(cores int) (*CPUAlloc, error) {
 	c.nextAllocID++
 	a := &CPUAlloc{ID: c.nextAllocID, vm: best, cores: cores}
 	c.liveCPU[a.ID] = a
+	c.bump()
 	best.refreshCPUSeries()
 	return a, nil
 }
@@ -587,6 +626,7 @@ func (c *Cluster) PreemptVM(name string) {
 		return
 	}
 	vm.preempted = true
+	c.bumpCapacity()
 	now := c.engine.Now().Seconds()
 
 	// Force-release every live allocation touching the VM, then fire its

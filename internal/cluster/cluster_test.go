@@ -377,3 +377,87 @@ func TestPropertyAllocationConservation(t *testing.T) {
 		}
 	}
 }
+
+// TestGenerationCounters: every state change must move Gen (so memoized
+// snapshots invalidate), while CapacityGen moves only on fleet changes (the
+// optimistic plan-commit validity check).
+func TestGenerationCounters(t *testing.T) {
+	_, c := testbed(t)
+	g0, cg0 := c.Gen(), c.CapacityGen()
+
+	a, _ := c.AllocGPUs(2, hardware.GPUA100)
+	if c.Gen() == g0 {
+		t.Error("AllocGPUs did not move Gen")
+	}
+	g1 := c.Gen()
+	a.SetIntensity(0.7)
+	if c.Gen() == g1 {
+		t.Error("SetIntensity did not move Gen")
+	}
+	g2 := c.Gen()
+	b, _ := c.AllocCPUs(8)
+	if c.Gen() == g2 {
+		t.Error("AllocCPUs did not move Gen")
+	}
+	g3 := c.Gen()
+	b.Release()
+	a.Release()
+	if c.Gen() == g3 {
+		t.Error("Release did not move Gen")
+	}
+	if c.CapacityGen() != cg0 {
+		t.Errorf("capacity generation moved on alloc/free (%d → %d): plans would conflict needlessly",
+			cg0, c.CapacityGen())
+	}
+
+	c.AddVM("vm2", hardware.NDv4SKUName, true)
+	if c.CapacityGen() == cg0 {
+		t.Error("AddVM did not move CapacityGen")
+	}
+	cg1 := c.CapacityGen()
+	c.PreemptVM("vm2")
+	if c.CapacityGen() == cg1 {
+		t.Error("PreemptVM did not move CapacityGen")
+	}
+	cg2 := c.CapacityGen()
+	if err := c.VMs()[0].SetCPUCapacity(48); err != nil {
+		t.Fatal(err)
+	}
+	if c.CapacityGen() == cg2 {
+		t.Error("SetCPUCapacity did not move CapacityGen")
+	}
+}
+
+// TestSnapshotMemoization: repeat snapshots between state changes must return
+// identical content (the maps may be shared — callers treat snapshots as
+// immutable), refresh Time, and rebuild after any mutation.
+func TestSnapshotMemoization(t *testing.T) {
+	e, c := testbed(t)
+	s1 := c.Snapshot()
+	e.After(2, func() {})
+	e.Run()
+	s2 := c.Snapshot()
+	if s2.Time != 2 {
+		t.Errorf("memoized snapshot Time = %v, want refreshed 2", s2.Time)
+	}
+	if s2.FreeGPUs[hardware.GPUA100] != s1.FreeGPUs[hardware.GPUA100] ||
+		s2.FreeCPUCores != s1.FreeCPUCores {
+		t.Errorf("unchanged cluster, changed snapshot: %+v vs %+v", s1, s2)
+	}
+
+	a, _ := c.AllocGPUs(3, hardware.GPUA100)
+	s3 := c.Snapshot()
+	if s3.FreeGPUs[hardware.GPUA100] != 13 {
+		t.Errorf("post-alloc snapshot free GPUs = %d, want 13", s3.FreeGPUs[hardware.GPUA100])
+	}
+	// The earlier snapshot must be immutable: the rebuild may not have
+	// touched the maps a concurrent off-loop reader could still hold.
+	if s1.FreeGPUs[hardware.GPUA100] != 16 {
+		t.Errorf("captured snapshot mutated by later state change: free = %d, want 16",
+			s1.FreeGPUs[hardware.GPUA100])
+	}
+	a.Release()
+	if got := c.Snapshot().FreeGPUs[hardware.GPUA100]; got != 16 {
+		t.Errorf("post-release snapshot free GPUs = %d, want 16", got)
+	}
+}

@@ -27,6 +27,7 @@ func (v *VM) SetCPUCapacity(cores int) error {
 		return nil
 	}
 	v.cpuTotal = cores
+	v.cluster.bumpCapacity()
 
 	if v.cpuInUse > cores {
 		// Evict newest-first until usage fits.

@@ -159,13 +159,24 @@ type Snapshot struct {
 	SpotVMs []string
 }
 
-// Snapshot captures current capacity and utilization.
+// Snapshot captures current capacity and utilization. The result is memoized
+// on the cluster's state generation: every submission in a burst reads a
+// snapshot, and between state changes they are all identical, so repeat calls
+// return the cached value (with Time refreshed) instead of re-walking the
+// fleet and re-allocating the maps. Callers — including the off-loop plan
+// searchers the snapshot is handed to — must treat it as immutable; a state
+// change builds a fresh snapshot rather than mutating a shared one.
 func (c *Cluster) Snapshot() Snapshot {
 	now := c.engine.Now().Seconds()
+	if c.snapValid && c.snapGen == c.gen {
+		s := c.snapCache
+		s.Time = now
+		return s
+	}
 	s := Snapshot{
 		Time:      now,
-		FreeGPUs:  map[hardware.GPUType]int{},
-		TotalGPUs: map[hardware.GPUType]int{},
+		FreeGPUs:  make(map[hardware.GPUType]int, 2),
+		TotalGPUs: make(map[hardware.GPUType]int, 2),
 	}
 	gpuCount, gpuUtilSum := 0, 0.0
 	coreCount, coreLoad := 0, 0.0
@@ -197,5 +208,6 @@ func (c *Cluster) Snapshot() Snapshot {
 	if coreCount > 0 {
 		s.MeanCPUUtil = coreLoad / float64(coreCount)
 	}
+	c.snapCache, c.snapGen, c.snapValid = s, c.gen, true
 	return s
 }

@@ -43,15 +43,25 @@ func planCacheKey(g *dag.Graph, snap cluster.Snapshot, opts optimizer.Options, s
 		contentkey.WriteString(&b, n.Capability)
 		contentkey.WriteFloat(&b, n.Work)
 	}
+	writePlanEnv(&b, snap, opts, storeGen, libGen)
+	return b.String()
+}
+
+// writePlanEnv renders everything a plan depends on besides the DAG itself:
+// the search options, the capacity class and the store/library generations.
+// planCacheKey prefixes it with the DAG's content; searchKeyFrom prefixes it
+// with the job's content key (which determines the DAG, so the two keys
+// discriminate identically).
+func writePlanEnv(b *strings.Builder, snap cluster.Snapshot, opts optimizer.Options, storeGen, libGen int) {
 	b.WriteString("|c")
-	contentkey.WriteInt(&b, int(opts.Constraint))
+	contentkey.WriteInt(b, int(opts.Constraint))
 	b.WriteString("|q")
-	contentkey.WriteFloat(&b, opts.MinQuality)
+	contentkey.WriteFloat(b, opts.MinQuality)
 	if opts.RelaxFloor {
 		b.WriteString("|relax")
 	}
 	b.WriteString("|p")
-	contentkey.WriteInt(&b, opts.MaxPaths)
+	contentkey.WriteInt(b, opts.MaxPaths)
 	if len(opts.Pinned) > 0 {
 		caps := make([]string, 0, len(opts.Pinned))
 		for c := range opts.Pinned {
@@ -61,17 +71,17 @@ func planCacheKey(g *dag.Graph, snap cluster.Snapshot, opts optimizer.Options, s
 		for _, c := range caps {
 			pin := opts.Pinned[c]
 			b.WriteString("|pin")
-			contentkey.WriteString(&b, c)
-			contentkey.WriteString(&b, pin.Implementation)
-			contentkey.WriteString(&b, pin.Config.String())
-			contentkey.WriteInt(&b, pin.Parallelism)
+			contentkey.WriteString(b, c)
+			contentkey.WriteString(b, pin.Implementation)
+			contentkey.WriteString(b, pin.Config.String())
+			contentkey.WriteInt(b, pin.Parallelism)
 			if pin.AllowScaling {
 				b.WriteString("+scale")
 			}
 		}
 	}
 	b.WriteString("|cores")
-	contentkey.WriteInt(&b, snap.TotalCPUCores)
+	contentkey.WriteInt(b, snap.TotalCPUCores)
 	types := make([]string, 0, len(snap.TotalGPUs))
 	for t := range snap.TotalGPUs {
 		types = append(types, string(t))
@@ -79,13 +89,25 @@ func planCacheKey(g *dag.Graph, snap cluster.Snapshot, opts optimizer.Options, s
 	sort.Strings(types)
 	for _, t := range types {
 		b.WriteString("|gpu")
-		contentkey.WriteString(&b, t)
-		contentkey.WriteInt(&b, snap.TotalGPUs[hardware.GPUType(t)])
+		contentkey.WriteString(b, t)
+		contentkey.WriteInt(b, snap.TotalGPUs[hardware.GPUType(t)])
 	}
 	b.WriteString("|sg")
-	contentkey.WriteInt(&b, storeGen)
+	contentkey.WriteInt(b, storeGen)
 	b.WriteString("|lg")
-	contentkey.WriteInt(&b, libGen)
+	contentkey.WriteInt(b, libGen)
+}
+
+// searchKeyFrom is the singleflight key for off-loop plan search: the job's
+// content key plus the plan environment. Two submissions with equal search
+// keys are guaranteed an identical decomposition (jobKey determines the DAG)
+// and an identical plan (writePlanEnv covers every other Plan input), so a
+// burst of like jobs shares one search.
+func searchKeyFrom(jobKey string, snap cluster.Snapshot, opts optimizer.Options, storeGen, libGen int) string {
+	var b strings.Builder
+	b.Grow(len(jobKey) + 128)
+	b.WriteString(jobKey)
+	writePlanEnv(&b, snap, opts, storeGen, libGen)
 	return b.String()
 }
 
@@ -178,3 +200,65 @@ func (rt *Runtime) decompose(job workflow.Job) (*planner.Result, error) {
 // DecompCacheHits reports how many submissions reused a cached
 // decomposition.
 func (rt *Runtime) DecompCacheHits() int { return rt.decompCacheHits }
+
+// probePrepared checks, without planning, whether the runtime's caches
+// already hold both the decomposition and the plan for a submission — the
+// fast path that lets the scheduler skip dispatching an off-loop search for
+// job shapes the shard has seen before. It returns the job's content key
+// (always) and the prepared pair (on a double hit). Runs on the engine
+// goroutine.
+func (rt *Runtime) probePrepared(job workflow.Job, opts SubmitOptions) (string, *preparedPlan) {
+	jk := jobKey(job, rt.lib.Gen())
+	r, ok := rt.decompCache[jk]
+	if !ok {
+		return jk, nil
+	}
+	pk := planCacheKey(r.Graph, rt.cl.Snapshot(), planOptions(job, opts), rt.store.Gen(), rt.lib.Gen())
+	p, ok := rt.planCache[pk]
+	if !ok {
+		// Half a hit: hand the cached decomposition back so a dispatched
+		// search can skip re-decomposing the (frozen, immutable) DAG.
+		return jk, &preparedPlan{decomp: r}
+	}
+	rt.decompCacheHits++
+	rt.planCacheHits++
+	return jk, rt.stamp(&preparedPlan{decomp: r, plan: p})
+}
+
+// stamp records the live generations a prepared pair is valid under.
+func (rt *Runtime) stamp(p *preparedPlan) *preparedPlan {
+	p.capGen = rt.cl.CapacityGen()
+	p.storeGen = rt.store.Gen()
+	p.libGen = rt.lib.Gen()
+	return p
+}
+
+// adoptPrepared installs an off-loop search result into the shared caches and
+// returns the canonical pair to execute. It must only be called after the
+// scheduler validated the result's generations (capacity class, profile
+// store, library): under that guard the result is bit-identical to what the
+// inline path would have computed, so caching it preserves determinism. If a
+// cache entry raced in ahead of the commit (an inline submission on the same
+// shape), the existing entry wins — its graph pointers are the ones the
+// planner's tool-call memos key on.
+func (rt *Runtime) adoptPrepared(jk string, job workflow.Job, opts SubmitOptions, decomp *planner.Result, plan *optimizer.Plan) *preparedPlan {
+	if r, ok := rt.decompCache[jk]; ok {
+		decomp = r
+	} else {
+		if len(rt.decompCache) >= planCacheLimit {
+			rt.decompCache = make(map[string]*planner.Result)
+			rt.pl.ResetCallCache()
+		}
+		rt.decompCache[jk] = decomp
+	}
+	pk := planCacheKey(decomp.Graph, rt.cl.Snapshot(), planOptions(job, opts), rt.store.Gen(), rt.lib.Gen())
+	if p, ok := rt.planCache[pk]; ok {
+		plan = p
+	} else {
+		if len(rt.planCache) >= planCacheLimit {
+			rt.planCache = make(map[string]*optimizer.Plan)
+		}
+		rt.planCache[pk] = plan
+	}
+	return rt.stamp(&preparedPlan{decomp: decomp, plan: plan})
+}

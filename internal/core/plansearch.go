@@ -1,0 +1,255 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/optimizer"
+	"repro/internal/planner"
+	"repro/internal/sim"
+	"repro/internal/workflow"
+)
+
+// Off-loop admission (the serving tier's "fast as the hardware allows" item):
+// a shard's loop goroutine is the only place cluster state may be touched, so
+// with inline planning every job's decompose → profile lookup → enumerate →
+// prune → score runs serialized on one core and plans/sec is bounded by it.
+// This file moves the expensive, side-effect-free part of admission — the
+// configuration search — onto a pool of worker goroutines:
+//
+//   - dispatch (loop goroutine): capture an immutable cluster.Snapshot plus
+//     the generations the plan depends on (capacity class, profile store,
+//     library) and hand the job to a worker. Identical concurrent searches
+//     (same job content, options, capacity class, generations) are deduped
+//     through a singleflight table so a burst of like jobs runs one search.
+//   - search (worker goroutine): decompose the job and run the optimizer
+//     against the captured snapshot. Workers use goroutine-local planner and
+//     optimizer instances and never touch the engine or the cluster, so the
+//     simulation stays strictly single-threaded.
+//   - commit (loop goroutine): validate the captured generations against the
+//     live cluster. If they still hold, the searched plan is bit-identical
+//     to what inline planning would produce now — optimistic concurrency
+//     with a serialized commit — and is adopted into the runtime's shared
+//     caches. If they moved (VM added, preemption, recalibration), the
+//     result is discarded and the job re-plans inline at admission, exactly
+//     like the serial path; PlanConflicts counts those.
+//
+// Drain safety: each dispatched search takes a sim.LoopHold, so a shard
+// draining for shutdown or recycling waits for in-flight searches to commit
+// (and their jobs to run) instead of stranding them.
+
+// preparedPlan is a decomposition + plan pair ready for Runtime.launch,
+// stamped with the generations it is valid under. Validity is checked twice:
+// at commit (searched results) and again at start — a job can wait in the
+// admission queue past a fleet change, and launching then must re-plan
+// against current capacity exactly as the serial path would.
+type preparedPlan struct {
+	decomp *planner.Result
+	plan   *optimizer.Plan
+	capGen uint64
+	// storeGen/libGen pin the profile-store and library generations.
+	storeGen int
+	libGen   int
+}
+
+// valid reports whether the prepared pair still matches the live generations.
+func (p *preparedPlan) valid(rt *Runtime) bool {
+	return p.capGen == rt.cl.CapacityGen() &&
+		p.storeGen == rt.store.Gen() &&
+		p.libGen == rt.lib.Gen()
+}
+
+// searchTask is one singleflight plan search. The result fields are written
+// by the worker before the commit post and read on the loop goroutine after
+// it (the hold's inbox hand-off orders them); decomp may instead be pre-set
+// at dispatch when the shard already had the decomposition cached.
+type searchTask struct {
+	key    string
+	jobKey string
+	job    workflow.Job
+	opts   SubmitOptions
+	planO  optimizer.Options
+	snap   cluster.Snapshot
+	capGen uint64
+	// storeGen/libGen pin the profile-store and library contents the search
+	// reads; commit re-checks them alongside the capacity generation.
+	storeGen int
+	libGen   int
+	hold     *sim.LoopHold
+	waiters  []*Handle
+
+	decomp *planner.Result
+	plan   *optimizer.Plan
+	err    error
+}
+
+// planSearch is the worker pool plus the loop-goroutine-owned singleflight
+// table.
+type planSearch struct {
+	s    *Scheduler
+	loop *sim.Loop
+
+	// inflight maps search keys to their pending task. It is only touched on
+	// the loop goroutine (dispatch and commit), so it needs no lock.
+	inflight map[string]*searchTask
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*searchTask
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// EnablePlanSearch attaches an off-loop plan-search worker pool to the
+// scheduler. loop must be the sim.Loop driving the scheduler's engine;
+// workers <= 0 selects GOMAXPROCS. Call once, before the scheduler's first
+// Submit. While the pool is live the library and profile store must not be
+// mutated from outside the loop goroutine (the workers read them lock-free;
+// generation checks at commit handle loop-side mutations).
+func (s *Scheduler) EnablePlanSearch(loop *sim.Loop, workers int) {
+	if s.search != nil {
+		panic("core: plan search already enabled")
+	}
+	if loop == nil {
+		panic("core: plan search requires the scheduler's sim.Loop")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Force the library's lazily-memoized renderings now, on a single
+	// goroutine: the planner's prompt-token accounting reads SystemPrompt on
+	// every decomposition, and pre-warming makes that a pure read for the
+	// concurrent workers.
+	s.rt.lib.SystemPrompt()
+	s.rt.lib.Fingerprint()
+	ps := &planSearch{s: s, loop: loop, inflight: map[string]*searchTask{}}
+	ps.cond = sync.NewCond(&ps.mu)
+	for i := 0; i < workers; i++ {
+		ps.wg.Add(1)
+		go ps.worker()
+	}
+	s.search = ps
+	s.planWorkers = workers
+}
+
+// StopPlanSearch terminates the worker pool. Call it after the driving loop
+// has drained (Loop.Close returned): Run cannot exit while a search holds the
+// loop, so by then every dispatched search has committed and the queue is
+// empty. No-op for serial schedulers; safe to call more than once.
+func (s *Scheduler) StopPlanSearch() {
+	if s.search == nil {
+		return
+	}
+	ps := s.search
+	ps.mu.Lock()
+	ps.closed = true
+	ps.cond.Broadcast()
+	ps.mu.Unlock()
+	ps.wg.Wait()
+}
+
+// PlanWorkers returns the worker-pool size (0 for serial schedulers).
+func (s *Scheduler) PlanWorkers() int { return s.planWorkers }
+
+// dispatch hands a submission to the worker pool, deduplicating against
+// in-flight searches for the same key. Runs on the loop goroutine; jk is the
+// job's content key from probePrepared, and decomp — when the probe found the
+// decomposition half cached — lets the worker skip re-decomposing (the graph
+// is frozen and immutable, so sharing it off-loop is safe).
+func (ps *planSearch) dispatch(h *Handle, jk string, decomp *planner.Result) {
+	s := ps.s
+	planO := planOptions(h.job, h.opts)
+	snap := s.rt.cl.Snapshot()
+	storeGen, libGen := s.rt.store.Gen(), s.rt.lib.Gen()
+	key := searchKeyFrom(jk, snap, planO, storeGen, libGen)
+	if t, ok := ps.inflight[key]; ok {
+		t.waiters = append(t.waiters, h)
+		s.singleflightHits++
+		return
+	}
+	t := &searchTask{
+		key:      key,
+		jobKey:   jk,
+		job:      h.job,
+		opts:     h.opts,
+		planO:    planO,
+		snap:     snap,
+		capGen:   s.rt.cl.CapacityGen(),
+		storeGen: storeGen,
+		libGen:   libGen,
+		hold:     ps.loop.Hold(),
+		waiters:  []*Handle{h},
+		decomp:   decomp,
+	}
+	ps.inflight[key] = t
+	s.planSearches++
+	ps.mu.Lock()
+	ps.queue = append(ps.queue, t)
+	ps.cond.Signal()
+	ps.mu.Unlock()
+}
+
+// worker runs searches with goroutine-local planner/optimizer instances until
+// the pool closes (draining any queued tasks first, so every hold resolves).
+func (ps *planSearch) worker() {
+	defer ps.wg.Done()
+	pl := planner.New(ps.s.rt.lib)
+	opt := ps.s.rt.opt.Clone()
+	for {
+		ps.mu.Lock()
+		for len(ps.queue) == 0 && !ps.closed {
+			ps.cond.Wait()
+		}
+		if len(ps.queue) == 0 {
+			ps.mu.Unlock()
+			return
+		}
+		t := ps.queue[0]
+		ps.queue = ps.queue[1:]
+		ps.mu.Unlock()
+
+		if t.decomp == nil {
+			t.decomp, t.err = pl.Decompose(t.job)
+		}
+		if t.err == nil {
+			t.plan, t.err = opt.Plan(t.decomp.Graph, t.snap, t.planO)
+		}
+		t.hold.Post(func() { ps.s.commit(t) })
+	}
+}
+
+// commit is the on-loop half of optimistic admission: validate the captured
+// generations and either adopt the searched plan or mark the waiters for an
+// inline re-plan. Waiters canceled while the search was in flight are
+// skipped.
+func (s *Scheduler) commit(t *searchTask) {
+	delete(s.search.inflight, t.key)
+	var prep *preparedPlan
+	switch {
+	case t.err != nil:
+		// The search failed (e.g. no feasible configuration). Fall back to
+		// inline planning so the job fails — or, if the cluster changed in
+		// the meantime, succeeds — exactly as serial admission would against
+		// current state.
+	case t.capGen != s.rt.cl.CapacityGen() || t.storeGen != s.rt.store.Gen() || t.libGen != s.rt.lib.Gen():
+		// Stale snapshot: the capacity class (or a profile/library
+		// generation) moved between capture and commit. Count one conflict
+		// per affected admission; each re-plans inline at start.
+		for _, h := range t.waiters {
+			if h.status == JobQueued {
+				s.planConflicts++
+			}
+		}
+	default:
+		prep = s.rt.adoptPrepared(t.jobKey, t.job, t.opts, t.decomp, t.plan)
+	}
+	for _, h := range t.waiters {
+		if h.status != JobQueued {
+			continue // canceled while the search was in flight
+		}
+		h.planReady = true
+		h.prepared = prep
+	}
+	s.se.Defer(s.pump)
+}

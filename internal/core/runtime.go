@@ -202,6 +202,19 @@ func (ex *Execution) OnDone(fn func(*report.Report, error)) {
 	ex.onDone = append(ex.onDone, fn)
 }
 
+// planOptions maps a job plus its submit options onto the optimizer's search
+// options — the single definition both the inline path and the off-loop plan
+// searchers use, so their searches are keyed and parameterized identically.
+func planOptions(job workflow.Job, opts SubmitOptions) optimizer.Options {
+	return optimizer.Options{
+		Constraint: job.Constraint,
+		MinQuality: job.MinQuality,
+		RelaxFloor: opts.RelaxFloor,
+		Pinned:     opts.Pinned,
+		MaxPaths:   opts.MaxPaths,
+	}
+}
+
 // Submit plans and launches a job. Errors in planning or optimization are
 // returned synchronously; execution then proceeds when the simulation
 // engine runs.
@@ -213,17 +226,18 @@ func (rt *Runtime) Submit(job workflow.Job, opts SubmitOptions) (*Execution, err
 	// Plans are memoized: the load sweep's structurally-identical jobs reuse
 	// the first job's configuration search instead of re-enumerating and
 	// re-pruning per submit (§3.3(c) amortized).
-	plan, err := rt.planFor(decomp.Graph, rt.cl.Snapshot(), optimizer.Options{
-		Constraint: job.Constraint,
-		MinQuality: job.MinQuality,
-		RelaxFloor: opts.RelaxFloor,
-		Pinned:     opts.Pinned,
-		MaxPaths:   opts.MaxPaths,
-	})
+	plan, err := rt.planFor(decomp.Graph, rt.cl.Snapshot(), planOptions(job, opts))
 	if err != nil {
 		return nil, err
 	}
+	return rt.launch(job, opts, decomp, plan)
+}
 
+// launch starts execution of an already-planned job: the inline Submit path
+// lands here after decomposing and planning on the engine goroutine, and the
+// scheduler's optimistic-commit path lands here directly with a plan searched
+// off-loop against a validated snapshot.
+func (rt *Runtime) launch(job workflow.Job, opts SubmitOptions, decomp *planner.Result, plan *optimizer.Plan) (*Execution, error) {
 	rt.nextExecID++
 	ex := &Execution{
 		rt:        rt,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/planner"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/workflow"
@@ -22,7 +23,11 @@ import (
 //
 // Like the Runtime, the Scheduler is single-threaded: every method must run
 // on the goroutine driving the simulation engine (directly, or via
-// sim.Loop.Post in daemon mode).
+// sim.Loop.Post in daemon mode). In daemon mode the expensive half of
+// admission — the configuration search — can be moved off that goroutine
+// onto a plan-search worker pool with optimistic snapshot commit; see
+// EnablePlanSearch (plansearch.go). The serial path is unchanged when the
+// pool is not enabled.
 
 // ErrCanceled is the terminal error of a canceled job.
 var ErrCanceled = errors.New("core: job canceled")
@@ -80,6 +85,13 @@ type Handle struct {
 	err         error
 	onStart     []func(*Handle)
 	onDone      []func(*Handle)
+
+	// planReady gates admission: with off-loop plan search enabled, a queued
+	// handle only becomes eligible once its search commits (true from the
+	// start for serial schedulers and cache hits). prepared carries the
+	// committed decomposition + plan for start; nil means plan inline.
+	planReady bool
+	prepared  *preparedPlan
 }
 
 // ID returns the job's scheduler-scoped identifier.
@@ -176,6 +188,17 @@ type SchedulerStats struct {
 	Running     int
 	Queued      int
 	PeakRunning int
+	// Off-loop plan-search accounting (all zero for serial schedulers):
+	// PlanSearches counts searches dispatched to the worker pool,
+	// SingleflightHits counts submissions that joined an in-flight identical
+	// search instead of starting their own, PlanConflicts counts admissions
+	// whose searched plan was invalidated by a snapshot-generation change and
+	// re-planned inline at commit, and PlanSearchInflight is the live gauge
+	// of searches currently between dispatch and commit.
+	PlanSearches       int
+	SingleflightHits   int
+	PlanConflicts      int
+	PlanSearchInflight int
 }
 
 // Scheduler admits jobs into a shared Runtime.
@@ -202,6 +225,14 @@ type Scheduler struct {
 	failed      int
 	canceled    int
 	peakRunning int
+
+	// search is the off-loop plan-search pool (nil for serial schedulers);
+	// planWorkers its size. The counters are owned by the engine goroutine.
+	search           *planSearch
+	planWorkers      int
+	planSearches     int
+	singleflightHits int
+	planConflicts    int
 }
 
 // NewScheduler builds the admission layer over a runtime.
@@ -241,6 +272,25 @@ func (s *Scheduler) Submit(tenant string, job workflow.Job, opts SubmitOptions) 
 		opts:        opts,
 		status:      JobQueued,
 		submittedAt: s.se.Now(),
+		planReady:   true,
+	}
+	if s.search != nil {
+		// Off-loop admission: if the shard has already planned this exact
+		// shape under the current capacity class, reuse it and stay eligible
+		// immediately; otherwise dispatch a search — reusing a cached
+		// decomposition when only the plan half missed — and hold the handle
+		// back from admission until the search commits.
+		jk, prep := s.rt.probePrepared(job, opts)
+		if prep != nil && prep.plan != nil {
+			h.prepared = prep
+		} else {
+			h.planReady = false
+			var decomp *planner.Result
+			if prep != nil {
+				decomp = prep.decomp
+			}
+			s.search.dispatch(h, jk, decomp)
+		}
 	}
 	s.queue = append(s.queue, h)
 	s.se.Defer(s.pump)
@@ -250,23 +300,37 @@ func (s *Scheduler) Submit(tenant string, job workflow.Job, opts SubmitOptions) 
 // pump releases queued jobs into the executor up to the concurrency limit,
 // fair-share: the tenant with the fewest in-flight jobs goes first, ties
 // broken by the least total service received (jobs ever admitted), then
-// submission order — so one tenant's burst cannot starve others.
+// submission order — so one tenant's burst cannot starve others. Jobs whose
+// off-loop plan search has not committed yet are not eligible; their commit
+// re-pumps.
 func (s *Scheduler) pump() {
 	for s.running < s.maxConcurrent && len(s.queue) > 0 {
 		idx := s.pickNext()
+		if idx < 0 {
+			return
+		}
 		h := s.queue[idx]
 		s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
 		s.start(h)
 	}
 }
 
+// pickNext returns the index of the next admissible queued job, or -1 when
+// every queued job is still waiting on its plan search.
 func (s *Scheduler) pickNext() int {
-	best := 0
+	best := -1
 	key := func(i int) (int, int) {
 		t := s.queue[i].tenant
 		return s.inFlight[t], s.admitted[t]
 	}
-	for i := 1; i < len(s.queue); i++ {
+	for i := 0; i < len(s.queue); i++ {
+		if !s.queue[i].planReady {
+			continue
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
 		fi, ai := key(i)
 		fb, ab := key(best)
 		if fi < fb || (fi == fb && ai < ab) {
@@ -290,7 +354,23 @@ func (s *Scheduler) start(h *Handle) {
 		fn(h)
 	}
 	h.onStart = nil
-	ex, err := s.rt.Submit(h.job, h.opts)
+	var ex *Execution
+	var err error
+	if h.prepared != nil && h.prepared.valid(s.rt) {
+		// Optimistic commit holds at launch time too: the searched (or
+		// cache-probed) plan is still valid for the current capacity class —
+		// launch without re-planning.
+		ex, err = s.rt.launch(h.job, h.opts, h.prepared.decomp, h.prepared.plan)
+	} else {
+		if h.prepared != nil {
+			// The fleet changed while the job waited in the admission queue:
+			// the plan committed earlier is stale. Re-plan inline against
+			// current state, exactly like the serial path.
+			s.planConflicts++
+		}
+		ex, err = s.rt.Submit(h.job, h.opts)
+	}
+	h.prepared = nil
 	if err != nil {
 		s.settle(h, err)
 		return
@@ -358,13 +438,20 @@ func (s *Scheduler) Running() int { return s.running }
 
 // Stats returns lifecycle counters.
 func (s *Scheduler) Stats() SchedulerStats {
-	return SchedulerStats{
-		Submitted:   int(s.nextID),
-		Completed:   s.completed,
-		Failed:      s.failed,
-		Canceled:    s.canceled,
-		Running:     s.running,
-		Queued:      len(s.queue),
-		PeakRunning: s.peakRunning,
+	st := SchedulerStats{
+		Submitted:        int(s.nextID),
+		Completed:        s.completed,
+		Failed:           s.failed,
+		Canceled:         s.canceled,
+		Running:          s.running,
+		Queued:           len(s.queue),
+		PeakRunning:      s.peakRunning,
+		PlanSearches:     s.planSearches,
+		SingleflightHits: s.singleflightHits,
+		PlanConflicts:    s.planConflicts,
 	}
+	if s.search != nil {
+		st.PlanSearchInflight = len(s.search.inflight)
+	}
+	return st
 }

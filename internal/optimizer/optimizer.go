@@ -94,11 +94,31 @@ type Options struct {
 }
 
 // Optimizer performs configuration search.
+//
+// An Optimizer carries per-instance scratch state (candidate buffers and
+// generation-checked library/profile views), so a single instance must not
+// run Plan concurrently from multiple goroutines; concurrent searchers each
+// take their own via Clone.
 type Optimizer struct {
 	cat     *hardware.Catalog
 	lib     *agents.Library
 	store   *profiles.Store
 	cpuType hardware.CPUType
+
+	// implsByCap / profsByImpl memoize the library's and store's defensive
+	// copies per generation: enumerate runs once per capability per planned
+	// job, and re-cloning the implementation list and profile slices on every
+	// search dominated its allocations.
+	implsByCap  map[string][]*agents.Implementation
+	implsGen    int
+	profsByImpl map[string][]profiles.Profile
+	profsGen    int
+	// enumBuf / pruneBuf are reused across decide calls: candidates are
+	// consumed (picked from) before the next capability's enumeration, so the
+	// backing arrays amortize to zero allocation per plan. Sized by
+	// implementations × profiles × parallelism ladder × execution paths.
+	enumBuf  []candidate
+	pruneBuf []candidate
 }
 
 // New creates an optimizer.
@@ -107,6 +127,43 @@ func New(cat *hardware.Catalog, lib *agents.Library, store *profiles.Store, cpuT
 		panic("optimizer: nil dependency")
 	}
 	return &Optimizer{cat: cat, lib: lib, store: store, cpuType: cpuType}
+}
+
+// Clone returns an optimizer over the same (immutable) catalog, library and
+// profile store but with its own scratch state — the way an off-loop plan
+// searcher gets a goroutine-local instance.
+func (o *Optimizer) Clone() *Optimizer {
+	return New(o.cat, o.lib, o.store, o.cpuType)
+}
+
+// implementations returns the library's implementations for a capability,
+// memoized per library generation.
+func (o *Optimizer) implementations(capability string) []*agents.Implementation {
+	if o.implsByCap == nil || o.implsGen != o.lib.Gen() {
+		o.implsByCap = make(map[string][]*agents.Implementation, 8)
+		o.implsGen = o.lib.Gen()
+	}
+	if impls, ok := o.implsByCap[capability]; ok {
+		return impls
+	}
+	impls := o.lib.ByCapability(agents.Capability(capability))
+	o.implsByCap[capability] = impls
+	return impls
+}
+
+// profilesFor returns the store's profiles for an implementation, memoized
+// per store generation.
+func (o *Optimizer) profilesFor(impl string) []profiles.Profile {
+	if o.profsByImpl == nil || o.profsGen != o.store.Gen() {
+		o.profsByImpl = make(map[string][]profiles.Profile, 16)
+		o.profsGen = o.store.Gen()
+	}
+	if profs, ok := o.profsByImpl[impl]; ok {
+		return profs
+	}
+	profs := o.store.ForImplementation(impl)
+	o.profsByImpl[impl] = profs
+	return profs
 }
 
 // capDemand summarizes one capability's tasks in a DAG.
@@ -212,10 +269,10 @@ func (a availability) fits(cfg profiles.ResourceConfig) bool {
 func (a availability) maxParallel(cfg profiles.ResourceConfig) int {
 	k := math.MaxInt32
 	if cfg.GPUs > 0 {
-		k = minInt(k, a.gpus[cfg.GPUType]/cfg.GPUs)
+		k = min(k, a.gpus[cfg.GPUType]/cfg.GPUs)
 	}
 	if cfg.CPUCores > 0 {
-		k = minInt(k, a.cores/cfg.CPUCores)
+		k = min(k, a.cores/cfg.CPUCores)
 	}
 	if k == math.MaxInt32 {
 		return 0
@@ -252,6 +309,9 @@ func (o *Optimizer) decide(d capDemand, avail availability, opts Options) (Decis
 				best = c.quality
 			}
 		}
+		// In-place filter over the shared enumeration buffer (the write index
+		// never passes the read index).
+		cands = all[:0]
 		for _, c := range all {
 			if c.quality == best {
 				cands = append(cands, c)
@@ -262,7 +322,8 @@ func (o *Optimizer) decide(d capDemand, avail availability, opts Options) (Decis
 		return Decision{}, fmt.Errorf("optimizer: no feasible configuration for capability %q (quality floor %.2f)",
 			d.capability, opts.MinQuality)
 	}
-	cands = prunedominated(cands)
+	o.pruneBuf = prunedominatedInto(o.pruneBuf[:0], cands)
+	cands = o.pruneBuf
 	best := pick(cands, opts.Constraint)
 	return Decision{
 		Capability:     d.capability,
@@ -291,7 +352,7 @@ func (o *Optimizer) applyPin(d capDemand, avail availability, pin Pin) (Decision
 	}
 	k := pin.Parallelism
 	if k <= 0 {
-		k = minInt(d.tasks, avail.maxParallel(pin.Config))
+		k = min(d.tasks, avail.maxParallel(pin.Config))
 		if k == 0 {
 			k = 1
 		}
@@ -313,18 +374,20 @@ func (o *Optimizer) applyPin(d capDemand, avail availability, pin Pin) (Decision
 }
 
 // enumerate produces scored candidates across implementations, configs,
-// parallelism levels and (under MAX_QUALITY) execution paths.
+// parallelism levels and (under MAX_QUALITY) execution paths. The returned
+// slice aliases the optimizer's reusable enumeration buffer; it is valid
+// until the next enumerate call.
 func (o *Optimizer) enumerate(d capDemand, avail availability, opts Options) []candidate {
-	var out []candidate
-	for _, im := range o.lib.ByCapability(agents.Capability(d.capability)) {
-		for _, prof := range o.store.ForImplementation(im.Name) {
+	out := o.enumBuf[:0]
+	for _, im := range o.implementations(d.capability) {
+		for _, prof := range o.profilesFor(im.Name) {
 			if prof.Capability != d.capability || !avail.fits(prof.Config) {
 				continue
 			}
 			if opts.MinQuality > 0 && prof.Quality < opts.MinQuality {
 				continue
 			}
-			maxK := minInt(d.tasks, avail.maxParallel(prof.Config))
+			maxK := min(d.tasks, avail.maxParallel(prof.Config))
 			if maxK < 1 {
 				continue
 			}
@@ -343,6 +406,7 @@ func (o *Optimizer) enumerate(d capDemand, avail availability, opts Options) []c
 			}
 		}
 	}
+	o.enumBuf = out
 	return out
 }
 
@@ -386,7 +450,12 @@ func (o *Optimizer) score(d capDemand, prof profiles.Profile, k, paths int) cand
 // prunedominated removes candidates strictly dominated on
 // (latency, cost, energy, -quality) — the greedy space reduction of §3.3(c).
 func prunedominated(cands []candidate) []candidate {
-	var out []candidate
+	return prunedominatedInto(nil, cands)
+}
+
+// prunedominatedInto appends the non-dominated candidates to out (which must
+// not alias cands: every element of cands is read for every dominance check).
+func prunedominatedInto(out, cands []candidate) []candidate {
 	for i, c := range cands {
 		dominated := false
 		for j, d := range cands {
@@ -445,11 +514,4 @@ func better(a, b candidate, c workflow.Constraint) bool {
 		return a.impl < b.impl
 	}
 	return a.cfg.String() < b.cfg.String()
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,269 @@
+// admission.go is the burst-admission harness behind BenchmarkAdmission: it
+// replays a bursty multi-tenant submission storm against one runtime shard
+// (engine + cluster + scheduler + sim.Loop, exactly the stack an api.Pool
+// shard runs) twice — once with admission's plan search serialized inline on
+// the loop goroutine (the pre-PR baseline) and once with the off-loop
+// plan-search worker pool and optimistic snapshot commit — and reports
+// plans/sec, submit-to-admission latency percentiles and the
+// singleflight/conflict counters. Replayed bursts in the spirit of CGReplay:
+// the same trace drives both arms, so the ratio isolates the admission path.
+package serving
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/agents"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/hardware"
+	"repro/internal/sim"
+	"repro/internal/workflow"
+)
+
+// AdmissionOptions shapes the burst.
+type AdmissionOptions struct {
+	// Jobs is the burst size; Shapes the number of structurally-distinct job
+	// shapes in it (each repeats Jobs/Shapes times, interleaved — repeats are
+	// what the singleflight layer and the plan caches absorb, distinct shapes
+	// are what the worker pool parallelizes).
+	Jobs   int
+	Shapes int
+	// Tenants spreads the burst across this many tenants (fair-share
+	// admission interleaves them).
+	Tenants int
+	// VMs sizes the shard's cluster in ND96amsr_A100_v4 VMs.
+	VMs int
+	// PlanWorkers sizes the parallel arm's worker pool (0 = GOMAXPROCS).
+	PlanWorkers int
+	// MaxConcurrent bounds jobs running concurrently in the shard; 0 admits
+	// the whole burst (admission-bound, not execution-bound — the regime the
+	// benchmark isolates).
+	MaxConcurrent int
+	// Trials replays the burst this many times per arm, keeping the
+	// best-plans/sec trial (wall-clock noise is one-sided; default 3).
+	Trials int
+}
+
+// DefaultAdmissionOptions is the benchmark configuration: a 256-job burst of
+// 64 distinct shapes across 8 tenants.
+func DefaultAdmissionOptions() AdmissionOptions {
+	return AdmissionOptions{
+		Jobs:    256,
+		Shapes:  64,
+		Tenants: 8,
+		VMs:     2,
+		Trials:  3,
+	}
+}
+
+// AdmissionResult is the measurement for one admission architecture.
+type AdmissionResult struct {
+	Mode    string
+	Workers int
+	Jobs    int
+	// WallS is the wall-clock time from the first submission post until the
+	// last job of the burst was admitted (planned and started).
+	WallS       float64
+	PlansPerSec float64
+	// SubmitP50Ms/P95Ms are per-job submit→admission latencies.
+	SubmitP50Ms float64
+	SubmitP95Ms float64
+	// Scheduler counters after the burst (zero in the serial arm).
+	PlanSearches     int
+	SingleflightHits int
+	PlanConflicts    int
+	// ConflictFrac is PlanConflicts over admissions.
+	ConflictFrac float64
+	// SubmitErrors counts synchronous submission failures (must be zero).
+	SubmitErrors int
+}
+
+// AdmissionComparison pits parallel off-loop admission against the serial
+// inline baseline on the same burst.
+type AdmissionComparison struct {
+	Serial   AdmissionResult
+	Parallel AdmissionResult
+	// SpeedupX = Parallel.PlansPerSec / Serial.PlansPerSec.
+	SpeedupX float64
+}
+
+// admissionJob builds the shape-th distinct job of the burst: a newsfeed
+// workflow whose topic fan-out and quality floor vary per shape, so every
+// shape decomposes to a different DAG and keys a different plan search.
+func admissionJob(shape int) workflow.Job {
+	inputs := []workflow.Input{{Name: fmt.Sprintf("user-%d", shape), Kind: workflow.InputUser}}
+	for t := 0; t <= shape%3; t++ {
+		inputs = append(inputs, workflow.Input{
+			Name:  fmt.Sprintf("topic-%d-%d", shape, t),
+			Kind:  workflow.InputTopic,
+			Attrs: map[string]float64{"queries": float64(2 + shape%4)},
+		})
+	}
+	return workflow.Job{
+		Description: fmt.Sprintf("Generate social media newsfeed variant %d", shape),
+		Inputs:      inputs,
+		Constraint:  workflow.MinLatency,
+		// The jitter keeps every shape's plan key distinct without changing
+		// which candidates clear the floor.
+		MinQuality: 0.05 + float64(shape)*1e-9,
+	}
+}
+
+// RunAdmission replays the burst through both admission architectures.
+func RunAdmission(opts AdmissionOptions) (*AdmissionComparison, error) {
+	if opts.Jobs <= 0 || opts.Shapes <= 0 || opts.Shapes > opts.Jobs || opts.Tenants <= 0 {
+		return nil, fmt.Errorf("serving: invalid admission options %+v", opts)
+	}
+	trials := opts.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	best := func(parallel bool) (AdmissionResult, error) {
+		var bestRes AdmissionResult
+		for i := 0; i < trials; i++ {
+			res, err := runAdmissionArm(opts, parallel)
+			if err != nil {
+				return AdmissionResult{}, err
+			}
+			if i == 0 || res.PlansPerSec > bestRes.PlansPerSec {
+				bestRes = res
+			}
+		}
+		return bestRes, nil
+	}
+	serial, err := best(false)
+	if err != nil {
+		return nil, err
+	}
+	parallel, err := best(true)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &AdmissionComparison{Serial: serial, Parallel: parallel}
+	if serial.PlansPerSec > 0 {
+		cmp.SpeedupX = parallel.PlansPerSec / serial.PlansPerSec
+	}
+	return cmp, nil
+}
+
+// runAdmissionArm replays the burst against one shard and measures the
+// wall-clock admission curve.
+func runAdmissionArm(opts AdmissionOptions, parallel bool) (AdmissionResult, error) {
+	runtime.GC() // keep one arm's garbage off the other arm's clock
+	se := sim.NewEngine()
+	cl := cluster.New(se, hardware.DefaultCatalog())
+	vms := opts.VMs
+	if vms <= 0 {
+		vms = 2
+	}
+	for v := 0; v < vms; v++ {
+		cl.AddVM(fmt.Sprintf("vm%d", v), hardware.NDv4SKUName, false)
+	}
+	rt, err := core.New(core.Config{Engine: se, Cluster: cl, Library: agents.DefaultLibrary()})
+	if err != nil {
+		return AdmissionResult{}, err
+	}
+	maxc := opts.MaxConcurrent
+	if maxc <= 0 {
+		maxc = opts.Jobs
+	}
+	sched := core.NewScheduler(se, rt, maxc)
+	loop := sim.NewLoop(se)
+	mode := "serial"
+	if parallel {
+		sched.EnablePlanSearch(loop, opts.PlanWorkers)
+		mode = "parallel"
+	}
+	go loop.Run()
+
+	type timing struct{ submit, start time.Time }
+	timings := make([]timing, opts.Jobs)
+	done := make(chan struct{})
+	started, submitErrs := 0, 0
+	t0 := time.Now()
+	for i := 0; i < opts.Jobs; i++ {
+		i := i
+		job := admissionJob(i % opts.Shapes)
+		tenant := fmt.Sprintf("tenant-%d", i%opts.Tenants)
+		timings[i].submit = time.Now()
+		if !loop.Post(func() {
+			// arrived counts a job as admitted for the burst clock; planning
+			// failures would count too (none occur), so an error cannot hang
+			// the harness.
+			arrived := func() {
+				started++
+				if started == opts.Jobs {
+					close(done)
+				}
+			}
+			h, err := sched.Submit(tenant, job, core.SubmitOptions{RelaxFloor: true, KeepEngines: true})
+			if err != nil {
+				submitErrs++
+				arrived()
+				return
+			}
+			h.OnStart(func(*core.Handle) {
+				timings[i].start = time.Now()
+				arrived()
+			})
+		}) {
+			return AdmissionResult{}, fmt.Errorf("serving: admission loop closed mid-burst")
+		}
+	}
+	<-done
+	wallS := time.Since(t0).Seconds()
+
+	var st core.SchedulerStats
+	statsDone := make(chan struct{})
+	loop.Post(func() { st = sched.Stats(); close(statsDone) })
+	<-statsDone
+	loop.Close() // drain: the admitted burst runs to completion
+	sched.StopPlanSearch()
+
+	res := AdmissionResult{
+		Mode:             mode,
+		Workers:          sched.PlanWorkers(),
+		Jobs:             opts.Jobs,
+		WallS:            wallS,
+		PlanSearches:     st.PlanSearches,
+		SingleflightHits: st.SingleflightHits,
+		PlanConflicts:    st.PlanConflicts,
+		SubmitErrors:     submitErrs,
+	}
+	if wallS > 0 {
+		res.PlansPerSec = float64(opts.Jobs) / wallS
+	}
+	res.ConflictFrac = float64(st.PlanConflicts) / float64(opts.Jobs)
+	lats := make([]float64, 0, opts.Jobs)
+	for _, tm := range timings {
+		if tm.start.IsZero() {
+			continue
+		}
+		lats = append(lats, float64(tm.start.Sub(tm.submit).Microseconds())/1000)
+	}
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		res.SubmitP50Ms = percentile(lats, 0.50)
+		res.SubmitP95Ms = percentile(lats, 0.95)
+	}
+	return res, nil
+}
+
+// String renders the comparison.
+func (c *AdmissionComparison) String() string {
+	var b []byte
+	f := func(format string, args ...any) { b = append(b, fmt.Sprintf(format, args...)...) }
+	f("Burst admission on one shard (wall clock)\n")
+	f("%-10s %8s %6s %10s %12s %10s %10s %9s %9s %9s\n",
+		"mode", "workers", "jobs", "wall(s)", "plans/s", "p50(ms)", "p95(ms)", "searches", "sfhits", "conflicts")
+	for _, m := range []AdmissionResult{c.Serial, c.Parallel} {
+		f("%-10s %8d %6d %10.3f %12.0f %10.2f %10.2f %9d %9d %9d\n",
+			m.Mode, m.Workers, m.Jobs, m.WallS, m.PlansPerSec,
+			m.SubmitP50Ms, m.SubmitP95Ms, m.PlanSearches, m.SingleflightHits, m.PlanConflicts)
+	}
+	f("Off-loop admission speedup: %.2fx\n", c.SpeedupX)
+	return string(b)
+}

@@ -63,3 +63,43 @@ func TestRunSmallTrace(t *testing.T) {
 		t.Fatal("empty rendering")
 	}
 }
+
+// TestRunAdmissionSmallBurst smoke-tests the burst-admission harness: both
+// arms must admit the full burst with no submission errors, dedup repeats
+// through the singleflight layer, and keep conflict re-plans rare.
+func TestRunAdmissionSmallBurst(t *testing.T) {
+	opts := DefaultAdmissionOptions()
+	opts.Jobs = 48
+	opts.Shapes = 12
+	opts.Trials = 1
+	res, err := RunAdmission(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []AdmissionResult{res.Serial, res.Parallel} {
+		if m.Jobs != opts.Jobs || m.SubmitErrors != 0 {
+			t.Fatalf("%s: %+v", m.Mode, m)
+		}
+		if m.PlansPerSec <= 0 || m.SubmitP95Ms < m.SubmitP50Ms {
+			t.Fatalf("%s: inconsistent curve %+v", m.Mode, m)
+		}
+	}
+	if res.Serial.PlanSearches != 0 || res.Serial.SingleflightHits != 0 {
+		t.Fatalf("serial arm dispatched searches: %+v", res.Serial)
+	}
+	if res.Parallel.PlanSearches == 0 {
+		t.Fatalf("parallel arm never searched off-loop: %+v", res.Parallel)
+	}
+	// 12 shapes × 4 repeats: every repeat must dedup against the in-flight
+	// search or probe the cache it populated — never search again.
+	if res.Parallel.PlanSearches > opts.Shapes {
+		t.Fatalf("searches %d exceed distinct shapes %d (dedup broken)",
+			res.Parallel.PlanSearches, opts.Shapes)
+	}
+	if res.Parallel.ConflictFrac >= 0.10 {
+		t.Fatalf("conflicts %.0f%% of admissions, want < 10%%", 100*res.Parallel.ConflictFrac)
+	}
+	if res.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}

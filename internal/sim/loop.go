@@ -30,7 +30,10 @@ type Loop struct {
 	inbox  []func()
 	posted uint64
 	closed bool
-	done   chan struct{}
+	// holds counts outstanding LoopHolds: external completions the loop has
+	// promised to wait for before draining (see Hold).
+	holds int
+	done  chan struct{}
 }
 
 // stepBatch bounds how many simulation events execute between inbox drains.
@@ -73,6 +76,64 @@ func (l *Loop) Post(fn func()) bool {
 	return true
 }
 
+// LoopHold is a promise of exactly one future completion post. It exists for
+// work the loop hands off to other goroutines (off-loop plan search): a plain
+// Post races with Close — once the loop starts draining, Post drops the
+// closure and the handed-off work's result would be lost, leaving its waiters
+// stranded forever. A hold taken before the hand-off keeps Run from exiting
+// until the completion lands, so drain-on-Close still covers work that is
+// momentarily outside the simulation.
+type LoopHold struct {
+	l    *Loop
+	done bool // guarded by l.mu
+}
+
+// Hold reserves the loop for one future completion. It must be called on the
+// loop goroutine (from an executing closure or simulation callback), which
+// guarantees Run cannot have exited yet. Every hold must eventually be
+// resolved by exactly one Post or Release, or Close blocks forever.
+func (l *Loop) Hold() *LoopHold {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.holds++
+	return &LoopHold{l: l}
+}
+
+// Post delivers the held completion: fn is enqueued for the loop goroutine
+// even when the loop is already draining (that is the point of the hold), and
+// the hold is released. Safe to call from any goroutine; using a hold twice
+// panics.
+func (h *LoopHold) Post(fn func()) {
+	if fn == nil {
+		panic("sim: LoopHold.Post with nil closure")
+	}
+	l := h.l
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if h.done {
+		panic("sim: LoopHold resolved twice")
+	}
+	h.done = true
+	l.holds--
+	l.inbox = append(l.inbox, fn)
+	l.posted++
+	l.cond.Signal()
+}
+
+// Release abandons the hold without posting. Idempotent after the hold is
+// resolved.
+func (h *LoopHold) Release() {
+	l := h.l
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if h.done {
+		return
+	}
+	h.done = true
+	l.holds--
+	l.cond.Signal()
+}
+
 // Posted reports the total number of closures accepted so far
 // (observability; also lets tests sequence posts deterministically against
 // a deliberately stalled loop, where inbox depth would depend on how many
@@ -89,7 +150,7 @@ func (l *Loop) Run() {
 	defer close(l.done)
 	for {
 		l.mu.Lock()
-		for len(l.inbox) == 0 && !l.closed && l.eng.Pending() == 0 {
+		for len(l.inbox) == 0 && l.eng.Pending() == 0 && (!l.closed || l.holds > 0) {
 			l.cond.Wait()
 		}
 		batch := l.inbox
@@ -108,7 +169,7 @@ func (l *Loop) Run() {
 
 		if closing && l.eng.Pending() == 0 {
 			l.mu.Lock()
-			drained := len(l.inbox) == 0
+			drained := len(l.inbox) == 0 && l.holds == 0
 			l.mu.Unlock()
 			if drained {
 				return
@@ -117,10 +178,10 @@ func (l *Loop) Run() {
 	}
 }
 
-// Close stops the loop after in-flight work drains: posts already accepted
-// and every simulation event they cascade into still execute, then Run
-// returns. Close blocks until the loop goroutine has exited and is safe to
-// call more than once.
+// Close stops the loop after in-flight work drains: posts already accepted,
+// every simulation event they cascade into, and every outstanding Hold's
+// completion still execute, then Run returns. Close blocks until the loop
+// goroutine has exited and is safe to call more than once.
 func (l *Loop) Close() {
 	l.mu.Lock()
 	l.closed = true

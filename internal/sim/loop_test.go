@@ -100,3 +100,77 @@ func TestStepReentrancyPanics(t *testing.T) {
 	})
 	eng.Run()
 }
+
+// TestLoopHoldKeepsDrainAlive: Close must not complete while a hold is
+// outstanding — the held completion still lands (even though plain Posts are
+// already rejected) and its cascaded events run before Run exits.
+func TestLoopHoldKeepsDrainAlive(t *testing.T) {
+	eng := NewEngine()
+	l := NewLoop(eng)
+	go l.Run()
+
+	var hold *LoopHold
+	took := make(chan struct{})
+	l.Post(func() {
+		hold = l.Hold() // on the loop goroutine, as the contract requires
+		close(took)
+	})
+	<-took
+
+	closed := make(chan struct{})
+	go func() { l.Close(); close(closed) }()
+	select {
+	case <-closed:
+		t.Fatal("Close returned with a hold outstanding")
+	default:
+	}
+
+	// Plain posts are rejected while draining; the held completion is not.
+	var fired, cascaded atomic.Int32
+	for l.Post(func() {}) { // wait until Close has latched the loop
+	}
+	hold.Post(func() {
+		fired.Add(1)
+		eng.After(1, func() { cascaded.Add(1) })
+	})
+	<-closed
+	if fired.Load() != 1 || cascaded.Load() != 1 {
+		t.Fatalf("fired=%d cascaded=%d, want 1/1 (held completion must drain)",
+			fired.Load(), cascaded.Load())
+	}
+}
+
+// TestLoopHoldRelease: an abandoned hold unblocks drain without posting.
+func TestLoopHoldRelease(t *testing.T) {
+	eng := NewEngine()
+	l := NewLoop(eng)
+	go l.Run()
+
+	var hold *LoopHold
+	took := make(chan struct{})
+	l.Post(func() { hold = l.Hold(); close(took) })
+	<-took
+	go hold.Release()
+	l.Close()      // would deadlock if Release did not count down
+	hold.Release() // idempotent after resolution
+}
+
+// TestLoopHoldDoublePostPanics: a hold is a promise of exactly one completion.
+func TestLoopHoldDoublePostPanics(t *testing.T) {
+	eng := NewEngine()
+	l := NewLoop(eng)
+	go l.Run()
+	defer l.Close()
+
+	var hold *LoopHold
+	took := make(chan struct{})
+	l.Post(func() { hold = l.Hold(); close(took) })
+	<-took
+	hold.Post(func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Post on a resolved hold did not panic")
+		}
+	}()
+	hold.Post(func() {})
+}
