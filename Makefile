@@ -32,20 +32,24 @@ bench:
 bench-smoke:
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' .
 
-# bench-json emits the machine-readable perf trajectory for the two
+# bench-json emits the machine-readable perf trajectory for the
 # serving-path benchmarks as test2json event streams: BENCH_admission.json
 # carries plans/sec, admission_gain_x, submit p50/p95 and allocs/op;
-# BENCH_serving.json carries jobs/s, serving_gain_x and tail latencies. The
+# BENCH_serving.json carries jobs/s, serving_gain_x and tail latencies;
+# BENCH_reconfig.json carries the deterministic simulated-time completion and
+# energy gains of mid-flight reconfiguration under fleet churn. The
 # checked-in copies are the first baseline; rerun this target to extend the
 # trajectory when the hot path changes.
 bench-json:
 	$(GO) test -bench '^BenchmarkAdmission$$' -benchmem -benchtime 3x -run '^$$' -json . > BENCH_admission.json
 	$(GO) test -bench '^BenchmarkServing$$' -benchmem -benchtime 1x -run '^$$' -json . > BENCH_serving.json
+	$(GO) test -bench '^BenchmarkReconfig$$' -benchmem -benchtime 3x -run '^$$' -json . > BENCH_reconfig.json
 
 # bench-baseline refreshes the text baseline cmd/benchgate compares against
-# in CI (hot-path ns/op for the load sweep and the serving replay).
+# in CI (hot-path ns/op for the load sweep, the serving replay and the
+# reconfiguration churn replay).
 bench-baseline:
-	$(GO) test -bench '^(BenchmarkLoadSweep|BenchmarkServing)$$' -benchmem -benchtime 2x -run '^$$' . > bench/baseline.txt
+	$(GO) test -bench '^(BenchmarkLoadSweep|BenchmarkServing|BenchmarkReconfig)$$' -benchmem -benchtime 2x -run '^$$' . > bench/baseline.txt
 
 # memprofile runs the retention benchmark (bounded shard telemetry under a
 # long served history) with heap/alloc profiles, for digging into where

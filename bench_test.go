@@ -228,6 +228,34 @@ func BenchmarkAdmission(b *testing.B) {
 	}
 }
 
+// BenchmarkReconfig replays the same video-heavy burst and the same
+// fleet-churn trace (VMs arriving mid-run) against one runtime shard with
+// mid-flight reconfiguration on and off. Both arms run entirely in simulated
+// time, so the completion/energy gains are deterministic and
+// machine-independent — the CI benchgate requires the completion gain.
+func BenchmarkReconfig(b *testing.B) {
+	b.ReportAllocs()
+	var last *serving.ReconfigComparison
+	for i := 0; i < b.N; i++ {
+		res, err := serving.RunReconfig(serving.DefaultReconfigOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.CompletionGainX, "reconfig_gain_x")
+	b.ReportMetric(last.EnergyGainX, "reconfig_energy_gain_x")
+	b.ReportMetric(last.Off.MeanCompletionS, "off_mean_completion_s")
+	b.ReportMetric(last.On.MeanCompletionS, "on_mean_completion_s")
+	b.ReportMetric(float64(last.On.Reconfigs), "reconfig_evals")
+	b.ReportMetric(float64(last.On.ReconfigWins), "reconfig_wins")
+	b.ReportMetric(float64(last.On.ReconfigSkips), "reconfig_skips")
+	if last.CompletionGainX < 1.2 {
+		b.Errorf("reconfiguration completion gain %.3fx on the replayed churn trace, want >= 1.2x",
+			last.CompletionGainX)
+	}
+}
+
 // BenchmarkServingRetention replays the mixed-tenant trace against the
 // shared pool with a retention window ~1/50th of the served simulated
 // history, and reports the bounded-memory claim: retained telemetry

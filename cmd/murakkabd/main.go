@@ -5,10 +5,13 @@
 // memory stays bounded under retention: telemetry older than -retain
 // simulated seconds is compacted into rollup buckets, and a shard whose
 // retained series exceed -max-series-points is recycled (drained and
-// replaced) without failing in-flight jobs.
+// replaced) without failing in-flight jobs. With -reconfig, running jobs'
+// remaining stages are re-planned and re-bound at stage boundaries when a
+// shard's fleet churns or its cluster manager rebalances (-rebalance).
 //
 //	murakkabd -addr :8080 -shards 2 -concurrency 4 -vms 2 \
-//	  -retain 3600 -max-series-points 1048576 -plan-workers 0
+//	  -retain 3600 -max-series-points 1048576 -plan-workers 0 \
+//	  -reconfig -rebalance 30
 //
 //	curl localhost:8080/v1/library
 //	curl localhost:8080/v1/stats
@@ -31,6 +34,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -41,6 +45,26 @@ import (
 	"repro/internal/api"
 )
 
+// validateFlags rejects out-of-range tuning flags up front. Negative values
+// are invalid, not "disabled": an operator typing -retain -1 almost certainly
+// fat-fingered a window, and silently running without compaction (or without
+// off-loop planning) would only surface as slow memory growth much later.
+func validateFlags(retain float64, maxSeriesPoints, planWorkers int, rebalance float64) error {
+	if retain < 0 {
+		return fmt.Errorf("-retain must be >= 0 (got %v); 0 selects the default window", retain)
+	}
+	if maxSeriesPoints < 0 {
+		return fmt.Errorf("-max-series-points must be >= 0 (got %d); 0 selects the default budget", maxSeriesPoints)
+	}
+	if planWorkers < 0 {
+		return fmt.Errorf("-plan-workers must be >= 0 (got %d); 0 selects GOMAXPROCS", planWorkers)
+	}
+	if rebalance < 0 {
+		return fmt.Errorf("-rebalance must be >= 0 (got %v); 0 disables the rebalancing loop", rebalance)
+	}
+	return nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	shards := flag.Int("shards", 2, "runtime shards (tenants hash across them)")
@@ -50,17 +74,30 @@ func main() {
 		"baseline mode: provision a throwaway testbed per request instead of sharing runtimes")
 	retain := flag.Float64("retain", 0,
 		"per-shard telemetry retention window in simulated seconds: older history is "+
-			"compacted into rollup buckets (0 = default 3600, negative disables compaction)")
+			"compacted into rollup buckets (0 = default 3600)")
 	maxSeriesPoints := flag.Int("max-series-points", 0,
 		"per-shard telemetry budget in series change points before the shard is recycled "+
-			"(0 = default 1048576, negative disables recycling)")
+			"(0 = default 1048576)")
 	planWorkers := flag.Int("plan-workers", 0,
 		"per-shard off-loop plan-search workers: admission's configuration search runs "+
 			"in parallel against immutable snapshots and commits optimistically on the "+
-			"shard loop (0 = default GOMAXPROCS, negative serializes planning inline)")
+			"shard loop (0 = default GOMAXPROCS)")
+	reconfig := flag.Bool("reconfig", false,
+		"enable mid-flight reconfiguration: when a shard's fleet churns or its cluster "+
+			"manager rebalances, running jobs' remaining stages are re-planned and re-bound "+
+			"at stage boundaries if the new plan beats the current one by a hysteresis margin")
+	rebalance := flag.Float64("rebalance", 0,
+		"per-shard rebalancing-loop period in simulated seconds (engine grow/shrink from "+
+			"DAG lookahead while workflows are active; 0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"how long to wait for in-flight HTTP requests on shutdown")
 	flag.Parse()
+
+	if err := validateFlags(*retain, *maxSeriesPoints, *planWorkers, *rebalance); err != nil {
+		fmt.Fprintf(os.Stderr, "murakkabd: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	server, err := api.NewServer(api.PoolConfig{
 		Shards:                *shards,
@@ -69,6 +106,8 @@ func main() {
 		RetainSimSeconds:      *retain,
 		MaxSeriesPoints:       *maxSeriesPoints,
 		PlanWorkers:           *planWorkers,
+		Reconfig:              *reconfig,
+		RebalancePeriodS:      *rebalance,
 		PerRequest:            *perRequest,
 	})
 	if err != nil {

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name            string
+		retain          float64
+		maxSeriesPoints int
+		planWorkers     int
+		rebalance       float64
+		wantErr         string
+	}{
+		{name: "defaults ok"},
+		{name: "explicit ok", retain: 3600, maxSeriesPoints: 1 << 20, planWorkers: 4, rebalance: 30},
+		{name: "negative retain", retain: -1, wantErr: "-retain"},
+		{name: "negative max-series-points", maxSeriesPoints: -5, wantErr: "-max-series-points"},
+		{name: "negative plan-workers", planWorkers: -1, wantErr: "-plan-workers"},
+		{name: "negative rebalance", rebalance: -0.5, wantErr: "-rebalance"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.retain, tc.maxSeriesPoints, tc.planWorkers, tc.rebalance)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateFlags: unexpected error %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validateFlags: want error naming %s, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validateFlags error %q does not name %s", err, tc.wantErr)
+			}
+		})
+	}
+}

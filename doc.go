@@ -82,4 +82,25 @@
 // -max-series-points). BenchmarkServingRetention shows the footprint
 // plateau across ≥ 10× the retention window of served history
 // (contained_x vs the unbounded baseline).
+//
+// # Runtime reconfiguration
+//
+// The paper's runtime-adaptation claim (§3.2) is implemented as mid-flight
+// re-planning at stage boundaries: core.Execution runs as resumable
+// per-stage segments with stage-local decision bindings and an explicit
+// remaining-DAG view; a reconfiguration controller on the scheduler
+// (core.Scheduler.EnableReconfig, murakkabd -reconfig) re-runs the
+// optimizer over the remaining stages of running jobs whenever the plan
+// environment moves — cluster.CapacityGen (fleet churn), the
+// profile-store/library generations, or a clustermgr rebalance pass — and
+// adopts the new plan only if it beats the current decisions re-scored over
+// the same remaining DAG by a hysteresis margin. Completed stages stay
+// pinned (paper integrals untouched), capabilities with tasks in flight
+// keep their binding (mid-stage migration is rejected by design), and with
+// off-loop plan search enabled the re-plan rides the same worker pool and
+// optimistic generation-validated commit as admission. With the controller
+// disabled, behavior is bit-identical to the pre-reconfiguration runtime.
+// BenchmarkReconfig replays a bursty mix plus a deterministic fleet-churn
+// trace (workload.ChurnTrace) through both arms entirely in simulated time
+// and gates the completion/energy gains in CI.
 package repro

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/agents"
 	"repro/internal/cluster"
@@ -74,6 +75,14 @@ type Pool struct {
 	retSearches     atomic.Int64
 	retSingleflight atomic.Int64
 	retConflicts    atomic.Int64
+	// Retired reconfiguration counters, folded the same way.
+	retReconfigs         atomic.Int64
+	retReconfigWins      atomic.Int64
+	retReconfigSkips     atomic.Int64
+	retReconfigConflicts atomic.Int64
+
+	// started anchors the uptime_s stats field (wall clock).
+	started time.Time
 
 	// per-request mode counters (atomics: submissions run on handler
 	// goroutines, not on a shard loop).
@@ -115,6 +124,21 @@ type PoolConfig struct {
 	// 0 selects the default (GOMAXPROCS); negative disables off-loop search
 	// (the serial inline-planning baseline).
 	PlanWorkers int
+	// Reconfig enables each shard's mid-flight reconfiguration controller:
+	// when the shard's fleet churns (capacity generation moves) or its
+	// cluster manager rebalances, running jobs' remaining stages are
+	// re-planned and re-bound at stage boundaries if the new plan beats the
+	// current one by ReconfigHysteresis. Off by default — disabled shards
+	// behave bit-identically to the pre-reconfiguration daemon.
+	Reconfig bool
+	// ReconfigHysteresis is the minimum relative objective improvement
+	// before a re-plan is adopted (0 selects the default 0.05).
+	ReconfigHysteresis float64
+	// RebalancePeriodS enables each shard's workflow-aware rebalancing loop
+	// (engine grow/shrink from DAG lookahead) with the given period in
+	// simulated seconds — the fleet-churn source reconfiguration reacts to.
+	// 0 disables it (the pre-churn daemon behaviour).
+	RebalancePeriodS float64
 	// PerRequest switches the pool to the per-request-testbed baseline.
 	PerRequest bool
 }
@@ -182,7 +206,7 @@ var errShuttingDown = fmt.Errorf("api: pool is shutting down")
 // NewPool provisions the shards and starts their loop goroutines.
 func NewPool(cfg PoolConfig) (*Pool, error) {
 	cfg = cfg.withDefaults()
-	p := &Pool{cfg: cfg, jobs: map[string]*jobRecord{}}
+	p := &Pool{cfg: cfg, jobs: map[string]*jobRecord{}, started: time.Now()}
 	if cfg.PerRequest {
 		return p, nil
 	}
@@ -207,7 +231,10 @@ func (p *Pool) newShard(idx int) (*shard, error) {
 	for v := 0; v < cfg.VMsPerShard; v++ {
 		cl.AddVM(fmt.Sprintf("s%d-vm%d", idx, v), hardware.NDv4SKUName, false)
 	}
-	rt, err := core.New(core.Config{Engine: se, Cluster: cl, Library: agents.DefaultLibrary()})
+	rt, err := core.New(core.Config{
+		Engine: se, Cluster: cl, Library: agents.DefaultLibrary(),
+		RebalancePeriod: sim.Duration(cfg.RebalancePeriodS),
+	})
 	if err != nil {
 		return nil, fmt.Errorf("api: provisioning shard %d: %w", idx, err)
 	}
@@ -223,6 +250,11 @@ func (p *Pool) newShard(idx int) (*shard, error) {
 		// Off-loop admission: plan search runs on a worker pool against
 		// immutable snapshots and commits on the loop (0 = GOMAXPROCS).
 		sh.sched.EnablePlanSearch(sh.loop, cfg.PlanWorkers)
+	}
+	if cfg.Reconfig {
+		// Mid-flight reconfiguration: fleet churn and rebalance passes
+		// re-plan running jobs' remaining stages at stage boundaries.
+		sh.sched.EnableReconfig(core.ReconfigConfig{Hysteresis: cfg.ReconfigHysteresis})
 	}
 	if cfg.RetainSimSeconds >= 0 {
 		sh.compactStride = cfg.RetainSimSeconds / 4
@@ -300,6 +332,10 @@ func (p *Pool) recycleShard(old *shard) {
 	p.retSearches.Add(int64(st.PlanSearches))
 	p.retSingleflight.Add(int64(st.SingleflightHits))
 	p.retConflicts.Add(int64(st.PlanConflicts))
+	p.retReconfigs.Add(int64(st.Reconfigs))
+	p.retReconfigWins.Add(int64(st.ReconfigWins))
+	p.retReconfigSkips.Add(int64(st.ReconfigSkips))
+	p.retReconfigConflicts.Add(int64(st.ReconfigConflicts))
 }
 
 // Close drains every shard loop (in-flight and queued jobs run to completion)
@@ -660,12 +696,24 @@ type ShardStats struct {
 	// search, admissions whose optimistic commit was invalidated by a
 	// capacity-class change (re-planned inline), and the live in-flight
 	// gauge. All zero when PlanWorkers is negative (serial admission).
-	PlanWorkers        int     `json:"plan_workers"`
-	PlanSearches       int     `json:"plan_searches"`
-	SingleflightHits   int     `json:"singleflight_hits"`
-	PlanConflicts      int     `json:"plan_conflicts"`
-	PlanSearchInflight int     `json:"plan_search_inflight"`
-	MeanGPUUtil        float64 `json:"mean_gpu_util"`
+	PlanWorkers        int `json:"plan_workers"`
+	PlanSearches       int `json:"plan_searches"`
+	SingleflightHits   int `json:"singleflight_hits"`
+	PlanConflicts      int `json:"plan_conflicts"`
+	PlanSearchInflight int `json:"plan_search_inflight"`
+	// Fleet-churn observability: the shard cluster's state and capacity-class
+	// generations (capacity_gen moving is exactly what triggers mid-flight
+	// reconfiguration), plus the reconfiguration controller's counters —
+	// running-job evaluations, adopted re-plans, kept-current-plan skips and
+	// generation-drift conflicts. All four counters are zero with -reconfig
+	// off.
+	ClusterGen        uint64  `json:"cluster_gen"`
+	CapacityGen       uint64  `json:"capacity_gen"`
+	Reconfigs         int     `json:"reconfigs"`
+	ReconfigWins      int     `json:"reconfig_wins"`
+	ReconfigSkips     int     `json:"reconfig_skips"`
+	ReconfigConflicts int     `json:"reconfig_conflicts"`
+	MeanGPUUtil       float64 `json:"mean_gpu_util"`
 	// Telemetry retention accounting: live change points and their bytes
 	// retained by the shard's cluster, the rollup buckets summarizing
 	// compacted epochs, the retention watermark and epoch count, and the
@@ -721,6 +769,14 @@ type PoolStats struct {
 	SingleflightHits   int `json:"singleflight_hits"`
 	PlanConflicts      int `json:"plan_conflicts"`
 	PlanSearchInflight int `json:"plan_search_inflight"`
+	// Reconfiguration totals, folded across recycled shards like the
+	// admission counters above.
+	Reconfigs         int `json:"reconfigs"`
+	ReconfigWins      int `json:"reconfig_wins"`
+	ReconfigSkips     int `json:"reconfig_skips"`
+	ReconfigConflicts int `json:"reconfig_conflicts"`
+	// UptimeS is the daemon pool's wall-clock age in seconds.
+	UptimeS float64 `json:"uptime_s"`
 }
 
 // Stats gathers a consistent per-shard view (each shard snapshot is taken on
@@ -730,7 +786,7 @@ func (p *Pool) Stats() PoolStats {
 	tracked := len(p.jobs)
 	shards := append([]*shard(nil), p.shards...)
 	p.mu.Unlock()
-	out := PoolStats{Mode: "shared", JobsTracked: tracked}
+	out := PoolStats{Mode: "shared", JobsTracked: tracked, UptimeS: time.Since(p.started).Seconds()}
 	if p.cfg.PerRequest {
 		out.Mode = "per-request"
 		out.Submitted = int(p.prSubmitted.Load())
@@ -742,6 +798,10 @@ func (p *Pool) Stats() PoolStats {
 	out.PlanSearches = int(p.retSearches.Load())
 	out.SingleflightHits = int(p.retSingleflight.Load())
 	out.PlanConflicts = int(p.retConflicts.Load())
+	out.Reconfigs = int(p.retReconfigs.Load())
+	out.ReconfigWins = int(p.retReconfigWins.Load())
+	out.ReconfigSkips = int(p.retReconfigSkips.Load())
+	out.ReconfigConflicts = int(p.retReconfigConflicts.Load())
 	out.Submitted = int(p.shSubmitted.Load())
 	out.Completed = int(p.shCompleted.Load())
 	out.Failed = int(p.shFailed.Load())
@@ -773,6 +833,12 @@ func (p *Pool) Stats() PoolStats {
 				SingleflightHits:   st.SingleflightHits,
 				PlanConflicts:      st.PlanConflicts,
 				PlanSearchInflight: st.PlanSearchInflight,
+				ClusterGen:         sh.cl.Gen(),
+				CapacityGen:        sh.cl.CapacityGen(),
+				Reconfigs:          st.Reconfigs,
+				ReconfigWins:       st.ReconfigWins,
+				ReconfigSkips:      st.ReconfigSkips,
+				ReconfigConflicts:  st.ReconfigConflicts,
 			}
 			if now > 0 {
 				// Full-history mean: epochs behind the watermark come from
@@ -817,6 +883,10 @@ func (p *Pool) Stats() PoolStats {
 		out.SingleflightHits += ss.SingleflightHits
 		out.PlanConflicts += ss.PlanConflicts
 		out.PlanSearchInflight += ss.PlanSearchInflight
+		out.Reconfigs += ss.Reconfigs
+		out.ReconfigWins += ss.ReconfigWins
+		out.ReconfigSkips += ss.ReconfigSkips
+		out.ReconfigConflicts += ss.ReconfigConflicts
 	}
 	return out
 }

@@ -114,9 +114,14 @@ type Cluster struct {
 	releaseHooks []func()
 	// preemptHooks run with the VM that was just preempted.
 	preemptHooks []func(*VM)
-	nextAllocID  int
-	liveGPU      map[int]*GPUAlloc
-	liveCPU      map[int]*CPUAlloc
+	// capacityHooks run whenever the capacity class changes (AddVM,
+	// PreemptVM, SetCPUCapacity) — the reconfiguration controller's trigger.
+	// They fire mid-mutation, so hooks must only schedule work (sim.Defer),
+	// never read cluster state synchronously.
+	capacityHooks []func()
+	nextAllocID   int
+	liveGPU       map[int]*GPUAlloc
+	liveCPU       map[int]*CPUAlloc
 
 	// Cluster-wide running aggregates, updated O(1) at every device sample so
 	// report finalization reads them directly instead of re-merging every
@@ -189,8 +194,15 @@ func (c *Cluster) CapacityGen() uint64 { return c.capacityGen }
 // bump marks a cluster state change (invalidates the memoized snapshot).
 func (c *Cluster) bump() { c.gen++ }
 
-// bumpCapacity marks a capacity-class change (also a state change).
-func (c *Cluster) bumpCapacity() { c.gen++; c.capacityGen++ }
+// bumpCapacity marks a capacity-class change (also a state change) and fires
+// the capacity hooks.
+func (c *Cluster) bumpCapacity() {
+	c.gen++
+	c.capacityGen++
+	for _, fn := range c.capacityHooks {
+		fn()
+	}
+}
 
 // Watermark returns the telemetry retention watermark in simulated seconds:
 // per-device series hold full-resolution history only at or after it (0
@@ -319,6 +331,13 @@ func (c *Cluster) OnRelease(fn func()) { c.releaseHooks = append(c.releaseHooks,
 
 // OnPreempt registers a hook invoked when a VM is preempted.
 func (c *Cluster) OnPreempt(fn func(*VM)) { c.preemptHooks = append(c.preemptHooks, fn) }
+
+// OnCapacityChange registers a hook invoked whenever the capacity class
+// changes (CapacityGen moves: AddVM, PreemptVM, SetCPUCapacity). The hook
+// runs in the middle of the mutation, before dependent releases and preempt
+// callbacks — it must only schedule follow-up work (e.g. sim.Engine.Defer),
+// never inspect cluster state synchronously.
+func (c *Cluster) OnCapacityChange(fn func()) { c.capacityHooks = append(c.capacityHooks, fn) }
 
 func (c *Cluster) notifyRelease() {
 	for _, fn := range c.releaseHooks {

@@ -461,3 +461,34 @@ func TestSnapshotMemoization(t *testing.T) {
 		t.Errorf("post-release snapshot free GPUs = %d, want 16", got)
 	}
 }
+
+func TestOnCapacityChangeHookFires(t *testing.T) {
+	se := sim.NewEngine()
+	c := New(se, hardware.DefaultCatalog())
+	fired := 0
+	c.OnCapacityChange(func() { fired++ })
+	c.AddVM("vm0", hardware.NDv4SKUName, true)
+	if fired != 1 {
+		t.Fatalf("AddVM fired %d hooks, want 1", fired)
+	}
+	gen := c.CapacityGen()
+	c.PreemptVM("vm0")
+	if fired != 2 {
+		t.Fatalf("PreemptVM fired %d hooks total, want 2", fired)
+	}
+	if c.CapacityGen() != gen+1 {
+		t.Fatalf("capacity gen = %d, want %d", c.CapacityGen(), gen+1)
+	}
+	// Allocation churn must not fire capacity hooks.
+	c.AddVM("vm1", hardware.NDv4SKUName, false)
+	before := fired
+	a, err := c.AllocGPUs(2, hardware.GPUA100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetIntensity(0.5)
+	a.Release()
+	if fired != before {
+		t.Fatalf("alloc/free fired capacity hooks (%d -> %d)", before, fired)
+	}
+}

@@ -41,6 +41,11 @@ type Manager struct {
 
 	// Rebalance accounting for the ablation benches.
 	grows, shrinks int
+	// rebalanceHooks fire after a Rebalance pass that resized at least one
+	// engine — how the scheduler's reconfiguration controller observes fleet
+	// reshaping that the cluster's capacity generation cannot see (engine
+	// resizes move allocations, not totals).
+	rebalanceHooks []func()
 }
 
 type gpuRequest struct {
@@ -299,3 +304,8 @@ func (m *Manager) Stats() Stats {
 
 // Rebalances returns (grows, shrinks) performed so far.
 func (m *Manager) Rebalances() (int, int) { return m.grows, m.shrinks }
+
+// OnRebalance registers a hook invoked after every Rebalance pass that
+// actually resized an engine. Hooks run on the simulation goroutine at the
+// end of the pass, after queued requests were re-drained.
+func (m *Manager) OnRebalance(fn func()) { m.rebalanceHooks = append(m.rebalanceHooks, fn) }

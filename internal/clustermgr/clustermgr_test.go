@@ -296,3 +296,32 @@ func TestEngineRebuildAfterPreemption(t *testing.T) {
 		t.Fatal("engine stuck in rebuilding state")
 	}
 }
+
+func TestOnRebalanceHookFiresOnlyOnResize(t *testing.T) {
+	se, _, m := testMgr(t)
+	fired := 0
+	m.OnRebalance(func() { fired++ })
+	// No engines: a pass resizes nothing and must not fire.
+	m.Rebalance()
+	if fired != 0 {
+		t.Fatalf("no-op pass fired %d hooks", fired)
+	}
+	// An idle engine above its minimum with no registered demand shrinks.
+	h, err := m.EnsureEngine(string(agents.CapSummarization), llmsim.NVLMText(), 4, hardware.GPUA100, 1, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se.Run()
+	m.Rebalance()
+	if fired != 1 {
+		t.Fatalf("shrinking pass fired %d hooks, want 1", fired)
+	}
+	if h.GPUs() != 1 {
+		t.Fatalf("idle engine not shrunk: %d GPUs", h.GPUs())
+	}
+	// Nothing left to resize: quiet again.
+	m.Rebalance()
+	if fired != 1 {
+		t.Fatalf("steady-state pass fired hooks (total %d)", fired)
+	}
+}

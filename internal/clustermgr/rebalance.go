@@ -37,6 +37,7 @@ func (m *Manager) RebalancingEnabled() bool { return m.ticker != nil }
 // Rebalance performs one scaling pass. Exposed for tests and for callers
 // that want explicit control instead of the ticker.
 func (m *Manager) Rebalance() {
+	resizedBefore := m.grows + m.shrinks
 	demand := m.UpcomingDemand()
 	// Deterministic engine order.
 	names := make([]string, 0, len(m.engines))
@@ -74,6 +75,11 @@ func (m *Manager) Rebalance() {
 		}
 	}
 	m.drainPending()
+	if m.grows+m.shrinks != resizedBefore {
+		for _, fn := range m.rebalanceHooks {
+			fn()
+		}
+	}
 }
 
 // resizeEngine rebinds an engine to a new GPU count. The old allocation is

@@ -75,6 +75,10 @@ func writePlanEnv(b *strings.Builder, snap cluster.Snapshot, opts optimizer.Opti
 			contentkey.WriteString(b, pin.Implementation)
 			contentkey.WriteString(b, pin.Config.String())
 			contentkey.WriteInt(b, pin.Parallelism)
+			if pin.ExecutionPaths > 1 {
+				b.WriteString("+ep")
+				contentkey.WriteInt(b, pin.ExecutionPaths)
+			}
 			if pin.AllowScaling {
 				b.WriteString("+scale")
 			}

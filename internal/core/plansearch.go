@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/dag"
 	"repro/internal/optimizer"
 	"repro/internal/planner"
 	"repro/internal/sim"
@@ -60,6 +61,13 @@ func (p *preparedPlan) valid(rt *Runtime) bool {
 		p.libGen == rt.lib.Gen()
 }
 
+// searchWork is one unit for the worker pool: admission plan searches and
+// mid-flight reconfiguration searches share the same workers, goroutine-local
+// planner/optimizer instances and hold-based drain safety.
+type searchWork interface {
+	run(pl *planner.Planner, opt *optimizer.Optimizer)
+}
+
 // searchTask is one singleflight plan search. The result fields are written
 // by the worker before the commit post and read on the loop goroutine after
 // it (the hold's inbox hand-off orders them); decomp may instead be pre-set
@@ -82,6 +90,47 @@ type searchTask struct {
 	decomp *planner.Result
 	plan   *optimizer.Plan
 	err    error
+
+	ps *planSearch
+}
+
+// run executes the admission search on a worker goroutine.
+func (t *searchTask) run(pl *planner.Planner, opt *optimizer.Optimizer) {
+	if t.decomp == nil {
+		t.decomp, t.err = pl.Decompose(t.job)
+	}
+	if t.err == nil {
+		t.plan, t.err = opt.Plan(t.decomp.Graph, t.snap, t.planO)
+	}
+	t.hold.Post(func() { t.ps.s.commit(t) })
+}
+
+// reconfigSearch is one mid-flight re-plan over a running job's remaining
+// DAG. It is never singleflighted — the remaining graph is unique to the
+// job's progress — but rides the same pool, snapshot discipline and
+// generation-validated commit as admission searches.
+type reconfigSearch struct {
+	ps     *planSearch
+	h      *Handle
+	graph  *dag.Graph
+	planO  optimizer.Options
+	curObj float64
+	snap   cluster.Snapshot
+	capGen uint64
+	// storeGen/libGen pin the profile-store and library contents the search
+	// reads; commit re-checks them alongside the capacity generation.
+	storeGen int
+	libGen   int
+	hold     *sim.LoopHold
+
+	plan *optimizer.Plan
+	err  error
+}
+
+// run executes the re-plan on a worker goroutine.
+func (t *reconfigSearch) run(_ *planner.Planner, opt *optimizer.Optimizer) {
+	t.plan, t.err = opt.Plan(t.graph, t.snap, t.planO)
+	t.hold.Post(func() { t.ps.s.commitReconfig(t) })
 }
 
 // planSearch is the worker pool plus the loop-goroutine-owned singleflight
@@ -96,7 +145,7 @@ type planSearch struct {
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []*searchTask
+	queue  []searchWork
 	closed bool
 	wg     sync.WaitGroup
 }
@@ -181,11 +230,35 @@ func (ps *planSearch) dispatch(h *Handle, jk string, decomp *planner.Result) {
 		hold:     ps.loop.Hold(),
 		waiters:  []*Handle{h},
 		decomp:   decomp,
+		ps:       ps,
 	}
 	ps.inflight[key] = t
 	s.planSearches++
+	ps.enqueue(t)
+}
+
+// dispatchReconfig hands a mid-flight re-plan to the worker pool. Runs on the
+// loop goroutine; the hold keeps a draining shard from stranding the commit.
+func (ps *planSearch) dispatchReconfig(h *Handle, g *dag.Graph, planO optimizer.Options, curObj float64, snap cluster.Snapshot) {
+	s := ps.s
+	ps.enqueue(&reconfigSearch{
+		ps:       ps,
+		h:        h,
+		graph:    g,
+		planO:    planO,
+		curObj:   curObj,
+		snap:     snap,
+		capGen:   s.rt.cl.CapacityGen(),
+		storeGen: s.rt.store.Gen(),
+		libGen:   s.rt.lib.Gen(),
+		hold:     ps.loop.Hold(),
+	})
+}
+
+// enqueue pushes one unit onto the worker queue.
+func (ps *planSearch) enqueue(w searchWork) {
 	ps.mu.Lock()
-	ps.queue = append(ps.queue, t)
+	ps.queue = append(ps.queue, w)
 	ps.cond.Signal()
 	ps.mu.Unlock()
 }
@@ -209,13 +282,24 @@ func (ps *planSearch) worker() {
 		ps.queue = ps.queue[1:]
 		ps.mu.Unlock()
 
-		if t.decomp == nil {
-			t.decomp, t.err = pl.Decompose(t.job)
-		}
-		if t.err == nil {
-			t.plan, t.err = opt.Plan(t.decomp.Graph, t.snap, t.planO)
-		}
-		t.hold.Post(func() { ps.s.commit(t) })
+		t.run(pl, opt)
+	}
+}
+
+// commitReconfig is the on-loop half of an off-loop re-plan: validate the
+// captured generations, then hand the result to the hysteresis test. Drift
+// discards the result — the trigger that moved the generations has already
+// scheduled a fresh evaluation pass, exactly like admission's conflict
+// re-plan falling back to current state.
+func (s *Scheduler) commitReconfig(t *reconfigSearch) {
+	t.h.reconfigInflight = false
+	switch {
+	case t.capGen != s.rt.cl.CapacityGen() || t.storeGen != s.rt.store.Gen() || t.libGen != s.rt.lib.Gen():
+		s.reconfigConflicts++
+	case t.err != nil:
+		s.reconfigSkips++
+	default:
+		s.finishReconfig(t.h, t.plan, t.curObj)
 	}
 }
 

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/optimizer"
+)
+
+// Mid-flight workflow reconfiguration (the paper's §3.2 runtime-adaptation
+// claim): workflows are declarative, so the system is free to re-bind the
+// *remaining* stages of a running job to different models and hardware as
+// conditions change — the Whisper→Llama GPU-rebalance example generalized.
+//
+// The controller lives on the scheduler: whenever the plan environment moves
+// (cluster.CapacityGen from fleet churn, the profile-store or library
+// generations, or a clustermgr rebalance pass), it re-runs the optimizer over
+// the remaining DAG of every running job and adopts the new plan only if it
+// strictly improves the job's declared objective by a hysteresis margin.
+// Re-binding happens at stage boundaries only: completed stages are pinned
+// (their accounting and the paper's telemetry integrals are untouched), and
+// capabilities with tasks in flight keep their current decision — mid-stage
+// migration was rejected (see ROADMAP Decisions). With off-loop plan search
+// enabled, the re-plan runs on the PR-4 worker pool against an immutable
+// snapshot and commits optimistically; generation drift at commit discards
+// the result (a conflict), exactly like admission.
+
+// ReconfigConfig tunes the scheduler's reconfiguration controller.
+type ReconfigConfig struct {
+	// Hysteresis is the minimum relative improvement of the remaining-stage
+	// objective before a re-plan is adopted (default 0.05 = 5%): a new plan
+	// must beat re-scoring the current decisions over the same remaining DAG
+	// by this margin, or churn would thrash bindings for noise-level wins.
+	Hysteresis float64
+}
+
+// reconfigState is the controller's loop-owned state.
+type reconfigState struct {
+	cfg     ReconfigConfig
+	pending bool
+	// last* record the plan-environment generations of the latest completed
+	// evaluation pass, so cheap checks (pump) can detect movement the
+	// capacity and rebalance hooks do not cover.
+	lastCapGen   uint64
+	lastStoreGen int
+	lastLibGen   int
+}
+
+// EnableReconfig attaches the reconfiguration controller to the scheduler.
+// Call once, before jobs run. Like every scheduler method it runs on the
+// engine goroutine; with off-loop plan search enabled the re-plans share the
+// search pool, otherwise they run inline on the loop.
+func (s *Scheduler) EnableReconfig(cfg ReconfigConfig) {
+	if s.reconfig != nil {
+		panic("core: reconfiguration already enabled")
+	}
+	if cfg.Hysteresis <= 0 {
+		cfg.Hysteresis = 0.05
+	}
+	s.reconfig = &reconfigState{
+		cfg:          cfg,
+		lastCapGen:   s.rt.cl.CapacityGen(),
+		lastStoreGen: s.rt.store.Gen(),
+		lastLibGen:   s.rt.lib.Gen(),
+	}
+	// Capacity-class churn (AddVM / preemption / harvest resize) and engine
+	// rebalancing both re-trigger evaluation. The hooks fire mid-mutation, so
+	// they only schedule the pass; Defer runs it once the cluster is settled.
+	s.rt.cl.OnCapacityChange(func() { s.scheduleReconfig() })
+	s.rt.mgr.OnRebalance(func() { s.scheduleReconfig() })
+}
+
+// ReconfigEnabled reports whether the controller is attached.
+func (s *Scheduler) ReconfigEnabled() bool { return s.reconfig != nil }
+
+// scheduleReconfig arranges one evaluation pass at the current simulated
+// instant (deduplicating bursts of triggers).
+func (s *Scheduler) scheduleReconfig() {
+	rc := s.reconfig
+	if rc == nil || rc.pending {
+		return
+	}
+	rc.pending = true
+	s.se.Defer(s.evalReconfig)
+}
+
+// checkReconfigGens triggers an evaluation when the plan environment moved
+// without a hook firing (profile recalibration, library registration). Cheap
+// — three integer compares — so pump can afford it.
+func (s *Scheduler) checkReconfigGens() {
+	rc := s.reconfig
+	if rc == nil || rc.pending {
+		return
+	}
+	if rc.lastCapGen != s.rt.cl.CapacityGen() ||
+		rc.lastStoreGen != s.rt.store.Gen() || rc.lastLibGen != s.rt.lib.Gen() {
+		s.scheduleReconfig()
+	}
+}
+
+// evalReconfig is one controller pass: every running job is considered in
+// admission order (JobID), so evaluation order — and with it engine placement
+// — is deterministic for a fixed event history.
+func (s *Scheduler) evalReconfig() {
+	rc := s.reconfig
+	rc.pending = false
+	rc.lastCapGen = s.rt.cl.CapacityGen()
+	rc.lastStoreGen = s.rt.store.Gen()
+	rc.lastLibGen = s.rt.lib.Gen()
+	ids := make([]int, 0, len(s.runningSet))
+	for id := range s.runningSet {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		s.considerReconfig(s.runningSet[JobID(id)])
+	}
+}
+
+// remainingView is the execution's explicit remaining-DAG view: the frozen
+// graph of not-yet-completed nodes, the capabilities that must keep their
+// current binding (tasks in flight), and how many remaining tasks are free
+// to rebind.
+type remainingView struct {
+	graph *dag.Graph
+	// inflight marks capabilities with tasks executing right now — at the
+	// next stage boundary they become rebindable, but not before.
+	inflight map[string]bool
+	// free counts remaining tasks on rebindable capabilities.
+	free int
+}
+
+// remainingView snapshots the remaining DAG. Edges are dropped: the
+// optimizer consumes only (capability, work) demand, and the execution keeps
+// driving the original tracker — this graph exists purely to re-plan over.
+func (ex *Execution) remainingView() *remainingView {
+	rv := &remainingView{graph: dag.New(), inflight: map[string]bool{}}
+	for _, n := range ex.tracker.RemainingNodes() {
+		rv.graph.MustAddNode(*n)
+		if st, ok := ex.stages[n.Capability]; ok && st.inflight > 0 {
+			rv.inflight[n.Capability] = true
+		} else {
+			rv.free++
+		}
+	}
+	if err := rv.graph.Freeze(); err != nil {
+		panic(err) // unreachable: no edges
+	}
+	return rv
+}
+
+// pinFromDecision renders a decision as an optimizer pin, so a re-plan can
+// hold in-flight capabilities (and the hysteresis baseline can hold every
+// capability) to the current binding.
+func pinFromDecision(d optimizer.Decision) optimizer.Pin {
+	return optimizer.Pin{
+		Implementation: d.Implementation,
+		Config:         d.Config,
+		Parallelism:    d.Parallelism,
+		ExecutionPaths: d.ExecutionPaths,
+		AllowScaling:   d.AllowScaling,
+	}
+}
+
+// decisionEquivalent reports whether two decisions bind the same execution
+// configuration. Estimates and pin provenance are ignored: a re-plan over
+// the remaining DAG re-derives estimates from remaining work, and pinning an
+// in-flight capability marks its decision Pinned without changing what runs.
+func decisionEquivalent(a, b optimizer.Decision) bool {
+	return a.Implementation == b.Implementation &&
+		a.Config == b.Config &&
+		a.Parallelism == b.Parallelism &&
+		max(a.ExecutionPaths, 1) == max(b.ExecutionPaths, 1)
+}
+
+// considerReconfig evaluates one running job: re-plan its remaining DAG and
+// adopt the result if it clears the hysteresis bar. With the search pool
+// attached the expensive optimizer pass runs off-loop and commits
+// optimistically; otherwise it runs inline right here.
+func (s *Scheduler) considerReconfig(h *Handle) {
+	ex := h.exec
+	if ex == nil || ex.done || h.reconfigInflight {
+		return
+	}
+	rv := ex.remainingView()
+	if rv.free == 0 || rv.graph.Len() == 0 {
+		return
+	}
+	s.reconfigs++
+
+	planO := planOptions(h.job, h.opts)
+	// The candidate search holds user pins plus every in-flight capability.
+	pins := make(map[string]optimizer.Pin, len(planO.Pinned)+len(rv.inflight))
+	for cap, pin := range planO.Pinned {
+		pins[cap] = pin
+	}
+	for cap := range rv.inflight {
+		if _, ok := pins[cap]; !ok {
+			pins[cap] = pinFromDecision(ex.plan.Decisions[cap])
+		}
+	}
+	newO := planO
+	newO.Pinned = pins
+
+	// The hysteresis baseline: the current decisions re-scored over the same
+	// remaining DAG under current capacity. Infeasible (the fleet shrank from
+	// under the old plan) scores +Inf, so any feasible re-plan wins.
+	curPins := make(map[string]optimizer.Pin, rv.graph.Len())
+	for _, n := range rv.graph.Nodes() {
+		if _, ok := curPins[n.Capability]; !ok {
+			curPins[n.Capability] = pinFromDecision(ex.plan.Decisions[n.Capability])
+		}
+	}
+	curO := planO
+	curO.Pinned = curPins
+
+	// Both searches bypass the runtime's plan cache: a remaining-DAG key is
+	// unique to one job's progress and would never be hit again, and a churn
+	// storm of one-shot inserts would wholesale-reset the cache out from
+	// under admission's structurally-identical jobs. The all-pinned baseline
+	// is cheap (applyPin per capability, no enumeration); the candidate
+	// search pays full price only on the rare capacity events that trigger
+	// evaluation.
+	snap := s.rt.cl.Snapshot()
+	curObj := math.Inf(1)
+	if curPlan, err := s.rt.opt.Plan(rv.graph, snap, curO); err == nil {
+		curObj = curPlan.Objective(h.job.Constraint)
+	}
+
+	if s.search != nil {
+		h.reconfigInflight = true
+		s.search.dispatchReconfig(h, rv.graph, newO, curObj, snap)
+		return
+	}
+	newPlan, err := s.rt.opt.Plan(rv.graph, snap, newO)
+	if err != nil {
+		s.reconfigSkips++
+		return
+	}
+	s.finishReconfig(h, newPlan, curObj)
+}
+
+// finishReconfig applies the hysteresis test and adopts a winning plan.
+func (s *Scheduler) finishReconfig(h *Handle, newPlan *optimizer.Plan, curObj float64) {
+	ex := h.exec
+	if ex == nil || ex.done {
+		s.reconfigSkips++
+		return
+	}
+	newObj := newPlan.Objective(h.job.Constraint)
+	margin := s.reconfig.cfg.Hysteresis
+	if !(newObj < curObj && curObj-newObj >= margin*math.Abs(curObj)) {
+		s.reconfigSkips++
+		return
+	}
+	changed, err := ex.adoptPlan(newPlan)
+	if err != nil || changed == 0 {
+		s.reconfigSkips++
+		return
+	}
+	s.reconfigWins++
+}
+
+// adoptPlan re-binds the execution's remaining stages to newPlan's decisions
+// at the current stage boundaries. Capabilities with tasks in flight, with no
+// remaining work, or absent from newPlan keep their current binding; engine
+// refs move two-phase (ensure new, rebind, release old) so a failure midway
+// leaves the execution exactly as it was. Returns how many capabilities were
+// rebound.
+func (ex *Execution) adoptPlan(newPlan *optimizer.Plan) (int, error) {
+	remaining := ex.tracker.RemainingCapabilityWork()
+	var changed []string
+	for _, cap := range sortedCaps(newPlan.Decisions) {
+		cur, ok := ex.plan.Decisions[cap]
+		if !ok || remaining[cap] == 0 {
+			continue
+		}
+		if decisionEquivalent(cur, newPlan.Decisions[cap]) {
+			continue
+		}
+		if st, ok := ex.stages[cap]; ok && st.inflight > 0 {
+			// The stage left its boundary between planning and adoption
+			// (off-loop search latency); its binding waits for the next pass.
+			continue
+		}
+		changed = append(changed, cap)
+	}
+	if len(changed) == 0 {
+		return 0, nil
+	}
+
+	// Phase 1: acquire engine refs for newly engine-served decisions before
+	// touching anything, so an EnsureEngine failure aborts cleanly.
+	var acquired []string
+	rollback := func() {
+		for _, name := range acquired {
+			ex.rt.releaseEngineRef(name)
+		}
+	}
+	for _, cap := range changed {
+		nd := newPlan.Decisions[cap]
+		if !ex.engineServed(cap, nd) {
+			continue
+		}
+		name, err := ex.acquireEngineRef(cap, nd, "re-planned")
+		if err != nil {
+			rollback()
+			return 0, err
+		}
+		acquired = append(acquired, name)
+	}
+
+	// Phase 2: swap the plan (a copy — cached plans are shared by pointer
+	// across executions and must never be mutated), rebind the affected
+	// stages and hand back the refs the replaced decisions held. Every
+	// changed stage freezes (beginRebind) before any binding swaps: tearing
+	// one stage down releases allocations the cluster manager re-grants
+	// synchronously, and an unfrozen sibling's pump would start a task under
+	// a binding this very adoption is about to replace.
+	merged := &optimizer.Plan{
+		Constraint: ex.plan.Constraint,
+		Decisions:  make(map[string]optimizer.Decision, len(ex.plan.Decisions)),
+	}
+	for cap, d := range ex.plan.Decisions {
+		merged.Decisions[cap] = d
+	}
+	for _, cap := range changed {
+		if st, ok := ex.stages[cap]; ok {
+			st.beginRebind()
+		}
+	}
+	for _, cap := range changed {
+		old := ex.plan.Decisions[cap]
+		nd := newPlan.Decisions[cap]
+		merged.Decisions[cap] = nd
+		if st, ok := ex.stages[cap]; ok {
+			st.finishRebind(nd)
+		}
+		if ex.engineServed(cap, old) {
+			if spec, ok := engineSpecFor(old.Implementation); ok {
+				ex.dropEngineRef(spec.Name)
+			}
+		}
+		ex.rep.Decisions[cap] = fmt.Sprintf("%s @ %s ×%d", nd.Implementation, nd.Config, nd.Parallelism)
+		if nd.ExecutionPaths > 1 {
+			ex.rep.Decisions[cap] += fmt.Sprintf(" paths=%d", nd.ExecutionPaths)
+		}
+		ex.rep.Decisions[cap] += " (reconfigured)"
+	}
+	// Re-derive the plan-level estimates from the merged decisions so a
+	// reconfigured job's report describes the bindings it actually ran
+	// (cost/energy/latency sum what each decision was last planned over;
+	// quality is work-weighted over the full DAG, so it is exact for the
+	// current bindings). Summation follows sorted capability order — float
+	// accumulation must not depend on map iteration.
+	capWork := ex.tracker.Graph().CapabilityWork()
+	totalWork, weighted := 0.0, 0.0
+	for _, cap := range sortedCaps(merged.Decisions) {
+		d := merged.Decisions[cap]
+		merged.EstCostUSD += d.EstCostUSD
+		merged.EstEnergyJ += d.EstEnergyJ
+		merged.EstLatencyS += d.EstLatencyS
+		totalWork += capWork[cap]
+		weighted += capWork[cap] * d.Quality
+	}
+	if totalWork > 0 {
+		merged.EstQuality = weighted / totalWork
+	}
+	ex.rep.Quality = merged.EstQuality
+	ex.heldEngines = append(ex.heldEngines, acquired...)
+	ex.plan = merged
+	ex.reconfigs++
+	return len(changed), nil
+}
+
+// dropEngineRef removes one recorded ref on the named engine and releases it.
+func (ex *Execution) dropEngineRef(name string) {
+	for i, held := range ex.heldEngines {
+		if held == name {
+			ex.heldEngines = append(ex.heldEngines[:i], ex.heldEngines[i+1:]...)
+			ex.rt.releaseEngineRef(name)
+			return
+		}
+	}
+}

@@ -160,6 +160,14 @@ type Execution struct {
 	onDone    []func(*report.Report, error)
 	toolCalls int
 	retries   int
+	// heldEngines records the serving-engine refs this execution holds, in
+	// acquisition order (spec names; one entry per engine-served decision).
+	// Explicit bookkeeping — rather than re-deriving the set from the plan at
+	// finish — is what lets reconfiguration swap an engine-served decision
+	// mid-flight without leaking or double-releasing refs.
+	heldEngines []string
+	// reconfigs counts adopted mid-flight re-plans.
+	reconfigs int
 }
 
 // Namespace is the execution's VectorDB namespace for embedding inserts.
@@ -192,6 +200,9 @@ func (ex *Execution) ToolCalls() int { return ex.toolCalls }
 
 // Retries returns tasks re-executed after failures (preemptions).
 func (ex *Execution) Retries() int { return ex.retries }
+
+// Reconfigs returns how many mid-flight re-plans this execution adopted.
+func (ex *Execution) Reconfigs() int { return ex.reconfigs }
 
 // OnDone registers a completion callback.
 func (ex *Execution) OnDone(fn func(*report.Report, error)) {
@@ -322,22 +333,37 @@ func (ex *Execution) ensureEngines() error {
 		if !ex.engineServed(cap, d) {
 			continue
 		}
-		spec, ok := engineSpecFor(d.Implementation)
-		if !ok {
-			return fmt.Errorf("core: no serving spec for LLM implementation %q", d.Implementation)
-		}
-		if d.Config.GPUs == 0 {
-			return fmt.Errorf("core: LLM capability %q planned without GPUs (%v)", cap, d.Config)
-		}
-		im, _ := ex.rt.lib.Get(d.Implementation)
-		h, err := ex.rt.mgr.EnsureEngine(cap, spec, d.Config.GPUs, d.Config.GPUType,
-			im.Perf.MinGPUs, im.Perf.MaxGPUs, d.Pinned && !d.AllowScaling)
+		name, err := ex.acquireEngineRef(cap, d, "planned")
 		if err != nil {
 			return err
 		}
-		ex.rt.engineRefs[h.Spec.Name]++
+		ex.heldEngines = append(ex.heldEngines, name)
 	}
 	return nil
+}
+
+// acquireEngineRef ensures the serving engine behind an engine-served
+// decision and takes one ref on it, returning the engine's spec name. It is
+// the single definition of the engine-acquisition invariants (spec lookup,
+// GPU validation, scaling envelope, ref bookkeeping) shared by admission
+// (ensureEngines) and mid-flight reconfiguration (adoptPlan); verb names the
+// planning step for error messages.
+func (ex *Execution) acquireEngineRef(cap string, d optimizer.Decision, verb string) (string, error) {
+	spec, ok := engineSpecFor(d.Implementation)
+	if !ok {
+		return "", fmt.Errorf("core: no serving spec for LLM implementation %q", d.Implementation)
+	}
+	if d.Config.GPUs == 0 {
+		return "", fmt.Errorf("core: LLM capability %q %s without GPUs (%v)", cap, verb, d.Config)
+	}
+	im, _ := ex.rt.lib.Get(d.Implementation)
+	h, err := ex.rt.mgr.EnsureEngine(cap, spec, d.Config.GPUs, d.Config.GPUType,
+		im.Perf.MinGPUs, im.Perf.MaxGPUs, d.Pinned && !d.AllowScaling)
+	if err != nil {
+		return "", err
+	}
+	ex.rt.engineRefs[h.Spec.Name]++
+	return h.Spec.Name, nil
 }
 
 // chargePlanning submits the planner's LLM queries to the orchestrator
@@ -462,22 +488,21 @@ func (ex *Execution) finish(err error) {
 }
 
 func (rt *Runtime) releaseEngineRefs(ex *Execution) {
-	for _, cap := range sortedCaps(ex.plan.Decisions) {
-		d := ex.plan.Decisions[cap]
-		if !ex.engineServed(cap, d) {
-			continue
-		}
-		spec, ok := engineSpecFor(d.Implementation)
-		if !ok {
-			continue
-		}
-		rt.engineRefs[spec.Name]--
-		if rt.engineRefs[spec.Name] == 0 {
-			if h, ok := rt.mgr.Engine(spec.Name); ok {
-				// Drain then release: in-flight requests (none, if the DAG
-				// is done) finish first.
-				h.Engine.OnDrained(func() { rt.mgr.ReleaseEngine(spec.Name) })
-			}
+	for _, name := range ex.heldEngines {
+		rt.releaseEngineRef(name)
+	}
+	ex.heldEngines = nil
+}
+
+// releaseEngineRef drops one ref on a serving engine, draining and releasing
+// it when this was the last.
+func (rt *Runtime) releaseEngineRef(name string) {
+	rt.engineRefs[name]--
+	if rt.engineRefs[name] == 0 {
+		if h, ok := rt.mgr.Engine(name); ok {
+			// Drain then release: in-flight requests (none, if the DAG
+			// is done) finish first.
+			h.Engine.OnDrained(func() { rt.mgr.ReleaseEngine(name) })
 		}
 	}
 }

@@ -92,6 +92,12 @@ type Handle struct {
 	// committed decomposition + plan for start; nil means plan inline.
 	planReady bool
 	prepared  *preparedPlan
+	// reconfigInflight marks a running job with an off-loop re-plan between
+	// dispatch and commit. At most one search per job is in flight: a second
+	// would compare its hysteresis baseline against decisions the first may
+	// have already replaced (rebalance passes move no generation, so the
+	// commit-time generation check cannot catch that staleness).
+	reconfigInflight bool
 }
 
 // ID returns the job's scheduler-scoped identifier.
@@ -199,6 +205,14 @@ type SchedulerStats struct {
 	SingleflightHits   int
 	PlanConflicts      int
 	PlanSearchInflight int
+	// Reconfiguration accounting (all zero with the controller disabled):
+	// Reconfigs counts running-job evaluations, ReconfigWins adopted
+	// re-plans, ReconfigSkips evaluations that kept the current plan, and
+	// ReconfigConflicts off-loop re-plans invalidated by generation drift.
+	Reconfigs         int
+	ReconfigWins      int
+	ReconfigSkips     int
+	ReconfigConflicts int
 }
 
 // Scheduler admits jobs into a shared Runtime.
@@ -233,6 +247,16 @@ type Scheduler struct {
 	planSearches     int
 	singleflightHits int
 	planConflicts    int
+
+	// reconfig is the mid-flight reconfiguration controller (nil when
+	// disabled; see reconfig.go). Counters: evaluations of running jobs,
+	// adopted re-plans, evaluations that kept the current plan, and off-loop
+	// re-plans discarded for generation drift at commit.
+	reconfig          *reconfigState
+	reconfigs         int
+	reconfigWins      int
+	reconfigSkips     int
+	reconfigConflicts int
 }
 
 // NewScheduler builds the admission layer over a runtime.
@@ -304,6 +328,10 @@ func (s *Scheduler) Submit(tenant string, job workflow.Job, opts SubmitOptions) 
 // off-loop plan search has not committed yet are not eligible; their commit
 // re-pumps.
 func (s *Scheduler) pump() {
+	// Plan-environment movement without a capacity/rebalance hook (profile
+	// recalibration, library registration) is caught here, on the admission
+	// path's natural cadence.
+	s.checkReconfigGens()
 	for s.running < s.maxConcurrent && len(s.queue) > 0 {
 		idx := s.pickNext()
 		if idx < 0 {
@@ -439,16 +467,20 @@ func (s *Scheduler) Running() int { return s.running }
 // Stats returns lifecycle counters.
 func (s *Scheduler) Stats() SchedulerStats {
 	st := SchedulerStats{
-		Submitted:        int(s.nextID),
-		Completed:        s.completed,
-		Failed:           s.failed,
-		Canceled:         s.canceled,
-		Running:          s.running,
-		Queued:           len(s.queue),
-		PeakRunning:      s.peakRunning,
-		PlanSearches:     s.planSearches,
-		SingleflightHits: s.singleflightHits,
-		PlanConflicts:    s.planConflicts,
+		Submitted:         int(s.nextID),
+		Completed:         s.completed,
+		Failed:            s.failed,
+		Canceled:          s.canceled,
+		Running:           s.running,
+		Queued:            len(s.queue),
+		PeakRunning:       s.peakRunning,
+		PlanSearches:      s.planSearches,
+		SingleflightHits:  s.singleflightHits,
+		PlanConflicts:     s.planConflicts,
+		Reconfigs:         s.reconfigs,
+		ReconfigWins:      s.reconfigWins,
+		ReconfigSkips:     s.reconfigSkips,
+		ReconfigConflicts: s.reconfigConflicts,
 	}
 	if s.search != nil {
 		st.PlanSearchInflight = len(s.search.inflight)

@@ -7,20 +7,30 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dag"
 	"repro/internal/llmsim"
+	"repro/internal/optimizer"
 	"repro/internal/sim"
 	"repro/internal/vectordb"
 )
 
-// stage executes all tasks of one capability under the optimizer's decision.
-// LLM capabilities submit to a shared serving engine (concurrency via
-// continuous batching); everything else runs on an elastic worker pool that
-// holds resources only while work is queued — releasing them the moment the
-// stage drains, which is the anti-stranding behaviour the baseline lacks.
+// stage executes one capability's tasks as a resumable segment bound to one
+// optimizer decision. LLM capabilities submit to a shared serving engine
+// (concurrency via continuous batching); everything else runs on an elastic
+// worker pool that holds resources only while work is queued — releasing
+// them the moment the stage drains, which is the anti-stranding behaviour
+// the baseline lacks.
+//
+// The binding (dec/im/isLLM) is stage-local rather than read through the
+// execution's plan so the reconfiguration controller can swap it at a stage
+// boundary: rebind installs a new decision for tasks that have not started,
+// while tasks in flight always finish under the binding they started with.
 type stage struct {
-	ex    *Execution
-	cap   string
+	ex  *Execution
+	cap string
+	// dec is the segment's current binding — the decision every task of this
+	// stage executes under until the next rebind.
+	dec   optimizer.Decision
 	isLLM bool
-	// im is the stage's implementation, looked up once at construction
+	// im is the binding's implementation, looked up once per rebind
 	// (Library.Get returns a defensive copy; per-task lookups would allocate
 	// on the dispatch hot path). nil if the decision names an unknown
 	// implementation — workers surface that as an execution error.
@@ -28,7 +38,17 @@ type stage struct {
 
 	queue   []*dag.Node
 	workers []*worker
+	// inflight counts tasks executing right now (submitted LLM requests or
+	// busy workers). A stage is at a boundary — and its binding swappable —
+	// exactly when inflight is zero; queued tasks have not started and may
+	// re-route.
+	inflight int
 
+	// rebinding gates pump during rebind's teardown: destroying a worker
+	// releases its allocation, which synchronously re-grants to this stage's
+	// still-acquiring workers — and their becomeReady→pump would start tasks
+	// under the outgoing binding mid-teardown.
+	rebinding    bool
 	shutdownFlag bool
 }
 
@@ -36,15 +56,50 @@ func (ex *Execution) stageFor(capability string) *stage {
 	if st, ok := ex.stages[capability]; ok {
 		return st
 	}
-	im, _ := ex.rt.lib.Get(ex.plan.Decisions[capability].Implementation)
+	dec := ex.plan.Decisions[capability]
+	im, _ := ex.rt.lib.Get(dec.Implementation)
 	st := &stage{
 		ex:    ex,
 		cap:   capability,
-		isLLM: ex.engineServed(capability, ex.plan.Decisions[capability]),
+		dec:   dec,
+		isLLM: ex.engineServed(capability, dec),
 		im:    im,
 	}
 	ex.stages[capability] = st
 	return st
+}
+
+// beginRebind freezes the segment at its stage boundary: the pump is gated
+// until finishRebind, so nothing can start a task under the outgoing
+// binding. Adoption freezes EVERY stage it will rebind before tearing any
+// of them down — a teardown releases allocations the cluster manager
+// re-grants synchronously, and an unfrozen sibling's pump would otherwise
+// start a task under a binding the same adoption is about to replace.
+// Callers guarantee inflight == 0.
+func (st *stage) beginRebind() {
+	if st.inflight != 0 {
+		panic("core: stage rebind with tasks in flight")
+	}
+	st.rebinding = true
+}
+
+// finishRebind tears the frozen segment's workers down (their grants
+// release), installs the new decision and re-routes queued tasks under it —
+// including across the worker-pool/engine-served divide.
+func (st *stage) finishRebind(dec optimizer.Decision) {
+	for len(st.workers) > 0 {
+		st.workers[0].destroy()
+	}
+	st.rebinding = false
+	st.dec = dec
+	im, _ := st.ex.rt.lib.Get(dec.Implementation)
+	st.im = im
+	st.isLLM = st.ex.engineServed(st.cap, dec)
+	q := st.queue
+	st.queue = nil
+	for _, node := range q {
+		st.enqueue(node)
+	}
 }
 
 func (st *stage) enqueue(node *dag.Node) {
@@ -60,7 +115,7 @@ func (st *stage) enqueue(node *dag.Node) {
 
 func (st *stage) submitLLM(node *dag.Node) {
 	ex := st.ex
-	d := ex.plan.Decisions[st.cap]
+	d := st.dec
 	if _, err := ex.rt.pl.ToolCallFor(node, d.Implementation); err != nil {
 		ex.finish(fmt.Errorf("core: tool-call generation for %s: %w", node.ID, err))
 		return
@@ -81,6 +136,7 @@ func (st *stage) submitLLM(node *dag.Node) {
 		paths = 1
 	}
 	span := ex.tracer.Start(trackName(st.cap), string(node.ID), ex.rt.se.Now().Seconds())
+	st.inflight++
 	remaining := paths
 	for p := 0; p < paths; p++ {
 		h.Engine.Submit(&llmsim.Request{
@@ -92,6 +148,7 @@ func (st *stage) submitLLM(node *dag.Node) {
 				if remaining > 0 {
 					return // top-k barrier: wait for all paths
 				}
+				st.inflight--
 				if ex.done {
 					return // canceled mid-request: drop the result
 				}
@@ -140,10 +197,10 @@ type worker struct {
 // pump assigns queued tasks to ready workers, growing the pool up to the
 // decision's parallelism.
 func (st *stage) pump() {
-	if st.shutdownFlag {
+	if st.shutdownFlag || st.rebinding {
 		return
 	}
-	d := st.ex.plan.Decisions[st.cap]
+	d := st.dec
 	for len(st.queue) > 0 {
 		w := st.idleReadyWorker()
 		if w == nil {
@@ -197,8 +254,7 @@ func (st *stage) spawnWorker() {
 // acquire obtains the per-instance allocation (GPU first, then CPU for
 // hybrid configs) through the cluster manager's queue.
 func (w *worker) acquire() {
-	d := w.st.ex.plan.Decisions[w.st.cap]
-	cfg := d.Config
+	cfg := w.st.dec.Config
 	needCPU := func() {
 		if cfg.CPUCores == 0 {
 			w.becomeReady()
@@ -243,7 +299,7 @@ func (w *worker) becomeReady() {
 func (w *worker) run(node *dag.Node) {
 	st := w.st
 	ex := st.ex
-	d := ex.plan.Decisions[st.cap]
+	d := st.dec
 	if _, err := ex.rt.pl.ToolCallFor(node, d.Implementation); err != nil {
 		ex.finish(fmt.Errorf("core: tool-call generation for %s: %w", node.ID, err))
 		return
@@ -262,6 +318,7 @@ func (w *worker) run(node *dag.Node) {
 	}
 	w.busy = true
 	w.current = node
+	st.inflight++
 	w.setIntensity(im.Perf.GPUIntensity, im.Perf.CPUIntensity)
 	w.span = ex.tracer.Start(trackName(st.cap), string(node.ID), ex.rt.se.Now().Seconds())
 	w.doneEv = ex.rt.se.After(sim.Duration(dur), func() {
@@ -270,6 +327,7 @@ func (w *worker) run(node *dag.Node) {
 		ex.tracer.End(w.span, ex.rt.se.Now().Seconds())
 		w.busy = false
 		w.current = nil
+		st.inflight--
 		st.afterTask(node)
 		ex.completeNode(node.ID)
 		st.pump()
@@ -311,6 +369,7 @@ func (w *worker) preempted() {
 		ex.retries++
 		w.current = nil
 		w.busy = false
+		st.inflight--
 	}
 	w.destroy()
 	ex.rt.se.Defer(st.pump)
@@ -323,8 +382,13 @@ func (w *worker) destroy() {
 	}
 	w.dead = true
 	w.ready = false
+	if w.busy {
+		// Cancellation can destroy a busy worker; its in-flight task is
+		// abandoned with it.
+		w.busy = false
+		w.st.inflight--
+	}
 	if w.doneEv != nil {
-		// Cancellation can destroy a busy worker; abandon its in-flight task.
 		w.doneEv.Cancel()
 		w.doneEv = nil
 	}

@@ -300,3 +300,32 @@ func TestNewTrackerUnfrozenPanics(t *testing.T) {
 	}()
 	NewTracker(g)
 }
+
+func TestTrackerRemainingNodes(t *testing.T) {
+	g := New()
+	g.MustAddNode(Node{ID: "a", Capability: "x", Work: 1})
+	g.MustAddNode(Node{ID: "b", Capability: "y", Work: 2})
+	g.MustAddNode(Node{ID: "c", Capability: "y", Work: 3})
+	g.MustAddEdge("a", "b")
+	g.MustAddEdge("b", "c")
+	if err := g.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(g)
+	if got := len(tr.RemainingNodes()); got != 3 {
+		t.Fatalf("remaining = %d at start", got)
+	}
+	if err := tr.Start("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.RemainingNodes()); got != 3 {
+		t.Fatalf("remaining = %d with a running (running is not done)", got)
+	}
+	if _, err := tr.Complete("a"); err != nil {
+		t.Fatal(err)
+	}
+	rem := tr.RemainingNodes()
+	if len(rem) != 2 || rem[0].ID != "b" || rem[1].ID != "c" {
+		t.Fatalf("remaining after a = %v", rem)
+	}
+}

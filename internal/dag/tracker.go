@@ -117,6 +117,19 @@ func (t *Tracker) Running() []NodeID {
 	return out
 }
 
+// RemainingNodes returns the nodes that have not completed (pending, ready
+// or running), in graph insertion order — the "remaining DAG" view the
+// reconfiguration controller re-plans over at stage boundaries.
+func (t *Tracker) RemainingNodes() []*Node {
+	var out []*Node
+	for _, n := range t.g.Nodes() {
+		if t.state[n.ID] != stateDone {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
 // RemainingCapabilityWork sums Work per capability over nodes that are not
 // yet done. This is the §3.2 lookahead signal: "if no workflows are expected
 // to require a Speech-To-Text agent soon, [the Cluster Manager] can

@@ -60,6 +60,29 @@ type Plan struct {
 	// EstCostUSD / EstEnergyJ aggregate stage estimates.
 	EstCostUSD float64
 	EstEnergyJ float64
+	// EstLatencyS sums per-stage latency estimates — a stage-serialized upper
+	// bound on completion time. It is the completion-objective scalar the
+	// reconfiguration controller compares plans by (consistent across plans
+	// over the same DAG, which is all a relative comparison needs).
+	EstLatencyS float64
+}
+
+// Objective collapses a plan's estimates to one lower-is-better scalar for
+// the given constraint: cost in USD, energy in joules, completion as the
+// stage-serialized latency sum, and quality negated (higher quality = lower
+// objective). The reconfiguration controller compares the objective of a
+// re-planned remaining DAG against the current plan's over the same DAG.
+func (p *Plan) Objective(c workflow.Constraint) float64 {
+	switch c {
+	case workflow.MinCost:
+		return p.EstCostUSD
+	case workflow.MinPower:
+		return p.EstEnergyJ
+	case workflow.MaxQuality:
+		return -p.EstQuality
+	default: // MinLatency and any future constraint: completion time
+		return p.EstLatencyS
+	}
 }
 
 // Pin forces a capability's implementation and configuration (used by the
@@ -70,6 +93,11 @@ type Pin struct {
 	Implementation string
 	Config         profiles.ResourceConfig
 	Parallelism    int
+	// ExecutionPaths pins top-k replication (0 or 1 = none). The
+	// reconfiguration controller pins in-flight capabilities to their full
+	// current decision, which must include replication or re-scoring would
+	// understate the quality the plan already bought.
+	ExecutionPaths int
 	// AllowScaling lets the cluster manager autoscale the engine created
 	// for a pinned LLM decision; the pin then fixes only the initial size.
 	AllowScaling bool
@@ -217,6 +245,7 @@ func (o *Optimizer) Plan(g *dag.Graph, snap cluster.Snapshot, opts Options) (*Pl
 		plan.Decisions[d.capability] = dec
 		plan.EstCostUSD += dec.EstCostUSD
 		plan.EstEnergyJ += dec.EstEnergyJ
+		plan.EstLatencyS += dec.EstLatencyS
 	}
 
 	// Work-weighted quality.
@@ -357,13 +386,14 @@ func (o *Optimizer) applyPin(d capDemand, avail availability, pin Pin) (Decision
 			k = 1
 		}
 	}
-	c := o.score(d, prof, k, 1)
+	paths := max(pin.ExecutionPaths, 1)
+	c := o.score(d, prof, k, paths)
 	return Decision{
 		Capability:     d.capability,
 		Implementation: pin.Implementation,
 		Config:         pin.Config,
 		Parallelism:    k,
-		ExecutionPaths: 1,
+		ExecutionPaths: paths,
 		Pinned:         true,
 		AllowScaling:   pin.AllowScaling,
 		EstLatencyS:    c.latency,

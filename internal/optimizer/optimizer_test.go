@@ -317,3 +317,19 @@ func TestParallelLadder(t *testing.T) {
 		t.Fatalf("ladder(1) = %v", got2)
 	}
 }
+
+func TestPlanObjectiveSelectsConstraintComponent(t *testing.T) {
+	p := &Plan{EstCostUSD: 2, EstEnergyJ: 3, EstLatencyS: 4, EstQuality: 0.9}
+	if got := p.Objective(workflow.MinCost); got != 2 {
+		t.Fatalf("MinCost objective = %v", got)
+	}
+	if got := p.Objective(workflow.MinPower); got != 3 {
+		t.Fatalf("MinPower objective = %v", got)
+	}
+	if got := p.Objective(workflow.MinLatency); got != 4 {
+		t.Fatalf("MinLatency objective = %v", got)
+	}
+	if got := p.Objective(workflow.MaxQuality); got != -0.9 {
+		t.Fatalf("MaxQuality objective = %v", got)
+	}
+}

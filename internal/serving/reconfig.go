@@ -1,0 +1,256 @@
+// reconfig.go is the fleet-churn harness behind BenchmarkReconfig: it
+// replays the same bursty job mix and the same fleet-churn trace (VMs
+// arriving mid-run, CGReplay-style capture/replay) against one runtime shard
+// twice — once with the mid-flight reconfiguration controller enabled and
+// once without — and compares completion time and energy in *simulated*
+// seconds. Both arms run entirely inside the simulation (no wall-clock in
+// the metrics, no loop goroutine), so for fixed seeds the comparison is
+// deterministic and machine-independent: the gain ratio can be gated in CI.
+package serving
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/agents"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/hardware"
+	"repro/internal/sim"
+	"repro/internal/workflow"
+	"repro/internal/workload"
+)
+
+// ReconfigOptions shapes the replayed run.
+type ReconfigOptions struct {
+	// Rate/HorizonS/Seed parameterize the Poisson job burst; Mix its shape
+	// (a video-heavy MinLatency mix when zero — worker-pool stages are what
+	// re-binding parallelism accelerates).
+	Rate     float64
+	HorizonS float64
+	Seed     int64
+	Mix      workload.MixSpec
+	// VMs is the initial on-demand fleet; the churn trace grows it.
+	VMs int
+	// ChurnAddRate/ChurnLifetimeS/ChurnHorizonS/ChurnSeed parameterize the
+	// replayed fleet-churn trace (spot VMs arriving, optionally evicted).
+	ChurnAddRate   float64
+	ChurnLifetimeS float64
+	ChurnHorizonS  float64
+	ChurnSeed      int64
+	// MaxConcurrent bounds jobs admitted concurrently (0 admits the whole
+	// burst).
+	MaxConcurrent int
+	// RebalancePeriodS enables the cluster manager's engine-rebalancing loop
+	// in both arms (0 disables): engines scale with the fleet either way, so
+	// the comparison isolates what re-binding worker stages adds on top.
+	RebalancePeriodS float64
+	// Hysteresis overrides the controller's adoption margin (0 = default).
+	Hysteresis float64
+}
+
+// DefaultReconfigOptions is the benchmark configuration: a ~20-job
+// video-only burst planned against a single VM with four jobs admitted at a
+// time, and more VMs arriving while the running jobs' later stages are still
+// pending. The engine-rebalancing loop runs in both arms, so the measured
+// gain isolates stage re-binding.
+func DefaultReconfigOptions() ReconfigOptions {
+	return ReconfigOptions{
+		Rate:             0.4,
+		HorizonS:         50,
+		Seed:             7,
+		VMs:              1,
+		ChurnAddRate:     0.02,
+		ChurnHorizonS:    160,
+		ChurnSeed:        3,
+		ChurnLifetimeS:   0, // pure growth: adds are what move plan capacity
+		MaxConcurrent:    4,
+		RebalancePeriodS: 30,
+	}
+}
+
+// reconfigMix is the default job mix: video understanding only — its
+// frame-extraction/STT/detection stages run on elastic worker pools whose
+// parallelism is exactly what a bigger fleet unlocks, and every job shares
+// the same two warm serving engines, so the whole burst fits the single
+// starting VM. Constrained MinLatency, so the objective the controller
+// optimizes is completion time.
+func reconfigMix() workload.MixSpec {
+	return workload.MixSpec{
+		VideoWeight: 1,
+		Tenants:     []string{"alice", "bob", "carol", "dave"},
+		Constraint:  workflow.MinLatency,
+		VideoScenes: 12,
+	}
+}
+
+// ReconfigArm is the measurement for one arm of the comparison.
+type ReconfigArm struct {
+	Mode      string
+	Jobs      int
+	Completed int
+	Failed    int
+	// MeanCompletionS / P95CompletionS are per-job submit→done times in
+	// simulated seconds; MakespanS is the last completion.
+	MeanCompletionS float64
+	P95CompletionS  float64
+	MakespanS       float64
+	// EnergyWh integrates cluster GPU+CPU power over [0, MakespanS].
+	EnergyWh float64
+	// Controller counters (zero in the off arm).
+	Reconfigs         int
+	ReconfigWins      int
+	ReconfigSkips     int
+	ReconfigConflicts int
+}
+
+// ReconfigComparison pits reconfiguration-on against reconfiguration-off on
+// the same replayed job burst and fleet-churn trace.
+type ReconfigComparison struct {
+	Off ReconfigArm
+	On  ReconfigArm
+	// CompletionGainX = Off.MeanCompletionS / On.MeanCompletionS.
+	CompletionGainX float64
+	// EnergyGainX = Off.EnergyWh / On.EnergyWh.
+	EnergyGainX float64
+}
+
+// RunReconfig replays the burst and churn trace through both arms.
+func RunReconfig(opts ReconfigOptions) (*ReconfigComparison, error) {
+	mix := opts.Mix
+	if len(mix.Tenants) == 0 {
+		mix = reconfigMix()
+	}
+	arrivals, err := workload.PoissonTrace(mix, opts.Rate, opts.HorizonS, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if len(arrivals) == 0 {
+		return nil, fmt.Errorf("serving: empty reconfig job trace")
+	}
+	churn, err := workload.ChurnTrace(hardware.NDv4SKUName, opts.ChurnAddRate,
+		opts.ChurnLifetimeS, opts.ChurnHorizonS, opts.ChurnSeed)
+	if err != nil {
+		return nil, err
+	}
+	off, err := runReconfigArm(opts, arrivals, churn, false)
+	if err != nil {
+		return nil, err
+	}
+	on, err := runReconfigArm(opts, arrivals, churn, true)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &ReconfigComparison{Off: off, On: on}
+	if on.MeanCompletionS > 0 {
+		cmp.CompletionGainX = off.MeanCompletionS / on.MeanCompletionS
+	}
+	if on.EnergyWh > 0 {
+		cmp.EnergyGainX = off.EnergyWh / on.EnergyWh
+	}
+	return cmp, nil
+}
+
+// runReconfigArm replays the traces against one freshly-provisioned shard
+// stack, entirely in simulated time.
+func runReconfigArm(opts ReconfigOptions, arrivals []workload.Arrival, churn []workload.FleetEvent, enabled bool) (ReconfigArm, error) {
+	se := sim.NewEngine()
+	cl := cluster.New(se, hardware.DefaultCatalog())
+	vms := opts.VMs
+	if vms <= 0 {
+		vms = 1
+	}
+	for v := 0; v < vms; v++ {
+		cl.AddVM(fmt.Sprintf("vm%d", v), hardware.NDv4SKUName, false)
+	}
+	rt, err := core.New(core.Config{
+		Engine: se, Cluster: cl, Library: agents.DefaultLibrary(),
+		RebalancePeriod: sim.Duration(opts.RebalancePeriodS),
+	})
+	if err != nil {
+		return ReconfigArm{}, err
+	}
+	maxc := opts.MaxConcurrent
+	if maxc <= 0 {
+		maxc = len(arrivals)
+	}
+	sched := core.NewScheduler(se, rt, maxc)
+	if enabled {
+		sched.EnableReconfig(core.ReconfigConfig{Hysteresis: opts.Hysteresis})
+	}
+
+	arm := ReconfigArm{Mode: "reconfig-off", Jobs: len(arrivals)}
+	if enabled {
+		arm.Mode = "reconfig-on"
+	}
+	var completions []float64
+	for _, arr := range arrivals {
+		arr := arr
+		se.After(sim.Duration(arr.AtS), func() {
+			h, err := sched.Submit(arr.Tenant, arr.Job, core.SubmitOptions{RelaxFloor: true, KeepEngines: true})
+			if err != nil {
+				arm.Failed++
+				return
+			}
+			h.OnDone(func(h *core.Handle) {
+				if h.Status() != core.JobDone {
+					arm.Failed++
+					return
+				}
+				arm.Completed++
+				done := se.Now().Seconds()
+				completions = append(completions, done-arr.AtS)
+				if done > arm.MakespanS {
+					arm.MakespanS = done
+				}
+			})
+		})
+	}
+	for _, ev := range churn {
+		ev := ev
+		se.After(sim.Duration(ev.AtS), func() {
+			switch ev.Kind {
+			case workload.FleetAddVM:
+				cl.AddVM(ev.VM, ev.SKU, ev.Spot)
+			case workload.FleetPreemptVM:
+				cl.PreemptVM(ev.VM)
+			}
+		})
+	}
+	se.Run()
+
+	if arm.Completed != len(arrivals) {
+		return arm, fmt.Errorf("serving: reconfig arm %s completed %d/%d jobs (%d failed)",
+			arm.Mode, arm.Completed, len(arrivals), arm.Failed)
+	}
+	sum := 0.0
+	for _, c := range completions {
+		sum += c
+	}
+	arm.MeanCompletionS = sum / float64(len(completions))
+	sort.Float64s(completions)
+	arm.P95CompletionS = percentile(completions, 0.95)
+	arm.EnergyWh = (cl.GPUEnergyJoules(0, arm.MakespanS) + cl.CPUEnergyJoules(0, arm.MakespanS)) / 3600
+	st := sched.Stats()
+	arm.Reconfigs = st.Reconfigs
+	arm.ReconfigWins = st.ReconfigWins
+	arm.ReconfigSkips = st.ReconfigSkips
+	arm.ReconfigConflicts = st.ReconfigConflicts
+	return arm, nil
+}
+
+// String renders the comparison.
+func (c *ReconfigComparison) String() string {
+	var b []byte
+	f := func(format string, args ...any) { b = append(b, fmt.Sprintf(format, args...)...) }
+	f("Mid-flight reconfiguration under fleet churn (simulated time, replayed traces)\n")
+	f("%-14s %6s %6s %12s %12s %12s %12s %7s %6s %6s\n",
+		"mode", "jobs", "fail", "mean(s)", "p95(s)", "makespan(s)", "energy(Wh)", "evals", "wins", "skips")
+	for _, m := range []ReconfigArm{c.Off, c.On} {
+		f("%-14s %6d %6d %12.1f %12.1f %12.1f %12.1f %7d %6d %6d\n",
+			m.Mode, m.Jobs, m.Failed, m.MeanCompletionS, m.P95CompletionS, m.MakespanS,
+			m.EnergyWh, m.Reconfigs, m.ReconfigWins, m.ReconfigSkips)
+	}
+	f("Reconfiguration completion gain: %.3fx, energy gain: %.3fx\n", c.CompletionGainX, c.EnergyGainX)
+	return string(b)
+}

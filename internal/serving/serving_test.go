@@ -103,3 +103,35 @@ func TestRunAdmissionSmallBurst(t *testing.T) {
 		t.Fatal("empty rendering")
 	}
 }
+
+// TestRunReconfigDeterministicGain is the cheap in-suite version of
+// BenchmarkReconfig: both arms complete every job of the replayed trace, the
+// controller adopts at least one re-plan, the enabled arm improves mean
+// completion, and a replay reproduces the identical simulated metrics.
+func TestRunReconfigDeterministicGain(t *testing.T) {
+	res, err := RunReconfig(DefaultReconfigOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Off.Failed != 0 || res.On.Failed != 0 {
+		t.Fatalf("failed jobs: off %d on %d", res.Off.Failed, res.On.Failed)
+	}
+	if res.Off.Reconfigs != 0 {
+		t.Fatalf("off arm evaluated reconfigurations: %+v", res.Off)
+	}
+	if res.On.ReconfigWins == 0 {
+		t.Fatalf("on arm adopted nothing: %+v", res.On)
+	}
+	if res.CompletionGainX <= 1 {
+		t.Fatalf("no completion gain: %.3f (off %.1fs on %.1fs)",
+			res.CompletionGainX, res.Off.MeanCompletionS, res.On.MeanCompletionS)
+	}
+	replay, err := RunReconfig(DefaultReconfigOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.CompletionGainX != res.CompletionGainX || replay.On.MeanCompletionS != res.On.MeanCompletionS ||
+		replay.On.EnergyWh != res.On.EnergyWh {
+		t.Fatalf("replay diverged: %+v vs %+v", replay.On, res.On)
+	}
+}

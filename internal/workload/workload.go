@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/workflow"
 )
@@ -172,6 +173,70 @@ func PoissonTrace(mix MixSpec, rate, horizonS float64, seed int64) ([]Arrival, e
 		}
 		out = append(out, Arrival{AtS: t, Tenant: tenant, Job: job})
 	}
+	return out, nil
+}
+
+// FleetEventKind classifies one fleet-churn event.
+type FleetEventKind int
+
+// Fleet-churn event kinds.
+const (
+	// FleetAddVM provisions a new VM (capacity grows).
+	FleetAddVM FleetEventKind = iota
+	// FleetPreemptVM evicts a previously-added spot VM (capacity shrinks).
+	FleetPreemptVM
+)
+
+// FleetEvent is one replayable fleet-churn event: a VM arriving or a spot VM
+// being evicted at a simulated time. Traces of these events drive the
+// reconfiguration harness the way CGReplay drives gaming workloads — captured
+// once, replayed identically against every arm, so runs are deterministic and
+// comparable.
+type FleetEvent struct {
+	AtS  float64
+	Kind FleetEventKind
+	// VM is the machine's name; SKU its catalog entry; Spot whether it is
+	// preemptible (preempt events only ever name spot VMs).
+	VM   string
+	SKU  string
+	Spot bool
+}
+
+// ChurnTrace generates a deterministic fleet-churn schedule over [0,
+// horizonS): adds Poisson-arriving spot VMs of the given SKU at addRate
+// (VMs/second), and preempts each added VM after an exponential lifetime with
+// the given mean (0 disables preemption — pure growth). Events are returned
+// in time order; a fixed seed replays the identical fleet history.
+func ChurnTrace(skuName string, addRate, meanLifetimeS, horizonS float64, seed int64) ([]FleetEvent, error) {
+	if addRate <= 0 || horizonS <= 0 {
+		return nil, fmt.Errorf("workload: churn addRate and horizon must be positive")
+	}
+	if skuName == "" {
+		return nil, fmt.Errorf("workload: churn trace needs a VM SKU")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []FleetEvent
+	t, n := 0.0, 0
+	for {
+		t += expSample(rng, addRate)
+		if t >= horizonS {
+			break
+		}
+		name := fmt.Sprintf("churn-vm%d", n)
+		n++
+		out = append(out, FleetEvent{AtS: t, Kind: FleetAddVM, VM: name, SKU: skuName, Spot: true})
+		if meanLifetimeS > 0 {
+			if gone := t + expSample(rng, 1/meanLifetimeS); gone < horizonS {
+				out = append(out, FleetEvent{AtS: gone, Kind: FleetPreemptVM, VM: name, SKU: skuName, Spot: true})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AtS != out[j].AtS {
+			return out[i].AtS < out[j].AtS
+		}
+		return out[i].VM < out[j].VM
+	})
 	return out, nil
 }
 

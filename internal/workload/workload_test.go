@@ -7,6 +7,74 @@ import (
 	"repro/internal/workflow"
 )
 
+func TestChurnTraceDeterministicAndOrdered(t *testing.T) {
+	a, err := ChurnTrace("sku", 0.05, 200, 600, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChurnTrace("sku", 0.05, 200, 600, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty churn trace")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("replay length diverged: %d vs %d", len(a), len(b))
+	}
+	added := map[string]float64{}
+	for i, ev := range a {
+		if ev != b[i] {
+			t.Fatalf("replay diverged at %d: %+v vs %+v", i, ev, b[i])
+		}
+		if i > 0 && ev.AtS < a[i-1].AtS {
+			t.Fatalf("events out of order at %d", i)
+		}
+		switch ev.Kind {
+		case FleetAddVM:
+			if !ev.Spot {
+				t.Fatalf("churn add %q is not a spot VM", ev.VM)
+			}
+			added[ev.VM] = ev.AtS
+		case FleetPreemptVM:
+			at, ok := added[ev.VM]
+			if !ok || ev.AtS <= at {
+				t.Fatalf("preempt of %q before its add", ev.VM)
+			}
+		}
+	}
+	if other, _ := ChurnTrace("sku", 0.05, 200, 600, 43); len(other) == len(a) {
+		same := true
+		for i := range other {
+			if other[i] != a[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestChurnTraceNoPreemptsWithoutLifetime(t *testing.T) {
+	evs, err := ChurnTrace("sku", 0.05, 0, 600, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		if ev.Kind == FleetPreemptVM {
+			t.Fatalf("lifetime 0 produced a preempt: %+v", ev)
+		}
+	}
+	if _, err := ChurnTrace("", 0.05, 0, 600, 1); err == nil {
+		t.Fatal("empty SKU accepted")
+	}
+	if _, err := ChurnTrace("sku", 0, 0, 600, 1); err == nil {
+		t.Fatal("zero add rate accepted")
+	}
+}
+
 func TestVideoJobShape(t *testing.T) {
 	job := VideoJob(2, 8, 30, 24, workflow.MinCost)
 	if err := job.Validate(); err != nil {
