@@ -13,11 +13,11 @@ build:
 test:
 	$(GO) test ./...
 
-# race runs the full suite under the race detector; the serving daemon's
-# HTTP surface, shard loops and job registry are exercised concurrently by
-# the api package's tests.
+# race runs the full suite under the race detector with shuffled test
+# order; the serving daemon's HTTP surface, shard loops and job registry
+# are exercised concurrently by the api package's tests.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -37,19 +37,22 @@ bench-smoke:
 # carries plans/sec, admission_gain_x, submit p50/p95 and allocs/op;
 # BENCH_serving.json carries jobs/s, serving_gain_x and tail latencies;
 # BENCH_reconfig.json carries the deterministic simulated-time completion and
-# energy gains of mid-flight reconfiguration under fleet churn. The
-# checked-in copies are the first baseline; rerun this target to extend the
-# trajectory when the hot path changes.
+# energy gains of mid-flight reconfiguration under fleet churn;
+# BENCH_faults.json carries the recovery-on vs recovery-off goodput gain
+# under the seeded fault storm. The checked-in copies are the first
+# baseline; rerun this target to extend the trajectory when the hot path
+# changes.
 bench-json:
 	$(GO) test -bench '^BenchmarkAdmission$$' -benchmem -benchtime 3x -run '^$$' -json . > BENCH_admission.json
 	$(GO) test -bench '^BenchmarkServing$$' -benchmem -benchtime 1x -run '^$$' -json . > BENCH_serving.json
 	$(GO) test -bench '^BenchmarkReconfig$$' -benchmem -benchtime 3x -run '^$$' -json . > BENCH_reconfig.json
+	$(GO) test -bench '^BenchmarkFaults$$' -benchmem -benchtime 3x -run '^$$' -json . > BENCH_faults.json
 
 # bench-baseline refreshes the text baseline cmd/benchgate compares against
-# in CI (hot-path ns/op for the load sweep, the serving replay and the
-# reconfiguration churn replay).
+# in CI (hot-path ns/op for the load sweep, the serving replay, the
+# reconfiguration churn replay and the fault-storm recovery replay).
 bench-baseline:
-	$(GO) test -bench '^(BenchmarkLoadSweep|BenchmarkServing|BenchmarkReconfig)$$' -benchmem -benchtime 2x -run '^$$' . > bench/baseline.txt
+	$(GO) test -bench '^(BenchmarkLoadSweep|BenchmarkServing|BenchmarkReconfig|BenchmarkFaults)$$' -benchmem -benchtime 2x -run '^$$' . > bench/baseline.txt
 
 # memprofile runs the retention benchmark (bounded shard telemetry under a
 # long served history) with heap/alloc profiles, for digging into where

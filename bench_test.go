@@ -256,6 +256,40 @@ func BenchmarkReconfig(b *testing.B) {
 	}
 }
 
+// BenchmarkFaults replays the same job burst and the same seeded fault trace
+// (engine crashes, worker losses, stage stalls, transient call errors)
+// against one runtime shard with failure recovery on and off, and reports
+// goodput: jobs completed successfully within the measurement horizon. Both
+// arms run entirely in simulated time, so the gain is deterministic and the
+// CI benchgate requires it; the zero-stranded contract is checked inside
+// RunFaults (it errors on any non-terminal job after the drain).
+func BenchmarkFaults(b *testing.B) {
+	b.ReportAllocs()
+	var last *serving.FaultsComparison
+	for i := 0; i < b.N; i++ {
+		res, err := serving.RunFaults(serving.DefaultFaultsOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.GoodputGainX, "faults_goodput_gain_x")
+	b.ReportMetric(float64(last.Off.Goodput), "off_goodput_jobs")
+	b.ReportMetric(float64(last.On.Goodput), "on_goodput_jobs")
+	b.ReportMetric(float64(last.On.FaultsInjected), "faults_injected")
+	b.ReportMetric(float64(last.On.TaskRetries), "task_retries")
+	b.ReportMetric(float64(last.On.BreakerTrips), "breaker_trips")
+	b.ReportMetric(float64(last.Off.Stranded+last.On.Stranded), "stranded_jobs")
+	if last.GoodputGainX < 1.3 {
+		b.Errorf("recovery goodput gain %.3fx on the replayed fault trace, want >= 1.3x",
+			last.GoodputGainX)
+	}
+	if last.Off.Stranded != 0 || last.On.Stranded != 0 {
+		b.Errorf("stranded jobs after drain: off=%d on=%d, want 0",
+			last.Off.Stranded, last.On.Stranded)
+	}
+}
+
 // BenchmarkServingRetention replays the mixed-tenant trace against the
 // shared pool with a retention window ~1/50th of the served simulated
 // history, and reports the bounded-memory claim: retained telemetry

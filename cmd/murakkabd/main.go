@@ -8,10 +8,14 @@
 // replaced) without failing in-flight jobs. With -reconfig, running jobs'
 // remaining stages are re-planned and re-bound at stage boundaries when a
 // shard's fleet churns or its cluster manager rebalances (-rebalance).
+// With -max-retries (and optionally -job-deadline), failed stages retry with
+// capped exponential backoff on a re-planned binding instead of failing the
+// job; -faults replays a seeded deterministic fault trace against each shard
+// for chaos testing.
 //
 //	murakkabd -addr :8080 -shards 2 -concurrency 4 -vms 2 \
 //	  -retain 3600 -max-series-points 1048576 -plan-workers 0 \
-//	  -reconfig -rebalance 30
+//	  -reconfig -rebalance 30 -max-retries 4 -job-deadline 1800
 //
 //	curl localhost:8080/v1/library
 //	curl localhost:8080/v1/stats
@@ -49,7 +53,7 @@ import (
 // are invalid, not "disabled": an operator typing -retain -1 almost certainly
 // fat-fingered a window, and silently running without compaction (or without
 // off-loop planning) would only surface as slow memory growth much later.
-func validateFlags(retain float64, maxSeriesPoints, planWorkers int, rebalance float64) error {
+func validateFlags(retain float64, maxSeriesPoints, planWorkers int, rebalance, faults float64, maxRetries int, jobDeadline float64) error {
 	if retain < 0 {
 		return fmt.Errorf("-retain must be >= 0 (got %v); 0 selects the default window", retain)
 	}
@@ -61,6 +65,15 @@ func validateFlags(retain float64, maxSeriesPoints, planWorkers int, rebalance f
 	}
 	if rebalance < 0 {
 		return fmt.Errorf("-rebalance must be >= 0 (got %v); 0 disables the rebalancing loop", rebalance)
+	}
+	if faults < 0 {
+		return fmt.Errorf("-faults must be >= 0 (got %v); 0 disables fault injection", faults)
+	}
+	if maxRetries < 0 {
+		return fmt.Errorf("-max-retries must be >= 0 (got %d); 0 disables failure recovery", maxRetries)
+	}
+	if jobDeadline < 0 {
+		return fmt.Errorf("-job-deadline must be >= 0 (got %v); 0 disables the per-job deadline", jobDeadline)
 	}
 	return nil
 }
@@ -89,11 +102,23 @@ func main() {
 	rebalance := flag.Float64("rebalance", 0,
 		"per-shard rebalancing-loop period in simulated seconds (engine grow/shrink from "+
 			"DAG lookahead while workflows are active; 0 disables)")
+	faults := flag.Float64("faults", 0,
+		"deterministic fault injection: total fault events per simulated second per shard, "+
+			"split evenly across engine crashes, worker losses, stage stalls and transient "+
+			"call errors (0 disables; intended for chaos testing, not production serving)")
+	faultSeed := flag.Int64("fault-seed", 1,
+		"seed for the per-shard fault traces and the recovery backoff jitter streams")
+	maxRetries := flag.Int("max-retries", 0,
+		"per-task attempt budget: failed stages retry with capped exponential backoff on a "+
+			"re-planned binding until the budget is spent (0 disables failure recovery)")
+	jobDeadline := flag.Float64("job-deadline", 0,
+		"per-job deadline in simulated seconds: jobs still running past it fail with "+
+			"deadline_exceeded (0 disables; setting it alone still enables recovery)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"how long to wait for in-flight HTTP requests on shutdown")
 	flag.Parse()
 
-	if err := validateFlags(*retain, *maxSeriesPoints, *planWorkers, *rebalance); err != nil {
+	if err := validateFlags(*retain, *maxSeriesPoints, *planWorkers, *rebalance, *faults, *maxRetries, *jobDeadline); err != nil {
 		fmt.Fprintf(os.Stderr, "murakkabd: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
@@ -108,6 +133,10 @@ func main() {
 		PlanWorkers:           *planWorkers,
 		Reconfig:              *reconfig,
 		RebalancePeriodS:      *rebalance,
+		FaultRate:             *faults,
+		FaultSeed:             *faultSeed,
+		MaxRetries:            *maxRetries,
+		JobDeadlineS:          *jobDeadline,
 		PerRequest:            *perRequest,
 	})
 	if err != nil {

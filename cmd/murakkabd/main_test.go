@@ -12,18 +12,26 @@ func TestValidateFlags(t *testing.T) {
 		maxSeriesPoints int
 		planWorkers     int
 		rebalance       float64
+		faults          float64
+		maxRetries      int
+		jobDeadline     float64
 		wantErr         string
 	}{
 		{name: "defaults ok"},
 		{name: "explicit ok", retain: 3600, maxSeriesPoints: 1 << 20, planWorkers: 4, rebalance: 30},
+		{name: "faults ok", faults: 0.1, maxRetries: 4, jobDeadline: 1800},
 		{name: "negative retain", retain: -1, wantErr: "-retain"},
 		{name: "negative max-series-points", maxSeriesPoints: -5, wantErr: "-max-series-points"},
 		{name: "negative plan-workers", planWorkers: -1, wantErr: "-plan-workers"},
 		{name: "negative rebalance", rebalance: -0.5, wantErr: "-rebalance"},
+		{name: "negative faults", faults: -0.1, wantErr: "-faults"},
+		{name: "negative max-retries", maxRetries: -1, wantErr: "-max-retries"},
+		{name: "negative job-deadline", jobDeadline: -30, wantErr: "-job-deadline"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateFlags(tc.retain, tc.maxSeriesPoints, tc.planWorkers, tc.rebalance)
+			err := validateFlags(tc.retain, tc.maxSeriesPoints, tc.planWorkers, tc.rebalance,
+				tc.faults, tc.maxRetries, tc.jobDeadline)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("validateFlags: unexpected error %v", err)

@@ -97,16 +97,32 @@ type JobResponse struct {
 }
 
 // JobStatusResponse is the async job envelope (POST 202 and GET /v1/jobs/{id}).
+// ErrorCode is the stable machine-readable failure class — one of
+// retries_exhausted, deadline_exceeded, window_compacted, canceled,
+// task_failed, internal — while Error stays the human-readable chain.
 type JobStatusResponse struct {
-	ID            string       `json:"id"`
-	Tenant        string       `json:"tenant"`
-	Shard         int          `json:"shard"`
-	Status        string       `json:"status"`
-	QueueDelayS   float64      `json:"queue_delay_s"`
-	SubmittedSimS float64      `json:"submitted_sim_s"`
-	FinishedSimS  float64      `json:"finished_sim_s,omitempty"`
-	Error         string       `json:"error,omitempty"`
-	Result        *JobResponse `json:"result,omitempty"`
+	ID            string        `json:"id"`
+	Tenant        string        `json:"tenant"`
+	Shard         int           `json:"shard"`
+	Status        string        `json:"status"`
+	QueueDelayS   float64       `json:"queue_delay_s"`
+	SubmittedSimS float64       `json:"submitted_sim_s"`
+	FinishedSimS  float64       `json:"finished_sim_s,omitempty"`
+	Error         string        `json:"error,omitempty"`
+	ErrorCode     string        `json:"error_code,omitempty"`
+	Attempts      []AttemptJSON `json:"attempts,omitempty"`
+	Result        *JobResponse  `json:"result,omitempty"`
+}
+
+// AttemptJSON is one recorded task failure in a job's attempt history.
+type AttemptJSON struct {
+	AtS            float64 `json:"at_s"`
+	Task           string  `json:"task"`
+	Capability     string  `json:"capability"`
+	Implementation string  `json:"implementation"`
+	Attempt        int     `json:"attempt"`
+	BackoffS       float64 `json:"backoff_s,omitempty"`
+	Error          string  `json:"error,omitempty"`
 }
 
 // LibraryEntry describes one implementation in GET /v1/library.
@@ -271,7 +287,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func statusResponse(st JobState) JobStatusResponse {
-	return JobStatusResponse{
+	out := JobStatusResponse{
 		ID:            st.ID,
 		Tenant:        st.Tenant,
 		Shard:         st.Shard,
@@ -280,8 +296,21 @@ func statusResponse(st JobState) JobStatusResponse {
 		SubmittedSimS: st.SubmittedSimS,
 		FinishedSimS:  st.FinishedSimS,
 		Error:         st.Error,
+		ErrorCode:     st.ErrorCode,
 		Result:        st.Result,
 	}
+	for _, a := range st.Attempts {
+		out.Attempts = append(out.Attempts, AttemptJSON{
+			AtS:            a.AtS,
+			Task:           a.Task,
+			Capability:     a.Capability,
+			Implementation: a.Implementation,
+			Attempt:        a.Attempt,
+			BackoffS:       a.BackoffS,
+			Error:          a.Err,
+		})
+	}
+	return out
 }
 
 // allowedConstraints and allowedKinds gate request validation up front, so

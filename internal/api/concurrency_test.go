@@ -257,3 +257,139 @@ func TestConcurrentSubmitCancelRecycleWithPlanSearch(t *testing.T) {
 		t.Fatalf("residual work after quiescence: %+v", stats)
 	}
 }
+
+// TestConcurrentSubmitCancelRecycleWithFaults is the drain-during-retry race:
+// fault injection keeps stages failing into backoff while the tiny telemetry
+// budget recycles shards underneath them and clients race cancels on top, all
+// under -race in CI. A shard drain (recycle or Close) must join cleanly with
+// retries mid-backoff — the pending retry events fire during the drain and
+// run to a terminal state, so every job settles as done, canceled or failed
+// (failures are legitimate here: the trace can exhaust a task's budget) and
+// nothing strands or double-settles.
+func TestConcurrentSubmitCancelRecycleWithFaults(t *testing.T) {
+	s, err := NewServer(PoolConfig{
+		Shards:                2,
+		MaxConcurrentPerShard: 2,
+		RetainSimSeconds:      -1, // compaction off: force budget recycles
+		MaxSeriesPoints:       64, // below even one busy job's footprint
+		PlanWorkers:           4,
+		FaultRate:             0.8, // one fault per 1.25 simulated seconds
+		FaultSeed:             11,
+		MaxRetries:            6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	t.Cleanup(func() { srv.Close(); s.Close() })
+
+	if !s.Pool().shards[0].sched.RecoveryEnabled() {
+		t.Fatal("recovery not enabled by MaxRetries")
+	}
+
+	distinctBody := func(tenant string, c, i int) string {
+		return fmt.Sprintf(`{
+			"tenant": %q,
+			"description": "Generate social media newsfeed variant %d-%d",
+			"constraint": "MIN_LATENCY",
+			"min_quality": %.9f,
+			"inputs": [{"name": %q, "kind": "user-profile"},
+			           {"name": "t%d", "kind": "topic", "attrs": {"queries": %d}}]
+		}`, tenant, c, i, 0.05+float64(c*100+i)*1e-9, tenant, i, 2+i%3)
+	}
+
+	const clients, perClient = 6, 5
+	var (
+		mu       sync.Mutex
+		done     int
+		canceled int
+		failed   int
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant-%d", c)
+			for i := 0; i < perClient; i++ {
+				resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+					strings.NewReader(distinctBody(tenant, c, i)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var st JobStatusResponse
+				json.NewDecoder(resp.Body).Decode(&st)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted {
+					t.Errorf("%s/%d: POST = %d (%+v)", tenant, i, resp.StatusCode, st)
+					return
+				}
+				if i%3 == 0 {
+					// Race a cancel against retries mid-backoff: the cancel
+					// must reap the pending retry events, not leak them into
+					// the drain.
+					req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+st.ID, nil)
+					resp, err := http.DefaultClient.Do(req)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+						t.Errorf("%s/%d: DELETE = %d", tenant, i, resp.StatusCode)
+						return
+					}
+				}
+				for settled := false; !settled; {
+					code, cur := getJob(t, srv, st.ID)
+					if code != http.StatusOK {
+						t.Errorf("%s/%d: GET = %d", tenant, i, code)
+						return
+					}
+					switch cur.Status {
+					case "done":
+						mu.Lock()
+						done++
+						mu.Unlock()
+						settled = true
+					case "canceled":
+						mu.Lock()
+						canceled++
+						mu.Unlock()
+						settled = true
+					case "failed":
+						// A terminal failure must carry a stable code.
+						if cur.ErrorCode == "" {
+							t.Errorf("%s/%d: failed without error_code: %q", tenant, i, cur.Error)
+						}
+						mu.Lock()
+						failed++
+						mu.Unlock()
+						settled = true
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	total := clients * perClient
+	if done+canceled+failed != total {
+		t.Fatalf("settled %d done + %d canceled + %d failed of %d", done, canceled, failed, total)
+	}
+	stats := fetchStats(t, srv)
+	if stats.Submitted != total {
+		t.Fatalf("submitted = %d, want %d", stats.Submitted, total)
+	}
+	if stats.Completed != done || stats.Canceled != canceled || stats.Failed != failed {
+		t.Fatalf("pool counters %d/%d/%d disagree with client view %d/%d/%d",
+			stats.Completed, stats.Canceled, stats.Failed, done, canceled, failed)
+	}
+	if stats.Running != 0 || stats.Queued != 0 || stats.PlanSearchInflight != 0 {
+		t.Fatalf("residual work after quiescence: %+v", stats)
+	}
+	if stats.FaultsInjected == 0 {
+		t.Fatal("fault trace never landed: the race has no faults to race")
+	}
+}

@@ -1,0 +1,127 @@
+package api
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// failOneJob submits hour-long video jobs (wait=true) until one settles
+// failed and returns its status. The job must span many loop batches: fault
+// replay rides the between-batch tick, so a job that fits inside one
+// 256-event batch finishes before any fault can land on it.
+func failOneJob(t *testing.T, srv *httptest.Server) JobStatusResponse {
+	t.Helper()
+	for i := 0; i < 12; i++ {
+		resp, st := postJob(t, srv, `{
+			"tenant": "alice",
+			"description": "List objects shown in the videos",
+			"constraint": "MIN_LATENCY",
+			"inputs": [{"name": "cats.mov", "kind": "video",
+			            "attrs": {"duration_s": 3600, "scene_len_s": 30,
+			                      "frames_per_scene": 24}}],
+			"wait": true
+		}`)
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("POST %d = %d (%+v)", i, resp.StatusCode, st)
+		}
+		if st.Status == "failed" {
+			return st
+		}
+	}
+	t.Fatal("no job failed under a heavy fault trace; injection is not reaching the shard")
+	return JobStatusResponse{}
+}
+
+// TestJobErrorCodeAndAttemptsSurface drives a one-attempt-budget shard under
+// a heavy fault trace and checks the job API surfaces the typed failure: a
+// stable error_code, a populated attempt history, and both visible in the
+// raw JSON of GET /v1/jobs/{id}.
+func TestJobErrorCodeAndAttemptsSurface(t *testing.T) {
+	srv := server(t, PoolConfig{
+		Shards:     1,
+		FaultRate:  0.4,
+		FaultSeed:  3,
+		MaxRetries: 1,
+	})
+	st := failOneJob(t, srv)
+	if st.ErrorCode != "retries_exhausted" {
+		t.Fatalf("error_code = %q (error %q), want retries_exhausted", st.ErrorCode, st.Error)
+	}
+	if st.Error == "" {
+		t.Fatal("failed job has no human-readable error alongside the code")
+	}
+	if len(st.Attempts) == 0 {
+		t.Fatal("failed job surfaces no attempt history")
+	}
+	for _, a := range st.Attempts {
+		if a.Task == "" || a.Capability == "" || a.Implementation == "" || a.Attempt < 1 {
+			t.Fatalf("malformed attempt %+v", a)
+		}
+	}
+	// The wire format must carry the documented field names.
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, key := range []string{`"error_code":"retries_exhausted"`, `"attempts":[`, `"at_s":`} {
+		if !strings.Contains(string(raw), key) {
+			t.Fatalf("job JSON missing %s:\n%s", key, raw)
+		}
+	}
+
+	stats := fetchStats(t, srv)
+	if stats.FaultsInjected == 0 {
+		t.Fatalf("stats = %+v: no faults injected", stats)
+	}
+	if stats.RetriesExhausted == 0 {
+		t.Fatalf("stats = %+v: a job failed retries_exhausted but the counter is zero", stats)
+	}
+}
+
+// TestFaultWithoutRecoveryYieldsTaskFailed: with injection on but recovery
+// off, a fault is a terminal job error carrying the task_failed code — the
+// pre-recovery behaviour, now typed.
+func TestFaultWithoutRecoveryYieldsTaskFailed(t *testing.T) {
+	srv := server(t, PoolConfig{
+		Shards:    1,
+		FaultRate: 0.4,
+		FaultSeed: 3,
+	})
+	st := failOneJob(t, srv)
+	if st.ErrorCode != "task_failed" {
+		t.Fatalf("error_code = %q (error %q), want task_failed", st.ErrorCode, st.Error)
+	}
+	if len(st.Attempts) != 0 {
+		t.Fatalf("recovery disabled but attempts recorded: %+v", st.Attempts)
+	}
+	stats := fetchStats(t, srv)
+	if stats.TaskRetries != 0 || stats.RetriesExhausted != 0 {
+		t.Fatalf("stats = %+v: recovery counters moved while recovery is off", stats)
+	}
+}
+
+// TestStatsSurfaceFaultCounterKeys pins the /v1/stats wire format for the
+// fault/recovery counters (README documents them).
+func TestStatsSurfaceFaultCounterKeys(t *testing.T) {
+	srv := server(t, PoolConfig{Shards: 1})
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, key := range []string{
+		`"faults_injected"`, `"task_retries"`, `"retries_exhausted"`,
+		`"deadlines_exceeded"`, `"degradations"`, `"stage_timeouts"`,
+		`"breaker_trips"`, `"breaker_open"`,
+	} {
+		if !strings.Contains(string(raw), key) {
+			t.Fatalf("stats JSON missing %s:\n%s", key, raw)
+		}
+	}
+}

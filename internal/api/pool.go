@@ -14,6 +14,7 @@ import (
 	"repro/internal/hardware"
 	"repro/internal/sim"
 	"repro/internal/workflow"
+	"repro/internal/workload"
 )
 
 // Pool is the serving daemon's runtime layer: a set of long-lived simulated
@@ -80,6 +81,15 @@ type Pool struct {
 	retReconfigWins      atomic.Int64
 	retReconfigSkips     atomic.Int64
 	retReconfigConflicts atomic.Int64
+	// Retired fault/recovery counters, folded the same way. BreakerOpen is
+	// a live gauge and is not folded.
+	retTaskRetries       atomic.Int64
+	retRetriesExhausted  atomic.Int64
+	retDeadlinesExceeded atomic.Int64
+	retDegradations      atomic.Int64
+	retStageTimeouts     atomic.Int64
+	retFaultsInjected    atomic.Int64
+	retBreakerTrips      atomic.Int64
 
 	// started anchors the uptime_s stats field (wall clock).
 	started time.Time
@@ -141,6 +151,26 @@ type PoolConfig struct {
 	RebalancePeriodS float64
 	// PerRequest switches the pool to the per-request-testbed baseline.
 	PerRequest bool
+	// FaultRate enables deterministic fault injection on each shard: a
+	// seeded, replayable trace of engine crashes, worker losses, stage
+	// stalls and transient call errors totalling FaultRate events per
+	// simulated second (split evenly across the four kinds), applied by the
+	// shard's tick as sim time advances. 0 disables injection (default);
+	// disabled shards are bit-identical to the pre-fault daemon.
+	FaultRate float64
+	// FaultSeed seeds the per-shard fault traces (offset by shard index so
+	// shards draw independent streams) and the recovery jitter streams.
+	FaultSeed int64
+	// MaxRetries enables failure recovery with this per-task attempt
+	// budget: failed stages retry with capped exponential backoff on a
+	// re-planned binding, repeated failures trip per-implementation
+	// circuit breakers and degrade jobs to cheaper plans. 0 disables
+	// recovery (a failed task is a terminal job error).
+	MaxRetries int
+	// JobDeadlineS fails any job still running after this many simulated
+	// seconds with deadline_exceeded (0 = no deadline). Setting it alone
+	// also enables recovery, with the default attempt budget.
+	JobDeadlineS float64
 }
 
 // Retention defaults: an hour of simulated history at full resolution, and
@@ -149,6 +179,16 @@ type PoolConfig struct {
 const (
 	defaultRetainSimSeconds = 3600
 	defaultMaxSeriesPoints  = 1 << 20
+)
+
+// Fault-injection trace parameters: a day of simulated horizon (far past any
+// shard's realistic lifetime before recycling), a one-minute stall per
+// stage-timeout event and an 8 s engine reload after a crash.
+const (
+	faultHorizonS     = 86400.0
+	faultStallS       = 60.0
+	faultCrashReloadS = 8.0
+	maxJobAttemptLog  = 32
 )
 
 func (c PoolConfig) withDefaults() PoolConfig {
@@ -190,6 +230,14 @@ type shard struct {
 	compactStride float64
 	droppedPoints int
 	recycling     bool
+
+	// Fault replay state, also owned by the loop goroutine: the shard's
+	// pre-generated fault trace and the cursor of the next event to apply.
+	// The tick injects every event whose timestamp the simulation has
+	// reached, so replay is deterministic in sim time regardless of
+	// wall-clock batching.
+	faults   []workload.FaultEvent
+	faultIdx int
 }
 
 // close drains the shard's loop (plan searches in flight resolve first — Run
@@ -256,10 +304,35 @@ func (p *Pool) newShard(idx int) (*shard, error) {
 		// re-plan running jobs' remaining stages at stage boundaries.
 		sh.sched.EnableReconfig(core.ReconfigConfig{Hysteresis: cfg.ReconfigHysteresis})
 	}
+	if cfg.MaxRetries > 0 || cfg.JobDeadlineS > 0 {
+		// Failure recovery: retries with capped backoff on re-planned
+		// bindings, per-implementation breakers, deadline enforcement.
+		sh.sched.EnableRecovery(core.FaultPolicy{
+			MaxAttempts:  cfg.MaxRetries,
+			JobDeadlineS: cfg.JobDeadlineS,
+			Seed:         cfg.FaultSeed,
+		})
+	}
+	if cfg.FaultRate > 0 {
+		faults, err := workload.FaultTrace(workload.FaultSpec{
+			EngineCrashRate:  cfg.FaultRate / 4,
+			WorkerLossRate:   cfg.FaultRate / 4,
+			StageTimeoutRate: cfg.FaultRate / 4,
+			CallErrorRate:    cfg.FaultRate / 4,
+			StallS:           faultStallS,
+			CrashReloadS:     faultCrashReloadS,
+			HorizonS:         faultHorizonS,
+			Seed:             cfg.FaultSeed + int64(idx),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("api: fault trace for shard %d: %w", idx, err)
+		}
+		sh.faults = faults
+	}
 	if cfg.RetainSimSeconds >= 0 {
 		sh.compactStride = cfg.RetainSimSeconds / 4
 	}
-	if cfg.RetainSimSeconds >= 0 || cfg.MaxSeriesPoints > 0 {
+	if cfg.RetainSimSeconds >= 0 || cfg.MaxSeriesPoints > 0 || len(sh.faults) > 0 {
 		// The retention tick rides the loop (SetTick must precede Run): it
 		// runs after each event batch, so it never interleaves with
 		// simulation callbacks and needs no locks for shard state.
@@ -273,6 +346,14 @@ func (p *Pool) newShard(idx int) (*shard, error) {
 // watermark once it lags the target by a stride, then check the telemetry
 // budget. Runs on the shard's loop goroutine after every event batch.
 func (p *Pool) shardTick(sh *shard) {
+	// Replay every fault event the simulation has reached. The tick runs at
+	// a quiescent instant between event batches, so injection (which may
+	// schedule reload/retry events) composes with the heap like any other
+	// same-instant work; each event fires exactly once.
+	for sh.faultIdx < len(sh.faults) && sh.faults[sh.faultIdx].AtS <= sh.eng.Now().Seconds() {
+		sh.sched.Inject(sh.faults[sh.faultIdx])
+		sh.faultIdx++
+	}
 	if p.cfg.RetainSimSeconds >= 0 {
 		target := sh.eng.Now().Seconds() - p.cfg.RetainSimSeconds
 		// Never compact past a running job's execution window: Finalize
@@ -336,6 +417,13 @@ func (p *Pool) recycleShard(old *shard) {
 	p.retReconfigWins.Add(int64(st.ReconfigWins))
 	p.retReconfigSkips.Add(int64(st.ReconfigSkips))
 	p.retReconfigConflicts.Add(int64(st.ReconfigConflicts))
+	p.retTaskRetries.Add(int64(st.TaskRetries))
+	p.retRetriesExhausted.Add(int64(st.RetriesExhausted))
+	p.retDeadlinesExceeded.Add(int64(st.DeadlinesExceeded))
+	p.retDegradations.Add(int64(st.Degradations))
+	p.retStageTimeouts.Add(int64(st.StageTimeouts))
+	p.retFaultsInjected.Add(int64(st.FaultsInjected))
+	p.retBreakerTrips.Add(int64(st.BreakerTrips))
 }
 
 // Close drains every shard loop (in-flight and queued jobs run to completion)
@@ -427,7 +515,7 @@ func (p *Pool) Submit(tenant string, job workflow.Job, opts core.SubmitOptions, 
 			if err != nil {
 				// Pre-validated by the handler; this is a safety net.
 				p.shFailed.Add(1)
-				rec.settle(core.JobFailed, err.Error(), nil, sh.eng.Now().Seconds())
+				rec.settle(core.JobFailed, err.Error(), string(core.ErrorCodeOf(err)), nil, sh.eng.Now().Seconds())
 				p.retire(rec)
 				return
 			}
@@ -435,6 +523,9 @@ func (p *Pool) Submit(tenant string, job workflow.Job, opts core.SubmitOptions, 
 			rec.handle = h
 			rec.submittedSimS = sh.eng.Now().Seconds()
 			rec.mu.Unlock()
+			// Stream the attempt history into the record so status polls
+			// see retries while the job is still running.
+			h.OnAttempt(rec.recordAttempt)
 			// Status transitions push into the record, so HTTP status reads are
 			// mutex-only and never round-trip through the shard loop.
 			h.OnStart(func(h *core.Handle) {
@@ -464,7 +555,7 @@ func (p *Pool) Submit(tenant string, job workflow.Job, opts core.SubmitOptions, 
 				rec.mu.Lock()
 				rec.queueDelayS = h.QueueDelayS()
 				rec.mu.Unlock()
-				rec.settle(h.Status(), errMsg, resp, sh.eng.Now().Seconds())
+				rec.settle(h.Status(), errMsg, string(core.ErrorCodeOf(h.Err())), resp, sh.eng.Now().Seconds())
 				p.retire(rec)
 			})
 		})
@@ -509,17 +600,17 @@ func (p *Pool) submitPerRequest(id, tenant string, job workflow.Job, opts core.S
 	ex, err := rt.Submit(job, opts)
 	if err != nil {
 		p.prFailed.Add(1)
-		rec.settle(core.JobFailed, err.Error(), nil, se.Now().Seconds())
+		rec.settle(core.JobFailed, err.Error(), string(core.ErrorCodeOf(err)), nil, se.Now().Seconds())
 		p.register(rec)
 		return rec, nil
 	}
 	se.Run()
 	if ex.Err() != nil {
 		p.prFailed.Add(1)
-		rec.settle(core.JobFailed, ex.Err().Error(), nil, se.Now().Seconds())
+		rec.settle(core.JobFailed, ex.Err().Error(), string(core.ErrorCodeOf(ex.Err())), nil, se.Now().Seconds())
 	} else {
 		p.prCompleted.Add(1)
-		rec.settle(core.JobDone, "", jobResponseFrom(ex, extras.timeline), se.Now().Seconds())
+		rec.settle(core.JobDone, "", "", jobResponseFrom(ex, extras.timeline), se.Now().Seconds())
 	}
 	p.register(rec)
 	return rec, nil
@@ -596,7 +687,14 @@ type JobState struct {
 	SubmittedSimS float64
 	FinishedSimS  float64
 	Error         string
-	Result        *JobResponse
+	// ErrorCode is the stable machine-readable failure class
+	// (core.ErrorCode: retries_exhausted, deadline_exceeded, …); empty for
+	// non-terminal and successful jobs.
+	ErrorCode string
+	// Attempts is the job's recorded task-failure history (bounded), live
+	// while the job runs.
+	Attempts []core.AttemptRecord
+	Result   *JobResponse
 }
 
 // jobRecord is the registry entry behind a JobState.
@@ -616,6 +714,8 @@ type jobRecord struct {
 	submittedSimS float64
 	finishedSimS  float64
 	errMsg        string
+	errCode       string
+	attempts      []core.AttemptRecord
 	result        *JobResponse
 	// handle is only touched on the owning shard's loop goroutine.
 	handle *core.Handle
@@ -627,19 +727,35 @@ func (r *jobRecord) Done() <-chan struct{} { return r.done }
 // ID returns the registry id.
 func (r *jobRecord) ID() string { return r.id }
 
-func (r *jobRecord) settle(st core.JobStatus, errMsg string, resp *JobResponse, simNowS float64) {
+func (r *jobRecord) settle(st core.JobStatus, errMsg, errCode string, resp *JobResponse, simNowS float64) {
 	r.mu.Lock()
 	r.status = st
 	r.errMsg = errMsg
+	r.errCode = errCode
 	r.result = resp
 	r.finishedSimS = simNowS
 	r.mu.Unlock()
 	close(r.done)
 }
 
+// recordAttempt appends one task-failure record (bounded; pushed by the
+// owning shard through Handle.OnAttempt).
+func (r *jobRecord) recordAttempt(a core.AttemptRecord) {
+	r.mu.Lock()
+	if len(r.attempts) < maxJobAttemptLog {
+		r.attempts = append(r.attempts, a)
+	}
+	r.mu.Unlock()
+}
+
 func (r *jobRecord) snapshot() JobState {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	var attempts []core.AttemptRecord
+	if len(r.attempts) > 0 {
+		// Copy: the shard keeps appending while the job runs.
+		attempts = append(attempts, r.attempts...)
+	}
 	return JobState{
 		ID:            r.id,
 		Tenant:        r.tenant,
@@ -649,6 +765,8 @@ func (r *jobRecord) snapshot() JobState {
 		SubmittedSimS: r.submittedSimS,
 		FinishedSimS:  r.finishedSimS,
 		Error:         r.errMsg,
+		ErrorCode:     r.errCode,
+		Attempts:      attempts,
 		Result:        r.result,
 	}
 }
@@ -707,12 +825,25 @@ type ShardStats struct {
 	// running-job evaluations, adopted re-plans, kept-current-plan skips and
 	// generation-drift conflicts. All four counters are zero with -reconfig
 	// off.
-	ClusterGen        uint64  `json:"cluster_gen"`
-	CapacityGen       uint64  `json:"capacity_gen"`
-	Reconfigs         int     `json:"reconfigs"`
-	ReconfigWins      int     `json:"reconfig_wins"`
-	ReconfigSkips     int     `json:"reconfig_skips"`
-	ReconfigConflicts int     `json:"reconfig_conflicts"`
+	ClusterGen        uint64 `json:"cluster_gen"`
+	CapacityGen       uint64 `json:"capacity_gen"`
+	Reconfigs         int    `json:"reconfigs"`
+	ReconfigWins      int    `json:"reconfig_wins"`
+	ReconfigSkips     int    `json:"reconfig_skips"`
+	ReconfigConflicts int    `json:"reconfig_conflicts"`
+	// Fault/recovery observability: injected fault events, task retries,
+	// jobs failed on the attempt budget or deadline, adopted degradation
+	// re-plans, watchdog firings, circuit-breaker trips and the live count
+	// of breakers not currently closed. All zero with faults and recovery
+	// disabled.
+	FaultsInjected    int     `json:"faults_injected"`
+	TaskRetries       int     `json:"task_retries"`
+	RetriesExhausted  int     `json:"retries_exhausted"`
+	DeadlinesExceeded int     `json:"deadlines_exceeded"`
+	Degradations      int     `json:"degradations"`
+	StageTimeouts     int     `json:"stage_timeouts"`
+	BreakerTrips      int     `json:"breaker_trips"`
+	BreakerOpen       int     `json:"breaker_open"`
 	MeanGPUUtil       float64 `json:"mean_gpu_util"`
 	// Telemetry retention accounting: live change points and their bytes
 	// retained by the shard's cluster, the rollup buckets summarizing
@@ -775,6 +906,16 @@ type PoolStats struct {
 	ReconfigWins      int `json:"reconfig_wins"`
 	ReconfigSkips     int `json:"reconfig_skips"`
 	ReconfigConflicts int `json:"reconfig_conflicts"`
+	// Fault/recovery totals, folded the same way; BreakerOpen is a
+	// live-shard gauge.
+	FaultsInjected    int `json:"faults_injected"`
+	TaskRetries       int `json:"task_retries"`
+	RetriesExhausted  int `json:"retries_exhausted"`
+	DeadlinesExceeded int `json:"deadlines_exceeded"`
+	Degradations      int `json:"degradations"`
+	StageTimeouts     int `json:"stage_timeouts"`
+	BreakerTrips      int `json:"breaker_trips"`
+	BreakerOpen       int `json:"breaker_open"`
 	// UptimeS is the daemon pool's wall-clock age in seconds.
 	UptimeS float64 `json:"uptime_s"`
 }
@@ -802,6 +943,13 @@ func (p *Pool) Stats() PoolStats {
 	out.ReconfigWins = int(p.retReconfigWins.Load())
 	out.ReconfigSkips = int(p.retReconfigSkips.Load())
 	out.ReconfigConflicts = int(p.retReconfigConflicts.Load())
+	out.FaultsInjected = int(p.retFaultsInjected.Load())
+	out.TaskRetries = int(p.retTaskRetries.Load())
+	out.RetriesExhausted = int(p.retRetriesExhausted.Load())
+	out.DeadlinesExceeded = int(p.retDeadlinesExceeded.Load())
+	out.Degradations = int(p.retDegradations.Load())
+	out.StageTimeouts = int(p.retStageTimeouts.Load())
+	out.BreakerTrips = int(p.retBreakerTrips.Load())
 	out.Submitted = int(p.shSubmitted.Load())
 	out.Completed = int(p.shCompleted.Load())
 	out.Failed = int(p.shFailed.Load())
@@ -839,6 +987,14 @@ func (p *Pool) Stats() PoolStats {
 				ReconfigWins:       st.ReconfigWins,
 				ReconfigSkips:      st.ReconfigSkips,
 				ReconfigConflicts:  st.ReconfigConflicts,
+				FaultsInjected:     st.FaultsInjected,
+				TaskRetries:        st.TaskRetries,
+				RetriesExhausted:   st.RetriesExhausted,
+				DeadlinesExceeded:  st.DeadlinesExceeded,
+				Degradations:       st.Degradations,
+				StageTimeouts:      st.StageTimeouts,
+				BreakerTrips:       st.BreakerTrips,
+				BreakerOpen:        st.BreakerOpen,
 			}
 			if now > 0 {
 				// Full-history mean: epochs behind the watermark come from
@@ -887,6 +1043,14 @@ func (p *Pool) Stats() PoolStats {
 		out.ReconfigWins += ss.ReconfigWins
 		out.ReconfigSkips += ss.ReconfigSkips
 		out.ReconfigConflicts += ss.ReconfigConflicts
+		out.FaultsInjected += ss.FaultsInjected
+		out.TaskRetries += ss.TaskRetries
+		out.RetriesExhausted += ss.RetriesExhausted
+		out.DeadlinesExceeded += ss.DeadlinesExceeded
+		out.Degradations += ss.Degradations
+		out.StageTimeouts += ss.StageTimeouts
+		out.BreakerTrips += ss.BreakerTrips
+		out.BreakerOpen += ss.BreakerOpen
 	}
 	return out
 }

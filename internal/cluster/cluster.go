@@ -623,6 +623,52 @@ func (c *Cluster) MaxFreeCPUCores() int {
 	return max
 }
 
+// FailAlloc simulates a single device/host fault: one live allocation —
+// chosen by pick ∈ [0,1) over GPU allocations then CPU allocations, each
+// sorted by ID so the choice is deterministic — is force-released and its
+// OnPreempt fires, exactly as under preemption. Unlike PreemptVM the host
+// stays up, so reacquisition can land on the same machine. Returns false
+// when nothing is allocated.
+func (c *Cluster) FailAlloc(pick float64) bool {
+	var gpus []*GPUAlloc
+	for _, a := range c.liveGPU {
+		gpus = append(gpus, a)
+	}
+	var cpus []*CPUAlloc
+	for _, a := range c.liveCPU {
+		cpus = append(cpus, a)
+	}
+	sort.Slice(gpus, func(i, j int) bool { return gpus[i].ID < gpus[j].ID })
+	sort.Slice(cpus, func(i, j int) bool { return cpus[i].ID < cpus[j].ID })
+	n := len(gpus) + len(cpus)
+	if n == 0 {
+		return false
+	}
+	idx := int(pick * float64(n))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	// Release first, then fire OnPreempt — the same contract PreemptVM
+	// gives owners (the allocation is already gone when the callback runs).
+	if idx < len(gpus) {
+		a := gpus[idx]
+		a.Release()
+		if a.OnPreempt != nil {
+			a.OnPreempt()
+		}
+	} else {
+		a := cpus[idx-len(gpus)]
+		a.Release()
+		if a.OnPreempt != nil {
+			a.OnPreempt()
+		}
+	}
+	return true
+}
+
 // PreemptVM simulates a spot eviction: all allocations on the VM are
 // released, their OnPreempt callbacks fire, and the VM stops granting.
 // Preempting a non-spot VM panics — on-demand VMs are not evicted, and a

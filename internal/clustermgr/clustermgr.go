@@ -39,6 +39,10 @@ type Manager struct {
 	trackers []*dag.Tracker
 	ticker   *sim.Ticker
 
+	// breakers is the per-implementation circuit-breaker table (nil until
+	// EnableBreakers; see breaker.go).
+	breakers *breakerSet
+
 	// Rebalance accounting for the ablation benches.
 	grows, shrinks int
 	// rebalanceHooks fire after a Rebalance pass that resized at least one

@@ -1,0 +1,56 @@
+package clustermgr
+
+// Fault-injection entry points: the manager owns the engine table, so it is
+// where a replayed fault trace's engine-level events resolve their victim.
+// Victim selection iterates model names in sorted order, keeping injection
+// deterministic for a fixed pick.
+
+// CrashEngine crashes one serving engine (pick ∈ [0,1) selects it over the
+// sorted model names): its active sequences re-queue and it reloads weights
+// for reloadS seconds. Engines already rebuilding after preemption are
+// skipped. Returns false when no engine is eligible.
+func (m *Manager) CrashEngine(pick, reloadS float64) bool {
+	var names []string
+	for name, h := range m.engines {
+		if h.rebuilding || h.Engine.Down() {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return false
+	}
+	sortStrings(names)
+	m.engines[names[pickIndex(pick, len(names))]].Engine.Crash(reloadS)
+	return true
+}
+
+// FailNextCall fails one in-flight or queued request on an engine that has
+// any (pick selects the engine over sorted model names, then the request
+// within it). Returns false when every engine is idle.
+func (m *Manager) FailNextCall(pick float64) bool {
+	var names []string
+	for name, h := range m.engines {
+		if h.Engine.ActiveCount()+h.Engine.QueueDepth() == 0 {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return false
+	}
+	sortStrings(names)
+	return m.engines[names[pickIndex(pick, len(names))]].Engine.FailNext(pick)
+}
+
+// pickIndex maps pick ∈ [0,1) onto [0,n), clamping out-of-range values.
+func pickIndex(pick float64, n int) int {
+	idx := int(pick * float64(n))
+	if idx < 0 {
+		return 0
+	}
+	if idx >= n {
+		return n - 1
+	}
+	return idx
+}

@@ -1,0 +1,534 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/agents"
+	"repro/internal/cascade"
+	"repro/internal/dag"
+	"repro/internal/optimizer"
+	"repro/internal/profiles"
+	"repro/internal/quality"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Failure recovery (see README "Failure handling"): with EnableRecovery a
+// failed task is not a terminal job error but a *capacity event* — the task
+// backs off (capped exponential, deterministic in sim-time), the failure
+// kicks the PR-5 reconfiguration controller so the re-plan can move the
+// remaining stages off the unhealthy binding, and the retry re-resolves its
+// stage when the backoff fires, landing on whatever binding is current by
+// then. Attempt budgets and per-job deadlines bound the damage; repeated
+// failures of one capability degrade the job to a cheaper implementation
+// via the cascade (quality floor respected); the cluster manager's circuit
+// breaker quarantines flapping implementations between jobs. With recovery
+// disabled every path below is unreachable and behavior is bit-identical
+// to a build without this file.
+
+// ErrorCode is a machine-readable classification of a job's terminal error,
+// stable across releases (the job API's error_code field).
+type ErrorCode string
+
+// Job error codes.
+const (
+	// CodeRetriesExhausted: a task failed more than the attempt budget.
+	CodeRetriesExhausted ErrorCode = "retries_exhausted"
+	// CodeDeadlineExceeded: the job outlived its deadline.
+	CodeDeadlineExceeded ErrorCode = "deadline_exceeded"
+	// CodeWindowCompacted: telemetry retention compacted the job's window.
+	CodeWindowCompacted ErrorCode = "window_compacted"
+	// CodeCanceled: the job was canceled.
+	CodeCanceled ErrorCode = "canceled"
+	// CodeTaskFailed: a task failed with recovery disabled.
+	CodeTaskFailed ErrorCode = "task_failed"
+	// CodeInternal: any other failure (planning, placement, validation).
+	CodeInternal ErrorCode = "internal"
+)
+
+// JobError is a typed terminal job error: a stable code, the operation (task
+// ID or "job") and the underlying cause, preserved as a chain.
+type JobError struct {
+	Code ErrorCode
+	Op   string
+	Err  error
+}
+
+// Error renders the chain.
+func (e *JobError) Error() string {
+	if e.Err == nil {
+		return fmt.Sprintf("core: %s: %s", e.Op, e.Code)
+	}
+	return fmt.Sprintf("core: %s: %s: %v", e.Op, e.Code, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// ErrorCodeOf classifies any job error into its stable code ("" for nil).
+func ErrorCodeOf(err error) ErrorCode {
+	if err == nil {
+		return ""
+	}
+	var je *JobError
+	if errors.As(err, &je) {
+		return je.Code
+	}
+	if errors.Is(err, ErrCanceled) {
+		return CodeCanceled
+	}
+	var wc *report.WindowCompactedError
+	if errors.As(err, &wc) {
+		return CodeWindowCompacted
+	}
+	return CodeInternal
+}
+
+// FaultPolicy tunes failure recovery. Zero fields take the defaults noted;
+// JobDeadlineS and StageTimeoutS stay off at zero.
+type FaultPolicy struct {
+	// MaxAttempts is the per-task attempt budget (default 4): the n-th
+	// failure of one task with n >= MaxAttempts fails the job with
+	// retries_exhausted.
+	MaxAttempts int
+	// BackoffBaseS is the first retry delay (default 0.5s); it doubles per
+	// attempt up to BackoffCapS (default 8s), the cap applying after
+	// jitter. JitterFrac (default 0.2) multiplies the delay by a
+	// deterministic 1+[0,JitterFrac) drawn from the execution's seeded
+	// stream — decorrelating retries across jobs without wall-clock
+	// randomness.
+	BackoffBaseS float64
+	BackoffCapS  float64
+	JitterFrac   float64
+	// StageTimeoutS arms a watchdog per worker task: a task in flight
+	// longer than this is cut short and treated as failed (0 = off).
+	StageTimeoutS float64
+	// JobDeadlineS bounds a job's total runtime from launch; exceeding it
+	// fails the job with deadline_exceeded (0 = off).
+	JobDeadlineS float64
+	// DegradeAfter is how many failures one capability accumulates before
+	// the execution tries a cheaper implementation for it (default 3).
+	DegradeAfter int
+	// BreakerThreshold consecutive failures of an implementation open its
+	// circuit breaker for BreakerCooldownS seconds (defaults 3 and 20;
+	// BreakerThreshold < 0 disables breakers).
+	BreakerThreshold int
+	BreakerCooldownS float64
+	// Seed drives the jitter stream (offset per execution ID).
+	Seed int64
+}
+
+func (p FaultPolicy) withDefaults() FaultPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BackoffBaseS <= 0 {
+		p.BackoffBaseS = 0.5
+	}
+	if p.BackoffCapS <= 0 {
+		p.BackoffCapS = 8
+	}
+	if p.JitterFrac < 0 {
+		p.JitterFrac = 0
+	} else if p.JitterFrac == 0 {
+		p.JitterFrac = 0.2
+	}
+	if p.DegradeAfter <= 0 {
+		p.DegradeAfter = 3
+	}
+	if p.BreakerThreshold == 0 {
+		p.BreakerThreshold = 3
+	}
+	if p.BreakerCooldownS <= 0 {
+		p.BreakerCooldownS = 20
+	}
+	return p
+}
+
+// backoffFor computes the attempt-th retry delay: base·2^(attempt-1),
+// jittered multiplicatively by u ∈ [0,1), then capped — so the schedule is
+// deterministic for a fixed jitter stream and never exceeds the cap.
+func backoffFor(p FaultPolicy, attempt int, u float64) float64 {
+	d := p.BackoffBaseS * math.Pow(2, float64(attempt-1))
+	d *= 1 + p.JitterFrac*u
+	if d > p.BackoffCapS {
+		d = p.BackoffCapS
+	}
+	return d
+}
+
+// AttemptRecord is one entry of a job's attempt history: a task failure and
+// the retry (or terminal) decision taken.
+type AttemptRecord struct {
+	AtS            float64
+	Task           string
+	Capability     string
+	Implementation string
+	// Attempt numbers the failures of this task (1 = first failure).
+	Attempt int
+	// BackoffS is the scheduled retry delay; 0 when the failure was
+	// terminal (budget exhausted).
+	BackoffS float64
+	Err      string
+}
+
+// maxAttemptLog bounds per-execution attempt history (the API surfaces it
+// per job; an unbounded log under a hot fault trace would grow without
+// limit).
+const maxAttemptLog = 32
+
+// recoveryState is the runtime-wide recovery configuration and accounting,
+// shared by every execution (nil when recovery is disabled).
+type recoveryState struct {
+	policy FaultPolicy
+
+	taskRetries      int
+	exhausted        int
+	deadlineExceeded int
+	degradations     int
+	timeouts         int
+}
+
+// EnableRecovery turns failure recovery on for every job admitted through
+// this scheduler (and any execution launched directly on its runtime). Call
+// once, before jobs run. Unless disabled in the policy, the cluster
+// manager's circuit breakers are enabled alongside.
+func (s *Scheduler) EnableRecovery(p FaultPolicy) {
+	if s.rt.recovery != nil {
+		panic("core: recovery already enabled")
+	}
+	p = p.withDefaults()
+	s.rt.recovery = &recoveryState{policy: p}
+	// A failure is a capacity event: kick the reconfiguration controller
+	// (nil-safe no-op when EnableReconfig was not called) so the re-plan
+	// can move remaining stages off the unhealthy binding while the failed
+	// task waits out its backoff.
+	s.rt.onTaskFault = func() { s.scheduleReconfig() }
+	if p.BreakerThreshold > 0 && !s.rt.mgr.BreakersEnabled() {
+		s.rt.mgr.EnableBreakers(p.BreakerThreshold, p.BreakerCooldownS)
+	}
+}
+
+// RecoveryEnabled reports whether failure recovery is on.
+func (s *Scheduler) RecoveryEnabled() bool { return s.rt.recovery != nil }
+
+// Inject applies one replayed fault event against this scheduler's runtime,
+// resolving the victim deterministically from the event's pick. Returns
+// whether a victim existed (a fault landing on an idle system is a no-op).
+// Injection is independent of recovery: with recovery disabled the faults
+// still land, and a failed task is then a terminal job error.
+func (s *Scheduler) Inject(ev workload.FaultEvent) bool {
+	ok := false
+	switch ev.Kind {
+	case workload.FaultEngineCrash:
+		ok = s.rt.mgr.CrashEngine(ev.Pick, ev.DurationS)
+	case workload.FaultWorkerLoss:
+		ok = s.rt.cl.FailAlloc(ev.Pick)
+	case workload.FaultStageTimeout:
+		ok = s.stallTask(ev.Pick, ev.DurationS)
+	case workload.FaultCallError:
+		ok = s.rt.mgr.FailNextCall(ev.Pick)
+	}
+	if ok {
+		s.faultsInjected++
+	}
+	return ok
+}
+
+// stallTask extends one in-flight worker task's completion by d seconds — a
+// hung stage call. Victims are collected in deterministic order: running
+// jobs by ID, stages by capability, workers in pool order.
+func (s *Scheduler) stallTask(pick, d float64) bool {
+	ids := make([]int, 0, len(s.runningSet))
+	for id := range s.runningSet {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	var victims []*worker
+	for _, id := range ids {
+		ex := s.runningSet[JobID(id)].exec
+		if ex == nil || ex.done {
+			continue
+		}
+		caps := make([]string, 0, len(ex.stages))
+		for cap := range ex.stages {
+			caps = append(caps, cap)
+		}
+		sort.Strings(caps)
+		for _, cap := range caps {
+			for _, w := range ex.stages[cap].workers {
+				if w.busy && w.doneEv != nil {
+					victims = append(victims, w)
+				}
+			}
+		}
+	}
+	if len(victims) == 0 {
+		return false
+	}
+	idx := int(pick * float64(len(victims)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(victims) {
+		idx = len(victims) - 1
+	}
+	return victims[idx].stall(d)
+}
+
+// --- execution-side recovery -------------------------------------------------
+
+// initRecovery sets up per-execution recovery state at launch (no-op when
+// recovery is disabled, keeping the default path untouched).
+func (ex *Execution) initRecovery() {
+	rc := ex.rt.recovery
+	if rc == nil {
+		return
+	}
+	ex.attempts = map[dag.NodeID]int{}
+	ex.capFails = map[string]int{}
+	ex.degraded = map[string]bool{}
+	ex.retryEvs = map[*sim.Event]bool{}
+	ex.recRng = rand.New(rand.NewSource(rc.policy.Seed + int64(ex.id)))
+	if rc.policy.JobDeadlineS > 0 {
+		ex.deadlineEv = ex.rt.se.After(sim.Duration(rc.policy.JobDeadlineS), func() {
+			ex.deadlineEv = nil
+			rc.deadlineExceeded++
+			ex.finish(&JobError{Code: CodeDeadlineExceeded, Op: "job",
+				Err: fmt.Errorf("core: job deadline %.0fs exceeded", rc.policy.JobDeadlineS)})
+		})
+	}
+}
+
+// cancelRecovery drops the execution's pending recovery events at finish:
+// the deadline timer and every scheduled retry (their nodes die with the
+// job). Cancellation order over the map is irrelevant — Cancel removes
+// events eagerly and remaining heap order is (time, seq) regardless.
+func (ex *Execution) cancelRecovery() {
+	if ex.deadlineEv != nil {
+		ex.deadlineEv.Cancel()
+		ex.deadlineEv = nil
+	}
+	for ev := range ex.retryEvs {
+		ev.Cancel()
+	}
+	ex.retryEvs = nil
+}
+
+// taskFailed routes one task failure. The caller has already unwound its
+// execution context (inflight decremented, tracer span ended, worker state
+// cleared); the node is tracker-running. With recovery disabled the failure
+// is terminal; otherwise the task backs off and retries on whatever binding
+// its capability has when the backoff fires.
+func (st *stage) taskFailed(node *dag.Node, cause error) {
+	ex := st.ex
+	if ex.done {
+		return
+	}
+	if err := ex.tracker.Fail(node.ID); err != nil {
+		panic(err)
+	}
+	rc := ex.rt.recovery
+	if rc == nil {
+		ex.finish(&JobError{Code: CodeTaskFailed, Op: string(node.ID), Err: cause})
+		return
+	}
+	ex.rt.mgr.ReportOutcome(st.dec.Implementation, false)
+	ex.capFails[st.cap]++
+	if ex.rt.onTaskFault != nil {
+		ex.rt.onTaskFault()
+	}
+	n := ex.attempts[node.ID] + 1
+	ex.attempts[node.ID] = n
+	if n >= rc.policy.MaxAttempts {
+		rc.exhausted++
+		ex.logAttempt(node, st, n, 0, cause)
+		ex.finish(&JobError{Code: CodeRetriesExhausted, Op: string(node.ID), Err: cause})
+		return
+	}
+	rc.taskRetries++
+	ex.retries++
+	backoff := backoffFor(rc.policy, n, ex.recRng.Float64())
+	ex.logAttempt(node, st, n, backoff, cause)
+	// Back through the tracker (Fail returned the node to ready); it stays
+	// "running" during the backoff so the remaining-DAG view still counts
+	// its work, but it sits in no queue and holds no inflight slot — the
+	// stage is at a boundary and reconfiguration may rebind it meanwhile.
+	if err := ex.tracker.Start(node.ID); err != nil {
+		panic(err)
+	}
+	ex.maybeDegrade(st.cap)
+	ex.scheduleRetry(node, backoff)
+}
+
+// scheduleRetry re-enqueues the node after delayS, re-resolving its stage at
+// fire time (the binding may have been reconfigured or degraded during the
+// backoff). A quarantined implementation defers the retry by the breaker
+// cooldown without burning an attempt — bounded, because the breaker
+// half-opens once its cooldown elapses.
+func (ex *Execution) scheduleRetry(node *dag.Node, delayS float64) {
+	var ev *sim.Event
+	ev = ex.rt.se.After(sim.Duration(delayS), func() {
+		delete(ex.retryEvs, ev)
+		if ex.done {
+			return
+		}
+		st := ex.stageFor(node.Capability)
+		if !ex.rt.mgr.Admissible(st.dec.Implementation) {
+			ex.scheduleRetry(node, ex.rt.recovery.policy.BreakerCooldownS)
+			return
+		}
+		st.enqueue(node)
+	})
+	ex.retryEvs[ev] = true
+}
+
+// logAttempt appends to the job's bounded attempt history and notifies the
+// registered observer (the serving API's per-job attempt feed).
+func (ex *Execution) logAttempt(node *dag.Node, st *stage, attempt int, backoffS float64, cause error) {
+	msg := ""
+	if cause != nil {
+		msg = cause.Error()
+	}
+	rec := AttemptRecord{
+		AtS:            ex.rt.se.Now().Seconds(),
+		Task:           string(node.ID),
+		Capability:     st.cap,
+		Implementation: st.dec.Implementation,
+		Attempt:        attempt,
+		BackoffS:       backoffS,
+		Err:            msg,
+	}
+	if len(ex.attemptLog) < maxAttemptLog {
+		ex.attemptLog = append(ex.attemptLog, rec)
+	}
+	if ex.onAttempt != nil {
+		ex.onAttempt(rec)
+	}
+}
+
+// Attempts returns the execution's recorded attempt history (nil when no
+// task ever failed).
+func (ex *Execution) Attempts() []AttemptRecord { return ex.attemptLog }
+
+// maybeDegrade checks whether a capability's accumulated failures warrant
+// switching it to a cheaper implementation, and applies the switch at most
+// once per capability per execution.
+func (ex *Execution) maybeDegrade(cap string) {
+	rc := ex.rt.recovery
+	if rc == nil || ex.degraded[cap] {
+		return
+	}
+	cur := ex.plan.Decisions[cap]
+	if ex.capFails[cap] < rc.policy.DegradeAfter && !ex.rt.mgr.Quarantined(cur.Implementation) {
+		return
+	}
+	if ex.degradeStage(cap) {
+		ex.degraded[cap] = true
+		rc.degradations++
+	}
+}
+
+// degradeStage re-plans the remaining DAG with the failing capability pinned
+// to the cheapest alternative implementation that clears the job's quality
+// floor — the cascade walked cheapest-first, chain-correctness checked over
+// the remaining graph — and every other capability pinned to its current
+// decision. Adoption reuses the reconfiguration path (adoptPlan), so engine
+// refs move two-phase and in-flight stages are left alone.
+func (ex *Execution) degradeStage(cap string) bool {
+	rt := ex.rt
+	if st, ok := ex.stages[cap]; ok && st.inflight > 0 {
+		return false
+	}
+	work := ex.tracker.RemainingCapabilityWork()[cap]
+	if work <= 0 {
+		return false
+	}
+	cur := ex.plan.Decisions[cap]
+	casc, cfgs := ex.degradeCandidates(cap, cur.Implementation, work)
+	if len(casc.Levels) == 0 {
+		return false
+	}
+	casc.SortByCost()
+
+	rv := ex.remainingView()
+	if rv.graph.Len() == 0 || rv.inflight[cap] {
+		return false
+	}
+	floor := ex.job.MinQuality
+	enforceFloor := floor > 0 && !ex.opts.RelaxFloor
+	for _, lvl := range casc.Levels {
+		if enforceFloor {
+			sq := quality.StageQuality{}
+			for c, d := range ex.plan.Decisions {
+				sq[c] = d.Quality
+			}
+			sq[cap] = lvl.Quality
+			if quality.ChainCorrectness(rv.graph, sq) < floor {
+				continue
+			}
+		}
+		pins := map[string]optimizer.Pin{}
+		for _, n := range rv.graph.Nodes() {
+			if _, ok := pins[n.Capability]; !ok {
+				pins[n.Capability] = pinFromDecision(ex.plan.Decisions[n.Capability])
+			}
+		}
+		pins[cap] = optimizer.Pin{Implementation: lvl.Implementation, Config: cfgs[lvl.Implementation]}
+		o := planOptions(ex.job, ex.opts)
+		o.Pinned = pins
+		// The floor was checked chain-wise above; a stage-wise floor here
+		// would reject the very degradation this path exists to make.
+		o.MinQuality = 0
+		newPlan, err := rt.opt.Plan(rv.graph, rt.cl.Snapshot(), o)
+		if err != nil {
+			continue
+		}
+		if changed, err := ex.adoptPlan(newPlan); err == nil && changed > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// degradeCandidates builds the capability's degradation cascade: every
+// other registered implementation of the capability, each on its cheapest
+// profiled configuration, excluding quarantined ones. The returned map
+// carries each candidate's chosen configuration (optimizer pins need a real
+// profiled config, not just an implementation name).
+func (ex *Execution) degradeCandidates(cap, curImpl string, work float64) (cascade.Cascade, map[string]profiles.ResourceConfig) {
+	rt := ex.rt
+	var casc cascade.Cascade
+	cfgs := map[string]profiles.ResourceConfig{}
+	for _, im := range rt.lib.ByCapability(agents.Capability(cap)) {
+		if im.Name == curImpl || rt.mgr.Quarantined(im.Name) {
+			continue
+		}
+		var best profiles.Profile
+		bestCost := math.Inf(1)
+		for _, p := range rt.store.ForImplementation(im.Name) {
+			if p.Capability != cap {
+				continue
+			}
+			if c := p.CostUSD(rt.cl.Catalog(), rt.cpuType, work); c < bestCost {
+				best, bestCost = p, c
+			}
+		}
+		if math.IsInf(bestCost, 1) {
+			continue
+		}
+		casc.Levels = append(casc.Levels, cascade.Level{
+			Implementation: im.Name,
+			Quality:        best.Quality,
+			CostUSD:        bestCost,
+			LatencyS:       best.LatencyS(work),
+		})
+		cfgs[im.Name] = best.Config
+	}
+	return casc, cfgs
+}

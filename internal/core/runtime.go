@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"repro/internal/agents"
@@ -75,6 +76,16 @@ type Runtime struct {
 	// workflows are active (a permanent ticker would keep the simulation's
 	// event queue non-empty forever).
 	rebalance sim.Duration
+	// cpuType prices CPU cores for degradation-candidate costing (the same
+	// type the optimizer was built with).
+	cpuType hardware.CPUType
+
+	// recovery is the failure-recovery state (nil until EnableRecovery;
+	// see faults.go). onTaskFault, when set, runs after every recovered
+	// task failure — the scheduler points it at the reconfiguration
+	// controller so a failure is treated as a capacity event.
+	recovery    *recoveryState
+	onTaskFault func()
 }
 
 // New builds a runtime. Profiling the library happens here when no store is
@@ -114,6 +125,7 @@ func New(cfg Config) (*Runtime, error) {
 		planCache:   map[string]*optimizer.Plan{},
 		decompCache: map[string]*planner.Result{},
 		rebalance:   cfg.RebalancePeriod,
+		cpuType:     cfg.CPUType,
 	}, nil
 }
 
@@ -168,6 +180,21 @@ type Execution struct {
 	heldEngines []string
 	// reconfigs counts adopted mid-flight re-plans.
 	reconfigs int
+
+	// Failure-recovery state (all nil/zero unless the runtime has recovery
+	// enabled; see faults.go): per-task attempt counts, per-capability
+	// failure counts, capabilities already degraded, pending retry events
+	// (canceled at finish so no retry fires on a finished job), the seeded
+	// jitter stream, the job-deadline timer, the bounded attempt history
+	// and its observer.
+	attempts   map[dag.NodeID]int
+	capFails   map[string]int
+	degraded   map[string]bool
+	retryEvs   map[*sim.Event]bool
+	recRng     *rand.Rand
+	deadlineEv *sim.Event
+	attemptLog []AttemptRecord
+	onAttempt  func(AttemptRecord)
 }
 
 // Namespace is the execution's VectorDB namespace for embedding inserts.
@@ -289,6 +316,7 @@ func (rt *Runtime) launch(job workflow.Job, opts SubmitOptions, decomp *planner.
 		rt.active--
 		return nil, err
 	}
+	ex.initRecovery()
 	ex.chargePlanning(func() { ex.dispatchReady() })
 	return ex, nil
 }
@@ -458,6 +486,7 @@ func (ex *Execution) finish(err error) {
 	}
 	ex.done = true
 	ex.err = err
+	ex.cancelRecovery()
 	ex.rt.mgr.UnregisterWorkflow(ex.tracker)
 	ex.rt.active--
 	if ex.rt.active == 0 && ex.rt.rebalance > 0 {

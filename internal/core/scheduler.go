@@ -85,6 +85,7 @@ type Handle struct {
 	err         error
 	onStart     []func(*Handle)
 	onDone      []func(*Handle)
+	onAttempt   func(AttemptRecord)
 
 	// planReady gates admission: with off-loop plan search enabled, a queued
 	// handle only becomes eligible once its search commits (true from the
@@ -158,6 +159,25 @@ func (h *Handle) OnDone(fn func(*Handle)) {
 	h.onDone = append(h.onDone, fn)
 }
 
+// OnAttempt registers an observer for the job's task-failure attempts
+// (fired per recorded AttemptRecord; see faults.go). Register before the
+// job starts; at most one observer.
+func (h *Handle) OnAttempt(fn func(AttemptRecord)) {
+	h.onAttempt = fn
+	if h.exec != nil {
+		h.exec.onAttempt = fn
+	}
+}
+
+// Attempts returns the job's recorded attempt history (nil before start or
+// when no task ever failed).
+func (h *Handle) Attempts() []AttemptRecord {
+	if h.exec == nil {
+		return nil
+	}
+	return h.exec.Attempts()
+}
+
 // Cancel terminates the job: queued jobs leave the admission queue without
 // running; running jobs stop (their in-flight simulated work is abandoned).
 // It reports whether the job was still cancelable.
@@ -213,6 +233,21 @@ type SchedulerStats struct {
 	ReconfigWins      int
 	ReconfigSkips     int
 	ReconfigConflicts int
+	// Failure-recovery accounting (all zero with recovery disabled):
+	// TaskRetries counts retried task failures, RetriesExhausted jobs
+	// failed on the attempt budget, DeadlinesExceeded jobs failed on their
+	// deadline, Degradations adopted cheaper-implementation re-plans,
+	// StageTimeouts watchdog firings, FaultsInjected applied fault events,
+	// BreakerTrips total circuit-breaker trips and BreakerOpen the live
+	// gauge of breakers currently not closed.
+	TaskRetries       int
+	RetriesExhausted  int
+	DeadlinesExceeded int
+	Degradations      int
+	StageTimeouts     int
+	FaultsInjected    int
+	BreakerTrips      int
+	BreakerOpen       int
 }
 
 // Scheduler admits jobs into a shared Runtime.
@@ -257,6 +292,11 @@ type Scheduler struct {
 	reconfigWins      int
 	reconfigSkips     int
 	reconfigConflicts int
+
+	// faultsInjected counts fault events applied through Inject (counted
+	// whether or not recovery is enabled — injection and recovery are
+	// independent toggles).
+	faultsInjected int
 }
 
 // NewScheduler builds the admission layer over a runtime.
@@ -404,6 +444,9 @@ func (s *Scheduler) start(h *Handle) {
 		return
 	}
 	h.exec = ex
+	if h.onAttempt != nil {
+		ex.onAttempt = h.onAttempt
+	}
 	ex.OnDone(func(_ *report.Report, err error) {
 		s.settle(h, err)
 	})
@@ -481,9 +524,18 @@ func (s *Scheduler) Stats() SchedulerStats {
 		ReconfigWins:      s.reconfigWins,
 		ReconfigSkips:     s.reconfigSkips,
 		ReconfigConflicts: s.reconfigConflicts,
+		FaultsInjected:    s.faultsInjected,
 	}
 	if s.search != nil {
 		st.PlanSearchInflight = len(s.search.inflight)
 	}
+	if rc := s.rt.recovery; rc != nil {
+		st.TaskRetries = rc.taskRetries
+		st.RetriesExhausted = rc.exhausted
+		st.DeadlinesExceeded = rc.deadlineExceeded
+		st.Degradations = rc.degradations
+		st.StageTimeouts = rc.timeouts
+	}
+	st.BreakerOpen, st.BreakerTrips = s.rt.mgr.BreakerStats()
 	return st
 }

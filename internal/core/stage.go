@@ -138,12 +138,16 @@ func (st *stage) submitLLM(node *dag.Node) {
 	span := ex.tracer.Start(trackName(st.cap), string(node.ID), ex.rt.se.Now().Seconds())
 	st.inflight++
 	remaining := paths
+	var firstErr error
 	for p := 0; p < paths; p++ {
 		h.Engine.Submit(&llmsim.Request{
 			ID:           fmt.Sprintf("%s#%d", node.ID, p),
 			PromptTokens: prompt,
 			OutputTokens: output,
-			OnComplete: func(*llmsim.Request) {
+			OnComplete: func(r *llmsim.Request) {
+				if r.Err != nil && firstErr == nil {
+					firstErr = r.Err
+				}
 				remaining--
 				if remaining > 0 {
 					return // top-k barrier: wait for all paths
@@ -153,6 +157,16 @@ func (st *stage) submitLLM(node *dag.Node) {
 					return // canceled mid-request: drop the result
 				}
 				ex.tracer.End(span, ex.rt.se.Now().Seconds())
+				if firstErr != nil {
+					// An injected call error fails the whole task (all
+					// paths re-run on retry — the barrier's unit is the
+					// node, not the path).
+					st.taskFailed(node, firstErr)
+					return
+				}
+				if ex.rt.recovery != nil {
+					ex.rt.mgr.ReportOutcome(st.dec.Implementation, true)
+				}
 				st.afterTask(node)
 				ex.completeNode(node.ID)
 			},
@@ -190,8 +204,14 @@ type worker struct {
 	busy     bool
 	current  *dag.Node
 	doneEv   *sim.Event
-	span     int
-	dead     bool
+	// doneAt is doneEv's firing time, kept so an injected stall can push
+	// the completion out without recomputing the task's duration.
+	doneAt sim.Time
+	// watchdogEv is the stage-timeout watchdog (armed only when recovery
+	// sets a StageTimeoutS; see faults.go).
+	watchdogEv *sim.Event
+	span       int
+	dead       bool
 }
 
 // pump assigns queued tasks to ready workers, growing the pool up to the
@@ -321,17 +341,76 @@ func (w *worker) run(node *dag.Node) {
 	st.inflight++
 	w.setIntensity(im.Perf.GPUIntensity, im.Perf.CPUIntensity)
 	w.span = ex.tracer.Start(trackName(st.cap), string(node.ID), ex.rt.se.Now().Seconds())
-	w.doneEv = ex.rt.se.After(sim.Duration(dur), func() {
+	w.doneAt = ex.rt.se.Now().Add(sim.Duration(dur))
+	w.doneEv = ex.rt.se.Schedule(w.doneAt, w.taskDone)
+	if rc := ex.rt.recovery; rc != nil && rc.policy.StageTimeoutS > 0 {
+		w.watchdogEv = ex.rt.se.After(sim.Duration(rc.policy.StageTimeoutS), w.timedOut)
+	}
+}
+
+// taskDone completes the worker's in-flight task.
+func (w *worker) taskDone() {
+	st := w.st
+	ex := st.ex
+	node := w.current
+	w.doneEv = nil
+	if w.watchdogEv != nil {
+		w.watchdogEv.Cancel()
+		w.watchdogEv = nil
+	}
+	w.setIntensity(0, 0)
+	ex.tracer.End(w.span, ex.rt.se.Now().Seconds())
+	w.busy = false
+	w.current = nil
+	st.inflight--
+	if ex.rt.recovery != nil {
+		ex.rt.mgr.ReportOutcome(st.dec.Implementation, true)
+	}
+	st.afterTask(node)
+	ex.completeNode(node.ID)
+	st.pump()
+}
+
+// stall pushes the in-flight task's completion out by d seconds — fault
+// injection's hung stage call. Only the watchdog (if armed) can cut the
+// stall short. Returns false when the worker is idle.
+func (w *worker) stall(d float64) bool {
+	if !w.busy || w.doneEv == nil {
+		return false
+	}
+	w.doneEv.Cancel()
+	w.doneAt = w.doneAt.Add(sim.Duration(d))
+	w.doneEv = w.st.ex.rt.se.Schedule(w.doneAt, w.taskDone)
+	return true
+}
+
+// timedOut is the stage-timeout watchdog: the task ran longer than the
+// policy allows, so it is cut short and routed through taskFailed — the
+// worker itself is destroyed (a wedged process is not reused), and the
+// retry respawns capacity through the normal pump path.
+func (w *worker) timedOut() {
+	w.watchdogEv = nil
+	if w.dead || !w.busy || w.current == nil {
+		return
+	}
+	st := w.st
+	ex := st.ex
+	node := w.current
+	rc := ex.rt.recovery
+	if w.doneEv != nil {
+		w.doneEv.Cancel()
 		w.doneEv = nil
-		w.setIntensity(0, 0)
-		ex.tracer.End(w.span, ex.rt.se.Now().Seconds())
-		w.busy = false
-		w.current = nil
-		st.inflight--
-		st.afterTask(node)
-		ex.completeNode(node.ID)
-		st.pump()
-	})
+	}
+	ex.tracer.End(w.span, ex.rt.se.Now().Seconds())
+	w.setIntensity(0, 0)
+	w.busy = false
+	w.current = nil
+	st.inflight--
+	rc.timeouts++
+	w.destroy()
+	st.taskFailed(node, &JobError{Code: CodeTaskFailed, Op: string(node.ID),
+		Err: fmt.Errorf("core: stage %s timed out after %.0fs", st.cap, rc.policy.StageTimeoutS)})
+	ex.rt.se.Defer(st.pump)
 }
 
 func (w *worker) setIntensity(gpu, cpu float64) {
@@ -391,6 +470,10 @@ func (w *worker) destroy() {
 	if w.doneEv != nil {
 		w.doneEv.Cancel()
 		w.doneEv = nil
+	}
+	if w.watchdogEv != nil {
+		w.watchdogEv.Cancel()
+		w.watchdogEv = nil
 	}
 	if w.gpuAlloc != nil {
 		w.gpuAlloc.OnPreempt = nil

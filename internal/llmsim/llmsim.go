@@ -18,6 +18,7 @@
 package llmsim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -25,6 +26,10 @@ import (
 	"repro/internal/hardware"
 	"repro/internal/sim"
 )
+
+// ErrInjected marks a request failed by fault injection (FailNext) — the
+// transient call error a caller may retry.
+var ErrInjected = errors.New("llmsim: injected call failure")
 
 // ModelSpec describes the served model's performance envelope on the
 // reference GPU.
@@ -81,8 +86,13 @@ type Request struct {
 	ID           string
 	PromptTokens int
 	OutputTokens int
-	// OnComplete fires when the last token is generated.
+	// OnComplete fires when the last token is generated — or, under fault
+	// injection, when the request fails (Err is then non-nil).
 	OnComplete func(*Request)
+
+	// Err is the request's terminal error: nil on success, ErrInjected when
+	// fault injection failed the call. Callers decide whether to retry.
+	Err error
 
 	// Metrics populated by the engine.
 	EnqueuedAt  sim.Time
@@ -121,8 +131,15 @@ type Engine struct {
 	nextDone   *sim.Event
 	lastUpdate sim.Time
 
+	// down marks the engine crashed and reloading weights: admission and
+	// rate planning pause until the reload completes. Requests submitted
+	// meanwhile queue normally.
+	down bool
+
 	// Stats.
 	completed      int
+	failed         int
+	crashes        int
 	tokensServed   float64
 	busyIntegral   float64 // ∫ utilization dt, for mean-utilization stats
 	drainCallbacks []func()
@@ -231,6 +248,9 @@ func (e *Engine) Submit(r *Request) {
 // that could exhaust memory mid-generation is never admitted (vLLM-style
 // conservative admission).
 func (e *Engine) admit() {
+	if e.down {
+		return
+	}
 	for len(e.queue) > 0 {
 		r := e.queue[0]
 		if len(e.active) >= e.model.MaxBatch {
@@ -277,6 +297,11 @@ func (e *Engine) replan() {
 	if e.nextDone != nil {
 		e.nextDone.Cancel()
 		e.nextDone = nil
+	}
+	if e.down {
+		// Crashed: nothing progresses until the reload event resumes the
+		// engine (Crash already zeroed device intensity).
+		return
 	}
 	perSeq, util := e.currentRates()
 	if !e.alloc.Released() {
@@ -336,7 +361,9 @@ func (e *Engine) complete(r *Request) {
 	}
 	r.done = true
 	r.CompletedAt = e.engine.Now()
-	e.completed++
+	if r.Err == nil {
+		e.completed++
+	}
 	if r.OnComplete != nil {
 		r.OnComplete(r)
 	}
@@ -356,6 +383,91 @@ func (e *Engine) Resize(alloc *cluster.GPUAlloc) error {
 	e.admit()
 	e.replan()
 	return nil
+}
+
+// Crash simulates the serving process dying: every active sequence loses
+// its KV cache and all generation progress, re-queues ahead of waiting
+// requests, and the engine spends reloadS seconds reloading weights before
+// admitting again. Requests are never lost — they restart from scratch once
+// the engine is back. Crashing a crashed engine is a no-op (the reload in
+// progress covers it).
+func (e *Engine) Crash(reloadS float64) {
+	if e.down {
+		return
+	}
+	e.advance()
+	for _, r := range e.active {
+		r.work = r.totalWork
+		r.admitted = false
+	}
+	e.queue = append(append([]*Request{}, e.active...), e.queue...)
+	e.active = nil
+	e.kvUsed = 0
+	e.down = true
+	e.crashes++
+	if e.nextDone != nil {
+		e.nextDone.Cancel()
+		e.nextDone = nil
+	}
+	if !e.alloc.Released() {
+		e.alloc.SetIntensity(0)
+	}
+	if reloadS < 0 {
+		reloadS = 0
+	}
+	e.engine.After(sim.Duration(reloadS), func() {
+		e.down = false
+		e.advance()
+		e.admit()
+		e.replan()
+	})
+}
+
+// Down reports whether the engine is crashed and reloading.
+func (e *Engine) Down() bool { return e.down }
+
+// Crashes returns the number of injected crashes.
+func (e *Engine) Crashes() int { return e.crashes }
+
+// Failed returns the number of requests failed by injection.
+func (e *Engine) Failed() int { return e.failed }
+
+// FailNext fails one in-flight or queued request with ErrInjected — a
+// transient call error. pick ∈ [0,1) selects the victim over active then
+// queued requests; the request's OnComplete fires with Err set so the
+// caller can retry. Returns false when the engine holds no requests.
+func (e *Engine) FailNext(pick float64) bool {
+	e.advance()
+	n := len(e.active) + len(e.queue)
+	if n == 0 {
+		return false
+	}
+	idx := int(pick * float64(n))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	var r *Request
+	if idx < len(e.active) {
+		r = e.active[idx]
+		e.active = append(e.active[:idx], e.active[idx+1:]...)
+		e.kvUsed -= r.kvTokens
+		if e.kvUsed < 0 {
+			panic("llmsim: KV accounting below zero")
+		}
+	} else {
+		qi := idx - len(e.active)
+		r = e.queue[qi]
+		e.queue = append(e.queue[:qi], e.queue[qi+1:]...)
+	}
+	e.failed++
+	r.Err = ErrInjected
+	e.complete(r)
+	e.admit()
+	e.replan()
+	return true
 }
 
 // OnDrained registers a one-shot callback for the next time the engine has

@@ -1,0 +1,269 @@
+// faults.go is the chaos harness behind BenchmarkFaults: it replays the same
+// bursty job mix and the same seeded fault trace (engine crashes, worker
+// losses, stage stalls, transient call errors) against one runtime shard
+// twice — once with the failure-recovery subsystem enabled and once without —
+// and compares goodput: jobs completed successfully within a fixed simulated
+// horizon. Both arms run entirely inside the simulation, so for fixed seeds
+// the comparison is deterministic and machine-independent and the recovery
+// gain can be gated in CI.
+package serving
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/agents"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/hardware"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// FaultsOptions shapes the chaos replay.
+type FaultsOptions struct {
+	// Rate/HorizonS/Seed parameterize the Poisson job burst; Mix its shape
+	// (the video-heavy MinLatency reconfig mix when zero).
+	Rate     float64
+	HorizonS float64
+	Seed     int64
+	Mix      workload.MixSpec
+	// VMs is the fixed on-demand fleet.
+	VMs int
+	// MaxConcurrent bounds jobs admitted concurrently (0 admits the whole
+	// burst).
+	MaxConcurrent int
+	// RebalancePeriodS enables the manager's engine-rebalancing loop in
+	// both arms (0 disables).
+	RebalancePeriodS float64
+	// Faults is the injected fault trace spec (zero selects the default:
+	// call-error dominated, with a sprinkle of crashes, worker losses and
+	// stalls). The identical trace replays in both arms.
+	Faults workload.FaultSpec
+	// Policy is the recovery-on arm's fault policy (zero fields select the
+	// core defaults).
+	Policy core.FaultPolicy
+	// MeasureHorizonS is the goodput window: jobs count toward goodput only
+	// if they complete successfully by this simulated time. Both arms still
+	// run to full drain (for the zero-stranded check); the window just makes
+	// the arms comparable on equal terms.
+	MeasureHorizonS float64
+}
+
+// DefaultFaultsOptions is the benchmark configuration: the reconfig job
+// burst on a fixed two-VM fleet, under a fault trace dominated by transient
+// call errors — the fault class that is terminal without recovery and cheap
+// to retry with it.
+func DefaultFaultsOptions() FaultsOptions {
+	return FaultsOptions{
+		Rate:             0.4,
+		HorizonS:         50,
+		Seed:             7,
+		VMs:              2,
+		MaxConcurrent:    4,
+		RebalancePeriodS: 30,
+		Faults: workload.FaultSpec{
+			EngineCrashRate:  0.01,
+			WorkerLossRate:   0.01,
+			StageTimeoutRate: 0.01,
+			CallErrorRate:    0.08,
+			StallS:           60,
+			CrashReloadS:     8,
+			HorizonS:         240,
+			Seed:             11,
+		},
+		Policy: core.FaultPolicy{
+			JobDeadlineS: 1800,
+			Seed:         13,
+		},
+		MeasureHorizonS: 600,
+	}
+}
+
+// FaultsArm is the measurement for one arm of the comparison.
+type FaultsArm struct {
+	Mode      string
+	Jobs      int
+	Completed int
+	Failed    int
+	// Goodput counts jobs completed successfully by MeasureHorizonS.
+	Goodput int
+	// Stranded counts jobs in no terminal state after the simulation
+	// drained — always zero unless recovery leaks a job.
+	Stranded int
+	// MeanCompletionS averages submit→done over successful jobs only;
+	// MakespanS is the last successful completion.
+	MeanCompletionS float64
+	MakespanS       float64
+	// Injection and recovery counters (retries and breaker state are zero
+	// in the off arm).
+	FaultsInjected    int
+	TaskRetries       int
+	RetriesExhausted  int
+	DeadlinesExceeded int
+	Degradations      int
+	StageTimeouts     int
+	BreakerTrips      int
+}
+
+// FaultsComparison pits recovery-on against recovery-off on the same
+// replayed job burst and fault trace.
+type FaultsComparison struct {
+	Off FaultsArm
+	On  FaultsArm
+	// GoodputGainX = On.Goodput / Off.Goodput.
+	GoodputGainX float64
+}
+
+// RunFaults replays the burst and fault trace through both arms. Job
+// failures are expected (they are the off arm's whole story) and do not
+// error; a stranded job — one the drain left in a non-terminal state — does.
+func RunFaults(opts FaultsOptions) (*FaultsComparison, error) {
+	mix := opts.Mix
+	if len(mix.Tenants) == 0 {
+		mix = reconfigMix()
+	}
+	arrivals, err := workload.PoissonTrace(mix, opts.Rate, opts.HorizonS, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if len(arrivals) == 0 {
+		return nil, fmt.Errorf("serving: empty faults job trace")
+	}
+	faults, err := workload.FaultTrace(opts.Faults)
+	if err != nil {
+		return nil, err
+	}
+	off, err := runFaultsArm(opts, arrivals, faults, false)
+	if err != nil {
+		return nil, err
+	}
+	on, err := runFaultsArm(opts, arrivals, faults, true)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &FaultsComparison{Off: off, On: on}
+	if off.Goodput > 0 {
+		cmp.GoodputGainX = float64(on.Goodput) / float64(off.Goodput)
+	}
+	return cmp, nil
+}
+
+// runFaultsArm replays the traces against one freshly-provisioned shard
+// stack, entirely in simulated time.
+func runFaultsArm(opts FaultsOptions, arrivals []workload.Arrival, faults []workload.FaultEvent, recover bool) (FaultsArm, error) {
+	se := sim.NewEngine()
+	cl := cluster.New(se, hardware.DefaultCatalog())
+	vms := opts.VMs
+	if vms <= 0 {
+		vms = 2
+	}
+	for v := 0; v < vms; v++ {
+		cl.AddVM(fmt.Sprintf("vm%d", v), hardware.NDv4SKUName, false)
+	}
+	rt, err := core.New(core.Config{
+		Engine: se, Cluster: cl, Library: agents.DefaultLibrary(),
+		RebalancePeriod: sim.Duration(opts.RebalancePeriodS),
+	})
+	if err != nil {
+		return FaultsArm{}, err
+	}
+	maxc := opts.MaxConcurrent
+	if maxc <= 0 {
+		maxc = len(arrivals)
+	}
+	sched := core.NewScheduler(se, rt, maxc)
+	if recover {
+		// Recovery rides the reconfiguration path: a failure is a capacity
+		// event, and the re-plan moves remaining stages off the unhealthy
+		// binding while the failed task waits out its backoff.
+		sched.EnableReconfig(core.ReconfigConfig{})
+		sched.EnableRecovery(opts.Policy)
+	}
+
+	arm := FaultsArm{Mode: "recovery-off", Jobs: len(arrivals)}
+	if recover {
+		arm.Mode = "recovery-on"
+	}
+	var handles []*core.Handle
+	var completions []float64
+	for _, arr := range arrivals {
+		arr := arr
+		se.After(sim.Duration(arr.AtS), func() {
+			h, err := sched.Submit(arr.Tenant, arr.Job, core.SubmitOptions{RelaxFloor: true, KeepEngines: true})
+			if err != nil {
+				arm.Failed++
+				return
+			}
+			handles = append(handles, h)
+			h.OnDone(func(h *core.Handle) {
+				if h.Status() != core.JobDone {
+					arm.Failed++
+					return
+				}
+				arm.Completed++
+				done := se.Now().Seconds()
+				completions = append(completions, done-arr.AtS)
+				if done <= opts.MeasureHorizonS {
+					arm.Goodput++
+				}
+				if done > arm.MakespanS {
+					arm.MakespanS = done
+				}
+			})
+		})
+	}
+	for _, ev := range faults {
+		ev := ev
+		se.After(sim.Duration(ev.AtS), func() { sched.Inject(ev) })
+	}
+	se.Run()
+
+	// Zero-stranded contract: after a full drain every submitted job must
+	// have reached a terminal state — recovery may fail a job, but it may
+	// never leave one hanging.
+	for _, h := range handles {
+		switch h.Status() {
+		case core.JobDone, core.JobFailed, core.JobCanceled:
+		default:
+			arm.Stranded++
+		}
+	}
+	if arm.Stranded > 0 {
+		return arm, fmt.Errorf("serving: faults arm %s stranded %d of %d jobs",
+			arm.Mode, arm.Stranded, len(arrivals))
+	}
+	if len(completions) > 0 {
+		sum := 0.0
+		for _, c := range completions {
+			sum += c
+		}
+		arm.MeanCompletionS = sum / float64(len(completions))
+		sort.Float64s(completions)
+	}
+	st := sched.Stats()
+	arm.FaultsInjected = st.FaultsInjected
+	arm.TaskRetries = st.TaskRetries
+	arm.RetriesExhausted = st.RetriesExhausted
+	arm.DeadlinesExceeded = st.DeadlinesExceeded
+	arm.Degradations = st.Degradations
+	arm.StageTimeouts = st.StageTimeouts
+	arm.BreakerTrips = st.BreakerTrips
+	return arm, nil
+}
+
+// String renders the comparison.
+func (c *FaultsComparison) String() string {
+	var b []byte
+	f := func(format string, args ...any) { b = append(b, fmt.Sprintf(format, args...)...) }
+	f("Fault injection and recovery (simulated time, replayed traces)\n")
+	f("%-14s %6s %8s %6s %8s %8s %12s %7s %8s %6s\n",
+		"mode", "jobs", "goodput", "fail", "faults", "retries", "mean(s)", "exhaust", "degrade", "trips")
+	for _, m := range []FaultsArm{c.Off, c.On} {
+		f("%-14s %6d %8d %6d %8d %8d %12.1f %7d %8d %6d\n",
+			m.Mode, m.Jobs, m.Goodput, m.Failed, m.FaultsInjected, m.TaskRetries,
+			m.MeanCompletionS, m.RetriesExhausted, m.Degradations, m.BreakerTrips)
+	}
+	f("Recovery goodput gain: %.3fx\n", c.GoodputGainX)
+	return string(b)
+}
