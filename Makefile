@@ -3,7 +3,7 @@
 GO ?= go
 DATE := $(shell date +%F)
 
-.PHONY: all build test race vet bench bench-smoke bench-json bench-baseline memprofile
+.PHONY: all build test race vet bench bench-smoke bench-json bench-baseline memprofile profile
 
 all: vet build test
 
@@ -61,3 +61,21 @@ memprofile:
 	$(GO) test -bench 'BenchmarkServingRetention' -benchmem -benchtime 3x \
 		-run '^$$' -memprofile mem_$(DATE).prof -memprofilerate 1 .
 	@echo "wrote mem_$(DATE).prof (inspect with: go tool pprof repro.test mem_$(DATE).prof)"
+
+# profile captures CPU and heap profiles from the serving hot path
+# (BenchmarkServing: the mixed-tenant HTTP replay against both serving
+# architectures) into bench/prof/ — the first step of the profile → fix →
+# gate loop documented in README's Performance section. Top allocation
+# sites by object count:
+#   go tool pprof -top -sample_index=alloc_objects bench/prof/serving.mem.pprof
+# Where CPU goes:
+#   go tool pprof -top bench/prof/serving.cpu.pprof
+# Caveat: at the default memprofilerate one sample extrapolates to ~32k
+# 16-byte objects, so per-site counts under a few samples are noise — trust
+# -benchmem allocs/op deltas for small effects.
+profile:
+	@mkdir -p bench/prof
+	$(GO) test -bench '^BenchmarkServing$$' -benchtime 2x -run '^$$' \
+		-cpuprofile bench/prof/serving.cpu.pprof \
+		-memprofile bench/prof/serving.mem.pprof .
+	@echo "wrote bench/prof/serving.{cpu,mem}.pprof"

@@ -5,15 +5,21 @@
 // checked-in baseline and the current run per benchmark, and fails when the
 // current value regresses beyond -max-ratio. Independently, -require asserts
 // absolute thresholds on the current run's custom metrics (e.g. the
-// admission speedup or the serving multiplexing gain).
+// admission speedup or the serving multiplexing gain), and -ratio-gate
+// asserts a per-benchmark ratio limit against the baseline for one unit —
+// the allocation gates, where the metric is deterministic and the tolerance
+// can be far tighter than wall-clock allows.
 //
 //	go test -bench '^(BenchmarkLoadSweep|BenchmarkServing)$' -run '^$' . > new.txt
 //	go run ./cmd/benchgate -baseline bench/baseline.txt -current new.txt -max-ratio 2.5 \
-//	  -require 'BenchmarkServing:serving_gain_x>=1.5'
+//	  -require 'BenchmarkServing:serving_gain_x>=1.5' \
+//	  -ratio-gate 'BenchmarkServing:allocs/op<=1.10'
 //
 // Baselines and current runs usually come from different machines, so
 // -max-ratio should be generous: the gate exists to catch asymptotic
 // blowups and order-of-magnitude regressions, not single-digit percentages.
+// allocs/op (and, less strictly, B/op) does not vary with the host, which is
+// why those gates carry their own per-benchmark tolerances.
 package main
 
 import (
@@ -98,6 +104,44 @@ func parseRequirement(s string) (requirement, error) {
 	return r, fmt.Errorf("requirement %q: want >= or <=", s)
 }
 
+// ratioGate is one "-ratio-gate Bench:unit<=ratio" assertion: current/baseline
+// for that benchmark's unit must not exceed ratio.
+type ratioGate struct {
+	bench, unit string
+	maxRatio    float64
+}
+
+func parseRatioGate(s string) (ratioGate, error) {
+	var g ratioGate
+	name, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return g, fmt.Errorf("ratio-gate %q: want Benchmark:unit<=ratio", s)
+	}
+	unit, val, ok := strings.Cut(rest, "<=")
+	if !ok {
+		return g, fmt.Errorf("ratio-gate %q: want <= (a ratio gate bounds growth)", s)
+	}
+	r, err := strconv.ParseFloat(val, 64)
+	if err != nil || r <= 0 {
+		return g, fmt.Errorf("ratio-gate %q: bad ratio %q", s, val)
+	}
+	g.bench, g.unit, g.maxRatio = name, unit, r
+	return g, nil
+}
+
+// ratioGateList collects repeated -ratio-gate flags.
+type ratioGateList []ratioGate
+
+func (l *ratioGateList) String() string { return fmt.Sprint([]ratioGate(*l)) }
+func (l *ratioGateList) Set(s string) error {
+	g, err := parseRatioGate(s)
+	if err != nil {
+		return err
+	}
+	*l = append(*l, g)
+	return nil
+}
+
 // requireList collects repeated -require flags.
 type requireList []requirement
 
@@ -118,6 +162,8 @@ func main() {
 	maxRatio := flag.Float64("max-ratio", 2.5, "fail when current/baseline exceeds this")
 	var requires requireList
 	flag.Var(&requires, "require", "absolute threshold on the current run, Benchmark:unit>=value (repeatable)")
+	var gates ratioGateList
+	flag.Var(&gates, "ratio-gate", "per-benchmark ratio limit vs baseline, Benchmark:unit<=ratio (repeatable; requires -baseline)")
 	flag.Parse()
 
 	if *current == "" {
@@ -131,11 +177,45 @@ func main() {
 	}
 	failed := false
 
+	if *baseline == "" && len(gates) > 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: -ratio-gate requires -baseline")
+		os.Exit(2)
+	}
 	if *baseline != "" {
 		base, err := parseBench(*baseline)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchgate: reading baseline: %v\n", err)
 			os.Exit(2)
+		}
+		for _, g := range gates {
+			bm, ok := base[g.bench]
+			bv := 0.0
+			if ok {
+				bv = bm[g.unit]
+			}
+			if bv <= 0 {
+				fmt.Printf("benchgate: %-28s baseline has no %s: ratio gate unanchored FAIL\n", g.bench, g.unit)
+				failed = true
+				continue
+			}
+			cm, ok := cur[g.bench]
+			cv := 0.0
+			if ok {
+				cv = cm[g.unit]
+			}
+			if cv <= 0 {
+				fmt.Printf("benchgate: %-28s missing %s from current run FAIL\n", g.bench, g.unit)
+				failed = true
+				continue
+			}
+			ratio := cv / bv
+			verdict := "ok"
+			if ratio > g.maxRatio {
+				verdict = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("benchgate: %-28s %12.0f → %12.0f %s  (%.3fx, gate %.2fx) %s\n",
+				g.bench, bv, cv, g.unit, ratio, g.maxRatio, verdict)
 		}
 		for name, bm := range base {
 			bv, ok := bm[*metric]

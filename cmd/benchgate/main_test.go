@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseRatioGate(t *testing.T) {
+	g, err := parseRatioGate("BenchmarkServing:allocs/op<=1.10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.bench != "BenchmarkServing" || g.unit != "allocs/op" || g.maxRatio != 1.10 {
+		t.Fatalf("parsed %+v", g)
+	}
+	for _, bad := range []string{
+		"BenchmarkServing",                 // no unit
+		"BenchmarkServing:allocs/op>=1.10", // wrong direction
+		"BenchmarkServing:allocs/op<=zero", // non-numeric
+		"BenchmarkServing:allocs/op<=-2",   // non-positive
+	} {
+		if _, err := parseRatioGate(bad); err == nil {
+			t.Errorf("parseRatioGate(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseRequirement(t *testing.T) {
+	r, err := parseRequirement("BenchmarkFaults:stranded_jobs<=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.bench != "BenchmarkFaults" || r.unit != "stranded_jobs" || r.ge || r.value != 0 {
+		t.Fatalf("parsed %+v", r)
+	}
+}

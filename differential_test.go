@@ -1,0 +1,88 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// TestAllocReuseDifferential is the bit-identical contract behind this
+// repo's allocation-reuse fast paths (key interning, sim event slabs, the
+// runtime's worker and LLM-task scratch pools): the same seeded workloads
+// run with every fast path force-disabled and again with them enabled, and
+// the full result structures — per-job reports, traces, and the paper's
+// headline metrics — must serialize to the same bytes. Reuse is allowed to
+// change where memory comes from, never what the simulation computes.
+func TestAllocReuseDifferential(t *testing.T) {
+	runAll := func() map[string][]byte {
+		out := map[string][]byte{}
+		mustJSON := func(name string, v interface{}, err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			b, jerr := json.Marshal(v)
+			if jerr != nil {
+				t.Fatalf("%s: marshal: %v", name, jerr)
+			}
+			out[name] = b
+		}
+		f3, err := experiments.Figure3()
+		mustJSON("figure3", f3, err)
+		out["speedup_x"] = []byte(fmt.Sprintf("%.3f", f3.Speedup()))
+		t2, err := experiments.Table2()
+		mustJSON("table2", t2, err)
+		out["energy_gain_x"] = []byte(fmt.Sprintf("%.3f", t2.EnergyEfficiencyGain))
+		t1, err := experiments.Table1()
+		mustJSON("table1", t1, err)
+		out["mismatches"] = []byte(fmt.Sprintf("%d", len(t1.Check())))
+		mt, err := experiments.MultiTenant()
+		mustJSON("multitenant", mt, err)
+		out["multiplex_gain_x"] = []byte(fmt.Sprintf("%.3f", mt.MultiplexGain))
+		return out
+	}
+
+	if core.DisableAllocReuse {
+		t.Fatal("DisableAllocReuse already set; differential reference would not be a reference")
+	}
+	core.DisableAllocReuse = true
+	reference := runAll()
+	core.DisableAllocReuse = false
+	reused := runAll()
+
+	for name, want := range reference {
+		got, ok := reused[name]
+		if !ok {
+			t.Fatalf("%s missing from reuse-enabled run", name)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s diverged with allocation reuse enabled:\n  disabled: %s\n  enabled:  %s",
+				name, truncated(want), truncated(got))
+		}
+	}
+
+	// The headline paper metrics are deterministic simulated-time outputs;
+	// pin them so a "bit-identical both ways" regression that shifts both
+	// arms together still trips the test.
+	for name, want := range map[string]string{
+		"speedup_x":        "4.516",
+		"energy_gain_x":    "3.469",
+		"mismatches":       "0",
+		"multiplex_gain_x": "1.629",
+	} {
+		if got := string(reused[name]); got != want {
+			t.Errorf("%s = %s, want %s", name, got, want)
+		}
+	}
+}
+
+func truncated(b []byte) string {
+	const max = 400
+	if len(b) <= max {
+		return string(b)
+	}
+	return string(b[:max]) + "..."
+}

@@ -38,12 +38,14 @@ const (
 
 // LLMCapabilities lists capabilities served by a shared LLM serving engine
 // (internal/llmsim) rather than per-task allocations.
-func LLMCapabilities() map[Capability]bool {
-	return map[Capability]bool{
-		CapSummarization: true,
-		CapEmbedding:     true,
-		CapQA:            true,
-	}
+func LLMCapabilities() map[Capability]bool { return llmCapabilities }
+
+// llmCapabilities is built once; LLMCapabilities is consulted on every plan
+// pass, and callers only read it.
+var llmCapabilities = map[Capability]bool{
+	CapSummarization: true,
+	CapEmbedding:     true,
+	CapQA:            true,
 }
 
 // PerfModel is the ground truth of how an implementation executes on

@@ -47,8 +47,34 @@ const (
 	ImplCalculator    = "calculator"
 )
 
-// DefaultLibrary builds the agent library used throughout the evaluation.
+// DefaultLibrary returns the agent library used throughout the evaluation.
+// The registry content is built once per process into an immutable template;
+// each call hands back a cheap independent copy sharing the implementation
+// values and the memoized fingerprint/prompt/sorted views (see copyShared),
+// so constructing a testbed no longer re-registers and re-renders the whole
+// catalog. Registering additional implementations on a returned library
+// affects only that copy.
 func DefaultLibrary() *Library {
+	defaultLibOnce.Do(func() {
+		l := buildDefaultLibrary()
+		// Warm every memoized view so copies inherit them fully rendered.
+		l.Fingerprint()
+		l.SystemPrompt()
+		for _, c := range l.Capabilities() {
+			l.byCapabilitySorted(c)
+		}
+		defaultLibTemplate = l
+	})
+	return defaultLibTemplate.copyShared()
+}
+
+var (
+	defaultLibOnce     sync.Once
+	defaultLibTemplate *Library
+)
+
+// buildDefaultLibrary registers the calibrated default catalog from scratch.
+func buildDefaultLibrary() *Library {
 	l := NewLibrary()
 
 	// --- frame extraction ---------------------------------------------
@@ -330,18 +356,5 @@ func DefaultLibrary() *Library {
 		Args: []ArgSpec{{Name: "expression", Type: "string", Required: true}},
 	})
 
-	// Every DefaultLibrary call registers the same content, so the (fairly
-	// expensive) fingerprint rendering is computed once per process and
-	// pre-seeded into each instance; later registrations bump gen and force
-	// a recompute.
-	defaultFPOnce.Do(func() { defaultFP = l.Fingerprint() })
-	l.fpCache = defaultFP
-	l.fpGen = l.gen
-
 	return l
 }
-
-var (
-	defaultFPOnce sync.Once
-	defaultFP     string
-)

@@ -27,6 +27,19 @@ type Library struct {
 	promptGen   int
 	fpCache     string
 	fpGen       int
+	// sortedByCap / capsCache memoize the sorted per-capability lists and the
+	// sorted capability set per generation: every planner/optimizer pass walks
+	// them, and re-sorting per call dominated library allocations.
+	sortedByCap map[Capability][]*Implementation
+	sortedGen   int
+	capsCache   []Capability
+	capsGen     int
+	// borrowed marks a copy-on-write view: the maps above are shared with
+	// the template (and possibly other views on other goroutines), so they
+	// are read-only until the first registration materializes this library's
+	// own maps (ensureOwned). Scalar memo fields are per-copy and stay
+	// writable.
+	borrowed bool
 }
 
 // NewLibrary returns an empty library.
@@ -37,11 +50,35 @@ func NewLibrary() *Library {
 	}
 }
 
+// ensureOwned materializes a borrowed view's own maps before its first
+// mutation, so the template (and sibling views on other goroutines) never
+// observe a write. byCap slices are capacity-capped so a later append
+// reallocates instead of growing into a shared backing array; the sorted
+// memo is dropped and rebuilt lazily into a fresh map.
+func (l *Library) ensureOwned() {
+	if !l.borrowed {
+		return
+	}
+	l.borrowed = false
+	byName := make(map[string]*Implementation, len(l.byName)+1)
+	for name, im := range l.byName {
+		byName[name] = im
+	}
+	l.byName = byName
+	byCap := make(map[Capability][]*Implementation, len(l.byCap)+1)
+	for c, list := range l.byCap {
+		byCap[c] = list[:len(list):len(list)]
+	}
+	l.byCap = byCap
+	l.sortedByCap = nil
+}
+
 // Register adds an implementation. Duplicate names are an error.
 func (l *Library) Register(im Implementation) error {
 	if err := im.Validate(); err != nil {
 		return err
 	}
+	l.ensureOwned()
 	if _, dup := l.byName[im.Name]; dup {
 		return fmt.Errorf("agents: duplicate implementation %q", im.Name)
 	}
@@ -126,6 +163,17 @@ func (l *Library) Get(name string) (*Implementation, bool) {
 	return im.clone(), true
 }
 
+// Lookup returns the registry's own pointer for an implementation — no
+// defensive copy. It exists for hot read-only paths (the runtime's stage
+// dispatch and engine-acquisition checks) where Get's per-call clone shows
+// up in allocation profiles. The contract is strict: callers must treat the
+// result (Args included) as immutable; use Get when a mutable copy is
+// needed.
+func (l *Library) Lookup(name string) (*Implementation, bool) {
+	im, ok := l.byName[name]
+	return im, ok
+}
+
 // clone deep-copies an implementation (the Args slice gets its own backing
 // array so no mutation path back into the registry exists).
 func (im *Implementation) clone() *Implementation {
@@ -149,11 +197,43 @@ func (l *Library) ByCapability(c Capability) []*Implementation {
 
 // byCapabilitySorted returns the registry's own pointers sorted by name —
 // for internal read-only iteration that must not pay the defensive clone.
+// The result is memoized per registration generation.
 func (l *Library) byCapabilitySorted(c Capability) []*Implementation {
-	list := make([]*Implementation, len(l.byCap[c]))
-	copy(list, l.byCap[c])
+	if l.sortedByCap != nil && l.sortedGen == l.gen {
+		if list, ok := l.sortedByCap[c]; ok {
+			return list
+		}
+	}
+	if l.borrowed {
+		// The memo map is shared (possibly across goroutines); compute
+		// without caching. The template behind DefaultLibrary pre-warms
+		// every registered capability, so this path only runs for
+		// capabilities the library does not provide.
+		return sortCapList(l.byCap[c])
+	}
+	if l.sortedByCap == nil || l.sortedGen != l.gen {
+		l.sortedByCap = make(map[Capability][]*Implementation, len(l.byCap))
+		l.sortedGen = l.gen
+	}
+	list := sortCapList(l.byCap[c])
+	l.sortedByCap[c] = list
+	return list
+}
+
+func sortCapList(raw []*Implementation) []*Implementation {
+	list := make([]*Implementation, len(raw))
+	copy(list, raw)
 	sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
 	return list
+}
+
+// Implementations returns the registry's own implementation pointers for a
+// capability, sorted by name. The returned slice and the pointed-to values
+// are shared and must be treated as read-only — this is the no-copy fast
+// path for read-heavy consumers (the optimizer's per-plan enumeration);
+// anything that wants to mutate must use Get/ByCapability.
+func (l *Library) Implementations(c Capability) []*Implementation {
+	return l.byCapabilitySorted(c)
 }
 
 // HasCapability reports whether at least one implementation provides c,
@@ -161,14 +241,32 @@ func (l *Library) byCapabilitySorted(c Capability) []*Implementation {
 func (l *Library) HasCapability(c Capability) bool { return len(l.byCap[c]) > 0 }
 
 // Capabilities returns the capabilities with at least one implementation,
-// sorted.
+// sorted. The returned slice is a shared memoized view; callers must not
+// modify it.
 func (l *Library) Capabilities() []Capability {
+	if l.capsCache != nil && l.capsGen == l.gen {
+		return l.capsCache
+	}
 	out := make([]Capability, 0, len(l.byCap))
 	for c := range l.byCap {
 		out = append(out, c)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	l.capsCache, l.capsGen = out, l.gen
 	return out
+}
+
+// copyShared returns a copy-on-write view of the library: one struct copy
+// sharing every map, slice and memoized view (fingerprint, prompt, sorted
+// lists) with the template. Reads are safe from any number of views on any
+// goroutine — the template behind DefaultLibrary is pre-warmed so read paths
+// never write the shared memo maps. The first Register on a view
+// materializes its own maps (ensureOwned), so the template and sibling views
+// stay untouched.
+func (l *Library) copyShared() *Library {
+	cp := *l
+	cp.borrowed = true
+	return &cp
 }
 
 // Len returns the implementation count.

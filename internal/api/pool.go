@@ -3,7 +3,9 @@ package api
 import (
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,6 +83,13 @@ type Pool struct {
 	retReconfigWins      atomic.Int64
 	retReconfigSkips     atomic.Int64
 	retReconfigConflicts atomic.Int64
+	// Retired key-interner counters, folded the same way so the pool's
+	// scratch-reuse hit rate stays monotonic across recycles.
+	retInternHits   atomic.Uint64
+	retInternMisses atomic.Uint64
+	// Retired scratch-pool (worker + LLM-task recycling) counters.
+	retScratchHits   atomic.Uint64
+	retScratchMisses atomic.Uint64
 	// Retired fault/recovery counters, folded the same way. BreakerOpen is
 	// a live gauge and is not folded.
 	retTaskRetries       atomic.Int64
@@ -90,6 +99,11 @@ type Pool struct {
 	retStageTimeouts     atomic.Int64
 	retFaultsInjected    atomic.Int64
 	retBreakerTrips      atomic.Int64
+
+	// peakHints remembers each shard index's event-queue high-water mark,
+	// recorded when a shard is recycled, so its replacement pre-sizes the
+	// pending heap and skips warm-up growth copies. Guarded by mu.
+	peakHints map[int]int
 
 	// started anchors the uptime_s stats field (wall clock).
 	started time.Time
@@ -254,7 +268,7 @@ var errShuttingDown = fmt.Errorf("api: pool is shutting down")
 // NewPool provisions the shards and starts their loop goroutines.
 func NewPool(cfg PoolConfig) (*Pool, error) {
 	cfg = cfg.withDefaults()
-	p := &Pool{cfg: cfg, jobs: map[string]*jobRecord{}, started: time.Now()}
+	p := &Pool{cfg: cfg, jobs: map[string]*jobRecord{}, peakHints: map[int]int{}, started: time.Now()}
 	if cfg.PerRequest {
 		return p, nil
 	}
@@ -275,6 +289,17 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 func (p *Pool) newShard(idx int) (*shard, error) {
 	cfg := p.cfg
 	se := sim.NewEngine()
+	if core.DisableAllocReuse {
+		se.DisableEventSlab()
+	}
+	p.mu.Lock()
+	hint := p.peakHints[idx]
+	p.mu.Unlock()
+	if hint > 0 {
+		// Pre-size the pending heap from the predecessor shard's high-water
+		// mark so the rebuilt engine skips warm-up growth copies.
+		se.Reserve(hint)
+	}
 	cl := cluster.New(se, hardware.DefaultCatalog())
 	for v := 0; v < cfg.VMsPerShard; v++ {
 		cl.AddVM(fmt.Sprintf("s%d-vm%d", idx, v), hardware.NDv4SKUName, false)
@@ -387,6 +412,16 @@ func (p *Pool) shardTick(sh *shard) {
 // to completion (their records settle normally; cancels still reach the
 // draining loop through the records' shard pointers).
 func (p *Pool) recycleShard(old *shard) {
+	// Read the displaced shard's event-queue high-water mark on its own loop
+	// goroutine (the engine is loop-owned) so the replacement can pre-size
+	// its pending heap from real history.
+	reply := make(chan int, 1)
+	if old.loop.Post(func() { reply <- old.eng.PeakPending() }) {
+		hint := <-reply
+		p.mu.Lock()
+		p.peakHints[old.idx] = hint
+		p.mu.Unlock()
+	}
 	fresh, err := p.newShard(old.idx)
 	if err != nil {
 		// Rebuild failed (same config that provisioned the pool, so this is
@@ -424,6 +459,12 @@ func (p *Pool) recycleShard(old *shard) {
 	p.retStageTimeouts.Add(int64(st.StageTimeouts))
 	p.retFaultsInjected.Add(int64(st.FaultsInjected))
 	p.retBreakerTrips.Add(int64(st.BreakerTrips))
+	ih, im := old.rt.KeyInternStats()
+	p.retInternHits.Add(ih)
+	p.retInternMisses.Add(im)
+	sh, sm := old.rt.ScratchPoolStats()
+	p.retScratchHits.Add(sh)
+	p.retScratchMisses.Add(sm)
 }
 
 // Close drains every shard loop (in-flight and queued jobs run to completion)
@@ -471,12 +512,30 @@ type submitExtras struct {
 	timeline bool
 }
 
+// formatJobID renders "job-%08d" without fmt's reflection and boxing — the
+// ID is minted on every admission, so the Sprintf showed up in allocation
+// profiles. IDs past eight digits widen naturally, matching Sprintf.
+func formatJobID(n uint64) string {
+	var b [12]byte
+	copy(b[:], "job-00000000")
+	i := len(b)
+	for n > 0 && i > 4 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if n > 0 {
+		return "job-" + strconv.FormatUint(n, 10) + string(b[4:])
+	}
+	return string(b[:])
+}
+
 // Submit admits a job for a tenant and returns its registry record. In
 // shared mode this is asynchronous: the record starts queued and settles when
 // the shard completes the job. In per-request mode it blocks while a fresh
 // testbed runs the job.
 func (p *Pool) Submit(tenant string, job workflow.Job, opts core.SubmitOptions, extras submitExtras) (*jobRecord, error) {
-	id := fmt.Sprintf("job-%08d", p.nextJob.Add(1))
+	id := formatJobID(p.nextJob.Add(1))
 	if p.cfg.PerRequest {
 		p.mu.Lock()
 		if p.closed {
@@ -589,6 +648,9 @@ func (p *Pool) submitPerRequest(id, tenant string, job workflow.Job, opts core.S
 		done:   make(chan struct{}),
 	}
 	se := sim.NewEngine()
+	if core.DisableAllocReuse {
+		se.DisableEventSlab()
+	}
 	cl := cluster.New(se, hardware.DefaultCatalog())
 	for i := 0; i < vms; i++ {
 		cl.AddVM(fmt.Sprintf("vm%d", i), hardware.NDv4SKUName, false)
@@ -845,6 +907,18 @@ type ShardStats struct {
 	BreakerTrips      int     `json:"breaker_trips"`
 	BreakerOpen       int     `json:"breaker_open"`
 	MeanGPUUtil       float64 `json:"mean_gpu_util"`
+	// Allocation-reuse observability: the shard runtime's key-interner
+	// hit/miss counters (every cache key or report label served from the
+	// canonical table instead of a fresh allocation) and the sim engine's
+	// pending-queue high-water mark (the Reserve hint a recycled
+	// replacement pre-sizes from).
+	KeyInternHits   uint64 `json:"key_intern_hits"`
+	KeyInternMisses uint64 `json:"key_intern_misses"`
+	// Scratch-pool counters: acquisitions served by recycling a retired
+	// worker or LLM-task barrier (hits) vs fresh allocations (misses).
+	ScratchPoolHits   uint64 `json:"scratch_pool_hits"`
+	ScratchPoolMisses uint64 `json:"scratch_pool_misses"`
+	PeakPending       int    `json:"peak_pending"`
 	// Telemetry retention accounting: live change points and their bytes
 	// retained by the shard's cluster, the rollup buckets summarizing
 	// compacted epochs, the retention watermark and epoch count, and the
@@ -916,8 +990,57 @@ type PoolStats struct {
 	StageTimeouts     int `json:"stage_timeouts"`
 	BreakerTrips      int `json:"breaker_trips"`
 	BreakerOpen       int `json:"breaker_open"`
+	// Key-interner totals, folded across recycled shards like the other
+	// counters, so hit rate stays monotonic while shards churn.
+	KeyInternHits   uint64 `json:"key_intern_hits"`
+	KeyInternMisses uint64 `json:"key_intern_misses"`
+	// Scratch-pool totals, also folded across recycles: how often the
+	// serving hot path reused pooled per-task scratch instead of
+	// allocating fresh.
+	ScratchPoolHits   uint64 `json:"scratch_pool_hits"`
+	ScratchPoolMisses uint64 `json:"scratch_pool_misses"`
+	// Memory is the process's live heap health (see MemoryStats).
+	Memory MemoryStats `json:"memory"`
 	// UptimeS is the daemon pool's wall-clock age in seconds.
 	UptimeS float64 `json:"uptime_s"`
+}
+
+// MemoryStats is the process-wide memory-health slice of GET /v1/stats,
+// read from runtime.ReadMemStats at stats time: live heap bytes and objects,
+// completed GC cycles, and the 95th-percentile GC pause over the runtime's
+// recent-pause ring (up to the last 256 cycles).
+type MemoryStats struct {
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	HeapObjects    uint64  `json:"heap_objects"`
+	NumGC          uint32  `json:"num_gc"`
+	GCPauseP95Us   float64 `json:"gc_pause_p95_us"`
+}
+
+// readMemoryStats snapshots the Go heap for the stats endpoint.
+func readMemoryStats() MemoryStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	out := MemoryStats{
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapObjects:    ms.HeapObjects,
+		NumGC:          ms.NumGC,
+	}
+	n := int(ms.NumGC)
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	if n > 0 {
+		pauses := make([]uint64, n)
+		copy(pauses, ms.PauseNs[:n])
+		sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+		// Nearest-rank p95 over the retained cycles.
+		idx := (n*95 + 99) / 100
+		if idx > 0 {
+			idx--
+		}
+		out.GCPauseP95Us = float64(pauses[idx]) / 1e3
+	}
+	return out
 }
 
 // Stats gathers a consistent per-shard view (each shard snapshot is taken on
@@ -928,6 +1051,7 @@ func (p *Pool) Stats() PoolStats {
 	shards := append([]*shard(nil), p.shards...)
 	p.mu.Unlock()
 	out := PoolStats{Mode: "shared", JobsTracked: tracked, UptimeS: time.Since(p.started).Seconds()}
+	out.Memory = readMemoryStats()
 	if p.cfg.PerRequest {
 		out.Mode = "per-request"
 		out.Submitted = int(p.prSubmitted.Load())
@@ -950,6 +1074,10 @@ func (p *Pool) Stats() PoolStats {
 	out.Degradations = int(p.retDegradations.Load())
 	out.StageTimeouts = int(p.retStageTimeouts.Load())
 	out.BreakerTrips = int(p.retBreakerTrips.Load())
+	out.KeyInternHits = p.retInternHits.Load()
+	out.KeyInternMisses = p.retInternMisses.Load()
+	out.ScratchPoolHits = p.retScratchHits.Load()
+	out.ScratchPoolMisses = p.retScratchMisses.Load()
 	out.Submitted = int(p.shSubmitted.Load())
 	out.Completed = int(p.shCompleted.Load())
 	out.Failed = int(p.shFailed.Load())
@@ -995,7 +1123,10 @@ func (p *Pool) Stats() PoolStats {
 				StageTimeouts:      st.StageTimeouts,
 				BreakerTrips:       st.BreakerTrips,
 				BreakerOpen:        st.BreakerOpen,
+				PeakPending:        sh.eng.PeakPending(),
 			}
+			ss.KeyInternHits, ss.KeyInternMisses = sh.rt.KeyInternStats()
+			ss.ScratchPoolHits, ss.ScratchPoolMisses = sh.rt.ScratchPoolStats()
 			if now > 0 {
 				// Full-history mean: epochs behind the watermark come from
 				// the aggregate's rollup buckets.
@@ -1051,6 +1182,10 @@ func (p *Pool) Stats() PoolStats {
 		out.StageTimeouts += ss.StageTimeouts
 		out.BreakerTrips += ss.BreakerTrips
 		out.BreakerOpen += ss.BreakerOpen
+		out.KeyInternHits += ss.KeyInternHits
+		out.KeyInternMisses += ss.KeyInternMisses
+		out.ScratchPoolHits += ss.ScratchPoolHits
+		out.ScratchPoolMisses += ss.ScratchPoolMisses
 	}
 	return out
 }

@@ -31,8 +31,13 @@ type Manager struct {
 
 	engines map[string]*EngineHandle // by model name
 
+	// The pending queues pop via head cursors and compact to [:0] when
+	// drained, so one backing array serves every burst — popping with
+	// s = s[1:] made each later append re-allocate the queue.
 	pendingGPU []gpuRequest
+	gpuHead    int
 	pendingCPU []cpuRequest
+	cpuHead    int
 	draining   bool
 	resizing   bool
 
@@ -145,31 +150,41 @@ func (m *Manager) drainPending() {
 	m.draining = true
 	defer func() { m.draining = false }()
 
-	for len(m.pendingGPU) > 0 {
-		req := m.pendingGPU[0]
+	for m.gpuHead < len(m.pendingGPU) {
+		req := m.pendingGPU[m.gpuHead]
 		alloc, err := m.cl.AllocGPUs(req.n, req.t)
 		if err != nil {
 			break
 		}
-		m.pendingGPU = m.pendingGPU[1:]
+		m.pendingGPU[m.gpuHead] = gpuRequest{} // drop the grant closure ref
+		m.gpuHead++
 		req.grant(alloc)
 	}
-	for len(m.pendingCPU) > 0 {
-		req := m.pendingCPU[0]
+	if m.gpuHead == len(m.pendingGPU) {
+		m.pendingGPU = m.pendingGPU[:0]
+		m.gpuHead = 0
+	}
+	for m.cpuHead < len(m.pendingCPU) {
+		req := m.pendingCPU[m.cpuHead]
 		alloc, err := m.cl.AllocCPUs(req.cores)
 		if err != nil {
 			break
 		}
-		m.pendingCPU = m.pendingCPU[1:]
+		m.pendingCPU[m.cpuHead] = cpuRequest{}
+		m.cpuHead++
 		req.grant(alloc)
+	}
+	if m.cpuHead == len(m.pendingCPU) {
+		m.pendingCPU = m.pendingCPU[:0]
+		m.cpuHead = 0
 	}
 }
 
 // PendingGPURequests returns the GPU queue depth.
-func (m *Manager) PendingGPURequests() int { return len(m.pendingGPU) }
+func (m *Manager) PendingGPURequests() int { return len(m.pendingGPU) - m.gpuHead }
 
 // PendingCPURequests returns the CPU queue depth.
-func (m *Manager) PendingCPURequests() int { return len(m.pendingCPU) }
+func (m *Manager) PendingCPURequests() int { return len(m.pendingCPU) - m.cpuHead }
 
 // EnsureEngine returns the engine serving spec.Name, creating it with the
 // given GPU count if absent. pinned engines are exempt from autoscaling

@@ -2,7 +2,6 @@ package core
 
 import (
 	"sort"
-	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/contentkey"
@@ -30,38 +29,49 @@ import (
 //
 // Plans are immutable after construction (the runtime and stages only read
 // Decisions), so cached plans are shared across executions by pointer.
+//
+// Keys are built into the runtime's reusable []byte scratch and probed with
+// the no-alloc m[string(buf)] pattern; a key string is only materialized — via
+// the runtime's interner, once per distinct content — when it must outlive
+// the probe (a cache insert, or the job key the scheduler holds across an
+// off-loop search).
 
 // planCacheLimit bounds memory: the cache holds at most this many plans and
 // resets wholesale when full (distinct keys are few in practice — job shapes
 // × capacity classes — so a reset effectively never fires mid-sweep).
 const planCacheLimit = 1024
 
-func planCacheKey(g *dag.Graph, snap cluster.Snapshot, opts optimizer.Options, storeGen, libGen int) string {
-	var b strings.Builder
-	b.Grow(256)
+// appendPlanCacheKey renders the plan-cache key into key and returns the
+// extended slice.
+func appendPlanCacheKey(key []byte, g *dag.Graph, snap cluster.Snapshot, opts optimizer.Options, storeGen, libGen int) []byte {
 	for _, n := range g.Nodes() {
-		contentkey.WriteString(&b, n.Capability)
-		contentkey.WriteFloat(&b, n.Work)
+		key = contentkey.AppendString(key, n.Capability)
+		key = contentkey.AppendFloat(key, n.Work)
 	}
-	writePlanEnv(&b, snap, opts, storeGen, libGen)
-	return b.String()
+	return appendPlanEnv(key, snap, opts, storeGen, libGen)
 }
 
-// writePlanEnv renders everything a plan depends on besides the DAG itself:
+// planCacheKey is the string form of appendPlanCacheKey (tests and cold
+// paths).
+func planCacheKey(g *dag.Graph, snap cluster.Snapshot, opts optimizer.Options, storeGen, libGen int) string {
+	return string(appendPlanCacheKey(make([]byte, 0, 256), g, snap, opts, storeGen, libGen))
+}
+
+// appendPlanEnv renders everything a plan depends on besides the DAG itself:
 // the search options, the capacity class and the store/library generations.
-// planCacheKey prefixes it with the DAG's content; searchKeyFrom prefixes it
-// with the job's content key (which determines the DAG, so the two keys
-// discriminate identically).
-func writePlanEnv(b *strings.Builder, snap cluster.Snapshot, opts optimizer.Options, storeGen, libGen int) {
-	b.WriteString("|c")
-	contentkey.WriteInt(b, int(opts.Constraint))
-	b.WriteString("|q")
-	contentkey.WriteFloat(b, opts.MinQuality)
+// appendPlanCacheKey prefixes it with the DAG's content; searchKeyFrom
+// prefixes it with the job's content key (which determines the DAG, so the
+// two keys discriminate identically).
+func appendPlanEnv(key []byte, snap cluster.Snapshot, opts optimizer.Options, storeGen, libGen int) []byte {
+	key = append(key, "|c"...)
+	key = contentkey.AppendInt(key, int(opts.Constraint))
+	key = append(key, "|q"...)
+	key = contentkey.AppendFloat(key, opts.MinQuality)
 	if opts.RelaxFloor {
-		b.WriteString("|relax")
+		key = append(key, "|relax"...)
 	}
-	b.WriteString("|p")
-	contentkey.WriteInt(b, opts.MaxPaths)
+	key = append(key, "|p"...)
+	key = contentkey.AppendInt(key, opts.MaxPaths)
 	if len(opts.Pinned) > 0 {
 		caps := make([]string, 0, len(opts.Pinned))
 		for c := range opts.Pinned {
@@ -70,55 +80,75 @@ func writePlanEnv(b *strings.Builder, snap cluster.Snapshot, opts optimizer.Opti
 		sort.Strings(caps)
 		for _, c := range caps {
 			pin := opts.Pinned[c]
-			b.WriteString("|pin")
-			contentkey.WriteString(b, c)
-			contentkey.WriteString(b, pin.Implementation)
-			contentkey.WriteString(b, pin.Config.String())
-			contentkey.WriteInt(b, pin.Parallelism)
+			key = append(key, "|pin"...)
+			key = contentkey.AppendString(key, c)
+			key = contentkey.AppendString(key, pin.Implementation)
+			key = contentkey.AppendString(key, pin.Config.String())
+			key = contentkey.AppendInt(key, pin.Parallelism)
 			if pin.ExecutionPaths > 1 {
-				b.WriteString("+ep")
-				contentkey.WriteInt(b, pin.ExecutionPaths)
+				key = append(key, "+ep"...)
+				key = contentkey.AppendInt(key, pin.ExecutionPaths)
 			}
 			if pin.AllowScaling {
-				b.WriteString("+scale")
+				key = append(key, "+scale"...)
 			}
 		}
 	}
-	b.WriteString("|cores")
-	contentkey.WriteInt(b, snap.TotalCPUCores)
-	types := make([]string, 0, len(snap.TotalGPUs))
-	for t := range snap.TotalGPUs {
-		types = append(types, string(t))
+	key = append(key, "|cores"...)
+	key = contentkey.AppendInt(key, snap.TotalCPUCores)
+	switch len(snap.TotalGPUs) {
+	case 0:
+	case 1:
+		for t, n := range snap.TotalGPUs {
+			key = appendGPU(key, string(t), n)
+		}
+	default:
+		types := make([]string, 0, len(snap.TotalGPUs))
+		for t := range snap.TotalGPUs {
+			types = append(types, string(t))
+		}
+		sort.Strings(types)
+		for _, t := range types {
+			key = appendGPU(key, t, snap.TotalGPUs[hardware.GPUType(t)])
+		}
 	}
-	sort.Strings(types)
-	for _, t := range types {
-		b.WriteString("|gpu")
-		contentkey.WriteString(b, t)
-		contentkey.WriteInt(b, snap.TotalGPUs[hardware.GPUType(t)])
-	}
-	b.WriteString("|sg")
-	contentkey.WriteInt(b, storeGen)
-	b.WriteString("|lg")
-	contentkey.WriteInt(b, libGen)
+	key = append(key, "|sg"...)
+	key = contentkey.AppendInt(key, storeGen)
+	key = append(key, "|lg"...)
+	return contentkey.AppendInt(key, libGen)
+}
+
+func appendGPU(key []byte, t string, n int) []byte {
+	key = append(key, "|gpu"...)
+	key = contentkey.AppendString(key, t)
+	return contentkey.AppendInt(key, n)
 }
 
 // searchKeyFrom is the singleflight key for off-loop plan search: the job's
 // content key plus the plan environment. Two submissions with equal search
 // keys are guaranteed an identical decomposition (jobKey determines the DAG)
-// and an identical plan (writePlanEnv covers every other Plan input), so a
+// and an identical plan (appendPlanEnv covers every other Plan input), so a
 // burst of like jobs shares one search.
 func searchKeyFrom(jobKey string, snap cluster.Snapshot, opts optimizer.Options, storeGen, libGen int) string {
-	var b strings.Builder
-	b.Grow(len(jobKey) + 128)
-	b.WriteString(jobKey)
-	writePlanEnv(&b, snap, opts, storeGen, libGen)
-	return b.String()
+	key := make([]byte, 0, len(jobKey)+128)
+	key = append(key, jobKey...)
+	return string(appendPlanEnv(key, snap, opts, storeGen, libGen))
+}
+
+// internKey materializes the scratch key as a canonical string — once per
+// distinct content through the interner, or as a fresh copy when interning is
+// force-disabled (the differential test's reference configuration).
+func (rt *Runtime) internKey(key []byte) string {
+	if rt.keys == nil {
+		return string(key)
+	}
+	return rt.keys.Intern(key)
 }
 
 // planFor returns a cached plan for the key or computes and caches one.
 func (rt *Runtime) planFor(g *dag.Graph, snap cluster.Snapshot, opts optimizer.Options) (*optimizer.Plan, error) {
-	key := planCacheKey(g, snap, opts, rt.store.Gen(), rt.lib.Gen())
-	if p, ok := rt.planCache[key]; ok {
+	rt.keyBuf = appendPlanCacheKey(rt.keyBuf[:0], g, snap, opts, rt.store.Gen(), rt.lib.Gen())
+	if p, ok := rt.planCache[string(rt.keyBuf)]; ok {
 		rt.planCacheHits++
 		return p, nil
 	}
@@ -129,7 +159,7 @@ func (rt *Runtime) planFor(g *dag.Graph, snap cluster.Snapshot, opts optimizer.O
 	if len(rt.planCache) >= planCacheLimit {
 		rt.planCache = make(map[string]*optimizer.Plan)
 	}
-	rt.planCache[key] = p
+	rt.planCache[rt.internKey(rt.keyBuf)] = p
 	return p, nil
 }
 
@@ -137,28 +167,35 @@ func (rt *Runtime) planFor(g *dag.Graph, snap cluster.Snapshot, opts optimizer.O
 // overhead accounting and tests).
 func (rt *Runtime) PlanCacheHits() int { return rt.planCacheHits }
 
-// jobKey renders a job's full content deterministically for the
+// KeyInternStats reports the runtime interner's lifetime hit/miss counters
+// (zero when interning is disabled).
+func (rt *Runtime) KeyInternStats() (hits, misses uint64) {
+	if rt.keys == nil {
+		return 0, 0
+	}
+	return rt.keys.Stats()
+}
+
+// appendJobKey renders a job's full content deterministically for the
 // decomposition cache. Free-text fields (description, tasks, input names,
 // attr keys) are length-prefixed and every numeric value is
 // semicolon-terminated (';' cannot occur in a formatted float), so the
 // encoding is injective — no crafted job content can collide with another
 // job's key. Attribute maps are emitted in sorted key order.
-func jobKey(job workflow.Job, libGen int) string {
-	var b strings.Builder
-	b.Grow(128)
-	contentkey.WriteString(&b, job.Description)
-	b.WriteString("|c")
-	contentkey.WriteInt(&b, int(job.Constraint))
-	b.WriteString("|q")
-	contentkey.WriteFloat(&b, job.MinQuality)
+func appendJobKey(key []byte, job workflow.Job, libGen int) []byte {
+	key = contentkey.AppendString(key, job.Description)
+	key = append(key, "|c"...)
+	key = contentkey.AppendInt(key, int(job.Constraint))
+	key = append(key, "|q"...)
+	key = contentkey.AppendFloat(key, job.MinQuality)
 	for _, t := range job.Tasks {
-		b.WriteString("|t")
-		contentkey.WriteString(&b, t)
+		key = append(key, "|t"...)
+		key = contentkey.AppendString(key, t)
 	}
 	for _, in := range job.Inputs {
-		b.WriteString("|i")
-		contentkey.WriteString(&b, in.Name)
-		contentkey.WriteString(&b, string(in.Kind))
+		key = append(key, "|i"...)
+		key = contentkey.AppendString(key, in.Name)
+		key = contentkey.AppendString(key, string(in.Kind))
 		if len(in.Attrs) > 0 {
 			keys := make([]string, 0, len(in.Attrs))
 			for k := range in.Attrs {
@@ -166,14 +203,18 @@ func jobKey(job workflow.Job, libGen int) string {
 			}
 			sort.Strings(keys)
 			for _, k := range keys {
-				contentkey.WriteString(&b, k)
-				contentkey.WriteFloat(&b, in.Attrs[k])
+				key = contentkey.AppendString(key, k)
+				key = contentkey.AppendFloat(key, in.Attrs[k])
 			}
 		}
 	}
-	b.WriteString("|lg")
-	contentkey.WriteInt(&b, libGen)
-	return b.String()
+	key = append(key, "|lg"...)
+	return contentkey.AppendInt(key, libGen)
+}
+
+// jobKey is the string form of appendJobKey (tests and cold paths).
+func jobKey(job workflow.Job, libGen int) string {
+	return string(appendJobKey(make([]byte, 0, 128), job, libGen))
 }
 
 // decompose memoizes planner decompositions per job content: the planner is
@@ -182,8 +223,8 @@ func jobKey(job workflow.Job, libGen int) string {
 // its own Tracker. The library generation is in the key so registering a new
 // implementation re-plans.
 func (rt *Runtime) decompose(job workflow.Job) (*planner.Result, error) {
-	key := jobKey(job, rt.lib.Gen())
-	if r, ok := rt.decompCache[key]; ok {
+	rt.keyBuf = appendJobKey(rt.keyBuf[:0], job, rt.lib.Gen())
+	if r, ok := rt.decompCache[string(rt.keyBuf)]; ok {
 		rt.decompCacheHits++
 		return r, nil
 	}
@@ -197,7 +238,7 @@ func (rt *Runtime) decompose(job workflow.Job) (*planner.Result, error) {
 		// evicted decompositions; drop them with the graphs they pin.
 		rt.pl.ResetCallCache()
 	}
-	rt.decompCache[key] = r
+	rt.decompCache[rt.internKey(rt.keyBuf)] = r
 	return r, nil
 }
 
@@ -209,16 +250,18 @@ func (rt *Runtime) DecompCacheHits() int { return rt.decompCacheHits }
 // already hold both the decomposition and the plan for a submission — the
 // fast path that lets the scheduler skip dispatching an off-loop search for
 // job shapes the shard has seen before. It returns the job's content key
-// (always) and the prepared pair (on a double hit). Runs on the engine
-// goroutine.
+// (always — the scheduler holds it across an async search, so it is
+// materialized through the interner) and the prepared pair (on a double
+// hit). Runs on the engine goroutine.
 func (rt *Runtime) probePrepared(job workflow.Job, opts SubmitOptions) (string, *preparedPlan) {
-	jk := jobKey(job, rt.lib.Gen())
+	rt.keyBuf = appendJobKey(rt.keyBuf[:0], job, rt.lib.Gen())
+	jk := rt.internKey(rt.keyBuf)
 	r, ok := rt.decompCache[jk]
 	if !ok {
 		return jk, nil
 	}
-	pk := planCacheKey(r.Graph, rt.cl.Snapshot(), planOptions(job, opts), rt.store.Gen(), rt.lib.Gen())
-	p, ok := rt.planCache[pk]
+	rt.keyBuf = appendPlanCacheKey(rt.keyBuf[:0], r.Graph, rt.cl.Snapshot(), planOptions(job, opts), rt.store.Gen(), rt.lib.Gen())
+	p, ok := rt.planCache[string(rt.keyBuf)]
 	if !ok {
 		// Half a hit: hand the cached decomposition back so a dispatched
 		// search can skip re-decomposing the (frozen, immutable) DAG.
@@ -255,14 +298,14 @@ func (rt *Runtime) adoptPrepared(jk string, job workflow.Job, opts SubmitOptions
 		}
 		rt.decompCache[jk] = decomp
 	}
-	pk := planCacheKey(decomp.Graph, rt.cl.Snapshot(), planOptions(job, opts), rt.store.Gen(), rt.lib.Gen())
-	if p, ok := rt.planCache[pk]; ok {
+	rt.keyBuf = appendPlanCacheKey(rt.keyBuf[:0], decomp.Graph, rt.cl.Snapshot(), planOptions(job, opts), rt.store.Gen(), rt.lib.Gen())
+	if p, ok := rt.planCache[string(rt.keyBuf)]; ok {
 		plan = p
 	} else {
 		if len(rt.planCache) >= planCacheLimit {
 			rt.planCache = make(map[string]*optimizer.Plan)
 		}
-		rt.planCache[pk] = plan
+		rt.planCache[rt.internKey(rt.keyBuf)] = plan
 	}
 	return rt.stamp(&preparedPlan{decomp: decomp, plan: plan})
 }

@@ -335,5 +335,5 @@ func (s *Scheduler) commit(t *searchTask) {
 		h.planReady = true
 		h.prepared = prep
 	}
-	s.se.Defer(s.pump)
+	s.se.Defer(s.pumpFn)
 }

@@ -16,10 +16,12 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 
 	"repro/internal/agents"
 	"repro/internal/cluster"
 	"repro/internal/clustermgr"
+	"repro/internal/contentkey"
 	"repro/internal/dag"
 	"repro/internal/hardware"
 	"repro/internal/llmsim"
@@ -86,7 +88,51 @@ type Runtime struct {
 	// controller so a failure is treated as a capacity event.
 	recovery    *recoveryState
 	onTaskFault func()
+
+	// keyBuf is the reusable scratch every cache key and report label is
+	// rendered into; keys interns the strings that must outlive the render
+	// (nil when DisableAllocReuse, in which case each is a fresh copy).
+	// capsBuf is the reusable sorted-capability scratch for engine
+	// bring-up. All three are engine-goroutine-only, like the runtime.
+	keyBuf  []byte
+	keys    *contentkey.Interner
+	capsBuf []string
+
+	// workerPool and llmTaskPool recycle the per-task scratch of the two
+	// dispatch paths (pool workers and LLM top-k barrier state). Stages are
+	// per-execution, so pooling at the runtime level is what lets a
+	// long-lived serving shard reach steady-state zero allocation across
+	// jobs. Engine-goroutine-only; disabled by DisableAllocReuse.
+	workerPool  []*worker
+	llmTaskPool []*llmTask
+
+	// scratchHits counts pool pops that reused a retired object;
+	// scratchMisses counts fresh allocations. Engine-goroutine-only, read
+	// via ScratchPoolStats from the same goroutine (shard snapshots run on
+	// the shard's loop).
+	scratchHits, scratchMisses uint64
 }
+
+// ScratchPoolStats reports the runtime's scratch-pool (worker + LLM-task)
+// lifetime reuse counters. Hits stay zero when DisableAllocReuse is set
+// (every acquisition is then a fresh allocation, counted as a miss).
+func (rt *Runtime) ScratchPoolStats() (hits, misses uint64) {
+	return rt.scratchHits, rt.scratchMisses
+}
+
+// poolCap bounds the runtime's scratch free lists; beyond it, retired
+// scratch is left to the GC (a burst should not pin its high-water mark
+// forever).
+const poolCap = 256
+
+// DisableAllocReuse, when set before stacks are constructed, force-disables
+// the allocation-reuse fast paths: runtimes skip key interning (every cache
+// key and report label is a fresh string) and newly-built testbeds allocate
+// sim events individually instead of carving slabs. Outputs are bit-identical
+// either way — the differential test runs the same workload with the flag on
+// and off and compares reports byte for byte; this flag exists only to give
+// that test a reference configuration.
+var DisableAllocReuse bool
 
 // New builds a runtime. Profiling the library happens here when no store is
 // supplied.
@@ -112,7 +158,7 @@ func New(cfg Config) (*Runtime, error) {
 	if mgr == nil {
 		mgr = clustermgr.New(cfg.Engine, cfg.Cluster)
 	}
-	return &Runtime{
+	rt := &Runtime{
 		se:          cfg.Engine,
 		cl:          cfg.Cluster,
 		mgr:         mgr,
@@ -126,7 +172,11 @@ func New(cfg Config) (*Runtime, error) {
 		decompCache: map[string]*planner.Result{},
 		rebalance:   cfg.RebalancePeriod,
 		cpuType:     cfg.CPUType,
-	}, nil
+	}
+	if !DisableAllocReuse {
+		rt.keys = contentkey.NewInterner(0)
+	}
+	return rt, nil
 }
 
 // Manager exposes the cluster manager (for stats and tests).
@@ -180,6 +230,9 @@ type Execution struct {
 	heldEngines []string
 	// reconfigs counts adopted mid-flight re-plans.
 	reconfigs int
+	// readyBuf is the frontier scratch dispatchReady/completeNode reuse so
+	// per-task dispatch never allocates a ready slice.
+	readyBuf []dag.NodeID
 
 	// Failure-recovery state (all nil/zero unless the runtime has recovery
 	// enabled; see faults.go): per-task attempt counts, per-capability
@@ -199,7 +252,7 @@ type Execution struct {
 
 // Namespace is the execution's VectorDB namespace for embedding inserts.
 func (ex *Execution) Namespace() string {
-	return fmt.Sprintf("exec-%d/%s", ex.id, ex.job.Description)
+	return "exec-" + strconv.Itoa(ex.id) + "/" + ex.job.Description
 }
 
 // Done reports completion.
@@ -289,17 +342,19 @@ func (rt *Runtime) launch(job workflow.Job, opts SubmitOptions, decomp *planner.
 		startedAt: rt.se.Now(),
 		stages:    map[string]*stage{},
 	}
+	rt.keyBuf = append(append(rt.keyBuf[:0], "murakkab/"...), job.Constraint.String()...)
 	ex.rep = &report.Report{
-		Name:      "murakkab/" + job.Constraint.String(),
+		Name:      rt.internKey(rt.keyBuf),
 		Tracer:    ex.tracer,
 		Quality:   plan.EstQuality,
-		Decisions: map[string]string{},
+		Decisions: make(map[string]string, len(plan.Decisions)),
 	}
+	// Decision labels repeat across every job sharing a cached plan; render
+	// into the scratch and intern so steady-state admission reuses the
+	// canonical strings.
 	for cap, d := range plan.Decisions {
-		ex.rep.Decisions[cap] = fmt.Sprintf("%s @ %s ×%d", d.Implementation, d.Config, d.Parallelism)
-		if d.ExecutionPaths > 1 {
-			ex.rep.Decisions[cap] += fmt.Sprintf(" paths=%d", d.ExecutionPaths)
-		}
+		rt.keyBuf = appendDecisionLabel(rt.keyBuf[:0], d)
+		ex.rep.Decisions[cap] = rt.internKey(rt.keyBuf)
 	}
 
 	// Workflow-aware cluster management: the manager sees the DAG.
@@ -351,12 +406,14 @@ func (ex *Execution) engineServed(cap string, d optimizer.Decision) bool {
 	if !agents.LLMCapabilities()[agents.Capability(cap)] {
 		return false
 	}
-	im, ok := ex.rt.lib.Get(d.Implementation)
+	im, ok := ex.rt.lib.Lookup(d.Implementation)
 	return ok && im.Kind == agents.KindLLM
 }
 
 func (ex *Execution) ensureEngines() error {
-	for _, cap := range sortedCaps(ex.plan.Decisions) {
+	rt := ex.rt
+	rt.capsBuf = appendSortedCaps(rt.capsBuf[:0], ex.plan.Decisions)
+	for _, cap := range rt.capsBuf {
 		d := ex.plan.Decisions[cap]
 		if !ex.engineServed(cap, d) {
 			continue
@@ -384,7 +441,7 @@ func (ex *Execution) acquireEngineRef(cap string, d optimizer.Decision, verb str
 	if d.Config.GPUs == 0 {
 		return "", fmt.Errorf("core: LLM capability %q %s without GPUs (%v)", cap, verb, d.Config)
 	}
-	im, _ := ex.rt.lib.Get(d.Implementation)
+	im, _ := ex.rt.lib.Lookup(d.Implementation)
 	h, err := ex.rt.mgr.EnsureEngine(cap, spec, d.Config.GPUs, d.Config.GPUType,
 		im.Perf.MinGPUs, im.Perf.MaxGPUs, d.Pinned && !d.AllowScaling)
 	if err != nil {
@@ -414,18 +471,26 @@ func (ex *Execution) chargePlanning(next func()) {
 		ex.rt.se.Defer(next)
 		return
 	}
+	// One completion closure shared by every planning query (not one per
+	// query); request IDs repeat across jobs of a shape, so they intern.
+	onComplete := func(*llmsim.Request) {
+		remaining--
+		if remaining == 0 {
+			ex.planLatS = ex.rt.se.Now().Sub(start).Seconds()
+			next()
+		}
+	}
+	rt := ex.rt
 	for i, q := range ex.decomp.Queries {
+		rt.keyBuf = append(rt.keyBuf[:0], "plan-"...)
+		rt.keyBuf = append(rt.keyBuf, q.Purpose...)
+		rt.keyBuf = append(rt.keyBuf, '-')
+		rt.keyBuf = strconv.AppendInt(rt.keyBuf, int64(i), 10)
 		h.Engine.Submit(&llmsim.Request{
-			ID:           fmt.Sprintf("plan-%s-%d", q.Purpose, i),
+			ID:           rt.internKey(rt.keyBuf),
 			PromptTokens: q.PromptTokens,
 			OutputTokens: q.OutputTokens,
-			OnComplete: func(*llmsim.Request) {
-				remaining--
-				if remaining == 0 {
-					ex.planLatS = ex.rt.se.Now().Sub(start).Seconds()
-					next()
-				}
-			},
+			OnComplete:   onComplete,
 		})
 	}
 }
@@ -448,7 +513,8 @@ func (ex *Execution) dispatchReady() {
 		// Canceled (or failed) while the planning queries were in flight.
 		return
 	}
-	for _, id := range ex.tracker.Ready() {
+	ex.readyBuf = ex.tracker.AppendReady(ex.readyBuf[:0])
+	for _, id := range ex.readyBuf {
 		node, _ := ex.tracker.Graph().Node(id)
 		if err := ex.tracker.Start(id); err != nil {
 			panic(err)
@@ -464,7 +530,8 @@ func (ex *Execution) completeNode(id dag.NodeID) {
 		// their results are dropped.
 		return
 	}
-	newly, err := ex.tracker.Complete(id)
+	newly, err := ex.tracker.CompleteAppend(id, ex.readyBuf[:0])
+	ex.readyBuf = newly
 	if err != nil {
 		panic(err)
 	}
@@ -541,12 +608,31 @@ func (rt *Runtime) releaseEngineRef(name string) {
 // with it float summation order in the energy integrals) becomes
 // nondeterministic.
 func sortedCaps(m map[string]optimizer.Decision) []string {
-	out := make([]string, 0, len(m))
+	return appendSortedCaps(make([]string, 0, len(m)), m)
+}
+
+// appendSortedCaps is sortedCaps into a reusable scratch buffer.
+func appendSortedCaps(buf []string, m map[string]optimizer.Decision) []string {
 	for k := range m {
-		out = append(out, k)
+		buf = append(buf, k)
 	}
-	sort.Strings(out)
-	return out
+	sort.Strings(buf)
+	return buf
+}
+
+// appendDecisionLabel renders a plan decision as "impl @ config ×N[ paths=M]"
+// — the report's Decisions value — into buf.
+func appendDecisionLabel(buf []byte, d optimizer.Decision) []byte {
+	buf = append(buf, d.Implementation...)
+	buf = append(buf, " @ "...)
+	buf = d.Config.AppendTo(buf)
+	buf = append(buf, " ×"...)
+	buf = strconv.AppendInt(buf, int64(d.Parallelism), 10)
+	if d.ExecutionPaths > 1 {
+		buf = append(buf, " paths="...)
+		buf = strconv.AppendInt(buf, int64(d.ExecutionPaths), 10)
+	}
+	return buf
 }
 
 // trackName maps capabilities to Figure 3's track labels.

@@ -297,6 +297,11 @@ type Scheduler struct {
 	// whether or not recovery is enabled — injection and recovery are
 	// independent toggles).
 	faultsInjected int
+
+	// pumpFn is the method value s.pump materialized once: every submit and
+	// settle defers it, and a fresh closure per Defer showed up in the
+	// allocation profile.
+	pumpFn func()
 }
 
 // NewScheduler builds the admission layer over a runtime.
@@ -304,7 +309,7 @@ func NewScheduler(se *sim.Engine, rt *Runtime, maxConcurrent int) *Scheduler {
 	if maxConcurrent <= 0 {
 		panic("core: non-positive scheduler concurrency limit")
 	}
-	return &Scheduler{
+	s := &Scheduler{
 		se:            se,
 		rt:            rt,
 		maxConcurrent: maxConcurrent,
@@ -312,6 +317,8 @@ func NewScheduler(se *sim.Engine, rt *Runtime, maxConcurrent int) *Scheduler {
 		inFlight:      map[string]int{},
 		admitted:      map[string]int{},
 	}
+	s.pumpFn = s.pump
+	return s
 }
 
 // Runtime exposes the executor the scheduler feeds.
@@ -357,7 +364,7 @@ func (s *Scheduler) Submit(tenant string, job workflow.Job, opts SubmitOptions) 
 		}
 	}
 	s.queue = append(s.queue, h)
-	s.se.Defer(s.pump)
+	s.se.Defer(s.pumpFn)
 	return h, nil
 }
 
@@ -469,7 +476,7 @@ func (s *Scheduler) settle(h *Handle, err error) {
 		s.completed++
 		h.finish(JobDone, nil)
 	}
-	s.se.Defer(s.pump)
+	s.se.Defer(s.pumpFn)
 }
 
 // removeQueued drops a handle from the admission queue.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/agents"
 	"repro/internal/cluster"
@@ -30,10 +31,11 @@ type stage struct {
 	// stage executes under until the next rebind.
 	dec   optimizer.Decision
 	isLLM bool
-	// im is the binding's implementation, looked up once per rebind
-	// (Library.Get returns a defensive copy; per-task lookups would allocate
-	// on the dispatch hot path). nil if the decision names an unknown
-	// implementation — workers surface that as an execution error.
+	// im is the binding's implementation, looked up once per rebind via the
+	// no-clone Library.Lookup (read-only by contract — the dispatch hot path
+	// must not allocate a defensive copy per task). nil if the decision
+	// names an unknown implementation — workers surface that as an
+	// execution error.
 	im *agents.Implementation
 
 	queue   []*dag.Node
@@ -50,6 +52,11 @@ type stage struct {
 	// under the outgoing binding mid-teardown.
 	rebinding    bool
 	shutdownFlag bool
+
+	// pumpFn is the method value st.pump materialized once: deferring the
+	// pump rides the hot path, and a fresh closure per Defer showed up in the
+	// allocation profile.
+	pumpFn func()
 }
 
 func (ex *Execution) stageFor(capability string) *stage {
@@ -57,7 +64,7 @@ func (ex *Execution) stageFor(capability string) *stage {
 		return st
 	}
 	dec := ex.plan.Decisions[capability]
-	im, _ := ex.rt.lib.Get(dec.Implementation)
+	im, _ := ex.rt.lib.Lookup(dec.Implementation)
 	st := &stage{
 		ex:    ex,
 		cap:   capability,
@@ -65,6 +72,7 @@ func (ex *Execution) stageFor(capability string) *stage {
 		isLLM: ex.engineServed(capability, dec),
 		im:    im,
 	}
+	st.pumpFn = st.pump
 	ex.stages[capability] = st
 	return st
 }
@@ -92,7 +100,7 @@ func (st *stage) finishRebind(dec optimizer.Decision) {
 	}
 	st.rebinding = false
 	st.dec = dec
-	im, _ := st.ex.rt.lib.Get(dec.Implementation)
+	im, _ := st.ex.rt.lib.Lookup(dec.Implementation)
 	st.im = im
 	st.isLLM = st.ex.engineServed(st.cap, dec)
 	q := st.queue
@@ -113,17 +121,84 @@ func (st *stage) enqueue(node *dag.Node) {
 
 // --- LLM path ---------------------------------------------------------------
 
+// llmTask is the top-k barrier state for one engine-served node: all
+// execution paths share it and the last completion releases it. Tasks are
+// recycled through the runtime's pool (the completion callback is a method
+// value materialized once per task object), so steady-state LLM dispatch
+// allocates only the requests themselves.
+type llmTask struct {
+	st        *stage
+	node      *dag.Node
+	span      int
+	remaining int
+	firstErr  error
+	fn        func(*llmsim.Request)
+}
+
+func (rt *Runtime) newLLMTask() *llmTask {
+	if n := len(rt.llmTaskPool); n > 0 && !DisableAllocReuse {
+		t := rt.llmTaskPool[n-1]
+		rt.llmTaskPool[n-1] = nil
+		rt.llmTaskPool = rt.llmTaskPool[:n-1]
+		rt.scratchHits++
+		return t
+	}
+	rt.scratchMisses++
+	t := &llmTask{}
+	t.fn = t.onComplete
+	return t
+}
+
+func (rt *Runtime) releaseLLMTask(t *llmTask) {
+	t.st, t.node, t.firstErr = nil, nil, nil
+	if !DisableAllocReuse && len(rt.llmTaskPool) < poolCap {
+		rt.llmTaskPool = append(rt.llmTaskPool, t)
+	}
+}
+
+func (t *llmTask) onComplete(r *llmsim.Request) {
+	if r.Err != nil && t.firstErr == nil {
+		t.firstErr = r.Err
+	}
+	t.remaining--
+	if t.remaining > 0 {
+		return // top-k barrier: wait for all paths
+	}
+	// Copy out and release first: the completion below can synchronously
+	// enqueue more LLM nodes, which draw fresh tasks from the pool.
+	st, node, span, firstErr := t.st, t.node, t.span, t.firstErr
+	ex := st.ex
+	ex.rt.releaseLLMTask(t)
+	st.inflight--
+	if ex.done {
+		return // canceled mid-request: drop the result
+	}
+	ex.tracer.End(span, ex.rt.se.Now().Seconds())
+	if firstErr != nil {
+		// An injected call error fails the whole task (all paths re-run on
+		// retry — the barrier's unit is the node, not the path).
+		st.taskFailed(node, firstErr)
+		return
+	}
+	if ex.rt.recovery != nil {
+		ex.rt.mgr.ReportOutcome(st.dec.Implementation, true)
+	}
+	st.afterTask(node)
+	ex.completeNode(node.ID)
+}
+
 func (st *stage) submitLLM(node *dag.Node) {
 	ex := st.ex
+	rt := ex.rt
 	d := st.dec
-	if _, err := ex.rt.pl.ToolCallFor(node, d.Implementation); err != nil {
+	if _, err := rt.pl.ToolCallFor(node, d.Implementation); err != nil {
 		ex.finish(fmt.Errorf("core: tool-call generation for %s: %w", node.ID, err))
 		return
 	}
 	ex.toolCalls++
 
 	spec, _ := engineSpecFor(d.Implementation)
-	h, ok := ex.rt.mgr.Engine(spec.Name)
+	h, ok := rt.mgr.Engine(spec.Name)
 	if !ok {
 		ex.finish(fmt.Errorf("core: engine %s missing for %s", spec.Name, node.ID))
 		return
@@ -135,41 +210,21 @@ func (st *stage) submitLLM(node *dag.Node) {
 	if paths < 1 {
 		paths = 1
 	}
-	span := ex.tracer.Start(trackName(st.cap), string(node.ID), ex.rt.se.Now().Seconds())
 	st.inflight++
-	remaining := paths
-	var firstErr error
+	t := rt.newLLMTask()
+	t.st, t.node, t.remaining = st, node, paths
+	t.span = ex.tracer.Start(trackName(st.cap), string(node.ID), rt.se.Now().Seconds())
 	for p := 0; p < paths; p++ {
+		// Request IDs repeat across structurally-identical jobs; intern them
+		// like the cache keys instead of re-materializing each submission.
+		rt.keyBuf = append(rt.keyBuf[:0], node.ID...)
+		rt.keyBuf = append(rt.keyBuf, '#')
+		rt.keyBuf = strconv.AppendInt(rt.keyBuf, int64(p), 10)
 		h.Engine.Submit(&llmsim.Request{
-			ID:           fmt.Sprintf("%s#%d", node.ID, p),
+			ID:           rt.internKey(rt.keyBuf),
 			PromptTokens: prompt,
 			OutputTokens: output,
-			OnComplete: func(r *llmsim.Request) {
-				if r.Err != nil && firstErr == nil {
-					firstErr = r.Err
-				}
-				remaining--
-				if remaining > 0 {
-					return // top-k barrier: wait for all paths
-				}
-				st.inflight--
-				if ex.done {
-					return // canceled mid-request: drop the result
-				}
-				ex.tracer.End(span, ex.rt.se.Now().Seconds())
-				if firstErr != nil {
-					// An injected call error fails the whole task (all
-					// paths re-run on retry — the barrier's unit is the
-					// node, not the path).
-					st.taskFailed(node, firstErr)
-					return
-				}
-				if ex.rt.recovery != nil {
-					ex.rt.mgr.ReportOutcome(st.dec.Implementation, true)
-				}
-				st.afterTask(node)
-				ex.completeNode(node.ID)
-			},
+			OnComplete:   t.fn,
 		})
 	}
 }
@@ -180,8 +235,8 @@ func (st *stage) afterTask(node *dag.Node) {
 	if agents.Capability(st.cap) != agents.CapEmbedding {
 		return
 	}
-	text := fmt.Sprintf("summary of %s scene %s",
-		metaStr(node, "video", metaStr(node, "doc", "input")), metaStr(node, "scene", "-"))
+	text := "summary of " + metaStr(node, "video", metaStr(node, "doc", "input")) +
+		" scene " + metaStr(node, "scene", "-")
 	db := st.ex.rt.db
 	if err := db.Insert(st.ex.Namespace(), vectordb.Doc{
 		ID:     string(node.ID),
@@ -212,6 +267,17 @@ type worker struct {
 	watchdogEv *sim.Event
 	span       int
 	dead       bool
+	// gen counts destroys: acquisition callbacks queued at the cluster
+	// manager capture the generation they were issued under, so a callback
+	// that outlives its worker's destroy (and possible reuse off the stage's
+	// free list) releases the grant instead of resurrecting stale state.
+	gen uint32
+	// taskDoneFn/timedOutFn/preemptFn are method values materialized once
+	// per worker; every task execution (and every allocation grant) would
+	// otherwise mint a fresh closure on the hot path.
+	taskDoneFn func()
+	timedOutFn func()
+	preemptFn  func()
 }
 
 // pump assigns queued tasks to ready workers, growing the pool up to the
@@ -231,7 +297,7 @@ func (st *stage) pump() {
 		w.run(node)
 	}
 	// Grow the pool for remaining queued work.
-	for len(st.queue) > len(st.pendingWorkers()) && len(st.workers) < d.Parallelism {
+	for len(st.queue) > st.pendingWorkerCount() && len(st.workers) < d.Parallelism {
 		st.spawnWorker()
 	}
 	// Drain idle workers when nothing is queued: release resources.
@@ -253,20 +319,35 @@ func (st *stage) idleReadyWorker() *worker {
 	return nil
 }
 
-// pendingWorkers returns workers still acquiring resources or idle-ready.
-func (st *stage) pendingWorkers() []*worker {
-	var out []*worker
+// pendingWorkerCount counts workers still acquiring resources or idle-ready.
+func (st *stage) pendingWorkerCount() int {
+	n := 0
 	for _, w := range st.workers {
 		if w.dead || w.busy {
 			continue
 		}
-		out = append(out, w)
+		n++
 	}
-	return out
+	return n
 }
 
 func (st *stage) spawnWorker() {
-	w := &worker{st: st}
+	rt := st.ex.rt
+	var w *worker
+	if n := len(rt.workerPool); n > 0 {
+		w = rt.workerPool[n-1]
+		rt.workerPool[n-1] = nil
+		rt.workerPool = rt.workerPool[:n-1]
+		w.st = st
+		w.dead = false
+		rt.scratchHits++
+	} else {
+		rt.scratchMisses++
+		w = &worker{st: st}
+		w.taskDoneFn = w.taskDone
+		w.timedOutFn = w.timedOut
+		w.preemptFn = w.preempted
+	}
 	st.workers = append(st.workers, w)
 	w.acquire()
 }
@@ -275,18 +356,19 @@ func (st *stage) spawnWorker() {
 // hybrid configs) through the cluster manager's queue.
 func (w *worker) acquire() {
 	cfg := w.st.dec.Config
+	gen := w.gen
 	needCPU := func() {
 		if cfg.CPUCores == 0 {
 			w.becomeReady()
 			return
 		}
 		err := w.st.ex.rt.mgr.RequestCPUs(cfg.CPUCores, func(a *cluster.CPUAlloc) {
-			if w.dead {
+			if w.dead || w.gen != gen {
 				a.Release()
 				return
 			}
 			w.cpuAlloc = a
-			a.OnPreempt = func() { w.preempted() }
+			a.OnPreempt = w.preemptFn
 			w.becomeReady()
 		})
 		if err != nil {
@@ -295,12 +377,12 @@ func (w *worker) acquire() {
 	}
 	if cfg.GPUs > 0 {
 		err := w.st.ex.rt.mgr.RequestGPUs(cfg.GPUs, cfg.GPUType, func(a *cluster.GPUAlloc) {
-			if w.dead {
+			if w.dead || w.gen != gen {
 				a.Release()
 				return
 			}
 			w.gpuAlloc = a
-			a.OnPreempt = func() { w.preempted() }
+			a.OnPreempt = w.preemptFn
 			needCPU()
 		})
 		if err != nil {
@@ -342,9 +424,9 @@ func (w *worker) run(node *dag.Node) {
 	w.setIntensity(im.Perf.GPUIntensity, im.Perf.CPUIntensity)
 	w.span = ex.tracer.Start(trackName(st.cap), string(node.ID), ex.rt.se.Now().Seconds())
 	w.doneAt = ex.rt.se.Now().Add(sim.Duration(dur))
-	w.doneEv = ex.rt.se.Schedule(w.doneAt, w.taskDone)
+	w.doneEv = ex.rt.se.Schedule(w.doneAt, w.taskDoneFn)
 	if rc := ex.rt.recovery; rc != nil && rc.policy.StageTimeoutS > 0 {
-		w.watchdogEv = ex.rt.se.After(sim.Duration(rc.policy.StageTimeoutS), w.timedOut)
+		w.watchdogEv = ex.rt.se.After(sim.Duration(rc.policy.StageTimeoutS), w.timedOutFn)
 	}
 }
 
@@ -380,7 +462,7 @@ func (w *worker) stall(d float64) bool {
 	}
 	w.doneEv.Cancel()
 	w.doneAt = w.doneAt.Add(sim.Duration(d))
-	w.doneEv = w.st.ex.rt.se.Schedule(w.doneAt, w.taskDone)
+	w.doneEv = w.st.ex.rt.se.Schedule(w.doneAt, w.taskDoneFn)
 	return true
 }
 
@@ -410,7 +492,7 @@ func (w *worker) timedOut() {
 	w.destroy()
 	st.taskFailed(node, &JobError{Code: CodeTaskFailed, Op: string(node.ID),
 		Err: fmt.Errorf("core: stage %s timed out after %.0fs", st.cap, rc.policy.StageTimeoutS)})
-	ex.rt.se.Defer(st.pump)
+	ex.rt.se.Defer(st.pumpFn)
 }
 
 func (w *worker) setIntensity(gpu, cpu float64) {
@@ -451,7 +533,7 @@ func (w *worker) preempted() {
 		st.inflight--
 	}
 	w.destroy()
-	ex.rt.se.Defer(st.pump)
+	ex.rt.se.Defer(st.pumpFn)
 }
 
 // destroy releases the worker's allocations and removes it from the pool.
@@ -485,12 +567,22 @@ func (w *worker) destroy() {
 		w.cpuAlloc.Release()
 		w.cpuAlloc = nil
 	}
+	w.current = nil
+	w.gen++
 	st := w.st
+	// NOTE: the vacated tail slot keeps a stale pointer past len. Callers
+	// (pump's idle drain) range over a pre-removal snapshot of this slice,
+	// so the slot must stay a valid *worker; the pointee lives on in the
+	// runtime's pool regardless.
 	for i, other := range st.workers {
 		if other == w {
 			st.workers = append(st.workers[:i], st.workers[i+1:]...)
 			break
 		}
+	}
+	rt := st.ex.rt
+	if !DisableAllocReuse && len(rt.workerPool) < poolCap {
+		rt.workerPool = append(rt.workerPool, w)
 	}
 }
 
@@ -510,8 +602,8 @@ func metaInt(node *dag.Node, key string, def int) int {
 	if !ok {
 		return def
 	}
-	var n int
-	if _, err := fmt.Sscanf(v, "%d", &n); err != nil {
+	n, err := strconv.Atoi(v)
+	if err != nil {
 		return def
 	}
 	return n

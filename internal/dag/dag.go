@@ -40,6 +40,17 @@ type Graph struct {
 	// order preserves insertion order for deterministic iteration.
 	order  []NodeID
 	frozen bool
+
+	// Freeze-time memos. A frozen graph is immutable, so the sorted adjacency
+	// lists, the topological order, the node list and the dense node index are
+	// computed once at Freeze and shared by every later query — per-job
+	// scheduling stops re-sorting and re-allocating them. The returned slices
+	// are read-only views; callers must not modify them.
+	topo       []NodeID
+	nodesList  []*Node
+	succSorted map[NodeID][]NodeID
+	predSorted map[NodeID][]NodeID
+	index      map[NodeID]int
 }
 
 // New returns an empty graph.
@@ -64,8 +75,10 @@ func (g *Graph) AddNode(n Node) error {
 	}
 	cp := n
 	g.nodes[n.ID] = &cp
-	g.succ[n.ID] = map[NodeID]bool{}
-	g.pred[n.ID] = map[NodeID]bool{}
+	// Adjacency sets are created lazily by AddEdge: most graphs have many
+	// root/leaf/pass-through nodes whose empty maps would otherwise be two
+	// dead allocations per node. A nil set reads as empty everywhere
+	// (len, range, lookups).
 	g.order = append(g.order, n.ID)
 	return nil
 }
@@ -92,6 +105,12 @@ func (g *Graph) AddEdge(from, to NodeID) error {
 	if _, ok := g.nodes[to]; !ok {
 		return fmt.Errorf("dag: edge to unknown node %q", to)
 	}
+	if g.succ[from] == nil {
+		g.succ[from] = map[NodeID]bool{}
+	}
+	if g.pred[to] == nil {
+		g.pred[to] = map[NodeID]bool{}
+	}
 	g.succ[from][to] = true
 	g.pred[to][from] = true
 	return nil
@@ -107,11 +126,51 @@ func (g *Graph) MustAddEdge(from, to NodeID) {
 // Freeze validates acyclicity and locks the graph. It must be called before
 // scheduling queries; mutating after Freeze errors.
 func (g *Graph) Freeze() error {
-	if _, err := g.topoOrder(); err != nil {
+	// The sorted adjacency memos are built first (topoOrder consumes them
+	// through Successors for deterministic tie-breaking) and all lists are
+	// carved out of ONE slab sized to the exact edge count — two slice
+	// headers per node collapse into two map inserts plus a shared backing
+	// array. Capacity-capped views keep a later append from bleeding into
+	// the neighbouring list.
+	edges := 0
+	for _, id := range g.order {
+		edges += len(g.succ[id])
+	}
+	slab := make([]NodeID, 0, 2*edges)
+	g.succSorted = make(map[NodeID][]NodeID, len(g.order))
+	g.predSorted = make(map[NodeID][]NodeID, len(g.order))
+	for _, id := range g.order {
+		slab, g.succSorted[id] = carveSorted(slab, g.succ[id])
+		slab, g.predSorted[id] = carveSorted(slab, g.pred[id])
+	}
+	topo, err := g.topoOrder()
+	if err != nil {
+		// The graph stays mutable after a failed Freeze; stale memos would
+		// shadow later edge inserts.
+		g.succSorted, g.predSorted = nil, nil
 		return err
 	}
 	g.frozen = true
+	g.topo = topo
+	g.nodesList = make([]*Node, len(g.order))
+	g.index = make(map[NodeID]int, len(g.order))
+	for i, id := range g.order {
+		g.nodesList[i] = g.nodes[id]
+		g.index[id] = i
+	}
 	return nil
+}
+
+// carveSorted appends m's keys to slab, sorts that region in place, and
+// returns the grown slab plus a capacity-capped view of the region.
+func carveSorted(slab []NodeID, m map[NodeID]bool) ([]NodeID, []NodeID) {
+	start := len(slab)
+	for id := range m {
+		slab = append(slab, id)
+	}
+	list := slab[start:len(slab):len(slab)]
+	sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+	return slab, list
 }
 
 // Frozen reports whether Freeze succeeded.
@@ -126,8 +185,12 @@ func (g *Graph) Node(id NodeID) (*Node, bool) {
 	return n, ok
 }
 
-// Nodes returns all nodes in insertion order.
+// Nodes returns all nodes in insertion order. After Freeze the returned
+// slice is a shared read-only view; callers must not modify it.
 func (g *Graph) Nodes() []*Node {
+	if g.nodesList != nil {
+		return g.nodesList
+	}
 	out := make([]*Node, 0, len(g.order))
 	for _, id := range g.order {
 		out = append(out, g.nodes[id])
@@ -135,11 +198,23 @@ func (g *Graph) Nodes() []*Node {
 	return out
 }
 
-// Successors returns the IDs downstream of id, sorted.
-func (g *Graph) Successors(id NodeID) []NodeID { return sortedKeys(g.succ[id]) }
+// Successors returns the IDs downstream of id, sorted. After Freeze the
+// returned slice is a shared read-only view; callers must not modify it.
+func (g *Graph) Successors(id NodeID) []NodeID {
+	if g.succSorted != nil {
+		return g.succSorted[id]
+	}
+	return sortedKeys(g.succ[id])
+}
 
-// Predecessors returns the IDs upstream of id, sorted.
-func (g *Graph) Predecessors(id NodeID) []NodeID { return sortedKeys(g.pred[id]) }
+// Predecessors returns the IDs upstream of id, sorted. After Freeze the
+// returned slice is a shared read-only view; callers must not modify it.
+func (g *Graph) Predecessors(id NodeID) []NodeID {
+	if g.predSorted != nil {
+		return g.predSorted[id]
+	}
+	return sortedKeys(g.pred[id])
+}
 
 func sortedKeys(m map[NodeID]bool) []NodeID {
 	out := make([]NodeID, 0, len(m))
@@ -178,21 +253,19 @@ func (g *Graph) topoOrder() ([]NodeID, error) {
 	for _, id := range g.order {
 		indeg[id] = len(g.pred[id])
 	}
-	var queue []NodeID
+	// out doubles as the BFS queue (head is the read cursor): pre-sized to
+	// the node count, the whole pass allocates only it and the indeg map.
+	out := make([]NodeID, 0, len(g.order))
 	for _, id := range g.order {
 		if indeg[id] == 0 {
-			queue = append(queue, id)
+			out = append(out, id)
 		}
 	}
-	var out []NodeID
-	for len(queue) > 0 {
-		id := queue[0]
-		queue = queue[1:]
-		out = append(out, id)
-		for _, s := range g.Successors(id) {
+	for head := 0; head < len(out); head++ {
+		for _, s := range g.Successors(out[head]) {
 			indeg[s]--
 			if indeg[s] == 0 {
-				queue = append(queue, s)
+				out = append(out, s)
 			}
 		}
 	}
@@ -208,13 +281,11 @@ func (g *Graph) topoOrder() ([]NodeID, error) {
 
 // TopoOrder returns a deterministic topological order (insertion order among
 // ready nodes). Panics on an unfrozen graph: callers must validate first.
+// The returned slice is the shared order computed at Freeze; callers must
+// not modify it.
 func (g *Graph) TopoOrder() []NodeID {
 	g.mustBeFrozen("TopoOrder")
-	out, err := g.topoOrder()
-	if err != nil {
-		panic(err) // unreachable: Freeze validated
-	}
-	return out
+	return g.topo
 }
 
 func (g *Graph) mustBeFrozen(op string) {

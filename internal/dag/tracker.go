@@ -10,13 +10,20 @@ import "fmt"
 // be retried (returned to ready) — the runtime's failure-injection tests
 // exercise this path.
 type Tracker struct {
-	g       *Graph
-	state   map[NodeID]nodeState
-	waiting map[NodeID]int // unfinished predecessor count
-	done    int
+	g *Graph
+	// cells is indexed by the graph's freeze-time node index: dense state
+	// instead of two per-node maps, so a tracker costs two allocations and
+	// state transitions never hash.
+	cells []trackerCell
+	done  int
 }
 
-type nodeState int
+type trackerCell struct {
+	state   nodeState
+	waiting int32 // unfinished predecessor count
+}
+
+type nodeState int32
 
 const (
 	statePending nodeState = iota
@@ -28,62 +35,89 @@ const (
 // NewTracker creates a tracker over a frozen graph.
 func NewTracker(g *Graph) *Tracker {
 	g.mustBeFrozen("NewTracker")
-	t := &Tracker{
-		g:       g,
-		state:   make(map[NodeID]nodeState, g.Len()),
-		waiting: make(map[NodeID]int, g.Len()),
-	}
-	for _, n := range g.Nodes() {
-		preds := g.Predecessors(n.ID)
-		t.waiting[n.ID] = len(preds)
-		if len(preds) == 0 {
-			t.state[n.ID] = stateReady
-		} else {
-			t.state[n.ID] = statePending
+	t := &Tracker{g: g, cells: make([]trackerCell, g.Len())}
+	for i, n := range g.Nodes() {
+		np := len(g.Predecessors(n.ID))
+		t.cells[i].waiting = int32(np)
+		if np == 0 {
+			t.cells[i].state = stateReady
 		}
 	}
 	return t
+}
+
+// cell returns the tracker cell for id, or nil for an unknown node.
+func (t *Tracker) cell(id NodeID) *trackerCell {
+	i, ok := t.g.index[id]
+	if !ok {
+		return nil
+	}
+	return &t.cells[i]
 }
 
 // Graph returns the underlying graph.
 func (t *Tracker) Graph() *Graph { return t.g }
 
 // Ready returns IDs currently ready to run, in graph insertion order.
-func (t *Tracker) Ready() []NodeID {
-	var out []NodeID
-	for _, n := range t.g.Nodes() {
-		if t.state[n.ID] == stateReady {
-			out = append(out, n.ID)
+func (t *Tracker) Ready() []NodeID { return t.AppendReady(nil) }
+
+// AppendReady appends the currently-ready IDs to buf (graph insertion
+// order) and returns the extended slice, letting hot paths reuse a scratch
+// buffer instead of allocating one per frontier scan.
+func (t *Tracker) AppendReady(buf []NodeID) []NodeID {
+	for i, n := range t.g.Nodes() {
+		if t.cells[i].state == stateReady {
+			buf = append(buf, n.ID)
 		}
 	}
-	return out
+	return buf
 }
 
 // Start transitions a ready node to running.
 func (t *Tracker) Start(id NodeID) error {
-	if t.state[id] != stateReady {
-		return fmt.Errorf("dag: Start(%q) in state %v", id, t.state[id])
+	c := t.cell(id)
+	if c == nil || c.state != stateReady {
+		return fmt.Errorf("dag: Start(%q) in state %v", id, t.stateOf(id))
 	}
-	t.state[id] = stateRunning
+	c.state = stateRunning
 	return nil
+}
+
+// stateOf reports the state for error messages; unknown nodes read as
+// pending, matching the old map-backed zero value.
+func (t *Tracker) stateOf(id NodeID) nodeState {
+	if c := t.cell(id); c != nil {
+		return c.state
+	}
+	return statePending
 }
 
 // Complete transitions a running node to done and returns any newly-ready
 // successors (in deterministic order).
 func (t *Tracker) Complete(id NodeID) ([]NodeID, error) {
-	if t.state[id] != stateRunning {
-		return nil, fmt.Errorf("dag: Complete(%q) in state %v", id, t.state[id])
+	return t.CompleteAppend(id, nil)
+}
+
+// CompleteAppend is Complete with a caller-supplied scratch buffer: newly
+// ready successors are appended to buf and the extended slice returned, so a
+// hot dispatch loop completes nodes without allocating a frontier slice per
+// task.
+func (t *Tracker) CompleteAppend(id NodeID, buf []NodeID) ([]NodeID, error) {
+	c := t.cell(id)
+	if c == nil || c.state != stateRunning {
+		return buf, fmt.Errorf("dag: Complete(%q) in state %v", id, t.stateOf(id))
 	}
-	t.state[id] = stateDone
+	c.state = stateDone
 	t.done++
-	var newlyReady []NodeID
+	newlyReady := buf
 	for _, s := range t.g.Successors(id) {
-		t.waiting[s]--
-		if t.waiting[s] < 0 {
+		sc := t.cell(s)
+		sc.waiting--
+		if sc.waiting < 0 {
 			panic("dag: predecessor count below zero")
 		}
-		if t.waiting[s] == 0 && t.state[s] == statePending {
-			t.state[s] = stateReady
+		if sc.waiting == 0 && sc.state == statePending {
+			sc.state = stateReady
 			newlyReady = append(newlyReady, s)
 		}
 	}
@@ -93,10 +127,11 @@ func (t *Tracker) Complete(id NodeID) ([]NodeID, error) {
 // Fail returns a running node to ready so it can be retried (e.g. after a
 // spot preemption killed its resources).
 func (t *Tracker) Fail(id NodeID) error {
-	if t.state[id] != stateRunning {
-		return fmt.Errorf("dag: Fail(%q) in state %v", id, t.state[id])
+	c := t.cell(id)
+	if c == nil || c.state != stateRunning {
+		return fmt.Errorf("dag: Fail(%q) in state %v", id, t.stateOf(id))
 	}
-	t.state[id] = stateReady
+	c.state = stateReady
 	return nil
 }
 
@@ -109,8 +144,8 @@ func (t *Tracker) CompletedCount() int { return t.done }
 // Running returns IDs currently running, in graph insertion order.
 func (t *Tracker) Running() []NodeID {
 	var out []NodeID
-	for _, n := range t.g.Nodes() {
-		if t.state[n.ID] == stateRunning {
+	for i, n := range t.g.Nodes() {
+		if t.cells[i].state == stateRunning {
 			out = append(out, n.ID)
 		}
 	}
@@ -122,8 +157,8 @@ func (t *Tracker) Running() []NodeID {
 // reconfiguration controller re-plans over at stage boundaries.
 func (t *Tracker) RemainingNodes() []*Node {
 	var out []*Node
-	for _, n := range t.g.Nodes() {
-		if t.state[n.ID] != stateDone {
+	for i, n := range t.g.Nodes() {
+		if t.cells[i].state != stateDone {
 			out = append(out, n)
 		}
 	}
@@ -136,8 +171,8 @@ func (t *Tracker) RemainingNodes() []*Node {
 // reallocate GPU resources from Whisper to Llama".
 func (t *Tracker) RemainingCapabilityWork() map[string]float64 {
 	out := map[string]float64{}
-	for _, n := range t.g.Nodes() {
-		if t.state[n.ID] != stateDone {
+	for i, n := range t.g.Nodes() {
+		if t.cells[i].state != stateDone {
 			out[n.Capability] += n.Work
 		}
 	}
@@ -151,8 +186,8 @@ func (t *Tracker) UpcomingCapabilities(horizon int) map[string]bool {
 	depth := map[NodeID]int{}
 	// BFS from ready/running nodes through pending successors.
 	var queue []NodeID
-	for _, n := range t.g.Nodes() {
-		switch t.state[n.ID] {
+	for i, n := range t.g.Nodes() {
+		switch t.cells[i].state {
 		case stateReady, stateRunning:
 			depth[n.ID] = 0
 			queue = append(queue, n.ID)
@@ -163,7 +198,7 @@ func (t *Tracker) UpcomingCapabilities(horizon int) map[string]bool {
 		id := queue[0]
 		queue = queue[1:]
 		d := depth[id]
-		if t.state[id] != stateDone && d <= horizon {
+		if t.stateOf(id) != stateDone && d <= horizon {
 			node, _ := t.g.Node(id)
 			out[node.Capability] = true
 		}

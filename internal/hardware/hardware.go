@@ -12,8 +12,8 @@ package hardware
 import (
 	"fmt"
 	"sort"
-
 	"strings"
+	"sync"
 
 	"repro/internal/contentkey"
 )
@@ -311,10 +311,29 @@ func (c *Catalog) SpeedupVs(a, b GPUType) float64 {
 // NDv4SKUName is the paper's testbed VM shape.
 const NDv4SKUName = "Standard_ND96amsr_A100_v4"
 
+var (
+	defaultCatalogOnce sync.Once
+	defaultCatalog     *Catalog
+)
+
 // DefaultCatalog reproduces the paper's §4 testbed plus the neighbouring
 // SKUs the optimizer may consider (H100 boxes for the GPU-generation lever,
 // a CPU-only shape for CPU offload).
+//
+// Catalogs are immutable, so every caller shares one instance; building (and
+// fingerprinting) it per call showed up as a top allocation site when the
+// serving benchmark spins up hundreds of per-request testbeds. The
+// fingerprint memo is pre-warmed inside the Once so the shared instance is
+// never lazily written after publication.
 func DefaultCatalog() *Catalog {
+	defaultCatalogOnce.Do(func() {
+		defaultCatalog = buildDefaultCatalog()
+		defaultCatalog.Fingerprint()
+	})
+	return defaultCatalog
+}
+
+func buildDefaultCatalog() *Catalog {
 	gpus := []GPUSpec{
 		{
 			Type:       GPUV100,

@@ -159,6 +159,10 @@ func NewEngine(se *sim.Engine, cat *hardware.Catalog, model ModelSpec, alloc *cl
 		model:  model,
 		engine: se,
 		cat:    cat,
+		// Pre-size the request lists past the append growth ramp; serving
+		// engines see continuous traffic from their first admission.
+		queue:  make([]*Request, 0, 16),
+		active: make([]*Request, 0, 16),
 	}
 	e.adoptAlloc(alloc)
 	return e, nil

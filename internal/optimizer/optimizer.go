@@ -147,6 +147,15 @@ type Optimizer struct {
 	// implementations × profiles × parallelism ladder × execution paths.
 	enumBuf  []candidate
 	pruneBuf []candidate
+	// Per-plan arena scratch, reset (not reallocated) at every Plan call so
+	// the buffers survive across stages and re-plans: demand accumulation,
+	// the availability GPU map, and the parallelism/paths ladders inside
+	// enumerate.
+	demandBuf []capDemand
+	demandIdx map[string]int
+	availGPUs map[hardware.GPUType]int
+	ladderBuf []int
+	pathsBuf  []int
 }
 
 // New creates an optimizer.
@@ -174,7 +183,7 @@ func (o *Optimizer) implementations(capability string) []*agents.Implementation 
 	if impls, ok := o.implsByCap[capability]; ok {
 		return impls
 	}
-	impls := o.lib.ByCapability(agents.Capability(capability))
+	impls := o.lib.Implementations(agents.Capability(capability))
 	o.implsByCap[capability] = impls
 	return impls
 }
@@ -224,8 +233,12 @@ func (o *Optimizer) Plan(g *dag.Graph, snap cluster.Snapshot, opts Options) (*Pl
 		return demands[i].capability < demands[j].capability
 	})
 
+	if o.availGPUs == nil {
+		o.availGPUs = make(map[hardware.GPUType]int, 4)
+	}
+	clear(o.availGPUs)
 	avail := availability{
-		gpus:  map[hardware.GPUType]int{},
+		gpus:  o.availGPUs,
 		cores: snap.TotalCPUCores,
 	}
 	for t, n := range snap.TotalGPUs {
@@ -261,23 +274,31 @@ func (o *Optimizer) Plan(g *dag.Graph, snap cluster.Snapshot, opts Options) (*Pl
 	return plan, nil
 }
 
+// demands summarizes per-capability task demand. The returned slice aliases
+// the optimizer's reusable demand arena; it is valid until the next Plan
+// call. (Plan's subsequent sort fully orders it, so accumulation order does
+// not affect the result.)
 func (o *Optimizer) demands(g *dag.Graph) []capDemand {
-	byCap := map[string]*capDemand{}
+	if o.demandIdx == nil {
+		o.demandIdx = make(map[string]int, 8)
+	}
+	clear(o.demandIdx)
 	llm := agents.LLMCapabilities()
+	out := o.demandBuf[:0]
 	for _, n := range g.Nodes() {
-		d, ok := byCap[n.Capability]
+		i, ok := o.demandIdx[n.Capability]
 		if !ok {
-			d = &capDemand{capability: n.Capability, isLLM: llm[agents.Capability(n.Capability)]}
-			byCap[n.Capability] = d
+			i = len(out)
+			o.demandIdx[n.Capability] = i
+			out = append(out, capDemand{capability: n.Capability, isLLM: llm[agents.Capability(n.Capability)]})
 		}
-		d.tasks++
-		d.totalWork += n.Work
+		out[i].tasks++
+		out[i].totalWork += n.Work
 	}
-	var out []capDemand
-	for _, d := range byCap {
-		d.avgWork = d.totalWork / float64(d.tasks)
-		out = append(out, *d)
+	for i := range out {
+		out[i].avgWork = out[i].totalWork / float64(out[i].tasks)
 	}
+	o.demandBuf = out
 	return out
 }
 
@@ -422,14 +443,16 @@ func (o *Optimizer) enumerate(d capDemand, avail availability, opts Options) []c
 				continue
 			}
 			// Parallelism ladder: 1, 2, 4, ... maxK (always include maxK).
-			for _, k := range parallelLadder(maxK) {
-				paths := []int{1}
+			o.ladderBuf = appendParallelLadder(o.ladderBuf[:0], maxK)
+			for _, k := range o.ladderBuf {
+				paths := append(o.pathsBuf[:0], 1)
 				if opts.Constraint == workflow.MaxQuality && opts.MaxPaths > 1 &&
 					d.isLLM {
 					for p := 2; p <= opts.MaxPaths; p *= 2 {
 						paths = append(paths, p)
 					}
 				}
+				o.pathsBuf = paths
 				for _, p := range paths {
 					out = append(out, o.score(d, prof, k, p))
 				}
@@ -440,13 +463,15 @@ func (o *Optimizer) enumerate(d capDemand, avail availability, opts Options) []c
 	return out
 }
 
-func parallelLadder(maxK int) []int {
-	var ks []int
+func parallelLadder(maxK int) []int { return appendParallelLadder(nil, maxK) }
+
+// appendParallelLadder appends 1, 2, 4, ... maxK (always including maxK) to
+// ks, letting enumerate reuse one ladder buffer across candidates.
+func appendParallelLadder(ks []int, maxK int) []int {
 	for k := 1; k < maxK; k *= 2 {
 		ks = append(ks, k)
 	}
-	ks = append(ks, maxK)
-	return ks
+	return append(ks, maxK)
 }
 
 // score estimates a stage's latency, cost, energy and quality under one

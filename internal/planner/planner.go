@@ -13,6 +13,7 @@ package planner
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/agents"
@@ -134,7 +135,9 @@ func (p *Planner) Decompose(job workflow.Job) (*Result, error) {
 		return nil, err
 	}
 	desc := strings.ToLower(job.Description)
-	res := &Result{Graph: dag.New()}
+	// Every template emits 2 queries and at most 4 trace steps; pre-size so
+	// the appends below never grow the backing arrays.
+	res := &Result{Graph: dag.New(), Trace: make([]Step, 0, 4), Queries: make([]Query, 0, 2)}
 	res.Queries = append(res.Queries, Query{
 		Purpose:      "decompose",
 		PromptTokens: promptTokens(p.lib, job),
@@ -179,17 +182,18 @@ func (p *Planner) Decompose(job workflow.Job) (*Result, error) {
 	if err := res.Graph.Freeze(); err != nil {
 		return nil, fmt.Errorf("planner: produced invalid DAG: %w", err)
 	}
+	caps := len(res.Graph.CapabilityWork())
 	res.Trace = append(res.Trace, Step{
 		Thought:     "The task graph is complete.",
 		Action:      "emit DAG",
-		Observation: fmt.Sprintf("%d tasks across %d capabilities", res.Graph.Len(), len(res.Graph.CapabilityWork())),
+		Observation: fmt.Sprintf("%d tasks across %d capabilities", res.Graph.Len(), caps),
 	})
 	// One tool-call generation query per capability (batched); each call
 	// is a one-line function invocation, so outputs are tiny.
 	res.Queries = append(res.Queries, Query{
 		Purpose:      "tool-calls",
-		PromptTokens: 32 * len(res.Graph.CapabilityWork()),
-		OutputTokens: 4 * len(res.Graph.CapabilityWork()),
+		PromptTokens: 32 * caps,
+		OutputTokens: 4 * caps,
 	})
 	return res, nil
 }
@@ -238,6 +242,39 @@ func SummarizeWork() float64 {
 	return SummarizePromptTokens*SummarizePrefillWeight + SummarizeOutputTokens
 }
 
+// Pre-rendered metadata values and a small-integer table: decomposition runs
+// on every admission in per-request mode, so formatting the same constant
+// token counts and single-digit scene/topic indices through fmt on each
+// build showed up as a top allocation site.
+var (
+	summarizePromptTokensStr = strconv.Itoa(SummarizePromptTokens)
+	summarizeOutputTokensStr = strconv.Itoa(SummarizeOutputTokens)
+	embedTokensStr           = strconv.Itoa(EmbedTokens)
+
+	smallInts [64]string
+)
+
+func init() {
+	for i := range smallInts {
+		smallInts[i] = strconv.Itoa(i)
+	}
+}
+
+// smallInt renders a non-negative index, allocation-free for the values the
+// templates actually produce.
+func smallInt(n int) string {
+	if n >= 0 && n < len(smallInts) {
+		return smallInts[n]
+	}
+	return strconv.Itoa(n)
+}
+
+// floatStr renders f exactly as fmt.Sprint does (shortest round-trip form),
+// without fmt's boxing.
+func floatStr(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
 func (p *Planner) buildVideoUnderstanding(res *Result, job workflow.Job) error {
 	g := res.Graph
 	videos := 0
@@ -249,30 +286,32 @@ func (p *Planner) buildVideoUnderstanding(res *Result, job workflow.Job) error {
 		scenes := int(in.Attr("scenes", 1))
 		frames := in.Attr("frames_per_scene", 24)
 		sceneLen := in.Attr("scene_len_s", 30)
+		viStr := smallInt(vi)
+		framesStr := strconv.Itoa(int(frames))
+		sceneLenStr := floatStr(sceneLen)
 		for s := 0; s < scenes; s++ {
-			ext := dag.NodeID(fmt.Sprintf("ext_v%d_s%d", vi, s))
-			stt := dag.NodeID(fmt.Sprintf("stt_v%d_s%d", vi, s))
-			det := dag.NodeID(fmt.Sprintf("det_v%d_s%d", vi, s))
-			sum := dag.NodeID(fmt.Sprintf("sum_v%d_s%d", vi, s))
-			emb := dag.NodeID(fmt.Sprintf("emb_v%d_s%d", vi, s))
-			meta := map[string]string{
-				"video": in.Name,
-				"scene": fmt.Sprint(s),
-			}
+			sStr := smallInt(s)
+			ext := dag.NodeID("ext_v" + viStr + "_s" + sStr)
+			stt := dag.NodeID("stt_v" + viStr + "_s" + sStr)
+			det := dag.NodeID("det_v" + viStr + "_s" + sStr)
+			sum := dag.NodeID("sum_v" + viStr + "_s" + sStr)
+			emb := dag.NodeID("emb_v" + viStr + "_s" + sStr)
 			g.MustAddNode(dag.Node{ID: ext, Capability: string(agents.CapFrameExtraction),
-				Label: fmt.Sprintf("extract %s scene %d", in.Name, s), Work: frames, Metadata: withKV(meta, "num_frames", fmt.Sprint(int(frames)))})
+				Label: "extract " + in.Name + " scene " + sStr, Work: frames,
+				Metadata: map[string]string{"video": in.Name, "scene": sStr, "num_frames": framesStr}})
 			g.MustAddNode(dag.Node{ID: stt, Capability: string(agents.CapSpeechToText),
-				Label: fmt.Sprintf("transcribe %s scene %d", in.Name, s), Work: sceneLen, Metadata: withKV(meta, "audio_s", fmt.Sprint(sceneLen))})
+				Label: "transcribe " + in.Name + " scene " + sStr, Work: sceneLen,
+				Metadata: map[string]string{"video": in.Name, "scene": sStr, "audio_s": sceneLenStr}})
 			g.MustAddNode(dag.Node{ID: det, Capability: string(agents.CapObjectDetection),
-				Label: fmt.Sprintf("detect %s scene %d", in.Name, s), Work: frames, Metadata: meta})
+				Label: "detect " + in.Name + " scene " + sStr, Work: frames,
+				Metadata: map[string]string{"video": in.Name, "scene": sStr}})
 			g.MustAddNode(dag.Node{ID: sum, Capability: string(agents.CapSummarization),
-				Label: fmt.Sprintf("summarize %s scene %d", in.Name, s), Work: SummarizeWork(),
-				Metadata: withKV(withKV(meta,
-					"prompt_tokens", fmt.Sprint(SummarizePromptTokens)),
-					"output_tokens", fmt.Sprint(SummarizeOutputTokens))})
+				Label: "summarize " + in.Name + " scene " + sStr, Work: SummarizeWork(),
+				Metadata: map[string]string{"video": in.Name, "scene": sStr,
+					"prompt_tokens": summarizePromptTokensStr, "output_tokens": summarizeOutputTokensStr}})
 			g.MustAddNode(dag.Node{ID: emb, Capability: string(agents.CapEmbedding),
-				Label: fmt.Sprintf("embed %s scene %d", in.Name, s), Work: EmbedTokens,
-				Metadata: withKV(meta, "prompt_tokens", fmt.Sprint(EmbedTokens))})
+				Label: "embed " + in.Name + " scene " + sStr, Work: EmbedTokens,
+				Metadata: map[string]string{"video": in.Name, "scene": sStr, "prompt_tokens": embedTokensStr}})
 			// Dataflow: frames feed detection; transcript and detections
 			// feed the summary; the summary is embedded. Speech-to-Text has
 			// no upstream dependency — exactly why the paper identifies it
@@ -307,7 +346,7 @@ func (p *Planner) buildNewsfeed(res *Result, job workflow.Job) error {
 		if in.Kind != workflow.InputTopic {
 			continue
 		}
-		id := dag.NodeID(fmt.Sprintf("search_t%d", ti))
+		id := dag.NodeID("search_t" + smallInt(ti))
 		g.MustAddNode(dag.Node{ID: id, Capability: string(agents.CapWebSearch),
 			Label: "search " + in.Name, Work: in.Attr("queries", 3),
 			Metadata: map[string]string{"topic": in.Name, "user": user}})
@@ -325,8 +364,8 @@ func (p *Planner) buildNewsfeed(res *Result, job workflow.Job) error {
 		Label: "generate feed", Work: SummarizeWork(),
 		Metadata: map[string]string{
 			"user":          user,
-			"prompt_tokens": fmt.Sprint(SummarizePromptTokens),
-			"output_tokens": fmt.Sprint(SummarizeOutputTokens),
+			"prompt_tokens": summarizePromptTokensStr,
+			"output_tokens": summarizeOutputTokensStr,
 		}})
 	sent := dag.NodeID("sentiment")
 	g.MustAddNode(dag.Node{ID: sent, Capability: string(agents.CapSentiment),
@@ -347,11 +386,11 @@ func (p *Planner) buildDocQA(res *Result, job workflow.Job) error {
 		if in.Kind != workflow.InputDoc {
 			continue
 		}
-		id := dag.NodeID(fmt.Sprintf("embed_d%d", di))
+		id := dag.NodeID("embed_d" + smallInt(di))
 		tokens := in.Attr("tokens", 800)
 		g.MustAddNode(dag.Node{ID: id, Capability: string(agents.CapEmbedding),
 			Label: "embed " + in.Name, Work: tokens,
-			Metadata: map[string]string{"doc": in.Name, "prompt_tokens": fmt.Sprint(int(tokens))}})
+			Metadata: map[string]string{"doc": in.Name, "prompt_tokens": strconv.Itoa(int(tokens))}})
 		embeds = append(embeds, id)
 	}
 	if len(embeds) == 0 {
@@ -412,7 +451,7 @@ func (p *Planner) buildHintChain(res *Result, job workflow.Job) error {
 		}
 		var level []dag.NodeID
 		for ii, in := range job.Inputs {
-			id := dag.NodeID(fmt.Sprintf("t%d_i%d", hi, ii))
+			id := dag.NodeID("t" + smallInt(hi) + "_i" + smallInt(ii))
 			g.MustAddNode(dag.Node{ID: id, Capability: string(cap),
 				Label: hint + " / " + in.Name, Work: hintWork(cap, in),
 				Metadata: map[string]string{"input": in.Name}})
@@ -440,13 +479,4 @@ func hintWork(cap agents.Capability, in workflow.Input) float64 {
 	default:
 		return 1
 	}
-}
-
-func withKV(m map[string]string, k, v string) map[string]string {
-	out := make(map[string]string, len(m)+1)
-	for key, val := range m {
-		out[key] = val
-	}
-	out[k] = v
-	return out
 }

@@ -28,7 +28,7 @@ func (p *Planner) ToolCallFor(node *dag.Node, implName string) (agents.ToolCall,
 		return agents.ToolCall{}, fmt.Errorf("planner: implementation %q provides %q, task %q needs %q",
 			implName, im.Capability, node.ID, node.Capability)
 	}
-	args := map[string]string{}
+	args := make(map[string]string, 3)
 	meta := node.Metadata
 
 	switch im.Capability {
@@ -38,11 +38,10 @@ func (p *Planner) ToolCallFor(node *dag.Node, implName string) (agents.ToolCall,
 	case agents.CapSpeechToText:
 		args["file"] = metaOr(meta, "video", "input.mov")
 	case agents.CapObjectDetection:
-		args["frames"] = fmt.Sprintf("%s/scene%s/frames", metaOr(meta, "video", "input"), metaOr(meta, "scene", "0"))
+		args["frames"] = metaOr(meta, "video", "input") + "/scene" + metaOr(meta, "scene", "0") + "/frames"
 	case agents.CapSummarization:
-		args["user_prompt"] = fmt.Sprintf(
-			"Summarize the scenes using frames, detected objects and transcripts. (%s scene %s)",
-			metaOr(meta, "video", metaOr(meta, "user", "input")), metaOr(meta, "scene", "-"))
+		args["user_prompt"] = "Summarize the scenes using frames, detected objects and transcripts. (" +
+			metaOr(meta, "video", metaOr(meta, "user", "input")) + " scene " + metaOr(meta, "scene", "-") + ")"
 		if hasArg(im, "system_prompt") {
 			args["system_prompt"] = "You are an agent that can describe images in detail."
 		}
@@ -50,7 +49,7 @@ func (p *Planner) ToolCallFor(node *dag.Node, implName string) (agents.ToolCall,
 			args["context_len"] = "4096"
 		}
 	case agents.CapEmbedding:
-		args["text"] = fmt.Sprintf("summary of %s scene %s", metaOr(meta, "video", metaOr(meta, "doc", "input")), metaOr(meta, "scene", "-"))
+		args["text"] = "summary of " + metaOr(meta, "video", metaOr(meta, "doc", "input")) + " scene " + metaOr(meta, "scene", "-")
 	case agents.CapQA:
 		args["question"] = metaOr(meta, "question", "What objects appear?")
 	case agents.CapSentiment:

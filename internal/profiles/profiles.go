@@ -59,6 +59,28 @@ func (r ResourceConfig) String() string {
 	}
 }
 
+// AppendTo renders the config exactly as String into buf and returns the
+// extended slice, for callers building larger labels or cache keys into a
+// reusable scratch.
+func (r ResourceConfig) AppendTo(buf []byte) []byte {
+	switch {
+	case r.GPUs > 0 && r.CPUCores > 0:
+		buf = strconv.AppendInt(buf, int64(r.GPUs), 10)
+		buf = append(buf, 'x')
+		buf = append(buf, r.GPUType...)
+		buf = append(buf, '+')
+		buf = strconv.AppendInt(buf, int64(r.CPUCores), 10)
+		return append(buf, 'c')
+	case r.GPUs > 0:
+		buf = strconv.AppendInt(buf, int64(r.GPUs), 10)
+		buf = append(buf, 'x')
+		return append(buf, r.GPUType...)
+	default:
+		buf = strconv.AppendInt(buf, int64(r.CPUCores), 10)
+		return append(buf, 'c')
+	}
+}
+
 // HourlyUSD prices the config from the catalog: GPUs at their hourly rate
 // plus cores at theirs. This is the fractional-rental view the optimizer
 // uses to estimate per-task cost.

@@ -79,7 +79,25 @@ type Engine struct {
 	processed uint64
 	// maxEvents aborts Run after this many events when non-zero.
 	maxEvents uint64
+	// slab is the current event allocation block: events are carved out of
+	// pre-sized slabs so scheduling costs one heap allocation per
+	// eventSlabSize events instead of one each. A block is reclaimed by the
+	// GC once every event in it has fired or been cancelled and no caller
+	// holds a handle.
+	slab    []Event
+	slabOff int
+	// peakPending records the high-water mark of the pending queue, the
+	// sizing hint a rebuilt engine's Reserve call uses.
+	peakPending int
+	// noSlab allocates each event individually — the differential test's
+	// reference configuration proving slab carving changes nothing.
+	noSlab bool
 }
+
+// DisableEventSlab makes the engine allocate every event individually
+// instead of carving pre-sized slabs. Scheduling semantics are unchanged; it
+// exists so the differential test can run a no-reuse reference stack.
+func (e *Engine) DisableEventSlab() { e.noSlab = true }
 
 // NewEngine returns an engine positioned at time zero with an empty queue.
 func NewEngine() *Engine {
@@ -98,6 +116,33 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // It exists to catch accidental infinite event loops in tests.
 func (e *Engine) SetEventLimit(n uint64) { e.maxEvents = n }
 
+// eventSlabSize is the number of events per allocation block.
+const eventSlabSize = 64
+
+// newEvent carves the next event out of the current slab.
+func (e *Engine) newEvent(at Time, fn func()) *Event {
+	if e.noSlab {
+		e.seq++
+		return &Event{at: at, seq: e.seq, owner: e, fn: fn}
+	}
+	if e.slabOff == len(e.slab) {
+		e.slab = make([]Event, eventSlabSize)
+		e.slabOff = 0
+	}
+	ev := &e.slab[e.slabOff]
+	e.slabOff++
+	e.seq++
+	*ev = Event{at: at, seq: e.seq, owner: e, fn: fn}
+	return ev
+}
+
+// notePending updates the queue high-water mark after an insertion.
+func (e *Engine) notePending() {
+	if n := len(e.queue); n > e.peakPending {
+		e.peakPending = n
+	}
+}
+
 // Schedule arranges for fn to run at absolute time at. Scheduling in the past
 // panics: it would silently reorder causality. Ties at the same instant fire
 // in scheduling order.
@@ -108,11 +153,59 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 	if fn == nil {
 		panic("sim: schedule with nil callback")
 	}
-	e.seq++
-	ev := &Event{at: at, seq: e.seq, owner: e, fn: fn}
+	ev := e.newEvent(at, fn)
 	heap.Push(&e.queue, ev)
+	e.notePending()
 	return ev
 }
+
+// BatchItem is one (time, callback) entry for ScheduleBatch.
+type BatchItem struct {
+	At Time
+	Fn func()
+}
+
+// ScheduleBatch schedules every item with a single heap-fix pass: the items
+// are appended to the queue in order (taking consecutive sequence numbers,
+// exactly as if Schedule had been called per item) and the heap invariant is
+// restored once, O(queue) instead of O(batch × log queue). Firing order is
+// identical to sequential Schedule calls — the queue pops in strict
+// (time, sequence) order regardless of internal heap layout. Items fire in
+// slice order at equal times. Past times and nil callbacks panic, as in
+// Schedule.
+func (e *Engine) ScheduleBatch(items []BatchItem) {
+	if len(items) == 0 {
+		return
+	}
+	for _, it := range items {
+		if it.At < e.now {
+			panic(fmt.Sprintf("sim: schedule at %v before now %v", it.At, e.now))
+		}
+		if it.Fn == nil {
+			panic("sim: schedule with nil callback")
+		}
+		ev := e.newEvent(it.At, it.Fn)
+		ev.index = len(e.queue)
+		e.queue = append(e.queue, ev)
+	}
+	heap.Init(&e.queue)
+	e.notePending()
+}
+
+// Reserve grows the pending-queue capacity to hold at least n events without
+// reallocation — a rebuilt engine pre-sizes from its predecessor's
+// PeakPending so warm-up stops paying growth copies.
+func (e *Engine) Reserve(n int) {
+	if cap(e.queue) >= n {
+		return
+	}
+	q := make(eventQueue, len(e.queue), n)
+	copy(q, e.queue)
+	e.queue = q
+}
+
+// PeakPending returns the high-water mark of the pending event queue.
+func (e *Engine) PeakPending() int { return e.peakPending }
 
 // After arranges for fn to run d seconds from now. Negative durations panic.
 func (e *Engine) After(d Duration, fn func()) *Event {
@@ -149,7 +242,11 @@ func (e *Engine) step() bool {
 		if e.maxEvents != 0 && e.processed > e.maxEvents {
 			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", e.maxEvents, e.now))
 		}
-		ev.fn()
+		fn := ev.fn
+		// Release the closure before running it: the event's slab block may
+		// outlive the event, and fn can close over a whole job's state.
+		ev.fn = nil
+		fn()
 		return true
 	}
 	return false

@@ -74,6 +74,9 @@ type Ticker struct {
 	fn      func(Time)
 	next    *Event
 	stopped bool
+	// tickFn is the onTick method value, materialized once — arm() runs
+	// every period, and a literal closure there would allocate per tick.
+	tickFn func()
 }
 
 // NewTicker starts a ticker firing every period seconds, with the first tick
@@ -83,21 +86,24 @@ func NewTicker(e *Engine, period Duration, fn func(Time)) *Ticker {
 		panic("sim: ticker period must be positive")
 	}
 	t := &Ticker{engine: e, period: period, fn: fn}
+	t.tickFn = t.onTick
 	t.arm()
 	return t
 }
 
 func (t *Ticker) arm() {
-	t.next = t.engine.After(t.period, func() {
-		if t.stopped {
-			return
-		}
-		now := t.engine.Now()
-		t.fn(now)
-		if !t.stopped {
-			t.arm()
-		}
-	})
+	t.next = t.engine.After(t.period, t.tickFn)
+}
+
+func (t *Ticker) onTick() {
+	if t.stopped {
+		return
+	}
+	now := t.engine.Now()
+	t.fn(now)
+	if !t.stopped {
+		t.arm()
+	}
 }
 
 // Stop cancels future ticks. Safe to call multiple times.

@@ -29,7 +29,9 @@ type Rollup struct {
 //
 // Like StepSeries it is single-goroutine: the simulation engine owns it.
 type RetainedSeries struct {
-	live      *StepSeries
+	// live is held by value so a retained series is a single allocation
+	// (plus the live series' slab).
+	live      StepSeries
 	watermark float64
 	buckets   []Rollup
 	dropped   int
@@ -38,13 +40,15 @@ type RetainedSeries struct {
 // NewRetained returns a retained series with an initial value from t=0 and
 // an empty rollup history.
 func NewRetained(initial float64) *RetainedSeries {
-	return &RetainedSeries{live: NewStepSeries(initial)}
+	r := &RetainedSeries{}
+	r.live.initStepSeries(initial)
+	return r
 }
 
 // Live returns the full-resolution series covering [watermark, now]. Its
 // oldest change point is the last one at or before the watermark (it carries
 // the value in effect there).
-func (r *RetainedSeries) Live() *StepSeries { return r.live }
+func (r *RetainedSeries) Live() *StepSeries { return &r.live }
 
 // Watermark returns the retention watermark: full-resolution history exists
 // only at or after it.

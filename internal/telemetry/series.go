@@ -32,9 +32,72 @@ type StepSeries struct {
 	cum []float64
 }
 
+// initialSeriesCap is the change-point capacity a fresh series starts with.
+// Most per-device series in the benchmarks accumulate tens of points, so a
+// small starting slab absorbs the first few doublings that otherwise
+// dominate the allocation profile of Set.
+const initialSeriesCap = 8
+
+// seriesBox fuses a fresh series' header and initial slab into one
+// allocation; grow replaces the slices with a heap slab and the inline
+// buffer rides along unused (192 B, only on series that outgrow it).
+type seriesBox struct {
+	s   StepSeries
+	buf [3 * initialSeriesCap]float64
+}
+
 // NewStepSeries returns a series with an initial value holding from t=0.
+// The header and the initial change-point slab come from a single
+// allocation; clusters build dozens of gauge series per testbed, so the
+// constructor's object count shows up directly in serving-path profiles.
 func NewStepSeries(initial float64) *StepSeries {
-	return &StepSeries{times: []float64{0}, values: []float64{initial}, cum: []float64{0}}
+	b := &seriesBox{}
+	s := &b.s
+	c := initialSeriesCap
+	s.times = b.buf[0:1:c]
+	s.values = b.buf[c : c+1 : 2*c]
+	s.cum = b.buf[2*c : 2*c+1 : 3*c]
+	s.values[0] = initial
+	return s
+}
+
+// initStepSeries is NewStepSeries into caller-owned storage (a value field),
+// sharing the same single-slab layout via realloc.
+func (s *StepSeries) initStepSeries(initial float64) {
+	s.realloc(initialSeriesCap, 1)
+	s.values[0] = initial
+}
+
+// realloc carves times/values/cum (each length n, capacity c) out of one
+// backing array: a series costs one slab allocation instead of three, and a
+// capacity doubling moves all three slices in a single copy. Existing
+// contents are preserved. The full-slice expressions cap each slice so an
+// append past c can never bleed into its neighbour.
+func (s *StepSeries) realloc(c, n int) {
+	buf := make([]float64, 3*c)
+	nt := buf[0:n:c]
+	nv := buf[c : c+n : 2*c]
+	nc := buf[2*c : 2*c+n : 3*c]
+	copy(nt, s.times)
+	copy(nv, s.values)
+	copy(nc, s.cum)
+	s.times, s.values, s.cum = nt, nv, nc
+}
+
+// grow extends all three slices by one slot, reallocating the shared slab
+// when full.
+func (s *StepSeries) grow() {
+	n := len(s.times)
+	if n == cap(s.times) {
+		c := 2 * cap(s.times)
+		if c < initialSeriesCap {
+			c = initialSeriesCap
+		}
+		s.realloc(c, n)
+	}
+	s.times = s.times[:n+1]
+	s.values = s.values[:n+1]
+	s.cum = s.cum[:n+1]
 }
 
 // Set records that the series takes value v from time t onward. Setting at a
@@ -55,12 +118,14 @@ func (s *StepSeries) Set(t, v float64) {
 		if s.values[n-1] == v {
 			return // no change; keep the series minimal
 		}
-		s.cum = append(s.cum, s.cum[n-1]+s.values[n-1]*(t-last))
+		s.grow()
+		s.cum[n] = s.cum[n-1] + s.values[n-1]*(t-last)
 	} else {
-		s.cum = append(s.cum, 0)
+		s.grow()
+		s.cum[n] = 0
 	}
-	s.times = append(s.times, t)
-	s.values = append(s.values, v)
+	s.times[n] = t
+	s.values[n] = v
 }
 
 // AddDelta shifts the series by d from time t onward: Set(t, Last()+d). It is
@@ -123,13 +188,15 @@ func (s *StepSeries) CompactBefore(t float64) int {
 	if k <= 0 {
 		return 0
 	}
-	nt := make([]float64, len(s.times)-k)
-	nv := make([]float64, len(s.values)-k)
-	nc := make([]float64, len(s.cum)-k)
-	copy(nt, s.times[k:])
-	copy(nv, s.values[k:])
-	copy(nc, s.cum[k:])
-	s.times, s.values, s.cum = nt, nv, nc
+	// One shared slab for the retained tail (see realloc) so compaction costs
+	// a single allocation and actually frees the dropped prefix.
+	n := len(s.times) - k
+	tail := *s
+	s.times, s.values, s.cum = nil, nil, nil
+	s.realloc(n, 0)
+	s.times = append(s.times, tail.times[k:]...)
+	s.values = append(s.values, tail.values[k:]...)
+	s.cum = append(s.cum, tail.cum[k:]...)
 	return k
 }
 
@@ -198,11 +265,8 @@ func (s *StepSeries) Max(t0, t1 float64) float64 {
 // points). It replaces the change-point replay dance callers previously used
 // to build weighted aggregates.
 func (s *StepSeries) Scale(k float64) *StepSeries {
-	out := &StepSeries{
-		times:  make([]float64, len(s.times)),
-		values: make([]float64, len(s.values)),
-		cum:    make([]float64, 0, len(s.cum)),
-	}
+	out := &StepSeries{}
+	out.realloc(len(s.times), len(s.times))
 	copy(out.times, s.times)
 	for i, v := range s.values {
 		out.values[i] = v * k
@@ -211,10 +275,10 @@ func (s *StepSeries) Scale(k float64) *StepSeries {
 	// self-consistent with the recurrence Set maintains.
 	for i := range out.times {
 		if i == 0 {
-			out.cum = append(out.cum, 0)
+			out.cum[i] = 0
 			continue
 		}
-		out.cum = append(out.cum, out.cum[i-1]+out.values[i-1]*(out.times[i]-out.times[i-1]))
+		out.cum[i] = out.cum[i-1] + out.values[i-1]*(out.times[i]-out.times[i-1])
 	}
 	return out
 }
