@@ -7,11 +7,14 @@
 package repro
 
 import (
+	"fmt"
+	"math/rand"
 	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
 	"repro/internal/serving"
+	"repro/internal/sim"
 	"repro/internal/workflow"
 )
 
@@ -187,6 +190,57 @@ func BenchmarkServing(b *testing.B) {
 	b.ReportMetric(best.Shared.P50LatencyMs, "shared_p50_ms")
 	b.ReportMetric(best.Shared.P95LatencyMs, "shared_p95_ms")
 	b.ReportMetric(float64(best.Shared.Completed), "jobs")
+}
+
+// BenchmarkEngine measures the raw event core: a steady-state
+// schedule/cancel/fire mix at several pending-queue depths, on both the
+// timer wheel (default) and the reference binary heap. Each op is one
+// fired event; every firing schedules its replacement and every fourth
+// also cancels a random pending event and replaces it, so the queue holds
+// `depth` live events throughout and ns/op isolates queue maintenance —
+// the cost PR 7's allocation work left on the hot loop.
+func BenchmarkEngine(b *testing.B) {
+	for _, arm := range []struct {
+		name string
+		heap bool
+	}{{"wheel", false}, {"heap", true}} {
+		for _, depth := range []int{64, 1024, 16384} {
+			b.Run(fmt.Sprintf("%s/depth=%d", arm.name, depth), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(42))
+				e := sim.NewEngine()
+				if arm.heap {
+					e.DisableEventWheel()
+				}
+				e.Reserve(depth + 1)
+				ring := make([]*sim.Event, depth)
+				fired := 0
+				var fire func()
+				fire = func() {
+					ring[fired%depth] = e.After(sim.Duration(rng.Float64()*2), fire)
+					fired++
+					if fired%4 == 0 {
+						// Ring slots can hold already-fired events; Cancel
+						// is then a no-op returning false, and only a real
+						// cancel schedules the compensating replacement
+						// that keeps the live count at depth.
+						if ev := ring[rng.Intn(depth)]; ev.Cancel() {
+							ring[rng.Intn(depth)] = e.After(sim.Duration(rng.Float64()*2), fire)
+						}
+					}
+				}
+				for i := range ring {
+					ring[i] = e.After(sim.Duration(rng.Float64()*2), fire)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if !e.Step() {
+						b.Fatal("event queue ran dry")
+					}
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkAdmission replays a bursty multi-tenant submission storm against

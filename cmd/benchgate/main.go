@@ -13,13 +13,23 @@
 //	go test -bench '^(BenchmarkLoadSweep|BenchmarkServing)$' -run '^$' . > new.txt
 //	go run ./cmd/benchgate -baseline bench/baseline.txt -current new.txt -max-ratio 2.5 \
 //	  -require 'BenchmarkServing:serving_gain_x>=1.5' \
-//	  -ratio-gate 'BenchmarkServing:allocs/op<=1.10'
+//	  -ratio-gate 'BenchmarkServing:allocs/op<=1.10' \
+//	  -time-gate 'BenchmarkEngine<=2.5'
 //
 // Baselines and current runs usually come from different machines, so
 // -max-ratio should be generous: the gate exists to catch asymptotic
 // blowups and order-of-magnitude regressions, not single-digit percentages.
 // allocs/op (and, less strictly, B/op) does not vary with the host, which is
 // why those gates carry their own per-benchmark tolerances.
+//
+// -time-gate is the per-benchmark sugar for a ns/op ratio gate: "Bench<=2.5"
+// bounds current/baseline ns/op for that benchmark AND every sub-benchmark
+// under it ("Bench/wheel/depth=64", ...), so one flag covers a whole
+// micro-benchmark family. Because wall-clock only compares within a host,
+// keep the tolerance generous and regenerate the baseline on the same
+// machine that runs the gate whenever it trips legitimately:
+//
+//	make bench-baseline   # rewrites bench/baseline.txt on this host
 package main
 
 import (
@@ -142,6 +152,51 @@ func (l *ratioGateList) Set(s string) error {
 	return nil
 }
 
+// timeGate is one "-time-gate Bench<=ratio" assertion: a ns/op ratio gate
+// that also covers every sub-benchmark under Bench. Wall-clock is only
+// comparable within a host, so tolerances should stay generous and the
+// baseline must be regenerated on the gating machine (make bench-baseline).
+type timeGate struct {
+	bench    string
+	maxRatio float64
+}
+
+func parseTimeGate(s string) (timeGate, error) {
+	var g timeGate
+	name, val, ok := strings.Cut(s, "<=")
+	if !ok {
+		return g, fmt.Errorf("time-gate %q: want Benchmark<=ratio", s)
+	}
+	if strings.Contains(name, ":") {
+		return g, fmt.Errorf("time-gate %q: no unit — it always gates ns/op (use -ratio-gate for other units)", s)
+	}
+	r, err := strconv.ParseFloat(val, 64)
+	if err != nil || r <= 0 {
+		return g, fmt.Errorf("time-gate %q: bad ratio %q", s, val)
+	}
+	g.bench, g.maxRatio = name, r
+	return g, nil
+}
+
+// matches reports whether the gate covers this benchmark: the name itself
+// or any sub-benchmark beneath it.
+func (g timeGate) matches(name string) bool {
+	return name == g.bench || strings.HasPrefix(name, g.bench+"/")
+}
+
+// timeGateList collects repeated -time-gate flags.
+type timeGateList []timeGate
+
+func (l *timeGateList) String() string { return fmt.Sprint([]timeGate(*l)) }
+func (l *timeGateList) Set(s string) error {
+	g, err := parseTimeGate(s)
+	if err != nil {
+		return err
+	}
+	*l = append(*l, g)
+	return nil
+}
+
 // requireList collects repeated -require flags.
 type requireList []requirement
 
@@ -164,6 +219,8 @@ func main() {
 	flag.Var(&requires, "require", "absolute threshold on the current run, Benchmark:unit>=value (repeatable)")
 	var gates ratioGateList
 	flag.Var(&gates, "ratio-gate", "per-benchmark ratio limit vs baseline, Benchmark:unit<=ratio (repeatable; requires -baseline)")
+	var timeGates timeGateList
+	flag.Var(&timeGates, "time-gate", "ns/op ratio limit vs baseline for a benchmark and its sub-benchmarks, Benchmark<=ratio (repeatable; requires -baseline; same-host baselines only)")
 	flag.Parse()
 
 	if *current == "" {
@@ -177,8 +234,8 @@ func main() {
 	}
 	failed := false
 
-	if *baseline == "" && len(gates) > 0 {
-		fmt.Fprintln(os.Stderr, "benchgate: -ratio-gate requires -baseline")
+	if *baseline == "" && (len(gates) > 0 || len(timeGates) > 0) {
+		fmt.Fprintln(os.Stderr, "benchgate: -ratio-gate and -time-gate require -baseline")
 		os.Exit(2)
 	}
 	if *baseline != "" {
@@ -216,6 +273,43 @@ func main() {
 			}
 			fmt.Printf("benchgate: %-28s %12.0f → %12.0f %s  (%.3fx, gate %.2fx) %s\n",
 				g.bench, bv, cv, g.unit, ratio, g.maxRatio, verdict)
+		}
+		for _, g := range timeGates {
+			anchored := false
+			for name, bm := range base {
+				if !g.matches(name) {
+					continue
+				}
+				bv := bm["ns/op"]
+				if bv <= 0 {
+					continue
+				}
+				anchored = true
+				cm, ok := cur[name]
+				cv := 0.0
+				if ok {
+					cv = cm["ns/op"]
+				}
+				if cv <= 0 {
+					fmt.Printf("benchgate: %-28s missing ns/op from current run FAIL\n", name)
+					failed = true
+					continue
+				}
+				ratio := cv / bv
+				verdict := "ok"
+				if ratio > g.maxRatio {
+					verdict = "REGRESSION"
+					failed = true
+				}
+				fmt.Printf("benchgate: %-28s %12.0f → %12.0f ns/op  (%.3fx, time gate %.2fx) %s\n",
+					name, bv, cv, ratio, g.maxRatio, verdict)
+			}
+			if !anchored {
+				// A time gate whose whole family vanished from the baseline
+				// must fail, like an unanchored ratio gate.
+				fmt.Printf("benchgate: %-28s baseline has no ns/op: time gate unanchored FAIL\n", g.bench)
+				failed = true
+			}
 		}
 		for name, bm := range base {
 			bv, ok := bm[*metric]

@@ -22,6 +22,36 @@ func TestParseRatioGate(t *testing.T) {
 	}
 }
 
+func TestParseTimeGate(t *testing.T) {
+	g, err := parseTimeGate("BenchmarkEngine<=2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.bench != "BenchmarkEngine" || g.maxRatio != 2.5 {
+		t.Fatalf("parsed %+v", g)
+	}
+	for _, m := range []string{"BenchmarkEngine", "BenchmarkEngine/wheel/depth=64"} {
+		if !g.matches(m) {
+			t.Errorf("gate does not cover %q", m)
+		}
+	}
+	for _, m := range []string{"BenchmarkEngineFoo", "BenchmarkServing"} {
+		if g.matches(m) {
+			t.Errorf("gate wrongly covers %q", m)
+		}
+	}
+	for _, bad := range []string{
+		"BenchmarkEngine",            // no ratio
+		"BenchmarkEngine:ns/op<=2.5", // units are not accepted: always ns/op
+		"BenchmarkEngine<=zero",      // non-numeric
+		"BenchmarkEngine<=-1",        // non-positive
+	} {
+		if _, err := parseTimeGate(bad); err == nil {
+			t.Errorf("parseTimeGate(%q) accepted", bad)
+		}
+	}
+}
+
 func TestParseRequirement(t *testing.T) {
 	r, err := parseRequirement("BenchmarkFaults:stranded_jobs<=0")
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/sim"
 )
 
 // TestAllocReuseDifferential is the bit-identical contract behind this
@@ -74,6 +75,75 @@ func TestAllocReuseDifferential(t *testing.T) {
 		"multiplex_gain_x": "1.629",
 	} {
 		if got := string(reused[name]); got != want {
+			t.Errorf("%s = %s, want %s", name, got, want)
+		}
+	}
+}
+
+// TestEventWheelDifferential is the same contract for the event core: the
+// hierarchical timer wheel is a drop-in replacement for the binary heap,
+// and the seeded workloads must serialize to the same bytes on both arms.
+// The wheel is allowed to change how the next event is found, never which
+// event fires next — pop order is (time, sequence) on both arms by
+// construction, and this test is the end-to-end witness.
+func TestEventWheelDifferential(t *testing.T) {
+	runAll := func() map[string][]byte {
+		out := map[string][]byte{}
+		mustJSON := func(name string, v interface{}, err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			b, jerr := json.Marshal(v)
+			if jerr != nil {
+				t.Fatalf("%s: marshal: %v", name, jerr)
+			}
+			out[name] = b
+		}
+		f3, err := experiments.Figure3()
+		mustJSON("figure3", f3, err)
+		out["speedup_x"] = []byte(fmt.Sprintf("%.3f", f3.Speedup()))
+		t2, err := experiments.Table2()
+		mustJSON("table2", t2, err)
+		out["energy_gain_x"] = []byte(fmt.Sprintf("%.3f", t2.EnergyEfficiencyGain))
+		t1, err := experiments.Table1()
+		mustJSON("table1", t1, err)
+		out["mismatches"] = []byte(fmt.Sprintf("%d", len(t1.Check())))
+		mt, err := experiments.MultiTenant()
+		mustJSON("multitenant", mt, err)
+		out["multiplex_gain_x"] = []byte(fmt.Sprintf("%.3f", mt.MultiplexGain))
+		return out
+	}
+
+	if sim.DisableEventWheel {
+		t.Fatal("DisableEventWheel already set; differential reference would not be a reference")
+	}
+	sim.DisableEventWheel = true
+	heap := runAll()
+	sim.DisableEventWheel = false
+	wheel := runAll()
+
+	for name, want := range heap {
+		got, ok := wheel[name]
+		if !ok {
+			t.Fatalf("%s missing from wheel-enabled run", name)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s diverged with the timer wheel enabled:\n  heap:  %s\n  wheel: %s",
+				name, truncated(want), truncated(got))
+		}
+	}
+
+	// Pin the paper's headline metrics so a regression that shifts both arms
+	// identically (e.g. a broken tick quantization applied to both) still
+	// fails loudly.
+	for name, want := range map[string]string{
+		"speedup_x":        "4.516",
+		"energy_gain_x":    "3.469",
+		"mismatches":       "0",
+		"multiplex_gain_x": "1.629",
+	} {
+		if got := string(wheel[name]); got != want {
 			t.Errorf("%s = %s, want %s", name, got, want)
 		}
 	}

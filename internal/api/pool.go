@@ -90,6 +90,17 @@ type Pool struct {
 	// Retired scratch-pool (worker + LLM-task recycling) counters.
 	retScratchHits   atomic.Uint64
 	retScratchMisses atomic.Uint64
+	// Retired event-engine counters: how many events each displaced shard's
+	// sim engine fired, how its schedules split between the timer wheel and
+	// the far-future overflow heap, and how many cancels were lazy
+	// mark-dead. Folded after drain like the others so the pool's event
+	// totals stay monotonic across recycles. retPeakPending is a running
+	// max, not a sum: the deepest pending queue any shard generation saw.
+	retEventsProcessed atomic.Uint64
+	retWheelEvents     atomic.Uint64
+	retOverflowEvents  atomic.Uint64
+	retCancelsLazy     atomic.Uint64
+	retPeakPending     atomic.Int64
 	// Retired fault/recovery counters, folded the same way. BreakerOpen is
 	// a live gauge and is not folded.
 	retTaskRetries       atomic.Int64
@@ -465,6 +476,21 @@ func (p *Pool) recycleShard(old *shard) {
 	sh, sm := old.rt.ScratchPoolStats()
 	p.retScratchHits.Add(sh)
 	p.retScratchMisses.Add(sm)
+	p.retEventsProcessed.Add(uint64(old.eng.Processed()))
+	p.retWheelEvents.Add(old.eng.WheelEvents())
+	p.retOverflowEvents.Add(old.eng.OverflowEvents())
+	p.retCancelsLazy.Add(old.eng.CancelsLazy())
+	atomicMaxInt64(&p.retPeakPending, int64(old.eng.PeakPending()))
+}
+
+// atomicMaxInt64 raises a to at least v (recyclers can race each other).
+func atomicMaxInt64(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // Close drains every shard loop (in-flight and queued jobs run to completion)
@@ -919,6 +945,14 @@ type ShardStats struct {
 	ScratchPoolHits   uint64 `json:"scratch_pool_hits"`
 	ScratchPoolMisses uint64 `json:"scratch_pool_misses"`
 	PeakPending       int    `json:"peak_pending"`
+	// Event-engine observability: events the shard's sim engine has fired,
+	// how its schedules routed (near-future timer-wheel buckets vs the
+	// far-future overflow heap), and cancels handled as O(1) lazy
+	// mark-dead. All zero on the heap escape hatch except events_processed.
+	EventsProcessed uint64 `json:"events_processed"`
+	WheelEvents     uint64 `json:"wheel_events"`
+	OverflowEvents  uint64 `json:"overflow_events"`
+	CancelsLazy     uint64 `json:"cancels_lazy"`
 	// Telemetry retention accounting: live change points and their bytes
 	// retained by the shard's cluster, the rollup buckets summarizing
 	// compacted epochs, the retention watermark and epoch count, and the
@@ -999,6 +1033,16 @@ type PoolStats struct {
 	// allocating fresh.
 	ScratchPoolHits   uint64 `json:"scratch_pool_hits"`
 	ScratchPoolMisses uint64 `json:"scratch_pool_misses"`
+	// Event-engine totals, folded across recycles like the counters above:
+	// events fired by every shard generation's sim engine, schedule routing
+	// (timer-wheel buckets vs overflow heap), and lazy cancels. PeakPending
+	// is the deepest pending event queue any shard generation reached — a
+	// max across live shards and retired generations, not a sum.
+	EventsProcessed uint64 `json:"events_processed"`
+	WheelEvents     uint64 `json:"wheel_events"`
+	OverflowEvents  uint64 `json:"overflow_events"`
+	CancelsLazy     uint64 `json:"cancels_lazy"`
+	PeakPending     int    `json:"peak_pending"`
 	// Memory is the process's live heap health (see MemoryStats).
 	Memory MemoryStats `json:"memory"`
 	// UptimeS is the daemon pool's wall-clock age in seconds.
@@ -1078,6 +1122,11 @@ func (p *Pool) Stats() PoolStats {
 	out.KeyInternMisses = p.retInternMisses.Load()
 	out.ScratchPoolHits = p.retScratchHits.Load()
 	out.ScratchPoolMisses = p.retScratchMisses.Load()
+	out.EventsProcessed = p.retEventsProcessed.Load()
+	out.WheelEvents = p.retWheelEvents.Load()
+	out.OverflowEvents = p.retOverflowEvents.Load()
+	out.CancelsLazy = p.retCancelsLazy.Load()
+	out.PeakPending = int(p.retPeakPending.Load())
 	out.Submitted = int(p.shSubmitted.Load())
 	out.Completed = int(p.shCompleted.Load())
 	out.Failed = int(p.shFailed.Load())
@@ -1124,6 +1173,10 @@ func (p *Pool) Stats() PoolStats {
 				BreakerTrips:       st.BreakerTrips,
 				BreakerOpen:        st.BreakerOpen,
 				PeakPending:        sh.eng.PeakPending(),
+				EventsProcessed:    uint64(sh.eng.Processed()),
+				WheelEvents:        sh.eng.WheelEvents(),
+				OverflowEvents:     sh.eng.OverflowEvents(),
+				CancelsLazy:        sh.eng.CancelsLazy(),
 			}
 			ss.KeyInternHits, ss.KeyInternMisses = sh.rt.KeyInternStats()
 			ss.ScratchPoolHits, ss.ScratchPoolMisses = sh.rt.ScratchPoolStats()
@@ -1186,6 +1239,11 @@ func (p *Pool) Stats() PoolStats {
 		out.KeyInternMisses += ss.KeyInternMisses
 		out.ScratchPoolHits += ss.ScratchPoolHits
 		out.ScratchPoolMisses += ss.ScratchPoolMisses
+		out.EventsProcessed += ss.EventsProcessed
+		out.WheelEvents += ss.WheelEvents
+		out.OverflowEvents += ss.OverflowEvents
+		out.CancelsLazy += ss.CancelsLazy
+		out.PeakPending = max(out.PeakPending, ss.PeakPending)
 	}
 	return out
 }

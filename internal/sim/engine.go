@@ -38,9 +38,15 @@ const Forever = Time(math.MaxFloat64)
 // Event is a scheduled callback. It is returned by Schedule/After so the
 // caller can cancel it before it fires.
 type Event struct {
-	at       Time
-	seq      uint64
-	index    int // heap index, -1 once popped or cancelled
+	at  Time
+	seq uint64
+	// tick is the wheel bucket key, tickOf(at), set once at scheduling
+	// (unused by the heap arm).
+	tick uint64
+	// next links events within one wheel bucket (intrusive, so filing an
+	// event allocates nothing); nil outside a bucket and on the heap arm.
+	next     *Event
+	index    int // heap index (heap arm); <0 once fired or cancelled
 	owner    *Engine
 	fn       func()
 	canceled bool
@@ -50,18 +56,27 @@ type Event struct {
 // fired, if cancelled).
 func (e *Event) At() Time { return e.at }
 
-// Cancel prevents the event from firing and removes it from the engine's
-// queue immediately via its stored heap index — a cancelled event releases
-// its memory (including whatever its callback closes over) right away
-// instead of lingering until its firing time is popped. Cancelling an event
-// that already fired or was already cancelled is a no-op. Cancel returns
-// true if the event had been pending.
+// Cancel prevents the event from firing and releases its callback (and
+// whatever the callback closes over) immediately. On the timer wheel this
+// is O(1): the event is marked dead where it sits, skipped lazily when its
+// bucket is reached, and drained eagerly whenever it surfaces at a bucket
+// head; the live-event counter drops right away, so Pending never counts
+// it. On the heap arm (DisableEventWheel) the event is removed from the
+// queue eagerly via its stored heap index. Cancelling an event that
+// already fired or was already cancelled is a no-op. Cancel returns true
+// if the event had been pending.
 func (e *Event) Cancel() bool {
 	if e == nil || e.canceled || e.index < 0 {
 		return false
 	}
 	e.canceled = true
-	heap.Remove(&e.owner.queue, e.index)
+	own := e.owner
+	if own.noWheel {
+		heap.Remove(&own.queue, e.index)
+	} else {
+		own.wheel.live--
+		own.wheel.cancelsLazy++
+	}
 	e.index = -1
 	e.fn = nil
 	return true
@@ -71,7 +86,6 @@ func (e *Event) Cancel() bool {
 // call NewEngine.
 type Engine struct {
 	now     Time
-	queue   eventQueue
 	seq     uint64
 	running bool
 	// processed counts events executed since construction; useful for
@@ -92,6 +106,32 @@ type Engine struct {
 	// noSlab allocates each event individually — the differential test's
 	// reference configuration proving slab carving changes nothing.
 	noSlab bool
+
+	// The event queue has two arms. The default is the hierarchical timer
+	// wheel (see wheel.go): O(1) amortized schedule/cancel, pops found by
+	// bitmap scan instead of O(log n) heap comparisons. noWheel switches to
+	// the reference binary-heap queue, kept alive so the differential and
+	// property tests can prove the wheel changes nothing observable.
+	noWheel bool
+	queue   eventQueue // heap arm
+	wheel   wheel      // wheel arm
+}
+
+// DisableEventWheel, when set before engines are constructed, routes every
+// NewEngine onto the reference binary-heap event queue instead of the
+// hierarchical timer wheel. Like core.DisableAllocReuse it exists for the
+// differential tests (wheel on vs off must be byte-identical) and as an
+// operational escape hatch; it is not a tuning knob.
+var DisableEventWheel bool
+
+// DisableEventWheel switches this engine onto the heap queue. It must be
+// called before any event is scheduled; the two arms file pending events
+// in incompatible structures.
+func (e *Engine) DisableEventWheel() {
+	if e.seq != 0 {
+		panic("sim: DisableEventWheel after events were scheduled")
+	}
+	e.noWheel = true
 }
 
 // DisableEventSlab makes the engine allocate every event individually
@@ -102,7 +142,9 @@ func (e *Engine) DisableEventSlab() { e.noSlab = true }
 // NewEngine returns an engine positioned at time zero with an empty queue.
 func NewEngine() *Engine {
 	e := &Engine{}
-	heap.Init(&e.queue)
+	if DisableEventWheel {
+		e.noWheel = true
+	}
 	return e
 }
 
@@ -111,6 +153,18 @@ func (e *Engine) Now() Time { return e.now }
 
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
+
+// WheelEvents returns how many scheduled events were filed into the timer
+// wheel's near-future levels (zero on the heap arm).
+func (e *Engine) WheelEvents() uint64 { return e.wheel.wheelEvents }
+
+// OverflowEvents returns how many scheduled events were parked in the
+// wheel's far-future overflow heap (zero on the heap arm).
+func (e *Engine) OverflowEvents() uint64 { return e.wheel.overflowEvents }
+
+// CancelsLazy returns how many cancels were handled as O(1) dead marks to
+// be skipped lazily (zero on the heap arm, which removes eagerly).
+func (e *Engine) CancelsLazy() uint64 { return e.wheel.cancelsLazy }
 
 // SetEventLimit makes Run panic after n events; 0 disables the limit.
 // It exists to catch accidental infinite event loops in tests.
@@ -136,10 +190,20 @@ func (e *Engine) newEvent(at Time, fn func()) *Event {
 	return ev
 }
 
-// notePending updates the queue high-water mark after an insertion.
-func (e *Engine) notePending() {
-	if n := len(e.queue); n > e.peakPending {
-		e.peakPending = n
+// enqueue files a freshly created event into whichever queue arm is active
+// and maintains the pending high-water mark.
+func (e *Engine) enqueue(ev *Event) {
+	if e.noWheel {
+		heap.Push(&e.queue, ev)
+		if n := len(e.queue); n > e.peakPending {
+			e.peakPending = n
+		}
+		return
+	}
+	ev.tick = tickOf(ev.at)
+	e.wheel.schedule(ev)
+	if e.wheel.live > e.peakPending {
+		e.peakPending = e.wheel.live
 	}
 }
 
@@ -154,8 +218,7 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 		panic("sim: schedule with nil callback")
 	}
 	ev := e.newEvent(at, fn)
-	heap.Push(&e.queue, ev)
-	e.notePending()
+	e.enqueue(ev)
 	return ev
 }
 
@@ -165,14 +228,13 @@ type BatchItem struct {
 	Fn func()
 }
 
-// ScheduleBatch schedules every item with a single heap-fix pass: the items
-// are appended to the queue in order (taking consecutive sequence numbers,
-// exactly as if Schedule had been called per item) and the heap invariant is
-// restored once, O(queue) instead of O(batch × log queue). Firing order is
-// identical to sequential Schedule calls — the queue pops in strict
-// (time, sequence) order regardless of internal heap layout. Items fire in
-// slice order at equal times. Past times and nil callbacks panic, as in
-// Schedule.
+// ScheduleBatch schedules every item, taking consecutive sequence numbers
+// exactly as if Schedule had been called per item, so firing order is
+// identical to sequential Schedule calls. On the wheel arm each insert is
+// already O(1), so the batch is a plain loop; the heap arm appends all
+// items and restores the heap invariant with a single O(queue) fix-up pass
+// instead of O(batch × log queue) sift-ups. Items fire in slice order at
+// equal times. Past times and nil callbacks panic, as in Schedule.
 func (e *Engine) ScheduleBatch(items []BatchItem) {
 	if len(items) == 0 {
 		return
@@ -185,23 +247,42 @@ func (e *Engine) ScheduleBatch(items []BatchItem) {
 			panic("sim: schedule with nil callback")
 		}
 		ev := e.newEvent(it.At, it.Fn)
-		ev.index = len(e.queue)
-		e.queue = append(e.queue, ev)
+		if e.noWheel {
+			ev.index = len(e.queue)
+			e.queue = append(e.queue, ev)
+			continue
+		}
+		ev.tick = tickOf(ev.at)
+		e.wheel.schedule(ev)
 	}
-	heap.Init(&e.queue)
-	e.notePending()
+	if e.noWheel {
+		heap.Init(&e.queue)
+		if n := len(e.queue); n > e.peakPending {
+			e.peakPending = n
+		}
+		return
+	}
+	if e.wheel.live > e.peakPending {
+		e.peakPending = e.wheel.live
+	}
 }
 
 // Reserve grows the pending-queue capacity to hold at least n events without
 // reallocation — a rebuilt engine pre-sizes from its predecessor's
-// PeakPending so warm-up stops paying growth copies.
+// PeakPending so warm-up stops paying growth copies. On the wheel arm this
+// pre-sizes the active-bucket and overflow heaps; wheel buckets grow (and
+// keep) their backing arrays on demand.
 func (e *Engine) Reserve(n int) {
-	if cap(e.queue) >= n {
+	if e.noWheel {
+		if cap(e.queue) >= n {
+			return
+		}
+		q := make(eventQueue, len(e.queue), n)
+		copy(q, e.queue)
+		e.queue = q
 		return
 	}
-	q := make(eventQueue, len(e.queue), n)
-	copy(q, e.queue)
-	e.queue = q
+	e.wheel.reserve(n)
 }
 
 // PeakPending returns the high-water mark of the pending event queue.
@@ -220,36 +301,55 @@ func (e *Engine) After(d Duration, fn func()) *Event {
 // "process this on the next tick".
 func (e *Engine) Defer(fn func()) *Event { return e.Schedule(e.now, fn) }
 
-// Pending reports the number of undelivered live events. Cancelled events
-// are removed from the queue eagerly and never counted.
-func (e *Engine) Pending() int { return e.queue.Len() }
+// Pending reports the number of undelivered live events. The wheel arm
+// answers from its live-event counter — cancelled events stop counting the
+// moment Cancel marks them dead, without any queue scan; the heap arm
+// removes cancelled events eagerly, so its queue length is exact too.
+func (e *Engine) Pending() int {
+	if e.noWheel {
+		return e.queue.Len()
+	}
+	return e.wheel.live
+}
 
 // step executes the earliest pending event. It returns false when the queue
-// holds no live events. The cancelled-event check is defensive: Cancel
-// removes events from the heap eagerly, so none should be observed here.
+// holds no live events.
 func (e *Engine) step() bool {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		ev.index = -1
-		if ev.canceled {
-			continue
+	var ev *Event
+	if e.noWheel {
+		// The cancelled-event check is defensive: the heap arm's Cancel
+		// removes events eagerly, so none should be observed here.
+		for e.queue.Len() > 0 {
+			next := heap.Pop(&e.queue).(*Event)
+			next.index = -1
+			if !next.canceled {
+				ev = next
+				break
+			}
 		}
-		if ev.at < e.now {
-			panic("sim: event queue went backwards")
+	} else {
+		ev = e.wheel.pop()
+		if ev != nil {
+			ev.index = -1
 		}
-		e.now = ev.at
-		e.processed++
-		if e.maxEvents != 0 && e.processed > e.maxEvents {
-			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", e.maxEvents, e.now))
-		}
-		fn := ev.fn
-		// Release the closure before running it: the event's slab block may
-		// outlive the event, and fn can close over a whole job's state.
-		ev.fn = nil
-		fn()
-		return true
 	}
-	return false
+	if ev == nil {
+		return false
+	}
+	if ev.at < e.now {
+		panic("sim: event queue went backwards")
+	}
+	e.now = ev.at
+	e.processed++
+	if e.maxEvents != 0 && e.processed > e.maxEvents {
+		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", e.maxEvents, e.now))
+	}
+	fn := ev.fn
+	// Release the closure before running it: the event's slab block may
+	// outlive the event, and fn can close over a whole job's state.
+	ev.fn = nil
+	fn()
+	return true
 }
 
 // Step executes the earliest pending event and reports whether one fired.
@@ -276,6 +376,19 @@ func (e *Engine) Run() {
 	}
 }
 
+// nextAt reports the earliest live event's firing time without executing
+// anything.
+func (e *Engine) nextAt() (Time, bool) {
+	if e.noWheel {
+		ev := e.queue.peekLive()
+		if ev == nil {
+			return 0, false
+		}
+		return ev.at, true
+	}
+	return e.wheel.nextAt()
+}
+
 // RunUntil executes events with firing time ≤ deadline, then advances the
 // clock to exactly deadline (even if no event fired there). Events scheduled
 // beyond the deadline remain queued.
@@ -289,8 +402,8 @@ func (e *Engine) RunUntil(deadline Time) {
 	e.running = true
 	defer func() { e.running = false }()
 	for {
-		ev := e.queue.peekLive()
-		if ev == nil || ev.at > deadline {
+		at, ok := e.nextAt()
+		if !ok || at > deadline {
 			break
 		}
 		e.step()
@@ -298,7 +411,8 @@ func (e *Engine) RunUntil(deadline Time) {
 	e.now = deadline
 }
 
-// eventQueue is a min-heap ordered by (at, seq).
+// eventQueue is a min-heap ordered by (at, seq): the engine's reference
+// queue arm, selected by DisableEventWheel.
 type eventQueue []*Event
 
 func (q eventQueue) Len() int { return len(q) }
@@ -332,7 +446,8 @@ func (q *eventQueue) Pop() any {
 }
 
 // peekLive returns the earliest non-cancelled event without removing it,
-// draining any cancelled events it passes over.
+// draining any cancelled events it passes over (defensive: the heap arm
+// cancels eagerly, so the head is never dead).
 func (q *eventQueue) peekLive() *Event {
 	for q.Len() > 0 {
 		ev := (*q)[0]
