@@ -39,7 +39,9 @@ bench-smoke:
 # BENCH_reconfig.json carries the deterministic simulated-time completion and
 # energy gains of mid-flight reconfiguration under fleet churn;
 # BENCH_faults.json carries the recovery-on vs recovery-off goodput gain
-# under the seeded fault storm; BENCH_engine.json carries the raw event-core
+# under the seeded fault storm; BENCH_overload.json carries the SLO-tiered vs
+# unbounded-FIFO goodput gain (plus shed/degrade counts and peak queue depth)
+# under the 4× overload burst; BENCH_engine.json carries the raw event-core
 # throughput (timer wheel vs reference heap at several pending depths). The
 # checked-in copies are the first baseline; rerun this target to extend the
 # trajectory when the hot path changes.
@@ -48,15 +50,17 @@ bench-json:
 	$(GO) test -bench '^BenchmarkServing$$' -benchmem -benchtime 1x -run '^$$' -json . > BENCH_serving.json
 	$(GO) test -bench '^BenchmarkReconfig$$' -benchmem -benchtime 3x -run '^$$' -json . > BENCH_reconfig.json
 	$(GO) test -bench '^BenchmarkFaults$$' -benchmem -benchtime 3x -run '^$$' -json . > BENCH_faults.json
+	$(GO) test -bench '^BenchmarkOverload$$' -benchmem -benchtime 3x -run '^$$' -json . > BENCH_overload.json
 	$(GO) test -bench '^BenchmarkEngine$$' -benchmem -benchtime 200000x -run '^$$' -json . > BENCH_engine.json
 
 # bench-baseline refreshes the text baseline cmd/benchgate compares against
 # in CI (hot-path ns/op for the load sweep, the serving replay, the
-# reconfiguration churn replay, the fault-storm recovery replay and the
-# event-core microbench). ns/op gates (-time-gate) only compare within one
-# machine: always regenerate on the host that runs the gate.
+# reconfiguration churn replay, the fault-storm recovery replay, the
+# overload-admission replay and the event-core microbench). ns/op gates
+# (-time-gate) only compare within one machine: always regenerate on the host
+# that runs the gate.
 bench-baseline:
-	$(GO) test -bench '^(BenchmarkLoadSweep|BenchmarkServing|BenchmarkReconfig|BenchmarkFaults)$$' -benchmem -benchtime 2x -run '^$$' . > bench/baseline.txt
+	$(GO) test -bench '^(BenchmarkLoadSweep|BenchmarkServing|BenchmarkReconfig|BenchmarkFaults|BenchmarkOverload)$$' -benchmem -benchtime 2x -run '^$$' . > bench/baseline.txt
 	$(GO) test -bench '^BenchmarkEngine$$' -benchmem -benchtime 200000x -run '^$$' . >> bench/baseline.txt
 
 # memprofile runs the retention benchmark (bounded shard telemetry under a

@@ -344,6 +344,40 @@ func BenchmarkFaults(b *testing.B) {
 	}
 }
 
+// BenchmarkOverload replays the same seeded 4×-overloaded burst against one
+// runtime shard with plain FIFO admission and again with SLO tiers on
+// (per-tenant queue bounds, admission-time degradation, typed shedding), and
+// reports goodput: jobs completed within their tier's latency target. Both
+// arms run entirely in simulated time, so the gain is deterministic and the
+// CI benchgate requires it; bounded queue depth and the zero-stranded
+// contract are checked inside RunOverload (it errors on either violation).
+func BenchmarkOverload(b *testing.B) {
+	b.ReportAllocs()
+	var last *serving.OverloadComparison
+	for i := 0; i < b.N; i++ {
+		res, err := serving.RunOverload(serving.DefaultOverloadOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.GoodputGainX, "overload_goodput_gain_x")
+	b.ReportMetric(float64(last.FIFO.Goodput), "fifo_goodput_jobs")
+	b.ReportMetric(float64(last.Tiered.Goodput), "tiered_goodput_jobs")
+	b.ReportMetric(float64(last.Tiered.Shed), "shed_jobs")
+	b.ReportMetric(float64(last.Tiered.DegradedAdmits), "degraded_admits")
+	b.ReportMetric(float64(last.Tiered.PeakQueueDepth), "peak_queue_depth")
+	b.ReportMetric(float64(last.FIFO.Stranded+last.Tiered.Stranded), "stranded_jobs")
+	if last.GoodputGainX < 1.2 {
+		b.Errorf("tiered goodput gain %.3fx on the replayed overload burst, want >= 1.2x",
+			last.GoodputGainX)
+	}
+	if last.FIFO.Stranded != 0 || last.Tiered.Stranded != 0 {
+		b.Errorf("stranded jobs after drain: fifo=%d tiered=%d, want 0",
+			last.FIFO.Stranded, last.Tiered.Stranded)
+	}
+}
+
 // BenchmarkServingRetention replays the mixed-tenant trace against the
 // shared pool with a retention window ~1/50th of the served simulated
 // history, and reports the bounded-memory claim: retained telemetry

@@ -11,11 +11,16 @@
 // With -max-retries (and optionally -job-deadline), failed stages retry with
 // capped exponential backoff on a re-planned binding instead of failing the
 // job; -faults replays a seeded deterministic fault trace against each shard
-// for chaos testing.
+// for chaos testing. With -slo, tenants carry SLO tiers (-slo-tenants,
+// -slo-default) and each shard degrades gracefully under overload: above the
+// high watermark (-slo-high/-slo-low) degradable tiers admit onto cheaper
+// plans, and per-tenant queue bounds (-slo-queue-bound) and cost budgets
+// (-slo-budget) shed the excess with HTTP 429 instead of queueing unboundedly.
 //
 //	murakkabd -addr :8080 -shards 2 -concurrency 4 -vms 2 \
 //	  -retain 3600 -max-series-points 1048576 -plan-workers 0 \
-//	  -reconfig -rebalance 30 -max-retries 4 -job-deadline 1800
+//	  -reconfig -rebalance 30 -max-retries 4 -job-deadline 1800 \
+//	  -slo -slo-tenants "alice=gold,bob=bronze" -slo-queue-bound 8
 //
 //	curl localhost:8080/v1/library
 //	curl localhost:8080/v1/stats
@@ -43,39 +48,131 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/core"
 )
+
+// daemonFlags collects the tuning flags validateFlags checks (the listen
+// address and durations are left to the flag package's own parsing).
+type daemonFlags struct {
+	retain          float64
+	maxSeriesPoints int
+	planWorkers     int
+	rebalance       float64
+	faults          float64
+	maxRetries      int
+	jobDeadline     float64
+
+	slo           bool
+	sloTenants    string
+	sloDefault    string
+	sloHigh       float64
+	sloLow        float64
+	sloQueueBound int
+	sloBudget     float64
+}
 
 // validateFlags rejects out-of-range tuning flags up front. Negative values
 // are invalid, not "disabled": an operator typing -retain -1 almost certainly
 // fat-fingered a window, and silently running without compaction (or without
-// off-loop planning) would only surface as slow memory growth much later.
-func validateFlags(retain float64, maxSeriesPoints, planWorkers int, rebalance, faults float64, maxRetries int, jobDeadline float64) error {
-	if retain < 0 {
-		return fmt.Errorf("-retain must be >= 0 (got %v); 0 selects the default window", retain)
+// off-loop planning) would only surface as slow memory growth much later. It
+// returns the parsed -slo-tenants mapping so main wires exactly what was
+// validated.
+func validateFlags(v daemonFlags) (map[string]string, error) {
+	if v.retain < 0 {
+		return nil, fmt.Errorf("-retain must be >= 0 (got %v); 0 selects the default window", v.retain)
 	}
-	if maxSeriesPoints < 0 {
-		return fmt.Errorf("-max-series-points must be >= 0 (got %d); 0 selects the default budget", maxSeriesPoints)
+	if v.maxSeriesPoints < 0 {
+		return nil, fmt.Errorf("-max-series-points must be >= 0 (got %d); 0 selects the default budget", v.maxSeriesPoints)
 	}
-	if planWorkers < 0 {
-		return fmt.Errorf("-plan-workers must be >= 0 (got %d); 0 selects GOMAXPROCS", planWorkers)
+	if v.planWorkers < 0 {
+		return nil, fmt.Errorf("-plan-workers must be >= 0 (got %d); 0 selects GOMAXPROCS", v.planWorkers)
 	}
-	if rebalance < 0 {
-		return fmt.Errorf("-rebalance must be >= 0 (got %v); 0 disables the rebalancing loop", rebalance)
+	if v.rebalance < 0 {
+		return nil, fmt.Errorf("-rebalance must be >= 0 (got %v); 0 disables the rebalancing loop", v.rebalance)
 	}
-	if faults < 0 {
-		return fmt.Errorf("-faults must be >= 0 (got %v); 0 disables fault injection", faults)
+	if v.faults < 0 {
+		return nil, fmt.Errorf("-faults must be >= 0 (got %v); 0 disables fault injection", v.faults)
 	}
-	if maxRetries < 0 {
-		return fmt.Errorf("-max-retries must be >= 0 (got %d); 0 disables failure recovery", maxRetries)
+	if v.maxRetries < 0 {
+		return nil, fmt.Errorf("-max-retries must be >= 0 (got %d); 0 disables failure recovery", v.maxRetries)
 	}
-	if jobDeadline < 0 {
-		return fmt.Errorf("-job-deadline must be >= 0 (got %v); 0 disables the per-job deadline", jobDeadline)
+	if v.jobDeadline < 0 {
+		return nil, fmt.Errorf("-job-deadline must be >= 0 (got %v); 0 disables the per-job deadline", v.jobDeadline)
 	}
-	return nil
+	if !v.slo {
+		// An SLO sub-flag without -slo would be silently ignored; that is the
+		// same fat-finger class as a negative window.
+		switch {
+		case v.sloTenants != "":
+			return nil, fmt.Errorf("-slo-tenants requires -slo")
+		case v.sloDefault != "":
+			return nil, fmt.Errorf("-slo-default requires -slo")
+		case v.sloHigh != 0 || v.sloLow != 0:
+			return nil, fmt.Errorf("-slo-high/-slo-low require -slo")
+		case v.sloQueueBound != 0:
+			return nil, fmt.Errorf("-slo-queue-bound requires -slo")
+		case v.sloBudget != 0:
+			return nil, fmt.Errorf("-slo-budget requires -slo")
+		}
+		return nil, nil
+	}
+	if v.sloHigh < 0 || v.sloLow < 0 {
+		return nil, fmt.Errorf("-slo-high/-slo-low must be >= 0 (got %v/%v); 0 selects the defaults", v.sloHigh, v.sloLow)
+	}
+	if v.sloQueueBound < 0 {
+		return nil, fmt.Errorf("-slo-queue-bound must be >= 0 (got %d); 0 keeps the per-class bounds", v.sloQueueBound)
+	}
+	if v.sloBudget < 0 {
+		return nil, fmt.Errorf("-slo-budget must be >= 0 (got %v); 0 keeps the per-class budgets", v.sloBudget)
+	}
+	tenants, err := parseTenantTiers(v.sloTenants)
+	if err != nil {
+		return nil, err
+	}
+	// The scheduler's own validation (defaults applied: built-in classes,
+	// watermark band) is the authority on the assembled configuration.
+	cfg := core.SLOConfig{
+		TenantTiers:   tenants,
+		DefaultClass:  v.sloDefault,
+		HighWatermark: v.sloHigh,
+		LowWatermark:  v.sloLow,
+		QueueBound:    v.sloQueueBound,
+		BudgetUSD:     v.sloBudget,
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("-slo: %w", err)
+	}
+	return tenants, nil
+}
+
+// parseTenantTiers parses the -slo-tenants mapping, "tenant=class" pairs
+// separated by commas ("alice=gold,bob=bronze").
+func parseTenantTiers(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]string{}
+	for _, ent := range strings.Split(s, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		tenant, class, ok := strings.Cut(ent, "=")
+		tenant, class = strings.TrimSpace(tenant), strings.TrimSpace(class)
+		if !ok || tenant == "" || class == "" {
+			return nil, fmt.Errorf("-slo-tenants entry %q is not tenant=class", ent)
+		}
+		if _, dup := out[tenant]; dup {
+			return nil, fmt.Errorf("-slo-tenants maps tenant %q twice", tenant)
+		}
+		out[tenant] = class
+	}
+	return out, nil
 }
 
 func main() {
@@ -114,11 +211,49 @@ func main() {
 	jobDeadline := flag.Float64("job-deadline", 0,
 		"per-job deadline in simulated seconds: jobs still running past it fail with "+
 			"deadline_exceeded (0 disables; setting it alone still enables recovery)")
+	slo := flag.Bool("slo", false,
+		"enable SLO tiers (gold/silver/bronze) and graceful overload degradation: above "+
+			"the high watermark, degradable tiers admit onto cheaper plans and per-tenant "+
+			"queue bounds shed the excess with HTTP 429 instead of queueing unboundedly")
+	sloTenants := flag.String("slo-tenants", "",
+		"tenant-to-tier mapping as comma-separated tenant=class pairs "+
+			"(\"alice=gold,bob=bronze\"); unmapped tenants take -slo-default")
+	sloDefault := flag.String("slo-default", "",
+		"SLO class for unmapped tenants (default silver)")
+	sloHigh := flag.Float64("slo-high", 0,
+		"overload high watermark: admission pressure — (running + queued) jobs over the "+
+			"shard concurrency bound — at which degraded admissions engage (0 = default 2.0)")
+	sloLow := flag.Float64("slo-low", 0,
+		"overload low watermark: pressure at or below which the controller disengages; "+
+			"must stay below -slo-high, the gap is the hysteresis band (0 = default 1.0)")
+	sloQueueBound := flag.Int("slo-queue-bound", 0,
+		"flat per-tenant admission queue bound overriding every class's own; submissions "+
+			"beyond it are shed with 429 shed_overload (0 keeps the per-class bounds)")
+	sloBudget := flag.Float64("slo-budget", 0,
+		"flat per-tenant planned-cost budget in USD overriding every class's own, windowed "+
+			"by shard recycle; beyond it submissions get 429 budget_exhausted (0 keeps the "+
+			"per-class budgets)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"how long to wait for in-flight HTTP requests on shutdown")
 	flag.Parse()
 
-	if err := validateFlags(*retain, *maxSeriesPoints, *planWorkers, *rebalance, *faults, *maxRetries, *jobDeadline); err != nil {
+	tenantTiers, err := validateFlags(daemonFlags{
+		retain:          *retain,
+		maxSeriesPoints: *maxSeriesPoints,
+		planWorkers:     *planWorkers,
+		rebalance:       *rebalance,
+		faults:          *faults,
+		maxRetries:      *maxRetries,
+		jobDeadline:     *jobDeadline,
+		slo:             *slo,
+		sloTenants:      *sloTenants,
+		sloDefault:      *sloDefault,
+		sloHigh:         *sloHigh,
+		sloLow:          *sloLow,
+		sloQueueBound:   *sloQueueBound,
+		sloBudget:       *sloBudget,
+	})
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "murakkabd: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
@@ -138,6 +273,13 @@ func main() {
 		MaxRetries:            *maxRetries,
 		JobDeadlineS:          *jobDeadline,
 		PerRequest:            *perRequest,
+		SLO:                   *slo,
+		SLOTenantTiers:        tenantTiers,
+		SLODefaultClass:       *sloDefault,
+		SLOHighWatermark:      *sloHigh,
+		SLOLowWatermark:       *sloLow,
+		SLOQueueBound:         *sloQueueBound,
+		SLOBudgetUSD:          *sloBudget,
 	})
 	if err != nil {
 		log.Fatalf("murakkabd: provisioning runtime pool: %v", err)

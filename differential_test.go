@@ -149,6 +149,76 @@ func TestEventWheelDifferential(t *testing.T) {
 	}
 }
 
+// TestSLOTiersOffDifferential is the bit-identical contract for SLO-tiered
+// serving: the SLO hooks threaded through the scheduler's admission hot path
+// (class resolution, budget/queue gates, the overload controller, settle-time
+// attainment) must not change what the simulation computes unless a
+// constraint binds. The seeded paper workloads run once with the machinery
+// absent (the default — EnableSLO never called) and once with core.NeutralSLO
+// installing a constrains-nothing tier set on every scheduler, and the full
+// result structures must serialize to the same bytes.
+func TestSLOTiersOffDifferential(t *testing.T) {
+	runAll := func() map[string][]byte {
+		out := map[string][]byte{}
+		mustJSON := func(name string, v interface{}, err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			b, jerr := json.Marshal(v)
+			if jerr != nil {
+				t.Fatalf("%s: marshal: %v", name, jerr)
+			}
+			out[name] = b
+		}
+		f3, err := experiments.Figure3()
+		mustJSON("figure3", f3, err)
+		out["speedup_x"] = []byte(fmt.Sprintf("%.3f", f3.Speedup()))
+		t2, err := experiments.Table2()
+		mustJSON("table2", t2, err)
+		out["energy_gain_x"] = []byte(fmt.Sprintf("%.3f", t2.EnergyEfficiencyGain))
+		t1, err := experiments.Table1()
+		mustJSON("table1", t1, err)
+		out["mismatches"] = []byte(fmt.Sprintf("%d", len(t1.Check())))
+		mt, err := experiments.MultiTenant()
+		mustJSON("multitenant", mt, err)
+		out["multiplex_gain_x"] = []byte(fmt.Sprintf("%.3f", mt.MultiplexGain))
+		return out
+	}
+
+	if core.NeutralSLO {
+		t.Fatal("NeutralSLO already set; differential reference would not be a reference")
+	}
+	off := runAll()
+	core.NeutralSLO = true
+	defer func() { core.NeutralSLO = false }()
+	neutral := runAll()
+
+	for name, want := range off {
+		got, ok := neutral[name]
+		if !ok {
+			t.Fatalf("%s missing from neutral-SLO run", name)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s diverged with neutral SLO tiers enabled:\n  off:     %s\n  neutral: %s",
+				name, truncated(want), truncated(got))
+		}
+	}
+
+	// Pin the paper's headline metrics so a regression that shifts both arms
+	// identically still fails loudly.
+	for name, want := range map[string]string{
+		"speedup_x":        "4.516",
+		"energy_gain_x":    "3.469",
+		"mismatches":       "0",
+		"multiplex_gain_x": "1.629",
+	} {
+		if got := string(neutral[name]); got != want {
+			t.Errorf("%s = %s, want %s", name, got, want)
+		}
+	}
+}
+
 func truncated(b []byte) string {
 	const max = 400
 	if len(b) <= max {

@@ -103,4 +103,23 @@
 // BenchmarkReconfig replays a bursty mix plus a deterministic fleet-churn
 // trace (workload.ChurnTrace) through both arms entirely in simulated time
 // and gates the completion/energy gains in CI.
+//
+// # Overload and SLO tiers
+//
+// Under sustained overload the daemon degrades gracefully instead of
+// queueing unboundedly (murakkabd -slo): tenants carry SLO classes
+// (core.SLOClass — latency target, cost budget, quality floor, queue
+// bound), and a watermark-hysteresis overload controller on the scheduler
+// (core.Scheduler.EnableSLO) applies a three-rung ladder as admission
+// pressure grows — admit normally below the high watermark; above it,
+// admit degradable tiers onto cheaper quality-cascade plans (floor- and
+// degrade-latency-bounded) while running work re-plans via the
+// reconfiguration controller; shed submissions beyond a tenant's queue
+// bound or cost budget synchronously with typed errors (shed_overload,
+// budget_exhausted → HTTP 429), so nothing strands. /v1/stats exposes
+// per-tenant attainment and shed/degrade counters, folded monotonically
+// across shard recycles. With -slo off every path is untouched — a
+// differential test proves bit-identical paper metrics — and
+// BenchmarkOverload gates tiered-vs-FIFO goodput (≥ 1.2× at 4× overload),
+// bounded queue depth and zero stranded jobs in CI.
 package repro

@@ -41,6 +41,9 @@ type JobRequest struct {
 	Inputs      []InputRequest `json:"inputs"`
 	// MaxPaths enables execution-path replication under MAX_QUALITY.
 	MaxPaths int `json:"max_paths,omitempty"`
+	// SLOClass overrides the tenant's SLO tier for this job ("gold",
+	// "silver", "bronze"). Rejected when the daemon runs without SLO tiers.
+	SLOClass string `json:"slo_class,omitempty"`
 	// Wait blocks the request until the job completes and returns the result
 	// inline (per-request mode always behaves this way).
 	Wait bool `json:"wait,omitempty"`
@@ -99,7 +102,8 @@ type JobResponse struct {
 // JobStatusResponse is the async job envelope (POST 202 and GET /v1/jobs/{id}).
 // ErrorCode is the stable machine-readable failure class — one of
 // retries_exhausted, deadline_exceeded, window_compacted, canceled,
-// task_failed, internal — while Error stays the human-readable chain.
+// task_failed, shed_overload, budget_exhausted, internal — while Error stays
+// the human-readable chain.
 type JobStatusResponse struct {
 	ID            string        `json:"id"`
 	Tenant        string        `json:"tenant"`
@@ -225,6 +229,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			"max_paths must be in [1, %d] (0 disables path replication)", maxRequestPaths))
 		return
 	}
+	if req.SLOClass != "" {
+		if !s.pool.SLOEnabled() {
+			writeError(w, http.StatusBadRequest, fmt.Errorf(
+				"slo_class requires the daemon to run with SLO tiers (-slo)"))
+			return
+		}
+		if _, ok := core.DefaultSLOClasses()[req.SLOClass]; !ok {
+			writeError(w, http.StatusBadRequest, fmt.Errorf(
+				"unknown slo_class %q (allowed: %s)", req.SLOClass, allowedSLOClasses))
+			return
+		}
+	}
 	job, err := req.toJob()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -235,10 +251,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		tenant = "default"
 	}
 	rec, err := s.pool.Submit(tenant, job, core.SubmitOptions{
-		RelaxFloor: true, MaxPaths: req.MaxPaths,
+		RelaxFloor: true, MaxPaths: req.MaxPaths, SLOClass: req.SLOClass,
 	}, submitExtras{vms: req.VMs, timeline: req.Timeline})
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
+		switch core.ErrorCodeOf(err) {
+		case core.CodeShedOverload:
+			// Backpressure, not failure: the tenant's bounded queue is full
+			// under overload. Retry-After tells well-behaved clients when to
+			// come back; the settled job envelope carries the typed code.
+			w.Header().Set("Retry-After", "1")
+			writeTooMany(w, rec, err)
+		case core.CodeBudgetExhausted:
+			// Also 429 (the canonical quota answer), but without Retry-After:
+			// backing off does not refill a spent budget.
+			writeTooMany(w, rec, err)
+		default:
+			writeError(w, http.StatusServiceUnavailable, err)
+		}
 		return
 	}
 	if req.Wait || s.pool.PerRequest() {
@@ -313,10 +342,23 @@ func statusResponse(st JobState) JobStatusResponse {
 	return out
 }
 
+// writeTooMany renders an SLO admission rejection (shed or budget): 429 with
+// the settled job envelope when the pool returned a record, else the error.
+func writeTooMany(w http.ResponseWriter, rec *jobRecord, err error) {
+	if rec != nil {
+		writeJSON(w, http.StatusTooManyRequests, statusResponse(rec.snapshot()))
+		return
+	}
+	writeError(w, http.StatusTooManyRequests, err)
+}
+
 // allowedConstraints and allowedKinds gate request validation up front, so
 // malformed submissions fail with 400 and the permitted values instead of
 // surfacing as runtime errors mid-admission.
 var allowedConstraints = "MIN_COST, MIN_LATENCY, MIN_POWER, MAX_QUALITY"
+
+// allowedSLOClasses lists the built-in SLO tiers for validation errors.
+var allowedSLOClasses = "bronze, gold, silver"
 
 var allowedKindOrder = []workflow.InputKind{
 	workflow.InputVideo, workflow.InputText, workflow.InputUser,

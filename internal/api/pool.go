@@ -110,6 +110,18 @@ type Pool struct {
 	retStageTimeouts     atomic.Int64
 	retFaultsInjected    atomic.Int64
 	retBreakerTrips      atomic.Int64
+	// Retired SLO/overload counters, folded the same way; OverloadActive is
+	// a live gauge and is not folded. retTenantSLO accumulates displaced
+	// shards' per-tenant SLO accounting (guarded by mu) so the tenant rows
+	// in /v1/stats stay monotonic across recycles too.
+	retSLOShed        atomic.Int64
+	retSLOBudget      atomic.Int64
+	retSLODegraded    atomic.Int64
+	retSLOMet         atomic.Int64
+	retSLOMissed      atomic.Int64
+	retOverloadEnters atomic.Int64
+	retOverloadExits  atomic.Int64
+	retTenantSLO      map[string]core.TenantSLOStats
 
 	// peakHints remembers each shard index's event-queue high-water mark,
 	// recorded when a shard is recycled, so its replacement pre-sizes the
@@ -196,6 +208,40 @@ type PoolConfig struct {
 	// seconds with deadline_exceeded (0 = no deadline). Setting it alone
 	// also enables recovery, with the default attempt budget.
 	JobDeadlineS float64
+	// SLO enables SLO-tiered serving on every shard scheduler: tenants
+	// carry gold/silver/bronze classes, an overload controller watches
+	// admission pressure against a watermark hysteresis band, degradable
+	// tiers are admitted onto cheaper degraded plans while it is engaged,
+	// and per-tenant queue bounds shed excess submissions with a typed
+	// shed_overload error (HTTP 429 + Retry-After). Off by default —
+	// disabled pools are bit-identical to the pre-SLO daemon.
+	SLO bool
+	// SLOTenantTiers maps tenants to SLO class names ("gold", "silver",
+	// "bronze"); unmapped tenants take SLODefaultClass (default "silver").
+	SLOTenantTiers  map[string]string
+	SLODefaultClass string
+	// SLOHighWatermark engages each shard's overload controller when
+	// admission pressure — (running + queued) / MaxConcurrentPerShard —
+	// reaches it (default 2.0); SLOLowWatermark disengages it again at or
+	// below (default 1.0).
+	SLOHighWatermark float64
+	SLOLowWatermark  float64
+	// SLOQueueBound > 0 overrides every class's per-tenant queue bound;
+	// SLOBudgetUSD > 0 overrides every class's tenant cost budget.
+	SLOQueueBound int
+	SLOBudgetUSD  float64
+}
+
+// sloConfig assembles the core-layer SLO configuration from the pool knobs.
+func (c PoolConfig) sloConfig() core.SLOConfig {
+	return core.SLOConfig{
+		TenantTiers:   c.SLOTenantTiers,
+		DefaultClass:  c.SLODefaultClass,
+		HighWatermark: c.SLOHighWatermark,
+		LowWatermark:  c.SLOLowWatermark,
+		QueueBound:    c.SLOQueueBound,
+		BudgetUSD:     c.SLOBudgetUSD,
+	}
 }
 
 // Retention defaults: an hour of simulated history at full resolution, and
@@ -279,6 +325,11 @@ var errShuttingDown = fmt.Errorf("api: pool is shutting down")
 // NewPool provisions the shards and starts their loop goroutines.
 func NewPool(cfg PoolConfig) (*Pool, error) {
 	cfg = cfg.withDefaults()
+	if cfg.SLO {
+		if err := cfg.sloConfig().Validate(); err != nil {
+			return nil, fmt.Errorf("api: %w", err)
+		}
+	}
 	p := &Pool{cfg: cfg, jobs: map[string]*jobRecord{}, peakHints: map[int]int{}, started: time.Now()}
 	if cfg.PerRequest {
 		return p, nil
@@ -348,6 +399,11 @@ func (p *Pool) newShard(idx int) (*shard, error) {
 			JobDeadlineS: cfg.JobDeadlineS,
 			Seed:         cfg.FaultSeed,
 		})
+	}
+	if cfg.SLO {
+		// SLO tiers: per-tenant budgets and queue bounds, overload-driven
+		// degraded admissions, shed with typed errors past the bound.
+		sh.sched.EnableSLO(cfg.sloConfig())
 	}
 	if cfg.FaultRate > 0 {
 		faults, err := workload.FaultTrace(workload.FaultSpec{
@@ -470,6 +526,32 @@ func (p *Pool) recycleShard(old *shard) {
 	p.retStageTimeouts.Add(int64(st.StageTimeouts))
 	p.retFaultsInjected.Add(int64(st.FaultsInjected))
 	p.retBreakerTrips.Add(int64(st.BreakerTrips))
+	p.retSLOShed.Add(int64(st.SLOShed))
+	p.retSLOBudget.Add(int64(st.SLOBudgetExhausted))
+	p.retSLODegraded.Add(int64(st.SLODegradedAdmits))
+	p.retSLOMet.Add(int64(st.SLOMet))
+	p.retSLOMissed.Add(int64(st.SLOMissed))
+	p.retOverloadEnters.Add(int64(st.OverloadEnters))
+	p.retOverloadExits.Add(int64(st.OverloadExits))
+	if tenants := old.sched.SLOTenants(); len(tenants) > 0 {
+		p.mu.Lock()
+		if p.retTenantSLO == nil {
+			p.retTenantSLO = map[string]core.TenantSLOStats{}
+		}
+		for _, t := range tenants {
+			agg := p.retTenantSLO[t.Tenant]
+			agg.Tenant, agg.Class = t.Tenant, t.Class
+			agg.Admitted += t.Admitted
+			agg.Shed += t.Shed
+			agg.BudgetExhausted += t.BudgetExhausted
+			agg.DegradedAdmits += t.DegradedAdmits
+			agg.SLOMet += t.SLOMet
+			agg.SLOMissed += t.SLOMissed
+			agg.CostSpentUSD += t.CostSpentUSD
+			p.retTenantSLO[t.Tenant] = agg
+		}
+		p.mu.Unlock()
+	}
 	ih, im := old.rt.KeyInternStats()
 	p.retInternHits.Add(ih)
 	p.retInternMisses.Add(im)
@@ -581,6 +663,16 @@ func (p *Pool) Submit(tenant string, job workflow.Job, opts core.SubmitOptions, 
 		status: core.JobQueued,
 		done:   make(chan struct{}),
 	}
+	// With SLO tiers on, admission is synchronous: the handler needs the
+	// typed shed/budget rejection to answer 429 while the client is still
+	// on the wire, so the submit closure reports the admission outcome back
+	// through a reply channel. With SLO off the channel stays nil and the
+	// path is the untouched fire-and-forget one.
+	var admitted chan struct{}
+	var admitErr error
+	if p.cfg.SLO {
+		admitted = make(chan struct{})
+	}
 	// A recycle can swap the tenant's home shard between picking it and
 	// posting (the displaced loop rejects posts once it starts draining), so
 	// retry against the replacement; one retry suffices per concurrent
@@ -598,10 +690,18 @@ func (p *Pool) Submit(tenant string, job workflow.Job, opts core.SubmitOptions, 
 		posted := sh.loop.Post(func() {
 			h, err := sh.sched.Submit(tenant, job, opts)
 			if err != nil {
-				// Pre-validated by the handler; this is a safety net.
+				// SLO shed/budget rejections land here; otherwise the
+				// handler pre-validated and this is a safety net. Either
+				// way the record settles terminal with the typed code, so
+				// a shed job is immediately pollable and can never strand:
+				// it was never enqueued.
 				p.shFailed.Add(1)
 				rec.settle(core.JobFailed, err.Error(), string(core.ErrorCodeOf(err)), nil, sh.eng.Now().Seconds())
 				p.retire(rec)
+				if admitted != nil {
+					admitErr = err
+					close(admitted)
+				}
 				return
 			}
 			rec.mu.Lock()
@@ -643,6 +743,9 @@ func (p *Pool) Submit(tenant string, job workflow.Job, opts core.SubmitOptions, 
 				rec.settle(h.Status(), errMsg, string(core.ErrorCodeOf(h.Err())), resp, sh.eng.Now().Seconds())
 				p.retire(rec)
 			})
+			if admitted != nil {
+				close(admitted)
+			}
 		})
 		if posted {
 			p.shSubmitted.Add(1)
@@ -657,8 +760,21 @@ func (p *Pool) Submit(tenant string, job workflow.Job, opts core.SubmitOptions, 
 	p.mu.Lock()
 	p.jobs[id] = rec
 	p.mu.Unlock()
+	if admitted != nil {
+		<-admitted
+		if admitErr != nil {
+			// Shed or budget-rejected: the settled record is returned with
+			// the typed error so the handler can render the job envelope
+			// alongside the 429.
+			return rec, admitErr
+		}
+	}
 	return rec, nil
 }
+
+// SLOEnabled reports whether the pool runs with SLO tiers (shared mode
+// only; the per-request baseline has no shared queue to protect).
+func (p *Pool) SLOEnabled() bool { return p.cfg.SLO && !p.cfg.PerRequest }
 
 // submitPerRequest is the baseline path: fresh testbed, synchronous run.
 func (p *Pool) submitPerRequest(id, tenant string, job workflow.Job, opts core.SubmitOptions, extras submitExtras) (*jobRecord, error) {
@@ -924,15 +1040,30 @@ type ShardStats struct {
 	// re-plans, watchdog firings, circuit-breaker trips and the live count
 	// of breakers not currently closed. All zero with faults and recovery
 	// disabled.
-	FaultsInjected    int     `json:"faults_injected"`
-	TaskRetries       int     `json:"task_retries"`
-	RetriesExhausted  int     `json:"retries_exhausted"`
-	DeadlinesExceeded int     `json:"deadlines_exceeded"`
-	Degradations      int     `json:"degradations"`
-	StageTimeouts     int     `json:"stage_timeouts"`
-	BreakerTrips      int     `json:"breaker_trips"`
-	BreakerOpen       int     `json:"breaker_open"`
-	MeanGPUUtil       float64 `json:"mean_gpu_util"`
+	FaultsInjected    int `json:"faults_injected"`
+	TaskRetries       int `json:"task_retries"`
+	RetriesExhausted  int `json:"retries_exhausted"`
+	DeadlinesExceeded int `json:"deadlines_exceeded"`
+	Degradations      int `json:"degradations"`
+	StageTimeouts     int `json:"stage_timeouts"`
+	BreakerTrips      int `json:"breaker_trips"`
+	BreakerOpen       int `json:"breaker_open"`
+	// SLO/overload observability: submissions shed on the tenant queue
+	// bound or rejected on the tenant budget, admissions launched on
+	// degraded cheaper plans, completions classified against the tier
+	// latency target, the overload controller's transition counters and
+	// its live engaged gauge, plus per-tenant accounting rows. All
+	// zero/empty with SLO tiers disabled.
+	SLOShed            int             `json:"slo_shed"`
+	SLOBudgetExhausted int             `json:"slo_budget_exhausted"`
+	SLODegradedAdmits  int             `json:"slo_degraded_admits"`
+	SLOMet             int             `json:"slo_met"`
+	SLOMissed          int             `json:"slo_missed"`
+	OverloadEnters     int             `json:"overload_enters"`
+	OverloadExits      int             `json:"overload_exits"`
+	OverloadActive     bool            `json:"overload_active"`
+	TenantSLO          []TenantSLOJSON `json:"tenant_slo,omitempty"`
+	MeanGPUUtil        float64         `json:"mean_gpu_util"`
 	// Allocation-reuse observability: the shard runtime's key-interner
 	// hit/miss counters (every cache key or report label served from the
 	// canonical table instead of a fresh allocation) and the sim engine's
@@ -964,6 +1095,41 @@ type ShardStats struct {
 	Epoch           int              `json:"epoch"`
 	CompactedPoints int              `json:"compacted_points"`
 	Engines         []EngineStatJSON `json:"engines"`
+}
+
+// TenantSLOJSON is one tenant's SLO accounting row in GET /v1/stats.
+type TenantSLOJSON struct {
+	Tenant          string `json:"tenant"`
+	Class           string `json:"class"`
+	Admitted        int    `json:"admitted"`
+	DegradedAdmits  int    `json:"degraded_admits"`
+	Shed            int    `json:"shed"`
+	BudgetExhausted int    `json:"budget_exhausted"`
+	SLOMet          int    `json:"slo_met"`
+	SLOMissed       int    `json:"slo_missed"`
+	// Attainment is SLOMet / (SLOMet + SLOMissed); 0 when the tier's
+	// latency target is untracked or nothing completed yet.
+	Attainment   float64 `json:"attainment"`
+	CostSpentUSD float64 `json:"cost_spent_usd"`
+}
+
+// tenantSLORow converts core accounting to the wire row (attainment filled).
+func tenantSLORow(t core.TenantSLOStats) TenantSLOJSON {
+	row := TenantSLOJSON{
+		Tenant:          t.Tenant,
+		Class:           t.Class,
+		Admitted:        t.Admitted,
+		DegradedAdmits:  t.DegradedAdmits,
+		Shed:            t.Shed,
+		BudgetExhausted: t.BudgetExhausted,
+		SLOMet:          t.SLOMet,
+		SLOMissed:       t.SLOMissed,
+		CostSpentUSD:    t.CostSpentUSD,
+	}
+	if n := t.SLOMet + t.SLOMissed; n > 0 {
+		row.Attainment = float64(t.SLOMet) / float64(n)
+	}
+	return row
 }
 
 // EngineStatJSON describes one warm serving engine.
@@ -1024,6 +1190,19 @@ type PoolStats struct {
 	StageTimeouts     int `json:"stage_timeouts"`
 	BreakerTrips      int `json:"breaker_trips"`
 	BreakerOpen       int `json:"breaker_open"`
+	// SLO/overload totals, folded across recycled shards like the fault
+	// counters above, so shed/degrade accounting and the per-tenant rows
+	// stay monotonic while shards churn. OverloadActive is a live-shard
+	// gauge: true when any live shard's controller is engaged.
+	SLOShed            int             `json:"slo_shed"`
+	SLOBudgetExhausted int             `json:"slo_budget_exhausted"`
+	SLODegradedAdmits  int             `json:"slo_degraded_admits"`
+	SLOMet             int             `json:"slo_met"`
+	SLOMissed          int             `json:"slo_missed"`
+	OverloadEnters     int             `json:"overload_enters"`
+	OverloadExits      int             `json:"overload_exits"`
+	OverloadActive     bool            `json:"overload_active"`
+	TenantSLO          []TenantSLOJSON `json:"tenant_slo,omitempty"`
 	// Key-interner totals, folded across recycled shards like the other
 	// counters, so hit rate stays monotonic while shards churn.
 	KeyInternHits   uint64 `json:"key_intern_hits"`
@@ -1093,6 +1272,10 @@ func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	tracked := len(p.jobs)
 	shards := append([]*shard(nil), p.shards...)
+	tenantAgg := make(map[string]TenantSLOJSON, len(p.retTenantSLO))
+	for name, t := range p.retTenantSLO {
+		tenantAgg[name] = tenantSLORow(t)
+	}
 	p.mu.Unlock()
 	out := PoolStats{Mode: "shared", JobsTracked: tracked, UptimeS: time.Since(p.started).Seconds()}
 	out.Memory = readMemoryStats()
@@ -1118,6 +1301,13 @@ func (p *Pool) Stats() PoolStats {
 	out.Degradations = int(p.retDegradations.Load())
 	out.StageTimeouts = int(p.retStageTimeouts.Load())
 	out.BreakerTrips = int(p.retBreakerTrips.Load())
+	out.SLOShed = int(p.retSLOShed.Load())
+	out.SLOBudgetExhausted = int(p.retSLOBudget.Load())
+	out.SLODegradedAdmits = int(p.retSLODegraded.Load())
+	out.SLOMet = int(p.retSLOMet.Load())
+	out.SLOMissed = int(p.retSLOMissed.Load())
+	out.OverloadEnters = int(p.retOverloadEnters.Load())
+	out.OverloadExits = int(p.retOverloadExits.Load())
 	out.KeyInternHits = p.retInternHits.Load()
 	out.KeyInternMisses = p.retInternMisses.Load()
 	out.ScratchPoolHits = p.retScratchHits.Load()
@@ -1172,6 +1362,14 @@ func (p *Pool) Stats() PoolStats {
 				StageTimeouts:      st.StageTimeouts,
 				BreakerTrips:       st.BreakerTrips,
 				BreakerOpen:        st.BreakerOpen,
+				SLOShed:            st.SLOShed,
+				SLOBudgetExhausted: st.SLOBudgetExhausted,
+				SLODegradedAdmits:  st.SLODegradedAdmits,
+				SLOMet:             st.SLOMet,
+				SLOMissed:          st.SLOMissed,
+				OverloadEnters:     st.OverloadEnters,
+				OverloadExits:      st.OverloadExits,
+				OverloadActive:     st.OverloadActive,
 				PeakPending:        sh.eng.PeakPending(),
 				EventsProcessed:    uint64(sh.eng.Processed()),
 				WheelEvents:        sh.eng.WheelEvents(),
@@ -1192,6 +1390,9 @@ func (p *Pool) Stats() PoolStats {
 			ss.WatermarkS = sh.cl.Watermark()
 			ss.Epoch = sh.cl.Epoch()
 			ss.CompactedPoints = sh.droppedPoints
+			for _, t := range sh.sched.SLOTenants() {
+				ss.TenantSLO = append(ss.TenantSLO, tenantSLORow(t))
+			}
 			mgr := sh.rt.Manager().Stats()
 			for name, es := range mgr.Engines {
 				ss.Engines = append(ss.Engines, EngineStatJSON{
@@ -1235,6 +1436,26 @@ func (p *Pool) Stats() PoolStats {
 		out.StageTimeouts += ss.StageTimeouts
 		out.BreakerTrips += ss.BreakerTrips
 		out.BreakerOpen += ss.BreakerOpen
+		out.SLOShed += ss.SLOShed
+		out.SLOBudgetExhausted += ss.SLOBudgetExhausted
+		out.SLODegradedAdmits += ss.SLODegradedAdmits
+		out.SLOMet += ss.SLOMet
+		out.SLOMissed += ss.SLOMissed
+		out.OverloadEnters += ss.OverloadEnters
+		out.OverloadExits += ss.OverloadExits
+		out.OverloadActive = out.OverloadActive || ss.OverloadActive
+		for _, row := range ss.TenantSLO {
+			agg := tenantAgg[row.Tenant]
+			agg.Tenant, agg.Class = row.Tenant, row.Class
+			agg.Admitted += row.Admitted
+			agg.DegradedAdmits += row.DegradedAdmits
+			agg.Shed += row.Shed
+			agg.BudgetExhausted += row.BudgetExhausted
+			agg.SLOMet += row.SLOMet
+			agg.SLOMissed += row.SLOMissed
+			agg.CostSpentUSD += row.CostSpentUSD
+			tenantAgg[row.Tenant] = agg
+		}
 		out.KeyInternHits += ss.KeyInternHits
 		out.KeyInternMisses += ss.KeyInternMisses
 		out.ScratchPoolHits += ss.ScratchPoolHits
@@ -1245,5 +1466,17 @@ func (p *Pool) Stats() PoolStats {
 		out.CancelsLazy += ss.CancelsLazy
 		out.PeakPending = max(out.PeakPending, ss.PeakPending)
 	}
+	for _, row := range tenantAgg {
+		// Recompute attainment over the merged counts: per-source rows
+		// carry independent ratios that do not sum.
+		row.Attainment = 0
+		if n := row.SLOMet + row.SLOMissed; n > 0 {
+			row.Attainment = float64(row.SLOMet) / float64(n)
+		}
+		out.TenantSLO = append(out.TenantSLO, row)
+	}
+	sort.Slice(out.TenantSLO, func(i, j int) bool {
+		return out.TenantSLO[i].Tenant < out.TenantSLO[j].Tenant
+	})
 	return out
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/agents"
 	"repro/internal/cascade"
+	"repro/internal/cluster"
 	"repro/internal/dag"
 	"repro/internal/optimizer"
 	"repro/internal/profiles"
@@ -47,6 +48,12 @@ const (
 	CodeCanceled ErrorCode = "canceled"
 	// CodeTaskFailed: a task failed with recovery disabled.
 	CodeTaskFailed ErrorCode = "task_failed"
+	// CodeShedOverload: the submission was shed at admission — the tenant's
+	// bounded queue was full under overload. Retry after backing off.
+	CodeShedOverload ErrorCode = "shed_overload"
+	// CodeBudgetExhausted: the submission was rejected at admission — the
+	// tenant's SLO-class cost budget is spent.
+	CodeBudgetExhausted ErrorCode = "budget_exhausted"
 	// CodeInternal: any other failure (planning, placement, validation).
 	CodeInternal ErrorCode = "internal"
 )
@@ -450,7 +457,7 @@ func (ex *Execution) degradeStage(cap string) bool {
 		return false
 	}
 	cur := ex.plan.Decisions[cap]
-	casc, cfgs := ex.degradeCandidates(cap, cur.Implementation, work)
+	casc, cfgs := rt.degradeCandidates(cap, cur.Implementation, work, rt.cl.Snapshot())
 	if len(casc.Levels) == 0 {
 		return false
 	}
@@ -496,13 +503,25 @@ func (ex *Execution) degradeStage(cap string) bool {
 	return false
 }
 
-// degradeCandidates builds the capability's degradation cascade: every
-// other registered implementation of the capability, each on its cheapest
-// profiled configuration, excluding quarantined ones. The returned map
-// carries each candidate's chosen configuration (optimizer pins need a real
-// profiled config, not just an implementation name).
-func (ex *Execution) degradeCandidates(cap, curImpl string, work float64) (cascade.Cascade, map[string]profiles.ResourceConfig) {
-	rt := ex.rt
+// snapFits reports whether a resource configuration could ever be placed on
+// the snapshotted cluster (total capacity, not instantaneous free capacity —
+// degradation pins must be plannable, not necessarily immediately free).
+func snapFits(snap cluster.Snapshot, cfg profiles.ResourceConfig) bool {
+	if cfg.GPUs > 0 && snap.TotalGPUs[cfg.GPUType] < cfg.GPUs {
+		return false
+	}
+	return cfg.CPUCores <= snap.TotalCPUCores
+}
+
+// degradeCandidates builds a capability's degradation cascade: every other
+// registered implementation of the capability, each on its cheapest
+// profiled configuration that fits the snapshotted cluster, excluding
+// quarantined ones. The returned map carries each candidate's chosen
+// configuration (optimizer pins need a real profiled config, not just an
+// implementation name). It lives on the Runtime because two callers share
+// it: per-execution failure degradation (degradeStage, above) and
+// admission-time overload degradation (degradePlanForOverload, slo.go).
+func (rt *Runtime) degradeCandidates(cap, curImpl string, work float64, snap cluster.Snapshot) (cascade.Cascade, map[string]profiles.ResourceConfig) {
 	var casc cascade.Cascade
 	cfgs := map[string]profiles.ResourceConfig{}
 	for _, im := range rt.lib.ByCapability(agents.Capability(cap)) {
@@ -512,7 +531,7 @@ func (ex *Execution) degradeCandidates(cap, curImpl string, work float64) (casca
 		var best profiles.Profile
 		bestCost := math.Inf(1)
 		for _, p := range rt.store.ForImplementation(im.Name) {
-			if p.Capability != cap {
+			if p.Capability != cap || !snapFits(snap, p.Config) {
 				continue
 			}
 			if c := p.CostUSD(rt.cl.Catalog(), rt.cpuType, work); c < bestCost {

@@ -201,6 +201,11 @@ type SubmitOptions struct {
 	// KeepEngines leaves serving engines allocated after the job (for
 	// multi-tenant runs where the next job reuses them).
 	KeepEngines bool
+	// SLOClass overrides the tenant's SLO tier for this job ("" = the
+	// tenant mapping / default; ignored with SLO tiers disabled — see
+	// Scheduler.EnableSLO). It does not affect planning, so it is not part
+	// of the plan-cache or plan-search key.
+	SLOClass string
 }
 
 // Execution tracks one submitted job.

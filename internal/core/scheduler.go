@@ -99,7 +99,13 @@ type Handle struct {
 	// have already replaced (rebalance passes move no generation, so the
 	// commit-time generation check cannot catch that staleness).
 	reconfigInflight bool
+	// sloClass is the resolved SLO tier ("" with SLO tiers disabled); see
+	// slo.go.
+	sloClass string
 }
+
+// SLOClass returns the handle's resolved SLO tier ("" with tiers disabled).
+func (h *Handle) SLOClass() string { return h.sloClass }
 
 // ID returns the job's scheduler-scoped identifier.
 func (h *Handle) ID() JobID { return h.id }
@@ -248,6 +254,21 @@ type SchedulerStats struct {
 	FaultsInjected    int
 	BreakerTrips      int
 	BreakerOpen       int
+	// SLO/overload accounting (all zero with SLO tiers disabled; see
+	// slo.go): SLOShed counts submissions shed at the per-tenant queue
+	// bound, SLOBudgetExhausted submissions rejected on the tenant cost
+	// budget, SLODegradedAdmits jobs launched on a degraded cheaper plan,
+	// SLOMet/SLOMissed completed jobs classified against their tier's
+	// latency target, OverloadEnters/OverloadExits controller transitions
+	// and OverloadActive the live controller state.
+	SLOShed            int
+	SLOBudgetExhausted int
+	SLODegradedAdmits  int
+	SLOMet             int
+	SLOMissed          int
+	OverloadEnters     int
+	OverloadExits      int
+	OverloadActive     bool
 }
 
 // Scheduler admits jobs into a shared Runtime.
@@ -298,6 +319,10 @@ type Scheduler struct {
 	// independent toggles).
 	faultsInjected int
 
+	// slo is the SLO-tier / overload-control state (nil when disabled; see
+	// slo.go). Every hook is nil-guarded so the disabled path is untouched.
+	slo *sloState
+
 	// pumpFn is the method value s.pump materialized once: every submit and
 	// settle defers it, and a fresh closure per Defer showed up in the
 	// allocation profile.
@@ -318,6 +343,9 @@ func NewScheduler(se *sim.Engine, rt *Runtime, maxConcurrent int) *Scheduler {
 		admitted:      map[string]int{},
 	}
 	s.pumpFn = s.pump
+	if NeutralSLO {
+		s.EnableSLO(NeutralSLOConfig())
+	}
 	return s
 }
 
@@ -334,6 +362,16 @@ func (s *Scheduler) Submit(tenant string, job workflow.Job, opts SubmitOptions) 
 	if err := job.Validate(); err != nil {
 		return nil, err
 	}
+	var sloClass string
+	if s.slo != nil {
+		// The SLO admission gate sheds synchronously — before a JobID or
+		// handle exists — so a rejected submission can never strand: there
+		// is nothing to drain.
+		var err error
+		if sloClass, err = s.sloAdmit(tenant, opts); err != nil {
+			return nil, err
+		}
+	}
 	s.nextID++
 	h := &Handle{
 		s:           s,
@@ -344,6 +382,7 @@ func (s *Scheduler) Submit(tenant string, job workflow.Job, opts SubmitOptions) 
 		status:      JobQueued,
 		submittedAt: s.se.Now(),
 		planReady:   true,
+		sloClass:    sloClass,
 	}
 	if s.search != nil {
 		// Off-loop admission: if the shard has already planned this exact
@@ -364,6 +403,7 @@ func (s *Scheduler) Submit(tenant string, job workflow.Job, opts SubmitOptions) 
 		}
 	}
 	s.queue = append(s.queue, h)
+	s.updateOverload()
 	s.se.Defer(s.pumpFn)
 	return h, nil
 }
@@ -431,7 +471,11 @@ func (s *Scheduler) start(h *Handle) {
 	h.onStart = nil
 	var ex *Execution
 	var err error
-	if h.prepared != nil && h.prepared.valid(s.rt) {
+	if s.slo != nil && s.sloDegradeEligible(h) {
+		// Overload admission: resolve the plan as usual, then try to swap
+		// it for a degraded cheaper one before launch (slo.go).
+		ex, err = s.startDegraded(h)
+	} else if h.prepared != nil && h.prepared.valid(s.rt) {
 		// Optimistic commit holds at launch time too: the searched (or
 		// cache-probed) plan is still valid for the current capacity class —
 		// launch without re-planning.
@@ -446,6 +490,10 @@ func (s *Scheduler) start(h *Handle) {
 		ex, err = s.rt.Submit(h.job, h.opts)
 	}
 	h.prepared = nil
+	if s.slo != nil {
+		s.sloDequeued(h)
+		s.sloStarted(h, ex)
+	}
 	if err != nil {
 		s.settle(h, err)
 		return
@@ -476,6 +524,10 @@ func (s *Scheduler) settle(h *Handle, err error) {
 		s.completed++
 		h.finish(JobDone, nil)
 	}
+	if s.slo != nil {
+		s.sloSettled(h)
+		s.updateOverload()
+	}
 	s.se.Defer(s.pumpFn)
 }
 
@@ -484,6 +536,10 @@ func (s *Scheduler) removeQueued(h *Handle) {
 	for i, q := range s.queue {
 		if q == h {
 			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			if s.slo != nil {
+				s.sloDequeued(h)
+				s.updateOverload()
+			}
 			return
 		}
 	}
@@ -544,5 +600,15 @@ func (s *Scheduler) Stats() SchedulerStats {
 		st.StageTimeouts = rc.timeouts
 	}
 	st.BreakerOpen, st.BreakerTrips = s.rt.mgr.BreakerStats()
+	if sl := s.slo; sl != nil {
+		st.SLOShed = sl.shed
+		st.SLOBudgetExhausted = sl.budgetExhausted
+		st.SLODegradedAdmits = sl.degradedAdmits
+		st.SLOMet = sl.sloMet
+		st.SLOMissed = sl.sloMissed
+		st.OverloadEnters = sl.ctrl.enters
+		st.OverloadExits = sl.ctrl.exits
+		st.OverloadActive = sl.ctrl.degraded
+	}
 	return st
 }

@@ -1,0 +1,355 @@
+// overload.go is the overload harness behind BenchmarkOverload: it replays
+// the same seeded job burst — arriving several times faster than the fleet
+// can serve — against one runtime shard twice: once with plain FIFO
+// admission (every job queues, nothing sheds, nothing degrades) and once
+// with SLO tiers on (per-tenant queue bounds shed the excess, degradable
+// tiers admit onto cheaper plans while the overload controller is engaged).
+// Goodput counts jobs that completed within their tier's latency target,
+// measured identically in both arms, so the tiered arm's gain is exactly
+// the value of shedding early and degrading gracefully instead of letting
+// every job rot in an unbounded queue. Both arms run entirely inside the
+// simulation: for fixed seeds the comparison is deterministic and
+// machine-independent, and the gain can be gated in CI.
+package serving
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/agents"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/hardware"
+	"repro/internal/sim"
+	"repro/internal/workflow"
+	"repro/internal/workload"
+)
+
+// OverloadOptions shapes the overload replay.
+type OverloadOptions struct {
+	// BaseRate approximates the fleet's sustainable service rate in jobs
+	// per simulated second; OverloadX multiplies it into the offered load
+	// (the interesting range is 2–10×, default 4×).
+	BaseRate  float64
+	OverloadX float64
+	// HorizonS is the arrival window; Seed fixes the Poisson trace.
+	HorizonS float64
+	Seed     int64
+	// Mix shapes the burst (default: a MAX_QUALITY video mix over three
+	// tenants, one per tier — quality-constrained plans pick the large
+	// models, so admission-time degradation has real headroom).
+	Mix workload.MixSpec
+	// VMs is the fixed on-demand fleet; MaxConcurrent bounds jobs admitted
+	// concurrently into the runtime.
+	VMs           int
+	MaxConcurrent int
+	// SLO configures the tiered arm (classes, tenant mapping, watermarks,
+	// bounds). The class latency targets double as the goodput criterion
+	// for BOTH arms, so the comparison is like-for-like.
+	SLO core.SLOConfig
+	// MeasureHorizonS is the goodput window: a job counts only if it
+	// completes within its tier's latency target and by this simulated
+	// time. Both arms still run to full drain for the zero-stranded check.
+	MeasureHorizonS float64
+}
+
+// DefaultOverloadOptions is the benchmark configuration: a 4× overloaded
+// MAX_QUALITY burst over three tenants (one per tier) on the paper's two-VM
+// testbed, with queue bounds tight enough that the unbounded FIFO arm's
+// queueing delay visibly blows through the tier latency targets.
+func DefaultOverloadOptions() OverloadOptions {
+	return OverloadOptions{
+		BaseRate:        0.11,
+		OverloadX:       4,
+		HorizonS:        120,
+		Seed:            17,
+		VMs:             2,
+		MaxConcurrent:   4,
+		SLO:             DefaultOverloadSLO(),
+		MeasureHorizonS: 900,
+	}
+}
+
+// DefaultOverloadSLO is the tiered arm's configuration: gold is protected
+// (never degraded, tightest latency target), silver and bronze trade quality
+// headroom — their floors sit below the workload's own 0.95, giving the
+// degradation cascade room — for admission under pressure, with targets and
+// queue bounds sized against the fleet's measured fair-share drain rate.
+func DefaultOverloadSLO() core.SLOConfig {
+	return core.SLOConfig{
+		Classes: map[string]core.SLOClass{
+			"gold":   {Name: "gold", Rank: 0, LatencyTargetS: 120, MaxQueue: 2},
+			"silver": {Name: "silver", Rank: 1, LatencyTargetS: 180, MaxQueue: 2, MinQuality: 0.8, Degradable: true, MaxDegradeLatencyX: 4},
+			"bronze": {Name: "bronze", Rank: 2, LatencyTargetS: 240, MaxQueue: 3, MinQuality: 0.7, Degradable: true, MaxDegradeLatencyX: 8},
+		},
+		DefaultClass:  "silver",
+		TenantTiers:   overloadTenantTiers(),
+		HighWatermark: 1.5,
+		LowWatermark:  0.75,
+	}
+}
+
+// overloadMix is the burst shape: MAX_QUALITY video jobs over three
+// tenants, one per tier.
+func overloadMix() workload.MixSpec {
+	return workload.MixSpec{
+		VideoWeight: 1,
+		Tenants:     []string{"g1", "s1", "b1"},
+		Constraint:  workflow.MaxQuality,
+		VideoScenes: 4,
+	}
+}
+
+// overloadTenantTiers maps the mix's tenants onto the three tiers.
+func overloadTenantTiers() map[string]string {
+	return map[string]string{"g1": "gold", "s1": "silver", "b1": "bronze"}
+}
+
+// OverloadArm is the measurement for one arm of the comparison.
+type OverloadArm struct {
+	Mode      string
+	Jobs      int
+	Admitted  int
+	Completed int
+	Failed    int
+	// Shed counts submissions rejected synchronously on the tenant queue
+	// bound; BudgetRejected on the tenant cost budget. Both are zero in
+	// the FIFO arm.
+	Shed           int
+	BudgetRejected int
+	// Goodput counts jobs completed within their tier's latency target and
+	// by MeasureHorizonS; TierGoodput splits it by tier.
+	Goodput     int
+	TierGoodput map[string]int
+	// DegradedAdmits counts admissions launched on a degraded cheaper
+	// plan; Reconfigs counts mid-flight re-plan adoptions (overload entry
+	// kicks the reconfiguration controller).
+	DegradedAdmits int
+	Reconfigs      int
+	OverloadEnters int
+	// PeakQueueDepth is the deepest admission queue the arm ever saw —
+	// the bounded-queue contract's observable.
+	PeakQueueDepth int
+	// Stranded counts jobs in no terminal state after the drain — always
+	// zero, or the run errors.
+	Stranded int
+	// EstCostUSD sums the launched plans' estimated costs (the per-job
+	// metering figure); MeanCompletionS averages submit→done over
+	// successful jobs; MakespanS is the last successful completion.
+	EstCostUSD      float64
+	MeanCompletionS float64
+	MakespanS       float64
+}
+
+// OverloadComparison pits SLO-tiered admission against unbounded FIFO on
+// the same replayed burst.
+type OverloadComparison struct {
+	FIFO   OverloadArm
+	Tiered OverloadArm
+	// GoodputGainX = Tiered.Goodput / FIFO.Goodput.
+	GoodputGainX float64
+	// QueueBoundTotal is the sum of the per-tenant queue bounds over the
+	// tenants that actually appear in the trace — the ceiling the tiered
+	// arm's PeakQueueDepth must respect.
+	QueueBoundTotal int
+}
+
+// RunOverload replays the burst through both arms. Shed submissions are the
+// tiered arm's whole point and do not error; a stranded job — or a tiered
+// queue deeper than the sum of the per-tenant bounds — does.
+func RunOverload(opts OverloadOptions) (*OverloadComparison, error) {
+	if opts.OverloadX == 0 {
+		opts.OverloadX = 4
+	}
+	if opts.OverloadX < 2 || opts.OverloadX > 10 {
+		return nil, fmt.Errorf("serving: overload multiplier %.1f outside [2, 10]", opts.OverloadX)
+	}
+	mix := opts.Mix
+	if len(mix.Tenants) == 0 {
+		mix = overloadMix()
+	}
+	if opts.SLO.Classes == nil {
+		opts.SLO = DefaultOverloadSLO()
+	}
+	arrivals, err := workload.PoissonTrace(mix, opts.BaseRate*opts.OverloadX, opts.HorizonS, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if len(arrivals) == 0 {
+		return nil, fmt.Errorf("serving: empty overload job trace")
+	}
+	fifo, err := runOverloadArm(opts, arrivals, false)
+	if err != nil {
+		return nil, err
+	}
+	tiered, err := runOverloadArm(opts, arrivals, true)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &OverloadComparison{FIFO: fifo, Tiered: tiered}
+	if fifo.Goodput > 0 {
+		cmp.GoodputGainX = float64(tiered.Goodput) / float64(fifo.Goodput)
+	}
+	seen := map[string]bool{}
+	for _, arr := range arrivals {
+		if !seen[arr.Tenant] {
+			seen[arr.Tenant] = true
+			cmp.QueueBoundTotal += classOf(opts.SLO, arr.Tenant).MaxQueue
+		}
+	}
+	if cmp.QueueBoundTotal > 0 && tiered.PeakQueueDepth > cmp.QueueBoundTotal {
+		return nil, fmt.Errorf("serving: tiered queue depth %d exceeded the %d-slot bound",
+			tiered.PeakQueueDepth, cmp.QueueBoundTotal)
+	}
+	return cmp, nil
+}
+
+// classOf resolves a tenant's SLO class from the harness configuration —
+// the same resolution the scheduler applies, reproduced here so the FIFO
+// arm can classify completions against identical targets.
+func classOf(cfg core.SLOConfig, tenant string) core.SLOClass {
+	classes := cfg.Classes
+	if classes == nil {
+		classes = core.DefaultSLOClasses()
+	}
+	name := cfg.TenantTiers[tenant]
+	if name == "" {
+		name = cfg.DefaultClass
+	}
+	if name == "" {
+		name = "silver"
+	}
+	return classes[name]
+}
+
+// runOverloadArm replays the burst against one freshly-provisioned shard
+// stack, entirely in simulated time.
+func runOverloadArm(opts OverloadOptions, arrivals []workload.Arrival, tiered bool) (OverloadArm, error) {
+	se := sim.NewEngine()
+	cl := cluster.New(se, hardware.DefaultCatalog())
+	vms := opts.VMs
+	if vms <= 0 {
+		vms = 2
+	}
+	for v := 0; v < vms; v++ {
+		cl.AddVM(fmt.Sprintf("vm%d", v), hardware.NDv4SKUName, false)
+	}
+	rt, err := core.New(core.Config{Engine: se, Cluster: cl, Library: agents.DefaultLibrary()})
+	if err != nil {
+		return OverloadArm{}, err
+	}
+	maxc := opts.MaxConcurrent
+	if maxc <= 0 {
+		maxc = 4
+	}
+	sched := core.NewScheduler(se, rt, maxc)
+	// Both arms run the reconfiguration controller: in the FIFO arm it
+	// never fires (no capacity events), in the tiered arm overload entry
+	// kicks it so running lower-tier work re-plans cheaper mid-flight.
+	sched.EnableReconfig(core.ReconfigConfig{})
+	if tiered {
+		sched.EnableSLO(opts.SLO)
+	}
+
+	arm := OverloadArm{Mode: "fifo", Jobs: len(arrivals), TierGoodput: map[string]int{}}
+	if tiered {
+		arm.Mode = "slo-tiered"
+	}
+	var handles []*core.Handle
+	var completions []float64
+	for _, arr := range arrivals {
+		arr := arr
+		tier := classOf(opts.SLO, arr.Tenant)
+		se.After(sim.Duration(arr.AtS), func() {
+			h, err := sched.Submit(arr.Tenant, arr.Job, core.SubmitOptions{RelaxFloor: true, KeepEngines: true})
+			if err != nil {
+				// Synchronous admission rejections are the tiered arm's
+				// design; anything untyped is a real failure.
+				switch core.ErrorCodeOf(err) {
+				case core.CodeShedOverload:
+					arm.Shed++
+				case core.CodeBudgetExhausted:
+					arm.BudgetRejected++
+				default:
+					arm.Failed++
+				}
+				return
+			}
+			arm.Admitted++
+			handles = append(handles, h)
+			if depth := sched.Stats().Queued; depth > arm.PeakQueueDepth {
+				arm.PeakQueueDepth = depth
+			}
+			h.OnDone(func(h *core.Handle) {
+				if h.Status() != core.JobDone {
+					arm.Failed++
+					return
+				}
+				arm.Completed++
+				arm.EstCostUSD += h.Execution().Plan().EstCostUSD
+				done := se.Now().Seconds()
+				completions = append(completions, done-arr.AtS)
+				if done > arm.MakespanS {
+					arm.MakespanS = done
+				}
+				if done <= opts.MeasureHorizonS &&
+					(tier.LatencyTargetS <= 0 || done-arr.AtS <= tier.LatencyTargetS) {
+					arm.Goodput++
+					arm.TierGoodput[tier.Name]++
+				}
+			})
+		})
+	}
+	se.Run()
+
+	// Zero-stranded contract: after a full drain every admitted job must be
+	// terminal, and every shed submission was already terminal at Submit.
+	for _, h := range handles {
+		switch h.Status() {
+		case core.JobDone, core.JobFailed, core.JobCanceled:
+		default:
+			arm.Stranded++
+		}
+	}
+	if arm.Stranded > 0 {
+		return arm, fmt.Errorf("serving: overload arm %s stranded %d of %d jobs",
+			arm.Mode, arm.Stranded, len(arrivals))
+	}
+	if len(completions) > 0 {
+		sum := 0.0
+		for _, c := range completions {
+			sum += c
+		}
+		arm.MeanCompletionS = sum / float64(len(completions))
+		sort.Float64s(completions)
+	}
+	st := sched.Stats()
+	arm.DegradedAdmits = st.SLODegradedAdmits
+	arm.Reconfigs = st.Reconfigs
+	arm.OverloadEnters = st.OverloadEnters
+	return arm, nil
+}
+
+// String renders the comparison.
+func (c *OverloadComparison) String() string {
+	var b []byte
+	f := func(format string, args ...any) { b = append(b, fmt.Sprintf(format, args...)...) }
+	f("Overload admission: SLO tiers vs unbounded FIFO (simulated time, replayed burst)\n")
+	f("%-12s %5s %6s %8s %5s %8s %9s %7s %9s %10s\n",
+		"mode", "jobs", "admit", "goodput", "shed", "degrade", "peak-q", "mean(s)", "cost($)", "makespan")
+	for _, m := range []OverloadArm{c.FIFO, c.Tiered} {
+		f("%-12s %5d %6d %8d %5d %8d %9d %7.1f %9.4f %9.1fs\n",
+			m.Mode, m.Jobs, m.Admitted, m.Goodput, m.Shed, m.DegradedAdmits,
+			m.PeakQueueDepth, m.MeanCompletionS, m.EstCostUSD, m.MakespanS)
+	}
+	tiers := make([]string, 0, len(c.Tiered.TierGoodput))
+	for name := range c.Tiered.TierGoodput {
+		tiers = append(tiers, name)
+	}
+	sort.Strings(tiers)
+	for _, name := range tiers {
+		f("  %-8s goodput %3d (fifo %3d)\n", name, c.Tiered.TierGoodput[name], c.FIFO.TierGoodput[name])
+	}
+	f("Tiered goodput gain: %.3fx (queue bound %d)\n", c.GoodputGainX, c.QueueBoundTotal)
+	return string(b)
+}

@@ -1,0 +1,91 @@
+package serving
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestOverloadTieredBeatsFIFO is the overload harness's contract at the
+// default 4× burst: tiered admission sheds and degrades its way to materially
+// more within-target goodput than unbounded FIFO, while the admission queue
+// stays under the summed per-tenant bounds and nothing strands. These are the
+// same properties BenchmarkOverload gates in CI.
+func TestOverloadTieredBeatsFIFO(t *testing.T) {
+	cmp, err := RunOverload(DefaultOverloadOptions())
+	if err != nil {
+		t.Fatalf("RunOverload: %v", err)
+	}
+	t.Logf("\n%s", cmp)
+	if cmp.GoodputGainX < 1.2 {
+		t.Errorf("tiered goodput gain %.3fx, want >= 1.2x", cmp.GoodputGainX)
+	}
+	if cmp.Tiered.Shed == 0 {
+		t.Error("tiered arm shed nothing at 4x overload; queue bounds are not binding")
+	}
+	if cmp.Tiered.DegradedAdmits == 0 {
+		t.Error("tiered arm degraded nothing; admission-time degradation never engaged")
+	}
+	if cmp.Tiered.OverloadEnters == 0 {
+		t.Error("overload controller never engaged at 4x offered load")
+	}
+	if cmp.FIFO.Shed != 0 || cmp.FIFO.DegradedAdmits != 0 {
+		t.Errorf("FIFO arm shed %d / degraded %d; the baseline must be plain admission",
+			cmp.FIFO.Shed, cmp.FIFO.DegradedAdmits)
+	}
+	if cmp.QueueBoundTotal <= 0 {
+		t.Fatal("no per-tenant queue bounds resolved for the trace")
+	}
+	if cmp.Tiered.PeakQueueDepth > cmp.QueueBoundTotal {
+		t.Errorf("tiered peak queue depth %d exceeds summed bound %d",
+			cmp.Tiered.PeakQueueDepth, cmp.QueueBoundTotal)
+	}
+	if cmp.Tiered.PeakQueueDepth >= cmp.FIFO.PeakQueueDepth {
+		t.Errorf("tiered peak queue %d not below FIFO's %d; bounds changed nothing",
+			cmp.Tiered.PeakQueueDepth, cmp.FIFO.PeakQueueDepth)
+	}
+	if cmp.FIFO.Stranded != 0 || cmp.Tiered.Stranded != 0 {
+		t.Errorf("stranded jobs: fifo %d tiered %d, want zero",
+			cmp.FIFO.Stranded, cmp.Tiered.Stranded)
+	}
+	for _, arm := range []OverloadArm{cmp.FIFO, cmp.Tiered} {
+		if got := arm.Admitted + arm.Shed + arm.BudgetRejected; got != arm.Jobs {
+			t.Errorf("%s: admitted %d + shed %d + budget-rejected %d != %d jobs (a submission fell through)",
+				arm.Mode, arm.Admitted, arm.Shed, arm.BudgetRejected, arm.Jobs)
+		}
+		if got := arm.Completed + arm.Failed; got != arm.Admitted {
+			t.Errorf("%s: completed %d + failed %d != admitted %d",
+				arm.Mode, arm.Completed, arm.Failed, arm.Admitted)
+		}
+	}
+}
+
+// TestOverloadDeterministic replays the identical seeded burst twice and
+// requires the full comparison structures to match — including which jobs
+// shed, which admits degraded, and every goodput split. This is the
+// deterministic-shed half of the hysteresis property: for a fixed seed the
+// overload controller's decisions are a pure function of the trace.
+func TestOverloadDeterministic(t *testing.T) {
+	opts := DefaultOverloadOptions()
+	a, err := RunOverload(opts)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := RunOverload(opts)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("overload comparison not deterministic for a fixed seed:\nfirst:\n%s\nsecond:\n%s", a, b)
+	}
+}
+
+// TestOverloadMultiplierBounds pins the documented 2–10× envelope.
+func TestOverloadMultiplierBounds(t *testing.T) {
+	for _, x := range []float64{1, 1.5, 11, 100} {
+		opts := DefaultOverloadOptions()
+		opts.OverloadX = x
+		if _, err := RunOverload(opts); err == nil {
+			t.Errorf("OverloadX=%.1f: want error outside [2, 10], got nil", x)
+		}
+	}
+}
