@@ -42,9 +42,12 @@ bench-smoke:
 # under the seeded fault storm; BENCH_overload.json carries the SLO-tiered vs
 # unbounded-FIFO goodput gain (plus shed/degrade counts and peak queue depth)
 # under the 4× overload burst; BENCH_engine.json carries the raw event-core
-# throughput (timer wheel vs reference heap at several pending depths). The
-# checked-in copies are the first baseline; rerun this target to extend the
-# trajectory when the hot path changes.
+# throughput (timer wheel vs reference heap at several pending depths);
+# BENCH_cluster.json carries the horizontal scale-out measurement through the
+# consistent-hash router tier (sim-time throughput scaling at 3 nodes vs 1,
+# plus the churn arm's stranded/rerouted/node_down counts). The checked-in
+# copies are the first baseline; rerun this target to extend the trajectory
+# when the hot path changes.
 bench-json:
 	$(GO) test -bench '^BenchmarkAdmission$$' -benchmem -benchtime 3x -run '^$$' -json . > BENCH_admission.json
 	$(GO) test -bench '^BenchmarkServing$$' -benchmem -benchtime 1x -run '^$$' -json . > BENCH_serving.json
@@ -52,15 +55,17 @@ bench-json:
 	$(GO) test -bench '^BenchmarkFaults$$' -benchmem -benchtime 3x -run '^$$' -json . > BENCH_faults.json
 	$(GO) test -bench '^BenchmarkOverload$$' -benchmem -benchtime 3x -run '^$$' -json . > BENCH_overload.json
 	$(GO) test -bench '^BenchmarkEngine$$' -benchmem -benchtime 200000x -run '^$$' -json . > BENCH_engine.json
+	$(GO) test -bench '^BenchmarkCluster$$' -benchmem -benchtime 3x -run '^$$' -json . > BENCH_cluster.json
 
 # bench-baseline refreshes the text baseline cmd/benchgate compares against
 # in CI (hot-path ns/op for the load sweep, the serving replay, the
 # reconfiguration churn replay, the fault-storm recovery replay, the
-# overload-admission replay and the event-core microbench). ns/op gates
+# overload-admission replay, the cluster scale-out replay and the event-core
+# microbench). ns/op gates
 # (-time-gate) only compare within one machine: always regenerate on the host
 # that runs the gate.
 bench-baseline:
-	$(GO) test -bench '^(BenchmarkLoadSweep|BenchmarkServing|BenchmarkReconfig|BenchmarkFaults|BenchmarkOverload)$$' -benchmem -benchtime 2x -run '^$$' . > bench/baseline.txt
+	$(GO) test -bench '^(BenchmarkLoadSweep|BenchmarkServing|BenchmarkReconfig|BenchmarkFaults|BenchmarkOverload|BenchmarkCluster)$$' -benchmem -benchtime 2x -run '^$$' . > bench/baseline.txt
 	$(GO) test -bench '^BenchmarkEngine$$' -benchmem -benchtime 200000x -run '^$$' . >> bench/baseline.txt
 
 # memprofile runs the retention benchmark (bounded shard telemetry under a

@@ -192,6 +192,37 @@ func BenchmarkServing(b *testing.B) {
 	b.ReportMetric(float64(best.Shared.Completed), "jobs")
 }
 
+// BenchmarkCluster measures horizontal scale-out through the router tier:
+// the identical waited trace replayed against 1-node and 3-node clusters,
+// with throughput in simulated time (completed jobs over the slowest node's
+// sim makespan) so the scaling factor is deterministic and host-independent.
+// The churn arm — async load across a heartbeat, a replication-warmed join
+// and a drained leave — must strand nothing.
+func BenchmarkCluster(b *testing.B) {
+	var last *serving.ClusterResult
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := serving.RunCluster(serving.DefaultClusterOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last.ScalingX < 1.7 {
+		b.Fatalf("routed throughput scaling %.2fx < 1.7x at 3 nodes: %+v", last.ScalingX, last)
+	}
+	if last.Churn.Stranded != 0 {
+		b.Fatalf("%d jobs stranded across join/leave churn: %+v", last.Churn.Stranded, last.Churn)
+	}
+	b.ReportMetric(last.ScalingX, "cluster_scaling_x")
+	b.ReportMetric(float64(last.Churn.Stranded), "stranded_jobs")
+	b.ReportMetric(last.OneNode.Throughput, "jobs_per_sim_s_1n")
+	b.ReportMetric(last.ThreeNode.Throughput, "jobs_per_sim_s_3n")
+	b.ReportMetric(float64(last.Churn.ReroutedJobs), "rerouted_jobs")
+	b.ReportMetric(float64(last.Churn.NodeDownJobs), "node_down_jobs")
+	b.ReportMetric(float64(last.Churn.TenantsMoved), "tenants_moved")
+}
+
 // BenchmarkEngine measures the raw event core: a steady-state
 // schedule/cancel/fire mix at several pending-queue depths, on both the
 // timer wheel (default) and the reference binary heap. Each op is one

@@ -16,6 +16,10 @@
 // high watermark (-slo-high/-slo-low) degradable tiers admit onto cheaper
 // plans, and per-tenant queue bounds (-slo-queue-bound) and cost budgets
 // (-slo-budget) shed the excess with HTTP 429 instead of queueing unboundedly.
+// With -router, the daemon scales out horizontally: it runs -nodes identical
+// in-process pools behind a consistent-hash router tier that maps each tenant
+// onto a node, fans /v1/stats out across the cluster, and on node departure
+// drains or reroutes that node's jobs instead of stranding them.
 //
 //	murakkabd -addr :8080 -shards 2 -concurrency 4 -vms 2 \
 //	  -retain 3600 -max-series-points 1048576 -plan-workers 0 \
@@ -54,6 +58,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/core"
+	"repro/internal/router"
 )
 
 // daemonFlags collects the tuning flags validateFlags checks (the listen
@@ -74,6 +79,10 @@ type daemonFlags struct {
 	sloLow        float64
 	sloQueueBound int
 	sloBudget     float64
+
+	perRequest bool
+	router     bool
+	nodes      int
 }
 
 // validateFlags rejects out-of-range tuning flags up front. Negative values
@@ -103,6 +112,17 @@ func validateFlags(v daemonFlags) (map[string]string, error) {
 	}
 	if v.jobDeadline < 0 {
 		return nil, fmt.Errorf("-job-deadline must be >= 0 (got %v); 0 disables the per-job deadline", v.jobDeadline)
+	}
+	if v.router && v.perRequest {
+		// The router tier fronts shared-pool nodes; the per-request baseline
+		// has no pool to shard over.
+		return nil, fmt.Errorf("-router is incompatible with -per-request")
+	}
+	if v.nodes != 0 && !v.router {
+		return nil, fmt.Errorf("-nodes requires -router")
+	}
+	if v.router && v.nodes < 0 {
+		return nil, fmt.Errorf("-nodes must be >= 1 (got %d); 0 selects the default of 3", v.nodes)
 	}
 	if !v.slo {
 		// An SLO sub-flag without -slo would be silently ignored; that is the
@@ -233,6 +253,13 @@ func main() {
 		"flat per-tenant planned-cost budget in USD overriding every class's own, windowed "+
 			"by shard recycle; beyond it submissions get 429 budget_exhausted (0 keeps the "+
 			"per-class budgets)")
+	routerMode := flag.Bool("router", false,
+		"cluster mode: run -nodes in-process murakkabd nodes behind a consistent-hash "+
+			"router that maps tenants onto nodes, fans /v1/stats out across them, and "+
+			"drains departing nodes without stranding jobs")
+	nodes := flag.Int("nodes", 0,
+		"node count for -router (0 = default 3); each node is a full shared pool "+
+			"sized by -shards/-vms/-concurrency")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"how long to wait for in-flight HTTP requests on shutdown")
 	flag.Parse()
@@ -252,6 +279,9 @@ func main() {
 		sloLow:          *sloLow,
 		sloQueueBound:   *sloQueueBound,
 		sloBudget:       *sloBudget,
+		perRequest:      *perRequest,
+		router:          *routerMode,
+		nodes:           *nodes,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "murakkabd: %v\n", err)
@@ -259,7 +289,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	server, err := api.NewServer(api.PoolConfig{
+	poolCfg := api.PoolConfig{
 		Shards:                *shards,
 		VMsPerShard:           *vms,
 		MaxConcurrentPerShard: *concurrency,
@@ -280,14 +310,54 @@ func main() {
 		SLOLowWatermark:       *sloLow,
 		SLOQueueBound:         *sloQueueBound,
 		SLOBudgetUSD:          *sloBudget,
-	})
-	if err != nil {
-		log.Fatalf("murakkabd: provisioning runtime pool: %v", err)
+	}
+
+	// The serving runtime is either a single shared pool or, with -router, a
+	// consistent-hash router tier over -nodes identical in-process pools.
+	var (
+		handler      http.Handler
+		closeRuntime func()
+		nodeCount    int
+	)
+	if *routerMode {
+		nodeCount = *nodes
+		if nodeCount == 0 {
+			nodeCount = 3
+		}
+		rt, err := router.New(router.Config{Nodes: nodeCount, Node: poolCfg})
+		if err != nil {
+			log.Fatalf("murakkabd: provisioning router tier: %v", err)
+		}
+		handler = rt
+		closeRuntime = rt.Close
+		// Health-check the nodes on a real-time cadence so an unresponsive
+		// node is routed around rather than timing out every request.
+		hbStop := make(chan struct{})
+		defer close(hbStop)
+		go func() {
+			t := time.NewTicker(5 * time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					rt.HeartbeatOnce()
+				case <-hbStop:
+					return
+				}
+			}
+		}()
+	} else {
+		server, err := api.NewServer(poolCfg)
+		if err != nil {
+			log.Fatalf("murakkabd: provisioning runtime pool: %v", err)
+		}
+		handler = server
+		closeRuntime = server.Close
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -296,9 +366,13 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	if *perRequest {
+	switch {
+	case *routerMode:
+		log.Printf("murakkabd listening on %s (router mode: %d nodes × %d shards × %d VMs, %d jobs/shard)",
+			*addr, nodeCount, *shards, *vms, *concurrency)
+	case *perRequest:
 		log.Printf("murakkabd listening on %s (per-request baseline mode)", *addr)
-	} else {
+	default:
 		log.Printf("murakkabd listening on %s (%d shards × %d VMs, %d jobs/shard)",
 			*addr, *shards, *vms, *concurrency)
 	}
@@ -320,7 +394,8 @@ func main() {
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("murakkabd: listener: %v", err)
 	}
-	// Drain the runtime shards: queued and running jobs complete.
-	server.Close()
+	// Drain the runtime: queued and running jobs complete (in router mode,
+	// every node's pool drains).
+	closeRuntime()
 	log.Printf("murakkabd: drained, exiting")
 }

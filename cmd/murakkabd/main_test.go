@@ -23,6 +23,11 @@ func TestValidateFlags(t *testing.T) {
 		{name: "negative faults", flags: daemonFlags{faults: -0.1}, wantErr: "-faults"},
 		{name: "negative max-retries", flags: daemonFlags{maxRetries: -1}, wantErr: "-max-retries"},
 		{name: "negative job-deadline", flags: daemonFlags{jobDeadline: -30}, wantErr: "-job-deadline"},
+		{name: "router ok", flags: daemonFlags{router: true}},
+		{name: "router nodes ok", flags: daemonFlags{router: true, nodes: 5}},
+		{name: "nodes without router", flags: daemonFlags{nodes: 3}, wantErr: "-nodes requires -router"},
+		{name: "router with per-request", flags: daemonFlags{router: true, perRequest: true}, wantErr: "incompatible"},
+		{name: "negative nodes", flags: daemonFlags{router: true, nodes: -1}, wantErr: "-nodes"},
 
 		{name: "slo ok", flags: daemonFlags{slo: true}},
 		{name: "slo full ok",

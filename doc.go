@@ -122,4 +122,22 @@
 // differential test proves bit-identical paper metrics — and
 // BenchmarkOverload gates tiered-vs-FIFO goodput (≥ 1.2× at 4× overload),
 // bounded queue depth and zero stranded jobs in CI.
+//
+// # Horizontal scale-out
+//
+// Beyond one machine, murakkabd -router -nodes N serves a cluster of N
+// identical in-process nodes behind a consistent-hash router tier
+// (internal/router): tenants hash onto a ring of seeded virtual nodes
+// (placement is a pure function of tenant, seed and membership —
+// property-tested for balanced spread and ~1/N disruption on churn), job
+// IDs route through a registry, /v1/stats fans out and merges under the
+// pool's monotonic-fold discipline, and heartbeats route around unhealthy
+// nodes. A joining node warms from the content-keyed profile store via
+// generation deltas (zero rebuilds); a leaving node drains, re-submits
+// still-queued jobs to survivors through the ring, and fails what runs past
+// the drain deadline with typed node_down — nothing strands. With -router
+// off the router package is never touched and single-node wire behavior is
+// byte-identical. serving.RunCluster measures routed throughput in
+// simulated time (completed jobs over the slowest node's makespan), so
+// BenchmarkCluster's ≥ 1.7× scaling gate at 3 nodes holds on any host.
 package repro

@@ -88,12 +88,24 @@ func (p *Profiler) ProfileImplementation(im *Implementation, cfg profiles.Resour
 // directly because profiles must not import agents (agents consumes
 // profiles).
 func SharedProfiles(cat *hardware.Catalog, lib *Library) (*profiles.Store, error) {
+	return SharedProfilesIn(nil, cat, lib)
+}
+
+// SharedProfilesIn is SharedProfiles against an explicit registry, for
+// cluster nodes that keep per-node profile state and warm it by replication
+// rather than through the process-wide default. A nil registry selects
+// profiles.DefaultRegistry, making SharedProfilesIn(nil, ...) identical to
+// SharedProfiles.
+func SharedProfilesIn(reg *profiles.Registry, cat *hardware.Catalog, lib *Library) (*profiles.Store, error) {
+	if reg == nil {
+		reg = profiles.DefaultRegistry()
+	}
 	// Length-prefix both fingerprints so the joint key inherits their
 	// injectivity (a bare separator could be forged by a name payload).
 	var key strings.Builder
 	contentkey.WriteString(&key, cat.Fingerprint())
 	contentkey.WriteString(&key, lib.Fingerprint())
-	return profiles.Shared(key.String(), func() (*profiles.Store, error) {
+	return reg.Shared(key.String(), func() (*profiles.Store, error) {
 		return NewProfiler(cat).ProfileLibrary(lib)
 	})
 }

@@ -178,6 +178,12 @@ func (s *Server) Pool() *Pool { return s.pool }
 func (s *Server) Close() { s.pool.Close() }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	// A draining (closed) pool rejects submissions, so report it unhealthy:
+	// the router tier probes this endpoint to steer traffic to live nodes.
+	if s.pool.Closed() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 

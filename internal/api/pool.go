@@ -14,6 +14,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/hardware"
+	"repro/internal/profiles"
 	"repro/internal/sim"
 	"repro/internal/workflow"
 	"repro/internal/workload"
@@ -48,6 +49,13 @@ import (
 type Pool struct {
 	cfg    PoolConfig
 	shards []*shard // guarded by mu: recycling swaps entries
+
+	// draining holds shards displaced by a recycle that are still running
+	// their in-flight jobs down in the background. Stats fans out to them
+	// too, so their cumulative counters never disappear from the totals:
+	// each stays here until its loop exits and its final counters fold into
+	// the retired atomics in one mu critical section. Guarded by mu.
+	draining []*shard
 
 	nextJob atomic.Uint64
 
@@ -230,6 +238,15 @@ type PoolConfig struct {
 	// SLOBudgetUSD > 0 overrides every class's tenant cost budget.
 	SLOQueueBound int
 	SLOBudgetUSD  float64
+	// JobIDNamespace, when non-empty, is spliced into minted job IDs
+	// ("job-<ns>-%08d") so pools embedded as cluster nodes mint IDs that
+	// cannot collide across nodes. Empty keeps the single-node "job-%08d"
+	// format byte-identical.
+	JobIDNamespace string
+	// ProfileRegistry scopes the amortized profiling pass: cluster nodes
+	// pass a per-node registry (warmed by replication on join) instead of
+	// sharing the process-wide default. Nil uses the default registry.
+	ProfileRegistry *profiles.Registry
 }
 
 // sloConfig assembles the core-layer SLO configuration from the pool knobs.
@@ -369,6 +386,7 @@ func (p *Pool) newShard(idx int) (*shard, error) {
 	rt, err := core.New(core.Config{
 		Engine: se, Cluster: cl, Library: agents.DefaultLibrary(),
 		RebalancePeriod: sim.Duration(cfg.RebalancePeriodS),
+		ProfileRegistry: cfg.ProfileRegistry,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("api: provisioning shard %d: %w", idx, err)
@@ -473,6 +491,151 @@ func (p *Pool) shardTick(sh *shard) {
 	}
 }
 
+// shardCounters is a snapshot of one shard's cumulative scalar counters —
+// everything that folds into the pool's retired totals when the shard is
+// displaced by a recycle or torn down by Close. Every field is monotone on a
+// live shard.
+type shardCounters struct {
+	planSearches      int64
+	singleflightHits  int64
+	planConflicts     int64
+	reconfigs         int64
+	reconfigWins      int64
+	reconfigSkips     int64
+	reconfigConflicts int64
+	taskRetries       int64
+	retriesExhausted  int64
+	deadlinesExceeded int64
+	degradations      int64
+	stageTimeouts     int64
+	faultsInjected    int64
+	breakerTrips      int64
+	sloShed           int64
+	sloBudget         int64
+	sloDegraded       int64
+	sloMet            int64
+	sloMissed         int64
+	overloadEnters    int64
+	overloadExits     int64
+	internHits        uint64
+	internMisses      uint64
+	scratchHits       uint64
+	scratchMisses     uint64
+	events            uint64
+	wheelEvents       uint64
+	overflowEvents    uint64
+	cancelsLazy       uint64
+}
+
+// readShardCounters snapshots sh's cumulative counters. The caller must be
+// the shard's loop goroutine, or its sole remaining accessor after the loop
+// has exited.
+func readShardCounters(sh *shard) shardCounters {
+	st := sh.sched.Stats()
+	c := shardCounters{
+		planSearches:      int64(st.PlanSearches),
+		singleflightHits:  int64(st.SingleflightHits),
+		planConflicts:     int64(st.PlanConflicts),
+		reconfigs:         int64(st.Reconfigs),
+		reconfigWins:      int64(st.ReconfigWins),
+		reconfigSkips:     int64(st.ReconfigSkips),
+		reconfigConflicts: int64(st.ReconfigConflicts),
+		taskRetries:       int64(st.TaskRetries),
+		retriesExhausted:  int64(st.RetriesExhausted),
+		deadlinesExceeded: int64(st.DeadlinesExceeded),
+		degradations:      int64(st.Degradations),
+		stageTimeouts:     int64(st.StageTimeouts),
+		faultsInjected:    int64(st.FaultsInjected),
+		breakerTrips:      int64(st.BreakerTrips),
+		sloShed:           int64(st.SLOShed),
+		sloBudget:         int64(st.SLOBudgetExhausted),
+		sloDegraded:       int64(st.SLODegradedAdmits),
+		sloMet:            int64(st.SLOMet),
+		sloMissed:         int64(st.SLOMissed),
+		overloadEnters:    int64(st.OverloadEnters),
+		overloadExits:     int64(st.OverloadExits),
+		events:            sh.eng.Processed(),
+		wheelEvents:       sh.eng.WheelEvents(),
+		overflowEvents:    sh.eng.OverflowEvents(),
+		cancelsLazy:       sh.eng.CancelsLazy(),
+	}
+	c.internHits, c.internMisses = sh.rt.KeyInternStats()
+	c.scratchHits, c.scratchMisses = sh.rt.ScratchPoolStats()
+	return c
+}
+
+// foldShardCounters adds a final counter snapshot into the retired totals.
+// Callers fold inside the mu critical section that also removes the shard
+// from the Stats fan-out (p.shards or p.draining), so a concurrent Stats
+// snapshot sees the shard live or its counters retired — never neither.
+func (p *Pool) foldShardCounters(c shardCounters) {
+	p.retSearches.Add(c.planSearches)
+	p.retSingleflight.Add(c.singleflightHits)
+	p.retConflicts.Add(c.planConflicts)
+	p.retReconfigs.Add(c.reconfigs)
+	p.retReconfigWins.Add(c.reconfigWins)
+	p.retReconfigSkips.Add(c.reconfigSkips)
+	p.retReconfigConflicts.Add(c.reconfigConflicts)
+	p.retTaskRetries.Add(c.taskRetries)
+	p.retRetriesExhausted.Add(c.retriesExhausted)
+	p.retDeadlinesExceeded.Add(c.deadlinesExceeded)
+	p.retDegradations.Add(c.degradations)
+	p.retStageTimeouts.Add(c.stageTimeouts)
+	p.retFaultsInjected.Add(c.faultsInjected)
+	p.retBreakerTrips.Add(c.breakerTrips)
+	p.retSLOShed.Add(c.sloShed)
+	p.retSLOBudget.Add(c.sloBudget)
+	p.retSLODegraded.Add(c.sloDegraded)
+	p.retSLOMet.Add(c.sloMet)
+	p.retSLOMissed.Add(c.sloMissed)
+	p.retOverloadEnters.Add(c.overloadEnters)
+	p.retOverloadExits.Add(c.overloadExits)
+	p.retInternHits.Add(c.internHits)
+	p.retInternMisses.Add(c.internMisses)
+	p.retScratchHits.Add(c.scratchHits)
+	p.retScratchMisses.Add(c.scratchMisses)
+	p.retEventsProcessed.Add(c.events)
+	p.retWheelEvents.Add(c.wheelEvents)
+	p.retOverflowEvents.Add(c.overflowEvents)
+	p.retCancelsLazy.Add(c.cancelsLazy)
+}
+
+// foldShardTail folds the parts of a retired shard that are not scalar sums:
+// the per-tenant SLO map and the peak-pending high-water mark. Called after
+// the shard's loop has exited, by its sole remaining accessor.
+func (p *Pool) foldShardTail(old *shard) {
+	if tenants := old.sched.SLOTenants(); len(tenants) > 0 {
+		p.mu.Lock()
+		if p.retTenantSLO == nil {
+			p.retTenantSLO = map[string]core.TenantSLOStats{}
+		}
+		for _, t := range tenants {
+			agg := p.retTenantSLO[t.Tenant]
+			agg.Tenant, agg.Class = t.Tenant, t.Class
+			agg.Admitted += t.Admitted
+			agg.Shed += t.Shed
+			agg.BudgetExhausted += t.BudgetExhausted
+			agg.DegradedAdmits += t.DegradedAdmits
+			agg.SLOMet += t.SLOMet
+			agg.SLOMissed += t.SLOMissed
+			agg.CostSpentUSD += t.CostSpentUSD
+			p.retTenantSLO[t.Tenant] = agg
+		}
+		p.mu.Unlock()
+	}
+	atomicMaxInt64(&p.retPeakPending, int64(old.eng.PeakPending()))
+}
+
+// removeDrainingLocked drops sh from the draining list. Caller holds mu.
+func (p *Pool) removeDrainingLocked(sh *shard) {
+	for i, cur := range p.draining {
+		if cur == sh {
+			p.draining = append(p.draining[:i], p.draining[i+1:]...)
+			return
+		}
+	}
+}
+
 // recycleShard replaces a shard whose telemetry outgrew its budget: build a
 // warm replacement, swap it in so new submissions land there, then drain
 // the displaced shard — posts already accepted and every in-flight job run
@@ -504,65 +667,23 @@ func (p *Pool) recycleShard(old *shard) {
 		return
 	}
 	p.shards[old.idx] = fresh
+	p.draining = append(p.draining, old)
 	p.recycles.Add(1)
 	p.mu.Unlock()
-	// Drain in the background: the displaced shard's jobs settle through
-	// the pool-level counters, so stats lose nothing while it winds down.
+	// Drain in the background: the displaced shard stays on p.draining, so
+	// its cumulative counters remain visible to Stats while it winds down
+	// and its jobs settle through the pool-level counters.
 	old.close()
 	// The loop goroutine has exited; this recycler goroutine is the shard's
 	// sole remaining accessor, so reading its final counters is race-free.
-	st := old.sched.Stats()
-	p.retSearches.Add(int64(st.PlanSearches))
-	p.retSingleflight.Add(int64(st.SingleflightHits))
-	p.retConflicts.Add(int64(st.PlanConflicts))
-	p.retReconfigs.Add(int64(st.Reconfigs))
-	p.retReconfigWins.Add(int64(st.ReconfigWins))
-	p.retReconfigSkips.Add(int64(st.ReconfigSkips))
-	p.retReconfigConflicts.Add(int64(st.ReconfigConflicts))
-	p.retTaskRetries.Add(int64(st.TaskRetries))
-	p.retRetriesExhausted.Add(int64(st.RetriesExhausted))
-	p.retDeadlinesExceeded.Add(int64(st.DeadlinesExceeded))
-	p.retDegradations.Add(int64(st.Degradations))
-	p.retStageTimeouts.Add(int64(st.StageTimeouts))
-	p.retFaultsInjected.Add(int64(st.FaultsInjected))
-	p.retBreakerTrips.Add(int64(st.BreakerTrips))
-	p.retSLOShed.Add(int64(st.SLOShed))
-	p.retSLOBudget.Add(int64(st.SLOBudgetExhausted))
-	p.retSLODegraded.Add(int64(st.SLODegradedAdmits))
-	p.retSLOMet.Add(int64(st.SLOMet))
-	p.retSLOMissed.Add(int64(st.SLOMissed))
-	p.retOverloadEnters.Add(int64(st.OverloadEnters))
-	p.retOverloadExits.Add(int64(st.OverloadExits))
-	if tenants := old.sched.SLOTenants(); len(tenants) > 0 {
-		p.mu.Lock()
-		if p.retTenantSLO == nil {
-			p.retTenantSLO = map[string]core.TenantSLOStats{}
-		}
-		for _, t := range tenants {
-			agg := p.retTenantSLO[t.Tenant]
-			agg.Tenant, agg.Class = t.Tenant, t.Class
-			agg.Admitted += t.Admitted
-			agg.Shed += t.Shed
-			agg.BudgetExhausted += t.BudgetExhausted
-			agg.DegradedAdmits += t.DegradedAdmits
-			agg.SLOMet += t.SLOMet
-			agg.SLOMissed += t.SLOMissed
-			agg.CostSpentUSD += t.CostSpentUSD
-			p.retTenantSLO[t.Tenant] = agg
-		}
-		p.mu.Unlock()
-	}
-	ih, im := old.rt.KeyInternStats()
-	p.retInternHits.Add(ih)
-	p.retInternMisses.Add(im)
-	sh, sm := old.rt.ScratchPoolStats()
-	p.retScratchHits.Add(sh)
-	p.retScratchMisses.Add(sm)
-	p.retEventsProcessed.Add(uint64(old.eng.Processed()))
-	p.retWheelEvents.Add(old.eng.WheelEvents())
-	p.retOverflowEvents.Add(old.eng.OverflowEvents())
-	p.retCancelsLazy.Add(old.eng.CancelsLazy())
-	atomicMaxInt64(&p.retPeakPending, int64(old.eng.PeakPending()))
+	// The fold and the removal from the fan-out share one critical section,
+	// keeping the pool totals monotonic through the hand-off.
+	final := readShardCounters(old)
+	p.mu.Lock()
+	p.removeDrainingLocked(old)
+	p.foldShardCounters(final)
+	p.mu.Unlock()
+	p.foldShardTail(old)
 }
 
 // atomicMaxInt64 raises a to at least v (recyclers can race each other).
@@ -593,8 +714,48 @@ func (p *Pool) Close() {
 	p.mu.Unlock()
 	for _, sh := range shards {
 		sh.close()
+		// The loop has exited and no recycler owns this shard (recyclers
+		// abort once closed is set), so this goroutine is its sole accessor.
+		// Fold the final counters and drop the shard from the fan-out in one
+		// critical section, mirroring the recycle hand-off: post-Close Stats
+		// reports the true final totals instead of losing the live shards'
+		// counters.
+		final := readShardCounters(sh)
+		p.mu.Lock()
+		for i, cur := range p.shards {
+			if cur == sh {
+				p.shards = append(p.shards[:i], p.shards[i+1:]...)
+				break
+			}
+		}
+		p.foldShardCounters(final)
+		p.mu.Unlock()
+		p.foldShardTail(sh)
 	}
 	p.drains.Wait()
+}
+
+// Closed reports whether Close has begun: a closed (or draining) pool
+// rejects new submissions. The router tier's health checks use this to
+// steer traffic away from departing nodes.
+func (p *Pool) Closed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// Done returns the completion channel of a registered job: it is closed when
+// the job settles terminal. The second result is false for unknown (or
+// already evicted) IDs. The router tier's drain path selects on these
+// channels to wait out a departing node's in-flight jobs.
+func (p *Pool) Done(id string) (<-chan struct{}, bool) {
+	p.mu.Lock()
+	rec, ok := p.jobs[id]
+	p.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return rec.done, true
 }
 
 // PerRequest reports whether the pool runs the baseline mode.
@@ -620,10 +781,11 @@ type submitExtras struct {
 	timeline bool
 }
 
-// formatJobID renders "job-%08d" without fmt's reflection and boxing — the
-// ID is minted on every admission, so the Sprintf showed up in allocation
-// profiles. IDs past eight digits widen naturally, matching Sprintf.
-func formatJobID(n uint64) string {
+// formatJobID renders "job-%08d" (or "job-<ns>-%08d" under a namespace)
+// without fmt's reflection and boxing — the ID is minted on every admission,
+// so the Sprintf showed up in allocation profiles. IDs past eight digits
+// widen naturally, matching Sprintf.
+func formatJobID(ns string, n uint64) string {
 	var b [12]byte
 	copy(b[:], "job-00000000")
 	i := len(b)
@@ -632,10 +794,14 @@ func formatJobID(n uint64) string {
 		b[i] = byte('0' + n%10)
 		n /= 10
 	}
+	digits := string(b[4:])
 	if n > 0 {
-		return "job-" + strconv.FormatUint(n, 10) + string(b[4:])
+		digits = strconv.FormatUint(n, 10) + digits
 	}
-	return string(b[:])
+	if ns != "" {
+		return "job-" + ns + "-" + digits
+	}
+	return "job-" + digits
 }
 
 // Submit admits a job for a tenant and returns its registry record. In
@@ -643,7 +809,7 @@ func formatJobID(n uint64) string {
 // the shard completes the job. In per-request mode it blocks while a fresh
 // testbed runs the job.
 func (p *Pool) Submit(tenant string, job workflow.Job, opts core.SubmitOptions, extras submitExtras) (*jobRecord, error) {
-	id := formatJobID(p.nextJob.Add(1))
+	id := formatJobID(p.cfg.JobIDNamespace, p.nextJob.Add(1))
 	if p.cfg.PerRequest {
 		p.mu.Lock()
 		if p.closed {
@@ -797,7 +963,7 @@ func (p *Pool) submitPerRequest(id, tenant string, job workflow.Job, opts core.S
 	for i := 0; i < vms; i++ {
 		cl.AddVM(fmt.Sprintf("vm%d", i), hardware.NDv4SKUName, false)
 	}
-	rt, err := core.New(core.Config{Engine: se, Cluster: cl, Library: agents.DefaultLibrary()})
+	rt, err := core.New(core.Config{Engine: se, Cluster: cl, Library: agents.DefaultLibrary(), ProfileRegistry: p.cfg.ProfileRegistry})
 	if err != nil {
 		return nil, err
 	}
@@ -1269,22 +1435,45 @@ func readMemoryStats() MemoryStats {
 // Stats gathers a consistent per-shard view (each shard snapshot is taken on
 // its own loop goroutine) and aggregates it.
 func (p *Pool) Stats() PoolStats {
-	p.mu.Lock()
-	tracked := len(p.jobs)
-	shards := append([]*shard(nil), p.shards...)
-	tenantAgg := make(map[string]TenantSLOJSON, len(p.retTenantSLO))
-	for name, t := range p.retTenantSLO {
-		tenantAgg[name] = tenantSLORow(t)
+	for {
+		if out, ok := p.statsOnce(); ok {
+			return out
+		}
+		// A snapshotted shard's loop exited between the snapshot and the
+		// fan-out: its counters are mid-fold into the retired totals (by its
+		// recycler, or by Close). Re-snapshot — the folded state is complete
+		// and the exited shard is off the fan-out lists — so the counters
+		// reported here never transiently regress.
+		time.Sleep(50 * time.Microsecond)
 	}
-	p.mu.Unlock()
-	out := PoolStats{Mode: "shared", JobsTracked: tracked, UptimeS: time.Since(p.started).Seconds()}
+}
+
+// statsOnce takes one snapshot attempt; ok is false if a shard's loop exited
+// mid-fan-out and the caller should retry.
+func (p *Pool) statsOnce() (PoolStats, bool) {
+	out := PoolStats{Mode: "shared", UptimeS: time.Since(p.started).Seconds()}
 	out.Memory = readMemoryStats()
 	if p.cfg.PerRequest {
+		p.mu.Lock()
+		out.JobsTracked = len(p.jobs)
+		p.mu.Unlock()
 		out.Mode = "per-request"
 		out.Submitted = int(p.prSubmitted.Load())
 		out.Completed = int(p.prCompleted.Load())
 		out.Failed = int(p.prFailed.Load())
-		return out
+		return out, true
+	}
+	// The shard-list snapshot and the retired-counter reads share one
+	// critical section: recycle and close fold a shard's final counters into
+	// the retired atomics inside the same section that removes it from these
+	// lists, so this snapshot counts every shard exactly once.
+	p.mu.Lock()
+	out.JobsTracked = len(p.jobs)
+	shards := append([]*shard(nil), p.shards...)
+	draining := append([]*shard(nil), p.draining...)
+	tenantAgg := make(map[string]TenantSLOJSON, len(p.retTenantSLO))
+	for name, t := range p.retTenantSLO {
+		tenantAgg[name] = tenantSLORow(t)
 	}
 	out.Recycles = int(p.recycles.Load())
 	out.PlanSearches = int(p.retSearches.Load())
@@ -1321,9 +1510,22 @@ func (p *Pool) Stats() PoolStats {
 	out.Completed = int(p.shCompleted.Load())
 	out.Failed = int(p.shFailed.Load())
 	out.Canceled = int(p.shCanceled.Load())
+	p.mu.Unlock()
 	// Fan the snapshot closures out to every shard first, then collect:
 	// each shard takes its snapshot on its own loop goroutine concurrently,
 	// so stats latency is the slowest shard's round trip, not the sum.
+	// Draining shards contribute their cumulative counters (but no shard
+	// row: their capacity has already been replaced and their telemetry
+	// footprint is winding down, not serving).
+	drainReplies := make([]chan shardCounters, 0, len(draining))
+	for _, sh := range draining {
+		sh := sh
+		reply := make(chan shardCounters, 1)
+		if !sh.loop.Post(func() { reply <- readShardCounters(sh) }) {
+			return out, false
+		}
+		drainReplies = append(drainReplies, reply)
+	}
 	replies := make([]chan ShardStats, 0, len(shards))
 	for _, sh := range shards {
 		sh := sh
@@ -1408,9 +1610,41 @@ func (p *Pool) Stats() PoolStats {
 			})
 			reply <- ss
 		}) {
-			continue // shutting down: report what we have
+			return out, false
 		}
 		replies = append(replies, reply)
+	}
+	for _, reply := range drainReplies {
+		c := <-reply
+		out.PlanSearches += int(c.planSearches)
+		out.SingleflightHits += int(c.singleflightHits)
+		out.PlanConflicts += int(c.planConflicts)
+		out.Reconfigs += int(c.reconfigs)
+		out.ReconfigWins += int(c.reconfigWins)
+		out.ReconfigSkips += int(c.reconfigSkips)
+		out.ReconfigConflicts += int(c.reconfigConflicts)
+		out.FaultsInjected += int(c.faultsInjected)
+		out.TaskRetries += int(c.taskRetries)
+		out.RetriesExhausted += int(c.retriesExhausted)
+		out.DeadlinesExceeded += int(c.deadlinesExceeded)
+		out.Degradations += int(c.degradations)
+		out.StageTimeouts += int(c.stageTimeouts)
+		out.BreakerTrips += int(c.breakerTrips)
+		out.SLOShed += int(c.sloShed)
+		out.SLOBudgetExhausted += int(c.sloBudget)
+		out.SLODegradedAdmits += int(c.sloDegraded)
+		out.SLOMet += int(c.sloMet)
+		out.SLOMissed += int(c.sloMissed)
+		out.OverloadEnters += int(c.overloadEnters)
+		out.OverloadExits += int(c.overloadExits)
+		out.KeyInternHits += c.internHits
+		out.KeyInternMisses += c.internMisses
+		out.ScratchPoolHits += c.scratchHits
+		out.ScratchPoolMisses += c.scratchMisses
+		out.EventsProcessed += c.events
+		out.WheelEvents += c.wheelEvents
+		out.OverflowEvents += c.overflowEvents
+		out.CancelsLazy += c.cancelsLazy
 	}
 	for _, reply := range replies {
 		ss := <-reply
@@ -1478,5 +1712,5 @@ func (p *Pool) Stats() PoolStats {
 	sort.Slice(out.TenantSLO, func(i, j int) bool {
 		return out.TenantSLO[i].Tenant < out.TenantSLO[j].Tenant
 	})
-	return out
+	return out, true
 }

@@ -55,6 +55,7 @@ func TestErrorCodeEnumWireRoundTrip(t *testing.T) {
 		core.CodeTaskFailed,
 		core.CodeShedOverload,
 		core.CodeBudgetExhausted,
+		core.CodeNodeDown,
 		core.CodeInternal,
 	}
 	pool := s.Pool()

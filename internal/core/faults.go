@@ -54,6 +54,11 @@ const (
 	// CodeBudgetExhausted: the submission was rejected at admission — the
 	// tenant's SLO-class cost budget is spent.
 	CodeBudgetExhausted ErrorCode = "budget_exhausted"
+	// CodeNodeDown: the node holding the job left the cluster and its drain
+	// deadline expired before the job finished. Queued work is rerouted to
+	// surviving nodes; only jobs already running on the departed node
+	// surface this code.
+	CodeNodeDown ErrorCode = "node_down"
 	// CodeInternal: any other failure (planning, placement, validation).
 	CodeInternal ErrorCode = "internal"
 )

@@ -45,6 +45,11 @@ type Config struct {
 	// Profiles is built by profiling Library when nil (the §3.3(a)
 	// amortized profiling pass).
 	Profiles *profiles.Store
+	// ProfileRegistry scopes that amortized profiling pass when Profiles is
+	// nil: cluster nodes pass their per-node registry so profile state can
+	// replicate between nodes as content-keyed deltas. Nil uses the
+	// process-wide default registry.
+	ProfileRegistry *profiles.Registry
 	// RebalancePeriod enables the manager's rebalancing loop when > 0.
 	RebalancePeriod sim.Duration
 	// CPUType prices CPU cores; defaults to the EPYC in the paper testbed.
@@ -149,7 +154,7 @@ func New(cfg Config) (*Runtime, error) {
 		// distinct (catalog, library) content; runtimes receive copy-on-write
 		// views of the shared store.
 		var err error
-		store, err = agents.SharedProfiles(cfg.Cluster.Catalog(), cfg.Library)
+		store, err = agents.SharedProfilesIn(cfg.ProfileRegistry, cfg.Cluster.Catalog(), cfg.Library)
 		if err != nil {
 			return nil, fmt.Errorf("core: profiling library: %w", err)
 		}

@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
-	"sync"
 
 	"repro/internal/hardware"
 )
@@ -284,21 +283,9 @@ func (s *Store) Len() int {
 // typically derive the key from Library/Catalog fingerprints, and those
 // types (like the rest of the simulation) are not goroutine-safe — share a
 // Library across goroutines only with external synchronization.
+//
+// Shared delegates to the process-wide DefaultRegistry; cluster nodes that
+// need isolated, replicable profile state hold their own Registry instead.
 func Shared(key string, build func() (*Store, error)) (*Store, error) {
-	sharedMu.Lock()
-	defer sharedMu.Unlock()
-	if master, ok := sharedStores[key]; ok {
-		return master.View(), nil
-	}
-	st, err := build()
-	if err != nil {
-		return nil, err
-	}
-	sharedStores[key] = st
-	return st.View(), nil
+	return defaultRegistry.Shared(key, build)
 }
-
-var (
-	sharedMu     sync.Mutex
-	sharedStores = map[string]*Store{}
-)

@@ -1,0 +1,172 @@
+package profiles
+
+import (
+	"sort"
+	"sync"
+)
+
+// Registry is a content-keyed collection of memoized profile stores. The
+// process-wide Shared function delegates to a default Registry; cluster
+// nodes own one Registry each so that profile state can replicate between
+// nodes explicitly (as generation deltas) instead of leaking through a
+// global. A Registry is goroutine-safe; the build function passed to Shared
+// runs while the registry lock is held and must not call back into the same
+// Registry.
+type Registry struct {
+	mu     sync.Mutex
+	stores map[string]*Store
+	builds int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{stores: make(map[string]*Store)}
+}
+
+// Shared memoizes store construction under a content key (see the
+// package-level Shared for the full contract). The builder runs at most once
+// per key per registry; replicated keys never rebuild.
+func (g *Registry) Shared(key string, build func() (*Store, error)) (*Store, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if master, ok := g.stores[key]; ok {
+		return master.View(), nil
+	}
+	st, err := build()
+	if err != nil {
+		return nil, err
+	}
+	g.builds++
+	g.stores[key] = st
+	return st.View(), nil
+}
+
+// Builds returns how many times a builder actually ran in this registry —
+// the recomputation count replication is meant to drive to zero on joining
+// nodes.
+func (g *Registry) Builds() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.builds
+}
+
+// Keys returns the content keys present, sorted.
+func (g *Registry) Keys() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.stores))
+	for k := range g.stores {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of memoized stores.
+func (g *Registry) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.stores)
+}
+
+// ReplicationStats accounts one ReplicateFrom call: how many keys were
+// touched, how many profile entries actually shipped, and how many keys were
+// already current (generation fast path — nothing copied).
+type ReplicationStats struct {
+	// KeysAdded counts keys absent from the destination that were created.
+	KeysAdded int
+	// KeysUpdated counts keys present but stale whose delta was applied.
+	KeysUpdated int
+	// KeysCurrent counts keys skipped because content already matched.
+	KeysCurrent int
+	// Profiles counts individual profile entries shipped across.
+	Profiles int
+}
+
+// ReplicateFrom copies every store in src into g as a content-keyed
+// generation delta: keys whose destination content already matches are
+// skipped outright, and stale keys receive only the entries that differ.
+// After replication, g.Shared on any replicated key returns the warmed store
+// without running the builder — a joining node warms without recomputation.
+// src and g must be distinct registries.
+func (g *Registry) ReplicateFrom(src *Registry) ReplicationStats {
+	// Snapshot src under its own lock, then apply under g's lock; views are
+	// copy-on-write, so the snapshots stay immutable from g's side.
+	src.mu.Lock()
+	snap := make(map[string]*Store, len(src.stores))
+	for k, st := range src.stores {
+		snap[k] = st.View()
+	}
+	src.mu.Unlock()
+
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var stats ReplicationStats
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, k := range keys {
+		from := snap[k]
+		dst, ok := g.stores[k]
+		if !ok {
+			dst = NewStore()
+			delta := from.DiffFrom(dst)
+			for _, p := range delta {
+				dst.MustPut(p)
+			}
+			g.stores[k] = dst
+			stats.KeysAdded++
+			stats.Profiles += len(delta)
+			continue
+		}
+		delta := from.DiffFrom(dst)
+		if len(delta) == 0 {
+			stats.KeysCurrent++
+			continue
+		}
+		for _, p := range delta {
+			dst.MustPut(p)
+		}
+		stats.KeysUpdated++
+		stats.Profiles += len(delta)
+	}
+	return stats
+}
+
+// Entries returns every profile in the store, ordered by implementation name
+// then config string — a deterministic flattening used by replication.
+func (s *Store) Entries() []Profile {
+	impls := s.Implementations()
+	out := make([]Profile, 0, s.Len())
+	for _, impl := range impls {
+		out = append(out, s.byImpl[impl]...)
+	}
+	return out
+}
+
+// DiffFrom returns the entries of s that are absent from base or differ in
+// content — the generation delta that, applied to base via Put, makes base's
+// content a superset of s. Entries present only in base are left alone
+// (replication is additive; profile stores never shrink).
+func (s *Store) DiffFrom(base *Store) []Profile {
+	var delta []Profile
+	for _, impl := range s.Implementations() {
+		for _, p := range s.byImpl[impl] {
+			have, ok := base.Get(impl, p.Config)
+			if !ok || have != p {
+				delta = append(delta, p)
+			}
+		}
+	}
+	return delta
+}
+
+// defaultRegistry backs the package-level Shared for single-process callers.
+var defaultRegistry = NewRegistry()
+
+// DefaultRegistry returns the process-wide registry that the package-level
+// Shared delegates to.
+func DefaultRegistry() *Registry { return defaultRegistry }

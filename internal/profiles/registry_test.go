@@ -1,0 +1,153 @@
+package profiles
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func testProfile(impl string, cores int, quality float64) Profile {
+	return Profile{
+		Implementation: impl,
+		Capability:     "cap",
+		Config:         ResourceConfig{CPUCores: cores},
+		BaseS:          1,
+		PerUnitS:       0.1,
+		CPUIntensity:   0.5,
+		Quality:        quality,
+	}
+}
+
+func storeOf(t *testing.T, ps ...Profile) *Store {
+	t.Helper()
+	st := NewStore()
+	for _, p := range ps {
+		if err := st.Put(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+func TestRegistrySharedBuildsOnce(t *testing.T) {
+	reg := NewRegistry()
+	builds := 0
+	build := func() (*Store, error) {
+		builds++
+		return storeOf(t, testProfile("m", 4, 0.9)), nil
+	}
+	for i := 0; i < 3; i++ {
+		st, err := reg.Shared("k", build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Len() != 1 {
+			t.Fatalf("call %d: Len = %d, want 1", i, st.Len())
+		}
+	}
+	if builds != 1 || reg.Builds() != 1 {
+		t.Fatalf("builds = %d, reg.Builds() = %d, want 1/1", builds, reg.Builds())
+	}
+	if got := reg.Keys(); !reflect.DeepEqual(got, []string{"k"}) {
+		t.Fatalf("Keys = %v", got)
+	}
+}
+
+func TestRegistryReplicateWarmsWithoutRebuild(t *testing.T) {
+	src := NewRegistry()
+	for _, key := range []string{"ka", "kb"} {
+		key := key
+		if _, err := src.Shared(key, func() (*Store, error) {
+			return storeOf(t, testProfile("m-"+key, 4, 0.9), testProfile("m-"+key, 8, 0.9)), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dst := NewRegistry()
+	stats := dst.ReplicateFrom(src)
+	if stats.KeysAdded != 2 || stats.KeysUpdated != 0 || stats.KeysCurrent != 0 || stats.Profiles != 4 {
+		t.Fatalf("first replication stats = %+v", stats)
+	}
+	if !reflect.DeepEqual(dst.Keys(), src.Keys()) {
+		t.Fatalf("dst keys %v != src keys %v", dst.Keys(), src.Keys())
+	}
+
+	// The warmed key must not rebuild: the builder would be recomputation.
+	st, err := dst.Shared("ka", func() (*Store, error) {
+		return nil, fmt.Errorf("builder ran on a replicated key")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("replicated store Len = %d, want 2", st.Len())
+	}
+	if dst.Builds() != 0 {
+		t.Fatalf("dst.Builds() = %d, want 0 (warmed by replication)", dst.Builds())
+	}
+
+	// Re-replicating identical content takes the generation fast path.
+	stats = dst.ReplicateFrom(src)
+	if stats.KeysCurrent != 2 || stats.KeysAdded != 0 || stats.KeysUpdated != 0 || stats.Profiles != 0 {
+		t.Fatalf("second replication stats = %+v", stats)
+	}
+}
+
+func TestRegistryReplicateAppliesDelta(t *testing.T) {
+	src := NewRegistry()
+	if _, err := src.Shared("k", func() (*Store, error) {
+		return storeOf(t,
+			testProfile("m", 4, 0.9),
+			testProfile("m", 8, 0.9),
+			testProfile("n", 4, 0.7)), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewRegistry()
+	if _, err := dst.Shared("k", func() (*Store, error) {
+		// Same key, strict subset plus one stale entry (different quality).
+		return storeOf(t,
+			testProfile("m", 4, 0.9),
+			testProfile("n", 4, 0.5)), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	stats := dst.ReplicateFrom(src)
+	if stats.KeysUpdated != 1 || stats.Profiles != 2 {
+		t.Fatalf("delta replication stats = %+v (want 1 key updated, 2 profiles shipped)", stats)
+	}
+	st, err := dst.Shared("k", func() (*Store, error) {
+		return nil, fmt.Errorf("builder ran on a replicated key")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 3 {
+		t.Fatalf("post-delta Len = %d, want 3", st.Len())
+	}
+	if p, ok := st.Get("n", ResourceConfig{CPUCores: 4}); !ok || p.Quality != 0.7 {
+		t.Fatalf("stale entry not overwritten: %+v ok=%v", p, ok)
+	}
+}
+
+func TestStoreDiffFromAndEntries(t *testing.T) {
+	a := storeOf(t, testProfile("m", 4, 0.9), testProfile("m", 8, 0.9), testProfile("n", 4, 0.7))
+	b := storeOf(t, testProfile("m", 4, 0.9))
+	delta := a.DiffFrom(b)
+	if len(delta) != 2 {
+		t.Fatalf("DiffFrom len = %d, want 2: %+v", len(delta), delta)
+	}
+	if got := a.DiffFrom(a); len(got) != 0 {
+		t.Fatalf("self-diff = %+v, want empty", got)
+	}
+	ents := a.Entries()
+	if len(ents) != 3 {
+		t.Fatalf("Entries len = %d", len(ents))
+	}
+	// Deterministic flattening: implementation then config order.
+	if ents[0].Implementation != "m" || ents[2].Implementation != "n" {
+		t.Fatalf("Entries order: %+v", ents)
+	}
+}

@@ -1,0 +1,153 @@
+package router
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+// TestRouterLeaveRaceUnderChurn hammers the departing node's worst case:
+// submissions, cancels and stats reads in flight from several goroutines, a
+// shard-recycle storm on every node (MaxSeriesPoints far below one job's
+// telemetry footprint), and a Leave racing all of it with an
+// immediately-expiring drain deadline. The invariants: no accepted job
+// strands non-terminal, and cluster totals never regress. Run under
+// -race -shuffle=on in CI.
+func TestRouterLeaveRaceUnderChurn(t *testing.T) {
+	rt := newTestRouter(t, Config{
+		Nodes:         3,
+		Seed:          42,
+		DrainDeadline: -1,
+		Node: api.PoolConfig{
+			Shards:                1,
+			VMsPerShard:           2,
+			MaxConcurrentPerShard: 2,
+			MaxSeriesPoints:       64, // below one busy job's footprint: recycles guaranteed
+		},
+	})
+
+	var (
+		mu  sync.Mutex
+		ids []string
+	)
+	addID := func(id string) {
+		mu.Lock()
+		ids = append(ids, id)
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	// Submitters: async jobs across tenants that span every node.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				tenant := fmt.Sprintf("race-%d-%d", w, i%7)
+				rec := do(rt, http.MethodPost, "/v1/jobs", jobBody(tenant, false))
+				switch rec.Code {
+				case http.StatusAccepted, http.StatusOK:
+					if id := decodeStatus(t, rec).ID; id != "" {
+						addID(id)
+					}
+				default:
+					t.Errorf("submit = %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+		}(w)
+	}
+	// Canceler: deletes whatever has been accepted so far; 200 (canceled),
+	// 409 (already terminal) and 404 (id raced the registry) are all legal.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			mu.Lock()
+			var id string
+			if len(ids) > 0 {
+				id = ids[i%len(ids)]
+			}
+			mu.Unlock()
+			if id == "" {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			rec := do(rt, http.MethodDelete, "/v1/jobs/"+id, "")
+			switch rec.Code {
+			case http.StatusOK, http.StatusConflict, http.StatusNotFound:
+			default:
+				t.Errorf("cancel %s = %d: %s", id, rec.Code, rec.Body.String())
+			}
+		}
+	}()
+	// Stats poller: totals must be monotonic while nodes churn underneath.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var prev ClusterTotals
+		for i := 0; i < 15; i++ {
+			tot := rt.Stats().Totals
+			if tot.Submitted < prev.Submitted || tot.Completed < prev.Completed ||
+				tot.Failed < prev.Failed || tot.Canceled < prev.Canceled ||
+				tot.EventsProcessed < prev.EventsProcessed || tot.Recycles < prev.Recycles {
+				t.Errorf("totals regressed mid-churn: %+v -> %+v", prev, tot)
+			}
+			prev = tot
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	// The leave, racing everything above.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(5 * time.Millisecond)
+		if err := rt.Leave("n0"); err != nil {
+			t.Errorf("leave: %v", err)
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Zero stranded: every accepted job reaches a terminal state through
+	// the router (drained, rerouted or node_down).
+	deadline := time.Now().Add(90 * time.Second)
+	mu.Lock()
+	all := append([]string(nil), ids...)
+	mu.Unlock()
+	for _, id := range all {
+		for {
+			rec := do(rt, http.MethodGet, "/v1/jobs/"+id, "")
+			if rec.Code == http.StatusNotFound {
+				// Evicted from a node's bounded history after terminal —
+				// not stranded. (History limits are generous here, so this
+				// is unexpected; flag it.)
+				t.Fatalf("job %s vanished", id)
+			}
+			if rec.Code != http.StatusOK {
+				t.Fatalf("GET %s = %d: %s", id, rec.Code, rec.Body.String())
+			}
+			if terminalStatus(decodeStatus(t, rec).Status) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stranded: %s", id, rec.Body.String())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// The recycle storm must actually have fired, or the test lost its bite.
+	s := rt.Stats()
+	if s.Totals.Recycles == 0 {
+		t.Fatalf("no shard recycles under MaxSeriesPoints=64: %+v", s.Totals)
+	}
+	if s.Leaves != 1 || len(s.Nodes) != 2 {
+		t.Fatalf("post-race shape: leaves=%d nodes=%d", s.Leaves, len(s.Nodes))
+	}
+}

@@ -1,0 +1,361 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+func testNodeConfig() api.PoolConfig {
+	return api.PoolConfig{Shards: 1, VMsPerShard: 2, MaxConcurrentPerShard: 4}
+}
+
+func newTestRouter(t *testing.T, cfg Config) *Router {
+	t.Helper()
+	if cfg.Node.Shards == 0 {
+		cfg.Node = testNodeConfig()
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func jobBody(tenant string, wait bool) string {
+	return fmt.Sprintf(`{
+		"tenant": %q, "wait": %v,
+		"description": "List objects shown in the videos",
+		"constraint": "MAX_QUALITY",
+		"inputs": [{"name": "a.mov", "kind": "video",
+		            "attrs": {"duration_s": 120, "scene_len_s": 30, "frames_per_scene": 24}}]
+	}`, tenant, wait)
+}
+
+// do runs one request through the router handler.
+func do(rt *Router, method, target, body string) *httptest.ResponseRecorder {
+	var rd *strings.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	} else {
+		rd = strings.NewReader("")
+	}
+	req := httptest.NewRequest(method, target, rd)
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, req)
+	return rec
+}
+
+type wireStatus struct {
+	ID        string `json:"id"`
+	Tenant    string `json:"tenant"`
+	Status    string `json:"status"`
+	Error     string `json:"error"`
+	ErrorCode string `json:"error_code"`
+}
+
+func decodeStatus(t *testing.T, rec *httptest.ResponseRecorder) wireStatus {
+	t.Helper()
+	var st wireStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("decoding %q: %v", rec.Body.String(), err)
+	}
+	return st
+}
+
+func TestRouterRoutesByTenantAndNamespacesIDs(t *testing.T) {
+	rt := newTestRouter(t, Config{Nodes: 3, Seed: 42})
+	owners := map[string]string{}
+	for i := 0; i < 6; i++ {
+		tenant := fmt.Sprintf("tenant-%d", i)
+		rec := do(rt, http.MethodPost, "/v1/jobs", jobBody(tenant, true))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("submit %s = %d: %s", tenant, rec.Code, rec.Body.String())
+		}
+		st := decodeStatus(t, rec)
+		if st.Status != "done" {
+			t.Fatalf("wait-submit status = %q", st.Status)
+		}
+		// The minted ID carries the owning node's namespace, and that node
+		// must be the ring owner for the tenant.
+		want, _ := rt.ring.NodeFor(tenant)
+		if !strings.HasPrefix(st.ID, "job-"+want+"-") {
+			t.Fatalf("tenant %s: job id %q not namespaced to ring owner %s", tenant, st.ID, want)
+		}
+		owners[tenant] = want
+
+		// Reads route back through the registry to the same record.
+		get := do(rt, http.MethodGet, "/v1/jobs/"+st.ID, "")
+		if get.Code != http.StatusOK || decodeStatus(t, get).ID != st.ID {
+			t.Fatalf("GET %s = %d: %s", st.ID, get.Code, get.Body.String())
+		}
+		// Canceling a finished job is the same 409 a single node reports.
+		del := do(rt, http.MethodDelete, "/v1/jobs/"+st.ID, "")
+		if del.Code != http.StatusConflict {
+			t.Fatalf("DELETE done job = %d: %s", del.Code, del.Body.String())
+		}
+	}
+	// With 6 tenants over 3 nodes and seed 42 at least two nodes should own
+	// traffic; this guards against the ring degenerating to one node.
+	distinct := map[string]bool{}
+	for _, n := range owners {
+		distinct[n] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("all tenants landed on one node: %v", owners)
+	}
+
+	if rec := do(rt, http.MethodGet, "/v1/jobs/job-nope", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown job GET = %d", rec.Code)
+	}
+	if rec := do(rt, http.MethodGet, "/healthz", ""); rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+	if rec := do(rt, http.MethodGet, "/v1/library", ""); rec.Code != http.StatusOK {
+		t.Fatalf("library = %d", rec.Code)
+	}
+}
+
+func TestRouterStatsFanInMonotonic(t *testing.T) {
+	rt := newTestRouter(t, Config{Nodes: 2, Seed: 7})
+	for i := 0; i < 4; i++ {
+		rec := do(rt, http.MethodPost, "/v1/jobs", jobBody(fmt.Sprintf("tenant-%d", i), true))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("submit = %d", rec.Code)
+		}
+	}
+	s1 := rt.Stats()
+	if s1.Mode != "cluster" || s1.NodesUp != 2 || len(s1.Nodes) != 2 {
+		t.Fatalf("stats shape: %+v", s1)
+	}
+	if s1.Totals.Submitted != 4 || s1.Totals.Completed != 4 {
+		t.Fatalf("totals = %+v, want 4 submitted/completed", s1.Totals)
+	}
+	if s1.RoutedSubmits != 4 || s1.TenantsObserved != 4 {
+		t.Fatalf("router counters: %+v", s1)
+	}
+	// The HTTP endpoint serves the same document.
+	rec := do(rt, http.MethodGet, "/v1/stats", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/stats = %d", rec.Code)
+	}
+	var viaHTTP ClusterStats
+	if err := json.Unmarshal(rec.Body.Bytes(), &viaHTTP); err != nil {
+		t.Fatal(err)
+	}
+	if viaHTTP.Totals.Submitted != s1.Totals.Submitted {
+		t.Fatalf("HTTP stats disagree: %+v vs %+v", viaHTTP.Totals, s1.Totals)
+	}
+	// More work strictly advances the fold.
+	if rec := do(rt, http.MethodPost, "/v1/jobs", jobBody("tenant-9", true)); rec.Code != http.StatusOK {
+		t.Fatalf("submit = %d", rec.Code)
+	}
+	s2 := rt.Stats()
+	if s2.Totals.Submitted < s1.Totals.Submitted || s2.Totals.Completed < s1.Totals.Completed ||
+		s2.Totals.EventsProcessed < s1.Totals.EventsProcessed {
+		t.Fatalf("totals regressed: %+v -> %+v", s1.Totals, s2.Totals)
+	}
+}
+
+func TestRouterJoinWarmsWithoutRecomputation(t *testing.T) {
+	rt := newTestRouter(t, Config{Nodes: 1, Seed: 1})
+	// The seed node had to profile (it built the canonical registry).
+	if builds, ok := rt.NodeBuilds("n0"); !ok || builds == 0 {
+		t.Fatalf("seed node builds = %d ok=%v, want > 0", builds, ok)
+	}
+	if err := rt.Join("warm"); err != nil {
+		t.Fatal(err)
+	}
+	// The joining node replicated content-keyed deltas instead of
+	// re-profiling: its build counter stays zero.
+	if builds, ok := rt.NodeBuilds("warm"); !ok || builds != 0 {
+		t.Fatalf("joined node builds = %d ok=%v, want 0 (warmed by replication)", builds, ok)
+	}
+	s := rt.Stats()
+	if s.ProfileKeysReplicated == 0 || s.ProfileEntriesReplicated == 0 {
+		t.Fatalf("replication counters empty: %+v", s)
+	}
+	if s.Joins != 2 {
+		t.Fatalf("joins = %d, want 2 (seed + warm)", s.Joins)
+	}
+	// The new node serves traffic for tenants the ring hands it.
+	found := false
+	for i := 0; i < 64 && !found; i++ {
+		tenant := fmt.Sprintf("probe-%d", i)
+		if owner, _ := rt.ring.NodeFor(tenant); owner == "warm" {
+			rec := do(rt, http.MethodPost, "/v1/jobs", jobBody(tenant, true))
+			if rec.Code != http.StatusOK {
+				t.Fatalf("submit to joined node = %d: %s", rec.Code, rec.Body.String())
+			}
+			if id := decodeStatus(t, rec).ID; !strings.HasPrefix(id, "job-warm-") {
+				t.Fatalf("id %q not on joined node", id)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ring handed the joined node no tenants out of 64 probes")
+	}
+}
+
+// TestRouterLeaveDrainReroutesAndTypesNodeDown pins the leave contract with
+// an immediately-expiring drain deadline: still-queued jobs re-enter
+// surviving nodes, still-running jobs surface the typed node_down error,
+// nothing strands, and cluster totals stay monotonic across the fold.
+func TestRouterLeaveDrainReroutesAndTypesNodeDown(t *testing.T) {
+	// Whether the leave finds jobs in flight is a real-time race against the
+	// shard loops (async submissions normally enqueue far faster than jobs
+	// complete, but a starved submitter goroutine can lose). Retry the whole
+	// scenario on a fresh cluster until a leave catches work mid-air —
+	// virtually always the first attempt; bounded for slow or contended
+	// machines.
+	var rt *Router
+	var ids []string
+	var before ClusterStats
+	for attempt := 0; ; attempt++ {
+		rt = newTestRouter(t, Config{Nodes: 2, Seed: 42, DrainDeadline: -1})
+		// Flood one departing node with async jobs.
+		var victimTenants []string
+		for i := 0; len(victimTenants) < 4 && i < 256; i++ {
+			tenant := fmt.Sprintf("flood-%d", i)
+			if owner, _ := rt.ring.NodeFor(tenant); owner == "n0" {
+				victimTenants = append(victimTenants, tenant)
+			}
+		}
+		if len(victimTenants) < 4 {
+			t.Fatal("could not find tenants owned by n0")
+		}
+		ids = ids[:0]
+		for i := 0; i < 40; i++ {
+			rec := do(rt, http.MethodPost, "/v1/jobs", jobBody(victimTenants[i%len(victimTenants)], false))
+			if rec.Code != http.StatusAccepted {
+				t.Fatalf("async submit = %d: %s", rec.Code, rec.Body.String())
+			}
+			ids = append(ids, decodeStatus(t, rec).ID)
+		}
+		before = rt.Stats()
+
+		if err := rt.Leave("n0"); err != nil {
+			t.Fatal(err)
+		}
+		if s := rt.Stats(); s.ReroutedJobs+s.NodeDownJobs > 0 {
+			break
+		}
+		if attempt == 9 {
+			t.Fatal("no leave caught jobs in flight in 10 attempts")
+		}
+		rt.Close()
+	}
+	if err := rt.Leave("n1"); err == nil {
+		t.Fatal("removing the last node must refuse")
+	}
+
+	// Every submitted job must reach a terminal state reachable through the
+	// router — drained, rerouted (alias), or typed node_down. Rerouted jobs
+	// finish asynchronously on the survivor, so poll with a deadline.
+	deadline := time.Now().Add(60 * time.Second)
+	for _, id := range ids {
+		for {
+			rec := do(rt, http.MethodGet, "/v1/jobs/"+id, "")
+			if rec.Code != http.StatusOK {
+				t.Fatalf("GET %s = %d: %s", id, rec.Code, rec.Body.String())
+			}
+			st := decodeStatus(t, rec)
+			if terminalStatus(st.Status) {
+				if st.ErrorCode == string("node_down") && !strings.Contains(st.Error, "node_down") {
+					t.Fatalf("node_down job lost its typed error: %+v", st)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stranded non-terminal: %+v", id, st)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	after := rt.Stats()
+	if after.Leaves != 1 || len(after.Nodes) != 1 {
+		t.Fatalf("post-leave shape: %+v", after)
+	}
+	// The drain must have exercised the deadline paths: with an immediate
+	// deadline and 40 in-flight jobs, reroutes and/or node_down are certain.
+	if after.ReroutedJobs == 0 && after.NodeDownJobs == 0 {
+		t.Fatalf("leave exercised no handoff: %+v", after)
+	}
+	// Monotonic fold: the departed node's final counters are in the
+	// retired totals, so nothing regresses.
+	if after.Totals.Submitted < before.Totals.Submitted ||
+		after.Totals.Completed < before.Totals.Completed ||
+		after.Totals.Canceled < before.Totals.Canceled ||
+		after.Totals.EventsProcessed < before.Totals.EventsProcessed {
+		t.Fatalf("totals regressed across leave: %+v -> %+v", before.Totals, after.Totals)
+	}
+	// Only the departed node's tenants moved.
+	if after.TenantsMoved == 0 {
+		t.Fatal("leave moved no tenants despite n0 owning traffic")
+	}
+	// The healthz aggregate stays up on the survivor.
+	if rec := do(rt, http.MethodGet, "/healthz", ""); rec.Code != http.StatusOK {
+		t.Fatalf("healthz after leave = %d", rec.Code)
+	}
+}
+
+func TestRouterHeartbeatAndHealthGating(t *testing.T) {
+	rt := newTestRouter(t, Config{Nodes: 2, Seed: 7})
+	if up := rt.HeartbeatOnce(); up != 2 {
+		t.Fatalf("heartbeat up = %d, want 2", up)
+	}
+	// Force one node unhealthy: its tenants spill to the live node.
+	if !rt.SetNodeHealth("n0", false) {
+		t.Fatal("SetNodeHealth failed")
+	}
+	var spilled string
+	for i := 0; i < 64 && spilled == ""; i++ {
+		tenant := fmt.Sprintf("hb-%d", i)
+		if owner, _ := rt.ring.NodeFor(tenant); owner == "n0" {
+			spilled = tenant
+		}
+	}
+	if spilled == "" {
+		t.Fatal("no tenant owned by n0")
+	}
+	rec := do(rt, http.MethodPost, "/v1/jobs", jobBody(spilled, true))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("spill submit = %d", rec.Code)
+	}
+	if id := decodeStatus(t, rec).ID; !strings.HasPrefix(id, "job-n1-") {
+		t.Fatalf("unhealthy owner still served: id %q", id)
+	}
+	// Both nodes down: the router reports unavailable rather than routing.
+	rt.SetNodeHealth("n1", false)
+	if rec := do(rt, http.MethodGet, "/healthz", ""); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with all down = %d", rec.Code)
+	}
+	if rec := do(rt, http.MethodPost, "/v1/jobs", jobBody("hb-x", true)); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submit with all down = %d", rec.Code)
+	}
+	// A heartbeat restores health (the pools are actually fine).
+	if up := rt.HeartbeatOnce(); up != 2 {
+		t.Fatalf("heartbeat after recovery = %d", up)
+	}
+	s := rt.Stats()
+	if s.Heartbeats != 2 {
+		t.Fatalf("heartbeats = %d", s.Heartbeats)
+	}
+	for _, n := range s.Nodes {
+		if !n.Healthy {
+			t.Fatalf("node %s still unhealthy after heartbeat", n.Name)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package router
+
+import (
+	"net/http"
+	"sort"
+
+	"repro/internal/api"
+)
+
+// ClusterTotals is the cluster-wide lifecycle fold: live nodes' pool
+// counters plus the final counters of every departed node (folded at leave,
+// the same discipline the pool applies to recycled shards), so every field
+// is monotonic across membership changes. Submitted counts node-level
+// admissions and therefore includes leave-time re-entries (a rerouted job is
+// admitted twice); the router's routed_submits counter is the client-facing
+// count.
+type ClusterTotals struct {
+	Submitted       int    `json:"submitted"`
+	Completed       int    `json:"completed"`
+	Failed          int    `json:"failed"`
+	Canceled        int    `json:"canceled"`
+	PlanSearches    int    `json:"plan_searches"`
+	Reconfigs       int    `json:"reconfigs"`
+	Recycles        int    `json:"recycles"`
+	EventsProcessed uint64 `json:"events_processed"`
+}
+
+// addPool folds one pool's monotonic totals in.
+func (t *ClusterTotals) addPool(ps api.PoolStats) {
+	t.Submitted += ps.Submitted
+	t.Completed += ps.Completed
+	t.Failed += ps.Failed
+	t.Canceled += ps.Canceled
+	t.PlanSearches += ps.PlanSearches
+	t.Reconfigs += ps.Reconfigs
+	t.Recycles += ps.Recycles
+	t.EventsProcessed += ps.EventsProcessed
+}
+
+// NodeStats is one member's row in the cluster stats fan-in.
+type NodeStats struct {
+	Name     string `json:"name"`
+	Healthy  bool   `json:"healthy"`
+	Draining bool   `json:"draining"`
+	// Tenants counts observed tenants whose ring owner this node is.
+	Tenants int `json:"tenants"`
+	// SimTimeS is the node's sim-time high-water mark across its shards;
+	// LastBeatSimS is the stamp taken at the last heartbeat.
+	SimTimeS     float64       `json:"sim_time_s"`
+	LastBeatSimS float64       `json:"last_beat_sim_s"`
+	Pool         api.PoolStats `json:"pool"`
+}
+
+// ClusterStats is the router's /v1/stats document: the per-node fan-out plus
+// merged cluster totals and the router's own routing/handoff/replication
+// counters.
+type ClusterStats struct {
+	Mode          string      `json:"mode"` // always "cluster"
+	Nodes         []NodeStats `json:"nodes"`
+	NodesUp       int         `json:"nodes_up"`
+	NodesDraining int         `json:"nodes_draining"`
+	RingVNodes    int         `json:"ring_vnodes"`
+	RingSeed      int64       `json:"ring_seed"`
+
+	TenantsObserved int   `json:"tenants_observed"`
+	TenantsMoved    int64 `json:"tenants_moved"`
+
+	RoutedSubmits     int64 `json:"routed_submits"`
+	RoutedStatusReads int64 `json:"routed_status_reads"`
+	RoutedCancels     int64 `json:"routed_cancels"`
+	ReroutedJobs      int64 `json:"rerouted_jobs"`
+	NodeDownJobs      int64 `json:"node_down_jobs"`
+
+	Joins      int64 `json:"joins"`
+	Leaves     int64 `json:"leaves"`
+	Heartbeats int64 `json:"heartbeats"`
+
+	ProfileKeysReplicated    int64 `json:"profile_keys_replicated"`
+	ProfileEntriesReplicated int64 `json:"profile_entries_replicated"`
+
+	JobsTracked int           `json:"jobs_tracked"`
+	Totals      ClusterTotals `json:"totals"`
+}
+
+// Stats fans out to every node's pool (each pool snapshot is itself taken on
+// its shard loops) and merges: totals are retired folds plus live sums, so
+// repeated reads are monotonic across joins, leaves and recycles.
+func (rt *Router) Stats() ClusterStats {
+	rt.mu.Lock()
+	names := make([]string, 0, len(rt.nodes))
+	for name := range rt.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	members := make([]*node, 0, len(names))
+	for _, name := range names {
+		members = append(members, rt.nodes[name])
+	}
+	tenantsPerNode := make(map[string]int, len(members))
+	for _, owner := range rt.tenants {
+		tenantsPerNode[owner]++
+	}
+	out := ClusterStats{
+		Mode:                     "cluster",
+		RingVNodes:               rt.ring.vnodes,
+		RingSeed:                 rt.cfg.Seed,
+		TenantsObserved:          len(rt.tenants),
+		TenantsMoved:             rt.tenantsMoved,
+		RoutedSubmits:            rt.routedSubmits,
+		RoutedStatusReads:        rt.routedReads,
+		RoutedCancels:            rt.routedCancels,
+		ReroutedJobs:             rt.rerouted,
+		NodeDownJobs:             rt.nodeDownJobs,
+		Joins:                    rt.joins,
+		Leaves:                   rt.leaves,
+		Heartbeats:               rt.heartbeats,
+		ProfileKeysReplicated:    rt.replKeys,
+		ProfileEntriesReplicated: rt.replProfiles,
+		JobsTracked:              len(rt.jobs),
+		Totals:                   rt.ret,
+	}
+	rt.mu.Unlock()
+
+	for _, n := range members {
+		ps := n.srv.Pool().Stats()
+		rt.mu.Lock()
+		row := NodeStats{
+			Name:         n.name,
+			Healthy:      n.healthy,
+			Draining:     n.draining,
+			Tenants:      tenantsPerNode[n.name],
+			SimTimeS:     maxShardSimS(ps),
+			LastBeatSimS: n.lastBeatSimS,
+			Pool:         ps,
+		}
+		rt.mu.Unlock()
+		out.Nodes = append(out.Nodes, row)
+		if row.Healthy && !row.Draining {
+			out.NodesUp++
+		}
+		if row.Draining {
+			out.NodesDraining++
+		}
+		out.Totals.addPool(ps)
+	}
+	return out
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.Stats())
+}
